@@ -1,0 +1,48 @@
+//! pardis-apps — the evaluation workloads of the PARDIS paper.
+//!
+//! Three metaapplications, one per figure of §4:
+//!
+//! * [`solvers`] — §4.1 / figure 2: a direct (Gaussian elimination) and an
+//!   iterative (Jacobi) linear-system solver exposed as SPMD objects; a
+//!   parallel client solves the same system with both and compares.
+//! * [`dna`] — §4.2 / figure 4: a DNA database searched in parallel by an
+//!   SPMD object, with five single list-server objects (exact match plus
+//!   the four edit-distance derivative classes) distributed over the
+//!   computing threads of the same parallel server.
+//! * [`pipeline`] — §4.3 / figure 5: a POOMA diffusion application
+//!   pipelining its field into an HPC++ PSTL gradient application, both
+//!   feeding visualizers, built on the compiler's pragma mappings.
+//!
+//! Each module contains the numerical/text kernels, the servants
+//! implementing the build-time-generated skeletons (`pardis::generated`),
+//! launchers that spawn complete parallel servers, and client drivers used
+//! by the examples, integration tests, and the figure-reproduction
+//! benches.
+
+pub mod dna;
+pub mod pipeline;
+pub mod solvers;
+
+use pardis::core::ServerGroup;
+use std::thread::JoinHandle;
+
+/// A running parallel server: the ORB-side group handle plus the OS thread
+/// that hosts its computing threads.
+pub struct ServerHandle {
+    /// The ORB-side handle (bindable objects live until shutdown).
+    pub group: ServerGroup,
+    join: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// Package a group and its host thread.
+    pub fn new(group: ServerGroup, join: JoinHandle<()>) -> Self {
+        ServerHandle { group, join }
+    }
+
+    /// Ask the server to exit and wait for its threads.
+    pub fn shutdown(self) {
+        self.group.shutdown();
+        self.join.join().expect("server thread panicked");
+    }
+}

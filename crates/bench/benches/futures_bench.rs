@@ -1,0 +1,82 @@
+//! Futures overhead: blocking invocation vs non-blocking + immediate get
+//! vs non-blocking with overlap (§3.3). Futures are handles, so their
+//! instantiation should be near-free; the interesting cost is the extra
+//! bookkeeping per invocation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pardis::core::{
+    ClientGroup, Orb, PFuture, Proxy, Servant, ServerGroup, ServerReply, ServerRequest,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+struct Worker;
+
+impl Servant for Worker {
+    fn interface(&self) -> &str {
+        "worker"
+    }
+    fn dispatch(&self, req: ServerRequest<'_>) -> Result<ServerReply, String> {
+        let spin: u64 = req.scalar(0).map_err(|e| e.to_string())?;
+        let mut acc = 1u64;
+        for i in 0..spin {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        let mut rep = ServerReply::new();
+        rep.push_scalar(&acc);
+        Ok(rep)
+    }
+}
+
+fn setup() -> (Orb, ServerGroup, std::thread::JoinHandle<()>, Proxy) {
+    let (orb, host) = Orb::single_host();
+    orb.set_local_bypass(false);
+    let group = ServerGroup::create(&orb, "worker", host, 1);
+    let g = group.clone();
+    let join = std::thread::spawn(move || {
+        let mut poa = g.attach(0, None);
+        poa.activate_single("w1", Arc::new(Worker));
+        poa.impl_is_ready();
+    });
+    let client = ClientGroup::create(&orb, host, 1).attach(0, None);
+    let proxy = client.bind("w1").unwrap();
+    (orb, group, join, proxy)
+}
+
+fn futures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("futures");
+    let (_orb, server, join, proxy) = setup();
+
+    group.bench_function("blocking_invoke", |b| {
+        b.iter(|| {
+            let reply = proxy.call("work").arg(black_box(&100u64)).invoke().unwrap();
+            reply.scalar::<u64>(0).unwrap()
+        })
+    });
+
+    group.bench_function("nb_invoke_then_get", |b| {
+        b.iter(|| {
+            let inv = proxy.call("work").arg(black_box(&100u64)).invoke_nb().unwrap();
+            let fut: PFuture<u64> = inv.scalar_future(0);
+            fut.get().unwrap()
+        })
+    });
+
+    group.bench_function("nb_pair_overlapped", |b| {
+        // Two concurrent requests resolved together — the §4.1 pattern.
+        b.iter(|| {
+            let a = proxy.call("work").arg(black_box(&100u64)).invoke_nb().unwrap();
+            let bb = proxy.call("work").arg(black_box(&100u64)).invoke_nb().unwrap();
+            let fa: PFuture<u64> = a.scalar_future(0);
+            let fb: PFuture<u64> = bb.scalar_future(0);
+            (fa.get().unwrap(), fb.get().unwrap())
+        })
+    });
+
+    group.finish();
+    server.shutdown();
+    join.join().unwrap();
+}
+
+criterion_group!(benches, futures);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Invocation-path micro-benchmarks: the collocated direct call (§4.1's
+//! "invocation on a local object becomes a direct call, bypassing the
+//! network transport") against the full wire path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pardis::core::{
+    ClientGroup, Orb, Proxy, Servant, ServerGroup, ServerReply, ServerRequest,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+struct Echo;
+
+impl Servant for Echo {
+    fn interface(&self) -> &str {
+        "echo"
+    }
+    fn dispatch(&self, req: ServerRequest<'_>) -> Result<ServerReply, String> {
+        let v: i64 = req.scalar(0).map_err(|e| e.to_string())?;
+        let mut rep = ServerReply::new();
+        rep.push_scalar(&(v + 1));
+        Ok(rep)
+    }
+}
+
+/// (orb, polling server handle, bound proxy).
+fn setup(bypass: bool) -> (Orb, pardis::core::ServerGroup, std::thread::JoinHandle<()>, Proxy) {
+    let (orb, host) = Orb::single_host();
+    orb.set_local_bypass(bypass);
+    let group = ServerGroup::create(&orb, "echo", host, 1);
+    let g = group.clone();
+    let join = std::thread::spawn(move || {
+        let mut poa = g.attach(0, None);
+        poa.activate_single("echo1", Arc::new(Echo));
+        poa.impl_is_ready();
+    });
+    let client = ClientGroup::create(&orb, host, 1).attach(0, None);
+    let proxy = client.bind("echo1").unwrap();
+    (orb, group, join, proxy)
+}
+
+fn invoke_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("invoke");
+
+    let (_orb, server, join, proxy) = setup(true);
+    group.bench_function("collocated_direct_call", |b| {
+        b.iter(|| {
+            let reply = proxy.call("bump").arg(black_box(&41i64)).invoke().unwrap();
+            reply.scalar::<i64>(0).unwrap()
+        })
+    });
+    server.shutdown();
+    join.join().unwrap();
+
+    let (_orb, server, join, proxy) = setup(false);
+    group.bench_function("wire_roundtrip", |b| {
+        b.iter(|| {
+            let reply = proxy.call("bump").arg(black_box(&41i64)).invoke().unwrap();
+            reply.scalar::<i64>(0).unwrap()
+        })
+    });
+    server.shutdown();
+    join.join().unwrap();
+
+    group.finish();
+}
+
+criterion_group!(benches, invoke_paths);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! CDR marshaling micro-benchmarks — the cost of the automatically
+//! generated marshaling for dynamically-sized nested structures (§4.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pardis_cdr::{from_bytes, to_bytes, ByteOrder, Decoder, Encoder};
+use std::hint::black_box;
+
+fn flat_f64(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marshal/flat_f64");
+    for n in [256usize, 4096, 65536] {
+        let data: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        group.throughput(Throughput::Bytes((n * 8) as u64));
+        group.bench_with_input(BenchmarkId::new("encode_elementwise", n), &data, |b, data| {
+            b.iter(|| to_bytes(black_box(data)))
+        });
+        group.bench_with_input(BenchmarkId::new("encode_bulk", n), &data, |b, data| {
+            b.iter(|| {
+                let mut e = Encoder::with_capacity(ByteOrder::native(), data.len() * 8 + 8);
+                e.write_f64_slice(black_box(data));
+                e.finish()
+            })
+        });
+        let encoded = to_bytes(&data);
+        group.bench_with_input(BenchmarkId::new("decode_elementwise", n), &encoded, |b, enc| {
+            b.iter(|| from_bytes::<Vec<f64>>(black_box(enc)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("decode_bulk", n), &encoded, |b, enc| {
+            b.iter(|| {
+                let mut d = Decoder::new(enc.clone(), ByteOrder::native());
+                d.read_f64_vec().unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn nested_matrix(c: &mut Criterion) {
+    // The paper's `matrix`: dsequence of dynamically-sized rows — the case
+    // programmers previously hand-coded marshaling for.
+    let mut group = c.benchmark_group("marshal/nested_rows");
+    for n in [64usize, 256] {
+        let matrix: Vec<Vec<f64>> =
+            (0..n).map(|i| (0..n).map(|j| (i * j) as f64).collect()).collect();
+        group.throughput(Throughput::Bytes((n * n * 8) as u64));
+        group.bench_with_input(BenchmarkId::new("encode", n), &matrix, |b, m| {
+            b.iter(|| to_bytes(black_box(m)))
+        });
+        let encoded = to_bytes(&matrix);
+        group.bench_with_input(BenchmarkId::new("decode", n), &encoded, |b, enc| {
+            b.iter(|| from_bytes::<Vec<Vec<f64>>>(black_box(enc)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn strings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marshal/dna_lists");
+    let list: Vec<String> = (0..1000).map(|i| format!("ACGT{:0>40}", i)).collect();
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("encode", |b| b.iter(|| to_bytes(black_box(&list))));
+    let encoded = to_bytes(&list);
+    group.bench_function("decode", |b| {
+        b.iter(|| from_bytes::<Vec<String>>(black_box(&encoded)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, flat_f64, nested_matrix, strings);
+criterion_main!(benches);

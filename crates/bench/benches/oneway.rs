@@ -1,0 +1,120 @@
+//! Ablation for §4.3's diagnosis: the pipeline's non-blocking invocations
+//! were *not oneway*, so the client still pays send + reply costs. Compare
+//! blocking, non-blocking (reply still flows), oneway (no reply at all),
+//! and non-blocking with a dedicated communication thread (§6 future work).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pardis::core::{
+    ClientGroup, ClientThread, Orb, Servant, ServerGroup, ServerReply, ServerRequest,
+};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Counter {
+    hits: Arc<AtomicUsize>,
+}
+
+impl Servant for Counter {
+    fn interface(&self) -> &str {
+        "counter"
+    }
+    fn dispatch(&self, req: ServerRequest<'_>) -> Result<ServerReply, String> {
+        let payload: Vec<u8> = req.scalar(0).map_err(|e| e.to_string())?;
+        black_box(payload.len());
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Ok(ServerReply::new())
+    }
+}
+
+struct Setup {
+    _orb: Orb,
+    group: ServerGroup,
+    join: Option<std::thread::JoinHandle<()>>,
+    client: ClientThread,
+    hits: Arc<AtomicUsize>,
+}
+
+fn setup() -> Setup {
+    let (orb, host) = Orb::single_host();
+    orb.set_local_bypass(false);
+    let hits = Arc::new(AtomicUsize::new(0));
+    let group = ServerGroup::create(&orb, "counter", host, 1);
+    let (g, h) = (group.clone(), hits.clone());
+    let join = std::thread::spawn(move || {
+        let mut poa = g.attach(0, None);
+        poa.activate_single("c1", Arc::new(Counter { hits: h }));
+        poa.impl_is_ready();
+    });
+    let client = ClientGroup::create(&orb, host, 1).attach(0, None);
+    Setup { _orb: orb, group, join: Some(join), client, hits }
+}
+
+impl Setup {
+    fn teardown(mut self) {
+        self.group.shutdown();
+        self.join.take().unwrap().join().unwrap();
+    }
+}
+
+fn oneway_ablation(c: &mut Criterion) {
+    let payload = vec![0u8; 4096];
+    let mut group = c.benchmark_group("oneway_ablation");
+    group.throughput(Throughput::Elements(1));
+
+    {
+        let s = setup();
+        let proxy = s.client.bind("c1").unwrap();
+        group.bench_function("blocking", |b| {
+            b.iter(|| proxy.call("hit").arg(&payload).invoke().unwrap())
+        });
+        s.teardown();
+    }
+
+    {
+        let s = setup();
+        let proxy = s.client.bind("c1").unwrap();
+        group.bench_function("nonblocking_then_wait", |b| {
+            b.iter(|| {
+                let inv = proxy.call("hit").arg(&payload).invoke_nb().unwrap();
+                inv.wait().unwrap()
+            })
+        });
+        s.teardown();
+    }
+
+    {
+        let s = setup();
+        let proxy = s.client.bind("c1").unwrap();
+        let hits = s.hits.clone();
+        group.bench_function("oneway", |b| {
+            b.iter(|| proxy.call("hit").arg(&payload).invoke_oneway().unwrap());
+            // Make sure the fired requests actually land (outside timing).
+            let sent = hits.load(Ordering::Relaxed);
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            while hits.load(Ordering::Relaxed) < sent && std::time::Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+        });
+        s.teardown();
+    }
+
+    {
+        let s = setup();
+        let comm = s.client.start_comm_thread();
+        let proxy = s.client.bind("c1").unwrap();
+        group.bench_function("nonblocking_with_comm_thread", |b| {
+            b.iter(|| {
+                let inv = proxy.call("hit").arg(&payload).invoke_nb().unwrap();
+                inv.wait().unwrap()
+            })
+        });
+        comm.stop();
+        s.teardown();
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, oneway_ablation);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Redistribution-template costs: applying a new distribution template to
+//! a distributed sequence over the run-time system (§3.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pardis::core::{DSequence, Distribution};
+use pardis::rts::{MpiRts, World};
+
+fn redistribute(c: &mut Criterion) {
+    const THREADS: usize = 4;
+    let mut group = c.benchmark_group("redistribute");
+    group.sample_size(20);
+
+    let cases: [(&str, Distribution, Distribution); 3] = [
+        ("block_to_cyclic", Distribution::Block, Distribution::Cyclic),
+        ("block_to_concentrated", Distribution::Block, Distribution::Concentrated(0)),
+        ("cyclic_to_block", Distribution::Cyclic, Distribution::Block),
+    ];
+
+    for n in [4096usize, 65536] {
+        let full: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        for (name, src, dst) in &cases {
+            group.throughput(Throughput::Bytes((n * 8) as u64));
+            group.bench_with_input(BenchmarkId::new(*name, n), &full, |b, full| {
+                b.iter(|| {
+                    let src = src.clone();
+                    let dst = dst.clone();
+                    World::run(THREADS, move |rank| {
+                        let t = rank.rank();
+                        let rts = MpiRts::new(rank);
+                        let mut ds = DSequence::distribute(full, src.clone(), THREADS, t);
+                        ds.redistribute(&rts, dst.clone());
+                        ds.local().len()
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, redistribute);
+criterion_main!(benches);

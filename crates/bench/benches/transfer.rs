@@ -1,0 +1,82 @@
+//! Ablation: parallel thread-to-thread distributed-argument transfer (the
+//! \[KG97\] optimisation) vs funneling everything through thread 0.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pardis::core::{
+    ClientGroup, DSequence, DistPolicy, Distribution, Orb, Servant, ServerGroup, ServerReply,
+    ServerRequest, TransferStrategy,
+};
+use pardis::rts::{MpiRts, Rts, World};
+use std::sync::Arc;
+
+struct Sink;
+
+impl Servant for Sink {
+    fn interface(&self) -> &str {
+        "sink"
+    }
+    fn dispatch(&self, req: ServerRequest<'_>) -> Result<ServerReply, String> {
+        // Touch the data (forces assembly) but do no compute.
+        let v: DSequence<f64> = req.dseq(0).map_err(|e| e.to_string())?;
+        let _ = v.local().len();
+        Ok(ServerReply::new())
+    }
+}
+
+fn transfer(c: &mut Criterion) {
+    const SERVER_THREADS: usize = 4;
+    const CLIENT_THREADS: usize = 4;
+
+    let mut group = c.benchmark_group("transfer");
+    group.sample_size(20);
+
+    for n in [4096usize, 65536] {
+        let full: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        for strategy in [TransferStrategy::Parallel, TransferStrategy::Funneled] {
+            let (orb, host) = Orb::single_host();
+            orb.set_transfer_strategy(strategy);
+            let server = ServerGroup::create(&orb, "sink", host, SERVER_THREADS);
+            let g = server.clone();
+            let join = std::thread::spawn(move || {
+                World::run(SERVER_THREADS, |rank| {
+                    let t = rank.rank();
+                    let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+                    let mut poa = g.attach(t, Some(rts));
+                    poa.activate_spmd("sink1", Arc::new(Sink), DistPolicy::new());
+                    poa.impl_is_ready();
+                });
+            });
+
+            group.throughput(Throughput::Bytes((n * 8) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{strategy:?}"), n),
+                &full,
+                |b, full| {
+                    b.iter(|| {
+                        let client = ClientGroup::create(&orb, host, CLIENT_THREADS);
+                        let out = World::run(CLIENT_THREADS, |rank| {
+                            let t = rank.rank();
+                            let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+                            let ct = client.attach(t, Some(rts));
+                            let proxy = ct.spmd_bind("sink1").unwrap();
+                            let ds = DSequence::distribute(
+                                full,
+                                Distribution::Block,
+                                CLIENT_THREADS,
+                                t,
+                            );
+                            proxy.call("push").dseq_in(&ds).invoke().unwrap();
+                        });
+                        out.len()
+                    })
+                },
+            );
+            server.shutdown();
+            join.join().unwrap();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, transfer);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Figure 2 — "distributed vs local performance": execution time of the
+//! solver metaapplication vs problem size, four series:
+//!
+//! * direct method alone (HOST_1, 4 computing threads),
+//! * iterative method alone (HOST_2, 8 computing threads — the bigger,
+//!   faster machine),
+//! * different servers (direct on HOST_1, iterative on HOST_2, ATM link;
+//!   non-blocking + blocking overlap: t = t_o + max(t_i, t_d)),
+//! * same server (both objects share one HOST_1 server; the invocations
+//!   serialise: t ≈ t_i + t_d).
+//!
+//! ```text
+//! cargo run --release -p pardis-bench --bin fig2_solvers
+//! PARDIS_QUICK=1 ... (tiny sweep)   PARDIS_TIME_SCALE=0.1 ... (slower link model)
+//! ```
+
+use pardis::core::{ClientGroup, DSequence, Distribution, Orb};
+use pardis::generated::solvers::{DirectProxy, IterativeProxy};
+use pardis::netsim::{Network, TimeScale};
+use pardis::rts::{MpiRts, Rts, World};
+use pardis_apps::solvers::{
+    compute_difference, gen_system, spawn_combined_server_paced, spawn_direct_server_paced,
+    spawn_iterative_server_paced, ComputePace,
+};
+use pardis_bench::util::{env_f64, quick, row};
+use std::sync::Arc;
+use std::time::Instant;
+
+const CLIENT_THREADS: usize = 2;
+const DIRECT_THREADS: usize = 4;
+const ITER_THREADS: usize = 8;
+const TOL: f64 = 1e-6;
+
+struct Case {
+    direct: bool,
+    iterative: bool,
+}
+
+/// Run the client once; returns elapsed seconds (max over client threads).
+fn run_case(orb: &Orb, host: pardis::netsim::HostId, a: &[Vec<f64>], b: &[f64], case: Case) -> f64 {
+    let client = ClientGroup::create(orb, host, CLIENT_THREADS);
+    let out = World::run(CLIENT_THREADS, |rank| {
+        let t = rank.rank();
+        let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+        let ct = client.attach(t, Some(rts.clone()));
+        let d_solver = case.direct.then(|| DirectProxy::spmd_bind(&ct, "direct_solver").unwrap());
+        let i_solver =
+            case.iterative.then(|| IterativeProxy::spmd_bind(&ct, "itrt_solver").unwrap());
+        let a_ds = DSequence::distribute(a, Distribution::Block, CLIENT_THREADS, t);
+        let b_ds = DSequence::distribute(b, Distribution::Block, CLIENT_THREADS, t);
+
+        let start = Instant::now();
+        match (&d_solver, &i_solver) {
+            (Some(d), Some(i)) => {
+                // The paper's client: non-blocking iterative, blocking
+                // direct, then resolve the future and compare.
+                let x1 = i.solve_nb(&TOL, &a_ds, &b_ds, Distribution::Block).unwrap();
+                let (x2_real,) = d.solve(&a_ds, &b_ds, Distribution::Block).unwrap();
+                let x1_real = x1.x.get().unwrap();
+                let _difference = compute_difference(&x1_real, &x2_real, Some(rts.as_ref()));
+            }
+            (Some(d), None) => {
+                let (_x,) = d.solve(&a_ds, &b_ds, Distribution::Block).unwrap();
+            }
+            (None, Some(i)) => {
+                let (_x,) = i.solve(&TOL, &a_ds, &b_ds, Distribution::Block).unwrap();
+            }
+            (None, None) => unreachable!("a case always uses at least one solver"),
+        }
+        start.elapsed().as_secs_f64()
+    });
+    out.into_iter().fold(0.0, f64::max)
+}
+
+fn main() {
+    let scale = env_f64("PARDIS_TIME_SCALE", 1.0);
+    // Modelled per-processor speed: HOST_1's R4400s at 40 MFLOP/s, HOST_2's
+    // R8000s 1.8x faster — the figure-2 testbed asymmetry.
+    let mflops = env_f64("PARDIS_MFLOPS", 40.0) * 1e6;
+    let sizes: Vec<usize> = if quick() {
+        vec![100, 200]
+    } else {
+        vec![200, 400, 600, 800, 1000, 1200]
+    };
+    println!("# Figure 2 — distributed vs local performance");
+    println!(
+        "# client: {CLIENT_THREADS} threads on HOST_1; direct: {DIRECT_THREADS} threads on HOST_1; \
+         iterative: {ITER_THREADS} threads on HOST_2; ATM OC-3 at time scale {scale}"
+    );
+    println!("{}", row("N", &sizes.iter().map(|n| *n as f64).collect::<Vec<_>>()));
+
+    let mut direct_series = Vec::new();
+    let mut iter_series = Vec::new();
+    let mut diff_series = Vec::new();
+    let mut same_series = Vec::new();
+
+    for &n in &sizes {
+        let (a, b) = gen_system(n, 42);
+        let net = Network::paper_atm_testbed(TimeScale::new(scale));
+        let h1 = net.host_by_name("HOST_1").unwrap();
+        let h2 = net.host_by_name("HOST_2").unwrap();
+
+        let pace_h1 = Some(ComputePace { flops_per_sec: mflops, time_scale: scale });
+        let pace_h2 = Some(ComputePace { flops_per_sec: mflops * 1.8, time_scale: scale });
+
+        // Distributed-servers configuration (also yields the two
+        // single-method baselines).
+        let orb = Orb::new(net.clone());
+        let direct = spawn_direct_server_paced(&orb, h1, "direct_solver", DIRECT_THREADS, pace_h1);
+        let iterative =
+            spawn_iterative_server_paced(&orb, h2, "itrt_solver", ITER_THREADS, pace_h2);
+        direct_series.push(run_case(&orb, h1, &a, &b, Case { direct: true, iterative: false }));
+        iter_series.push(run_case(&orb, h1, &a, &b, Case { direct: false, iterative: true }));
+        diff_series.push(run_case(&orb, h1, &a, &b, Case { direct: true, iterative: true }));
+        direct.shutdown();
+        iterative.shutdown();
+
+        // Same-server configuration.
+        let orb = Orb::new(net);
+        let combined = spawn_combined_server_paced(
+            &orb,
+            h1,
+            "direct_solver",
+            "itrt_solver",
+            DIRECT_THREADS,
+            pace_h1,
+        );
+        same_series.push(run_case(&orb, h1, &a, &b, Case { direct: true, iterative: true }));
+        combined.shutdown();
+        eprintln!("  done N = {n}");
+    }
+
+    println!("{}", row("direct (HOST_1)", &direct_series));
+    println!("{}", row("iterative (HOST_2)", &iter_series));
+    println!("{}", row("different servers", &diff_series));
+    println!("{}", row("same server (HOST_1)", &same_series));
+    println!("#");
+    println!("# expected shape (paper): different ≈ t_o + max(direct, iterative);");
+    println!("#                         same     ≈ direct + iterative (serialised).");
+}

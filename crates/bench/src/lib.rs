@@ -1,0 +1,2 @@
+//! pardis-bench: figure harnesses live in src/bin, criterion benches in benches/.
+pub mod util;

@@ -1,0 +1,27 @@
+//! Shared harness utilities.
+
+/// Read a scale/size knob from the environment with a default, so sweeps
+/// can be shrunk for smoke runs (`PARDIS_TIME_SCALE=0 PARDIS_QUICK=1 ...`).
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Integer environment knob.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Is `PARDIS_QUICK` set? Harnesses then shrink their sweeps to smoke-test
+/// size.
+pub fn quick() -> bool {
+    std::env::var("PARDIS_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// Render one table row of f64 seconds.
+pub fn row(label: &str, values: &[f64]) -> String {
+    let mut out = format!("{label:<22}");
+    for v in values {
+        out.push_str(&format!(" {v:>9.3}"));
+    }
+    out
+}

@@ -1,0 +1,245 @@
+//! Dynamically typed values for the dynamic invocation interface.
+
+use crate::{CdrError, Decoder, Encoder, TypeCode};
+use std::fmt;
+
+/// A dynamically typed IDL value. [`Value`] mirrors the shape of
+/// [`TypeCode`]; a `(TypeCode, Value)` pair — an [`Any`] — can be marshaled
+/// without compile-time knowledge of the type, which is what the DII and the
+/// repositories need.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `void` (no value).
+    Void,
+    /// boolean.
+    Boolean(bool),
+    /// octet.
+    Octet(u8),
+    /// short.
+    Short(i16),
+    /// unsigned short.
+    UShort(u16),
+    /// long.
+    Long(i32),
+    /// unsigned long.
+    ULong(u32),
+    /// long long.
+    LongLong(i64),
+    /// unsigned long long.
+    ULongLong(u64),
+    /// float.
+    Float(f32),
+    /// double.
+    Double(f64),
+    /// char.
+    Char(char),
+    /// string.
+    String(String),
+    /// sequence / dsequence elements in order.
+    Sequence(Vec<Value>),
+    /// struct field values in declaration order.
+    Struct(Vec<Value>),
+    /// enum discriminant.
+    Enum(u32),
+    /// stringified object reference.
+    ObjRef(String),
+}
+
+impl Value {
+    /// The `TypeCode` kind this value naturally belongs to (structural —
+    /// names and bounds cannot be recovered from a bare value).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Void => "void",
+            Value::Boolean(_) => "boolean",
+            Value::Octet(_) => "octet",
+            Value::Short(_) => "short",
+            Value::UShort(_) => "ushort",
+            Value::Long(_) => "long",
+            Value::ULong(_) => "ulong",
+            Value::LongLong(_) => "longlong",
+            Value::ULongLong(_) => "ulonglong",
+            Value::Float(_) => "float",
+            Value::Double(_) => "double",
+            Value::Char(_) => "char",
+            Value::String(_) => "string",
+            Value::Sequence(_) => "sequence",
+            Value::Struct(_) => "struct",
+            Value::Enum(_) => "enum",
+            Value::ObjRef(_) => "objref",
+        }
+    }
+}
+
+/// A self-describing value: a [`TypeCode`] together with a matching
+/// [`Value`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Any {
+    /// Runtime type.
+    pub tc: TypeCode,
+    /// The value, whose shape must match `tc`.
+    pub value: Value,
+}
+
+impl Any {
+    /// Pair a type code and value.
+    ///
+    /// The pairing is validated: mismatched shapes are rejected eagerly so
+    /// failures surface at construction, not at marshal time.
+    pub fn new(tc: TypeCode, value: Value) -> Result<Any, CdrError> {
+        check_shape(&tc, &value)?;
+        Ok(Any { tc, value })
+    }
+
+    /// Encode just the value (the receiver is assumed to know the type, as
+    /// in a typed operation signature).
+    pub fn encode_value(&self, e: &mut Encoder) {
+        encode_value(&self.tc, &self.value, e);
+    }
+
+    /// Decode a value of type `tc` from the stream.
+    pub fn decode_value(tc: &TypeCode, d: &mut Decoder) -> Result<Any, CdrError> {
+        let value = decode_value(tc, d)?;
+        Ok(Any { tc: tc.clone(), value })
+    }
+}
+
+impl fmt::Display for Any {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {:?}", self.tc, self.value)
+    }
+}
+
+fn mismatch(tc: &TypeCode, v: &Value) -> CdrError {
+    CdrError::TypeMismatch { expected: tc.to_string(), found: v.kind_name().to_string() }
+}
+
+/// Validate that `v` has the shape `tc` describes.
+pub fn check_shape(tc: &TypeCode, v: &Value) -> Result<(), CdrError> {
+    match (tc, v) {
+        (TypeCode::Void, Value::Void)
+        | (TypeCode::Boolean, Value::Boolean(_))
+        | (TypeCode::Octet, Value::Octet(_))
+        | (TypeCode::Short, Value::Short(_))
+        | (TypeCode::UShort, Value::UShort(_))
+        | (TypeCode::Long, Value::Long(_))
+        | (TypeCode::ULong, Value::ULong(_))
+        | (TypeCode::LongLong, Value::LongLong(_))
+        | (TypeCode::ULongLong, Value::ULongLong(_))
+        | (TypeCode::Float, Value::Float(_))
+        | (TypeCode::Double, Value::Double(_))
+        | (TypeCode::Char, Value::Char(_))
+        | (TypeCode::String, Value::String(_))
+        | (TypeCode::ObjRef { .. }, Value::ObjRef(_)) => Ok(()),
+        (
+            TypeCode::Sequence { elem, bound } | TypeCode::DSequence { elem, bound },
+            Value::Sequence(items),
+        ) => {
+            if let Some(b) = bound {
+                if items.len() as u64 > *b as u64 {
+                    return Err(CdrError::BoundExceeded { bound: *b, got: items.len() as u32 });
+                }
+            }
+            for item in items {
+                check_shape(elem, item)?;
+            }
+            Ok(())
+        }
+        (TypeCode::Struct { fields, .. }, Value::Struct(vals)) => {
+            if fields.len() != vals.len() {
+                return Err(mismatch(tc, v));
+            }
+            for ((_, ftc), fv) in fields.iter().zip(vals) {
+                check_shape(ftc, fv)?;
+            }
+            Ok(())
+        }
+        (TypeCode::Enum { name, variants }, Value::Enum(disc)) => {
+            if (*disc as usize) < variants.len() {
+                Ok(())
+            } else {
+                Err(CdrError::InvalidEnumDiscriminant { name: name.clone(), value: *disc })
+            }
+        }
+        _ => Err(mismatch(tc, v)),
+    }
+}
+
+fn encode_value(tc: &TypeCode, v: &Value, e: &mut Encoder) {
+    match (tc, v) {
+        (TypeCode::Void, Value::Void) => {}
+        (TypeCode::Boolean, Value::Boolean(b)) => e.write_bool(*b),
+        (TypeCode::Octet, Value::Octet(x)) => e.write_u8(*x),
+        (TypeCode::Short, Value::Short(x)) => e.write_i16(*x),
+        (TypeCode::UShort, Value::UShort(x)) => e.write_u16(*x),
+        (TypeCode::Long, Value::Long(x)) => e.write_i32(*x),
+        (TypeCode::ULong, Value::ULong(x)) => e.write_u32(*x),
+        (TypeCode::LongLong, Value::LongLong(x)) => e.write_i64(*x),
+        (TypeCode::ULongLong, Value::ULongLong(x)) => e.write_u64(*x),
+        (TypeCode::Float, Value::Float(x)) => e.write_f32(*x),
+        (TypeCode::Double, Value::Double(x)) => e.write_f64(*x),
+        (TypeCode::Char, Value::Char(c)) => e.write_char(*c),
+        (TypeCode::String, Value::String(s)) => e.write_string(s),
+        (TypeCode::ObjRef { .. }, Value::ObjRef(s)) => e.write_string(s),
+        (
+            TypeCode::Sequence { elem, .. } | TypeCode::DSequence { elem, .. },
+            Value::Sequence(items),
+        ) => {
+            e.write_u32(items.len() as u32);
+            for item in items {
+                encode_value(elem, item, e);
+            }
+        }
+        (TypeCode::Struct { fields, .. }, Value::Struct(vals)) => {
+            for ((_, ftc), fv) in fields.iter().zip(vals) {
+                encode_value(ftc, fv, e);
+            }
+        }
+        (TypeCode::Enum { .. }, Value::Enum(disc)) => e.write_u32(*disc),
+        _ => unreachable!("Any invariant violated: {tc} vs {}", v.kind_name()),
+    }
+}
+
+fn decode_value(tc: &TypeCode, d: &mut Decoder) -> Result<Value, CdrError> {
+    Ok(match tc {
+        TypeCode::Void => Value::Void,
+        TypeCode::Boolean => Value::Boolean(d.read_bool()?),
+        TypeCode::Octet => Value::Octet(d.read_u8()?),
+        TypeCode::Short => Value::Short(d.read_i16()?),
+        TypeCode::UShort => Value::UShort(d.read_u16()?),
+        TypeCode::Long => Value::Long(d.read_i32()?),
+        TypeCode::ULong => Value::ULong(d.read_u32()?),
+        TypeCode::LongLong => Value::LongLong(d.read_i64()?),
+        TypeCode::ULongLong => Value::ULongLong(d.read_u64()?),
+        TypeCode::Float => Value::Float(d.read_f32()?),
+        TypeCode::Double => Value::Double(d.read_f64()?),
+        TypeCode::Char => Value::Char(d.read_char()?),
+        TypeCode::String => Value::String(d.read_string()?),
+        TypeCode::ObjRef { .. } => Value::ObjRef(d.read_string()?),
+        TypeCode::Sequence { elem, bound } | TypeCode::DSequence { elem, bound } => {
+            let n = d.read_seq_len(*bound)?;
+            let mut items = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                items.push(decode_value(elem, d)?);
+            }
+            Value::Sequence(items)
+        }
+        TypeCode::Struct { fields, .. } => {
+            let mut vals = Vec::with_capacity(fields.len());
+            for (_, ftc) in fields.iter() {
+                vals.push(decode_value(ftc, d)?);
+            }
+            Value::Struct(vals)
+        }
+        TypeCode::Enum { name, variants } => {
+            let disc = d.read_u32()?;
+            if (disc as usize) >= variants.len() {
+                return Err(CdrError::InvalidEnumDiscriminant {
+                    name: name.clone(),
+                    value: disc,
+                });
+            }
+            Value::Enum(disc)
+        }
+    })
+}

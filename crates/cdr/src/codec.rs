@@ -1,0 +1,170 @@
+//! [`CdrCodec`] implementations for the IDL primitive mappings and the
+//! standard constructed types.
+
+use crate::{CdrCodec, CdrError, Decoder, Encoder, TypeCode};
+
+macro_rules! prim_codec {
+    ($ty:ty, $tc:expr, $write:ident, $read:ident) => {
+        impl CdrCodec for $ty {
+            fn encode(&self, e: &mut Encoder) {
+                e.$write(*self);
+            }
+            fn decode(d: &mut Decoder) -> Result<Self, CdrError> {
+                d.$read()
+            }
+            fn type_code() -> TypeCode {
+                $tc
+            }
+        }
+    };
+}
+
+prim_codec!(bool, TypeCode::Boolean, write_bool, read_bool);
+prim_codec!(u8, TypeCode::Octet, write_u8, read_u8);
+prim_codec!(i16, TypeCode::Short, write_i16, read_i16);
+prim_codec!(u16, TypeCode::UShort, write_u16, read_u16);
+prim_codec!(i32, TypeCode::Long, write_i32, read_i32);
+prim_codec!(u32, TypeCode::ULong, write_u32, read_u32);
+prim_codec!(i64, TypeCode::LongLong, write_i64, read_i64);
+prim_codec!(u64, TypeCode::ULongLong, write_u64, read_u64);
+prim_codec!(f32, TypeCode::Float, write_f32, read_f32);
+prim_codec!(f64, TypeCode::Double, write_f64, read_f64);
+prim_codec!(char, TypeCode::Char, write_char, read_char);
+
+impl CdrCodec for String {
+    fn encode(&self, e: &mut Encoder) {
+        e.write_string(self);
+    }
+    fn decode(d: &mut Decoder) -> Result<Self, CdrError> {
+        d.read_string()
+    }
+    fn type_code() -> TypeCode {
+        TypeCode::String
+    }
+}
+
+impl CdrCodec for () {
+    fn encode(&self, _e: &mut Encoder) {}
+    fn decode(_d: &mut Decoder) -> Result<Self, CdrError> {
+        Ok(())
+    }
+    fn type_code() -> TypeCode {
+        TypeCode::Void
+    }
+}
+
+impl<T: CdrCodec> CdrCodec for Vec<T> {
+    fn encode(&self, e: &mut Encoder) {
+        e.write_u32(self.len() as u32);
+        for item in self {
+            item.encode(e);
+        }
+    }
+    fn decode(d: &mut Decoder) -> Result<Self, CdrError> {
+        let n = d.read_seq_len(None)?;
+        let mut out = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            out.push(T::decode(d)?);
+        }
+        Ok(out)
+    }
+    fn type_code() -> TypeCode {
+        TypeCode::sequence(T::type_code())
+    }
+}
+
+impl<T: CdrCodec, const N: usize> CdrCodec for [T; N] {
+    fn encode(&self, e: &mut Encoder) {
+        for item in self {
+            item.encode(e);
+        }
+    }
+    fn decode(d: &mut Decoder) -> Result<Self, CdrError> {
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(T::decode(d)?);
+        }
+        out.try_into().map_err(|_| unreachable!("length is exactly N"))
+    }
+    fn type_code() -> TypeCode {
+        TypeCode::bounded_sequence(T::type_code(), N as u32)
+    }
+}
+
+impl<A: CdrCodec, B: CdrCodec> CdrCodec for (A, B) {
+    fn encode(&self, e: &mut Encoder) {
+        self.0.encode(e);
+        self.1.encode(e);
+    }
+    fn decode(d: &mut Decoder) -> Result<Self, CdrError> {
+        Ok((A::decode(d)?, B::decode(d)?))
+    }
+    fn type_code() -> TypeCode {
+        TypeCode::Struct {
+            name: "pair".to_string(),
+            fields: std::sync::Arc::new(vec![
+                ("first".to_string(), A::type_code()),
+                ("second".to_string(), B::type_code()),
+            ]),
+        }
+    }
+}
+
+impl<A: CdrCodec, B: CdrCodec, C: CdrCodec> CdrCodec for (A, B, C) {
+    fn encode(&self, e: &mut Encoder) {
+        self.0.encode(e);
+        self.1.encode(e);
+        self.2.encode(e);
+    }
+    fn decode(d: &mut Decoder) -> Result<Self, CdrError> {
+        Ok((A::decode(d)?, B::decode(d)?, C::decode(d)?))
+    }
+    fn type_code() -> TypeCode {
+        TypeCode::Struct {
+            name: "triple".to_string(),
+            fields: std::sync::Arc::new(vec![
+                ("first".to_string(), A::type_code()),
+                ("second".to_string(), B::type_code()),
+                ("third".to_string(), C::type_code()),
+            ]),
+        }
+    }
+}
+
+/// Implement [`CdrCodec`] for a struct with named fields. Used by hand-written
+/// protocol types; the IDL compiler emits the expanded form directly.
+///
+/// ```
+/// use pardis_cdr::{impl_cdr_struct, CdrCodec};
+///
+/// #[derive(Debug, PartialEq, Clone)]
+/// struct Point { x: f64, y: f64 }
+/// impl_cdr_struct!(Point { x: f64, y: f64 });
+///
+/// let p = Point { x: 1.0, y: -2.0 };
+/// let bytes = pardis_cdr::to_bytes(&p);
+/// assert_eq!(pardis_cdr::from_bytes::<Point>(&bytes).unwrap(), p);
+/// ```
+#[macro_export]
+macro_rules! impl_cdr_struct {
+    ($name:ident { $($field:ident : $fty:ty),+ $(,)? }) => {
+        impl $crate::CdrCodec for $name {
+            fn encode(&self, e: &mut $crate::Encoder) {
+                $( $crate::CdrCodec::encode(&self.$field, e); )+
+            }
+            fn decode(d: &mut $crate::Decoder) -> Result<Self, $crate::CdrError> {
+                Ok($name {
+                    $( $field: <$fty as $crate::CdrCodec>::decode(d)?, )+
+                })
+            }
+            fn type_code() -> $crate::TypeCode {
+                $crate::TypeCode::Struct {
+                    name: stringify!($name).to_string(),
+                    fields: std::sync::Arc::new(vec![
+                        $( (stringify!($field).to_string(), <$fty as $crate::CdrCodec>::type_code()), )+
+                    ]),
+                }
+            }
+        }
+    };
+}

@@ -1,0 +1,150 @@
+//! The CDR encoder.
+
+use crate::ByteOrder;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// An append-only CDR stream.
+///
+/// Primitives are aligned to their natural size measured from the beginning
+/// of the stream, exactly as CORBA CDR requires, so a decoder can recompute
+/// the same padding without any in-band markers.
+#[derive(Debug)]
+pub struct Encoder {
+    buf: BytesMut,
+    order: ByteOrder,
+}
+
+macro_rules! write_prim {
+    ($name:ident, $ty:ty, $size:expr) => {
+        /// Append an aligned primitive.
+        pub fn $name(&mut self, v: $ty) {
+            self.align($size);
+            match self.order {
+                ByteOrder::Big => self.buf.extend_from_slice(&v.to_be_bytes()),
+                ByteOrder::Little => self.buf.extend_from_slice(&v.to_le_bytes()),
+            }
+        }
+    };
+}
+
+impl Encoder {
+    /// A fresh stream in the given byte order.
+    pub fn new(order: ByteOrder) -> Self {
+        Encoder { buf: BytesMut::with_capacity(64), order }
+    }
+
+    /// A fresh stream with preallocated capacity (use when the encoded size
+    /// is roughly known; bulk sequence marshaling benefits measurably).
+    pub fn with_capacity(order: ByteOrder, cap: usize) -> Self {
+        Encoder { buf: BytesMut::with_capacity(cap), order }
+    }
+
+    /// The stream's byte order.
+    pub fn order(&self) -> ByteOrder {
+        self.order
+    }
+
+    /// Bytes written so far (including padding).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Insert padding so the next write lands on an `n`-byte boundary.
+    pub fn align(&mut self, n: usize) {
+        debug_assert!(n.is_power_of_two() && n <= 8);
+        let misalign = self.buf.len() & (n - 1);
+        if misalign != 0 {
+            for _ in 0..(n - misalign) {
+                self.buf.put_u8(0);
+            }
+        }
+    }
+
+    /// Append a raw octet (no alignment needed).
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Append a raw signed octet.
+    pub fn write_i8(&mut self, v: i8) {
+        self.buf.put_i8(v);
+    }
+
+    /// Append a boolean as an octet (1/0).
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(v as u8);
+    }
+
+    write_prim!(write_u16, u16, 2);
+    write_prim!(write_i16, i16, 2);
+    write_prim!(write_u32, u32, 4);
+    write_prim!(write_i32, i32, 4);
+    write_prim!(write_u64, u64, 8);
+    write_prim!(write_i64, i64, 8);
+
+    /// Append an aligned IEEE-754 single.
+    pub fn write_f32(&mut self, v: f32) {
+        self.write_u32(v.to_bits());
+    }
+
+    /// Append an aligned IEEE-754 double.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Append a Unicode scalar as a ULong (PARDIS maps IDL `char` to a full
+    /// scalar rather than a single octet; see DESIGN.md).
+    pub fn write_char(&mut self, v: char) {
+        self.write_u32(v as u32);
+    }
+
+    /// Append a CORBA string: ULong length *including* the terminating NUL,
+    /// then the bytes, then NUL.
+    pub fn write_string(&mut self, s: &str) {
+        self.write_u32(s.len() as u32 + 1);
+        self.buf.extend_from_slice(s.as_bytes());
+        self.buf.put_u8(0);
+    }
+
+    /// Append raw bytes verbatim (caller controls framing and alignment).
+    pub fn write_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a byte sequence: ULong count then the octets.
+    pub fn write_byte_seq(&mut self, bytes: &[u8]) {
+        self.write_u32(bytes.len() as u32);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bulk-append a `f64` slice: ULong count then aligned doubles. This is
+    /// the hot path for distributed-sequence fragments, so it avoids
+    /// per-element call overhead.
+    pub fn write_f64_slice(&mut self, values: &[f64]) {
+        self.write_u32(values.len() as u32);
+        self.align(8);
+        self.buf.reserve(values.len() * 8);
+        match self.order {
+            ByteOrder::Big => {
+                for v in values {
+                    self.buf.extend_from_slice(&v.to_bits().to_be_bytes());
+                }
+            }
+            ByteOrder::Little => {
+                for v in values {
+                    self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Finish the stream and take the buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}

@@ -1,0 +1,79 @@
+//! Marshaling errors.
+
+use std::fmt;
+
+/// Everything that can go wrong while decoding a CDR stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CdrError {
+    /// The stream ended before the value was complete.
+    Truncated {
+        /// Bytes needed to finish the read.
+        needed: usize,
+        /// Bytes remaining in the stream.
+        remaining: usize,
+    },
+    /// A boolean octet held something other than 0 or 1.
+    InvalidBool(u8),
+    /// A string was not valid UTF-8.
+    InvalidUtf8,
+    /// A string's encoded length did not include / match its NUL terminator.
+    MissingNul,
+    /// A bounded sequence carried more elements than its IDL bound allows.
+    BoundExceeded {
+        /// The declared bound.
+        bound: u32,
+        /// The encoded element count.
+        got: u32,
+    },
+    /// An enum discriminant did not name a known variant.
+    InvalidEnumDiscriminant {
+        /// Enum type name.
+        name: String,
+        /// The offending discriminant.
+        value: u32,
+    },
+    /// The byte-order flag was neither 0 nor 1.
+    BadByteOrderFlag(u8),
+    /// An [`crate::Any`] held a value that did not match the expected
+    /// [`crate::TypeCode`].
+    TypeMismatch {
+        /// What the reader expected.
+        expected: String,
+        /// What the stream contained.
+        found: String,
+    },
+    /// A char was not a valid Unicode scalar value.
+    InvalidChar(u32),
+    /// A length or size field exceeded an implementation limit (protects
+    /// against allocating from corrupt streams).
+    ImplementationLimit(u64),
+}
+
+impl fmt::Display for CdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdrError::Truncated { needed, remaining } => {
+                write!(f, "CDR stream truncated: need {needed} bytes, {remaining} remaining")
+            }
+            CdrError::InvalidBool(b) => write!(f, "invalid boolean octet {b:#04x}"),
+            CdrError::InvalidUtf8 => write!(f, "string is not valid UTF-8"),
+            CdrError::MissingNul => write!(f, "string missing NUL terminator"),
+            CdrError::BoundExceeded { bound, got } => {
+                write!(f, "bounded sequence overflow: bound {bound}, got {got} elements")
+            }
+            CdrError::InvalidEnumDiscriminant { name, value } => {
+                write!(f, "invalid discriminant {value} for enum {name}")
+            }
+            CdrError::BadByteOrderFlag(b) => write!(f, "invalid byte-order flag {b:#04x}"),
+            CdrError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            CdrError::InvalidChar(c) => write!(f, "invalid char scalar {c:#x}"),
+            CdrError::ImplementationLimit(n) => {
+                write!(f, "size {n} exceeds implementation limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CdrError {}

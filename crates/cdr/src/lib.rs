@@ -1,0 +1,107 @@
+//! CDR-style marshaling for PARDIS.
+//!
+//! CORBA transports values between heterogeneous machines in the *Common Data
+//! Representation* (CDR): primitives are aligned to their natural size
+//! relative to the start of the stream, the sender's byte order is carried as
+//! a flag, and constructed types (strings, sequences, structs) are encoded
+//! recursively. The PARDIS paper leans on this machinery for its headline
+//! programmability claim — the IDL compiler generates marshaling for
+//! *dynamically-sized, nested* structures (`dsequence<sequence<double>>`,
+//! the `matrix` of §4.1) that programmers previously had to hand-code.
+//!
+//! This crate provides:
+//!
+//! * [`Encoder`] / [`Decoder`] — aligned, endian-aware CDR streams over
+//!   [`bytes`] buffers;
+//! * [`CdrCodec`] — the trait the IDL compiler's generated types implement;
+//! * [`TypeCode`] and [`Any`] — runtime type descriptions and dynamically
+//!   typed values, used by the dynamic invocation interface and by the
+//!   repository wire format.
+
+mod any;
+mod codec;
+mod decode;
+mod encode;
+mod error;
+mod typecode;
+
+pub use any::{Any, Value};
+pub use decode::Decoder;
+pub use encode::Encoder;
+pub use error::CdrError;
+pub use typecode::TypeCode;
+
+use bytes::Bytes;
+
+/// Byte order of an encoded stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ByteOrder {
+    /// Big-endian ("network order"); CORBA's canonical order.
+    Big,
+    /// Little-endian; what the paper's SGI/Intel mix makes unavoidable.
+    Little,
+}
+
+impl ByteOrder {
+    /// The byte order of the machine we are running on.
+    pub fn native() -> ByteOrder {
+        if cfg!(target_endian = "big") {
+            ByteOrder::Big
+        } else {
+            ByteOrder::Little
+        }
+    }
+
+    /// CDR flag byte (0 = big endian, 1 = little endian).
+    pub fn flag(self) -> u8 {
+        match self {
+            ByteOrder::Big => 0,
+            ByteOrder::Little => 1,
+        }
+    }
+
+    /// Parse a CDR flag byte.
+    pub fn from_flag(flag: u8) -> Result<ByteOrder, CdrError> {
+        match flag {
+            0 => Ok(ByteOrder::Big),
+            1 => Ok(ByteOrder::Little),
+            other => Err(CdrError::BadByteOrderFlag(other)),
+        }
+    }
+}
+
+/// Types that can be marshaled to and from CDR.
+///
+/// Implementations exist for all IDL primitive mappings, `String`, `Vec<T>`,
+/// fixed-size arrays and tuples; the IDL compiler generates implementations
+/// for user-defined structs and enums.
+pub trait CdrCodec: Sized {
+    /// Append this value to the stream.
+    fn encode(&self, e: &mut Encoder);
+    /// Read a value of this type from the stream.
+    fn decode(d: &mut Decoder) -> Result<Self, CdrError>;
+    /// The runtime type description of this type.
+    fn type_code() -> TypeCode;
+}
+
+/// Encode a single value into a fresh native-endian buffer.
+pub fn to_bytes<T: CdrCodec>(value: &T) -> Bytes {
+    let mut e = Encoder::new(ByteOrder::native());
+    value.encode(&mut e);
+    e.finish()
+}
+
+/// Decode a single value from a buffer produced by [`to_bytes`].
+pub fn from_bytes<T: CdrCodec>(bytes: &Bytes) -> Result<T, CdrError> {
+    let mut d = Decoder::new(bytes.clone(), ByteOrder::native());
+    T::decode(&mut d)
+}
+
+/// Decode a single value from a plain byte slice (native order).
+pub fn decode_slice<T: CdrCodec>(data: &[u8]) -> Result<T, CdrError> {
+    let mut d = Decoder::new(Bytes::copy_from_slice(data), ByteOrder::native());
+    T::decode(&mut d)
+}
+
+#[cfg(test)]
+mod tests;

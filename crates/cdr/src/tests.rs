@@ -1,0 +1,360 @@
+use crate::*;
+use bytes::Bytes;
+
+fn roundtrip<T: CdrCodec + PartialEq + std::fmt::Debug>(v: T) {
+    let bytes = to_bytes(&v);
+    let back: T = from_bytes(&bytes).expect("decode");
+    assert_eq!(back, v);
+}
+
+#[test]
+fn primitives_roundtrip() {
+    roundtrip(true);
+    roundtrip(false);
+    roundtrip(0xabu8);
+    roundtrip(-1234i16);
+    roundtrip(65535u16);
+    roundtrip(-7i32);
+    roundtrip(0xdead_beefu32);
+    roundtrip(i64::MIN);
+    roundtrip(u64::MAX);
+    roundtrip(std::f32::consts::PI);
+    roundtrip(-std::f64::consts::E);
+    roundtrip('λ');
+    roundtrip(String::from("hello pardis"));
+    roundtrip(String::new());
+}
+
+#[test]
+fn nan_survives_roundtrip_bitwise() {
+    let bytes = to_bytes(&f64::NAN);
+    let back: f64 = from_bytes(&bytes).unwrap();
+    assert!(back.is_nan());
+}
+
+#[test]
+fn both_byte_orders_roundtrip() {
+    for order in [ByteOrder::Big, ByteOrder::Little] {
+        let mut e = Encoder::new(order);
+        e.write_u32(0x0102_0304);
+        e.write_f64(1.5);
+        e.write_string("x");
+        let b = e.finish();
+        let mut d = Decoder::new(b, order);
+        assert_eq!(d.read_u32().unwrap(), 0x0102_0304);
+        assert_eq!(d.read_f64().unwrap(), 1.5);
+        assert_eq!(d.read_string().unwrap(), "x");
+    }
+}
+
+#[test]
+fn big_endian_layout_is_network_order() {
+    let mut e = Encoder::new(ByteOrder::Big);
+    e.write_u32(0x0102_0304);
+    assert_eq!(&e.finish()[..], &[1, 2, 3, 4]);
+}
+
+#[test]
+fn alignment_is_relative_to_stream_start() {
+    let mut e = Encoder::new(ByteOrder::Big);
+    e.write_u8(0xff); // pos 1
+    e.write_u32(7); // pads to 4, writes at 4..8
+    let b = e.finish();
+    assert_eq!(b.len(), 8);
+    assert_eq!(&b[..4], &[0xff, 0, 0, 0]);
+    let mut d = Decoder::new(b, ByteOrder::Big);
+    assert_eq!(d.read_u8().unwrap(), 0xff);
+    assert_eq!(d.read_u32().unwrap(), 7);
+}
+
+#[test]
+fn eight_byte_alignment() {
+    let mut e = Encoder::new(ByteOrder::Big);
+    e.write_u8(1);
+    e.write_f64(2.0); // pads to offset 8
+    let b = e.finish();
+    assert_eq!(b.len(), 16);
+    let mut d = Decoder::new(b, ByteOrder::Big);
+    d.read_u8().unwrap();
+    assert_eq!(d.read_f64().unwrap(), 2.0);
+}
+
+#[test]
+fn string_is_nul_terminated_with_inclusive_length() {
+    let mut e = Encoder::new(ByteOrder::Big);
+    e.write_string("ab");
+    let b = e.finish();
+    // ULong 3, then 'a' 'b' '\0'.
+    assert_eq!(&b[..], &[0, 0, 0, 3, b'a', b'b', 0]);
+}
+
+#[test]
+fn string_missing_nul_rejected() {
+    let b = Bytes::from_static(&[0, 0, 0, 2, b'a', b'b']);
+    let mut d = Decoder::new(b, ByteOrder::Big);
+    assert_eq!(d.read_string(), Err(CdrError::MissingNul));
+}
+
+#[test]
+fn string_zero_length_rejected() {
+    let b = Bytes::from_static(&[0, 0, 0, 0]);
+    let mut d = Decoder::new(b, ByteOrder::Big);
+    assert_eq!(d.read_string(), Err(CdrError::MissingNul));
+}
+
+#[test]
+fn invalid_utf8_rejected() {
+    let b = Bytes::from_static(&[0, 0, 0, 2, 0xff, 0]);
+    let mut d = Decoder::new(b, ByteOrder::Big);
+    assert_eq!(d.read_string(), Err(CdrError::InvalidUtf8));
+}
+
+#[test]
+fn truncated_primitive_reports_needs() {
+    let b = Bytes::from_static(&[0, 0]);
+    let mut d = Decoder::new(b, ByteOrder::Big);
+    assert_eq!(d.read_u32(), Err(CdrError::Truncated { needed: 4, remaining: 2 }));
+}
+
+#[test]
+fn invalid_bool_rejected() {
+    let b = Bytes::from_static(&[2]);
+    let mut d = Decoder::new(b, ByteOrder::Big);
+    assert_eq!(d.read_bool(), Err(CdrError::InvalidBool(2)));
+}
+
+#[test]
+fn invalid_char_rejected() {
+    let mut e = Encoder::new(ByteOrder::Big);
+    e.write_u32(0xD800); // surrogate
+    let mut d = Decoder::new(e.finish(), ByteOrder::Big);
+    assert_eq!(d.read_char(), Err(CdrError::InvalidChar(0xD800)));
+}
+
+#[test]
+fn nested_dynamic_sequences_roundtrip() {
+    // The paper's `matrix`: a distributed sequence whose elements are
+    // themselves dynamically-sized rows.
+    let matrix: Vec<Vec<f64>> = (0..17).map(|i| (0..i).map(|j| j as f64 * 0.5).collect()).collect();
+    roundtrip(matrix);
+}
+
+#[test]
+fn vec_of_strings_roundtrip() {
+    roundtrip(vec!["GATTACA".to_string(), String::new(), "ACGT".repeat(100)]);
+}
+
+#[test]
+fn fixed_array_roundtrip() {
+    roundtrip([1.0f64, 2.0, 3.0]);
+    roundtrip([0u8; 16]);
+}
+
+#[test]
+fn tuples_roundtrip() {
+    roundtrip((42u32, "x".to_string()));
+    roundtrip((1u8, 2i64, vec![3.0f32]));
+}
+
+#[test]
+fn f64_bulk_path_matches_element_path() {
+    let values: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
+    let mut bulk = Encoder::new(ByteOrder::Big);
+    bulk.write_f64_slice(&values);
+    let mut elementwise = Encoder::new(ByteOrder::Big);
+    values.encode(&mut elementwise);
+    assert_eq!(bulk.finish(), elementwise.finish());
+}
+
+#[test]
+fn f64_bulk_decode_roundtrip_le() {
+    let values: Vec<f64> = (0..257).map(|i| i as f64 / 7.0).collect();
+    let mut e = Encoder::new(ByteOrder::Little);
+    e.write_f64_slice(&values);
+    let mut d = Decoder::new(e.finish(), ByteOrder::Little);
+    assert_eq!(d.read_f64_vec().unwrap(), values);
+}
+
+#[test]
+fn bounded_sequence_enforced_on_decode() {
+    let mut e = Encoder::new(ByteOrder::Big);
+    e.write_u32(5); // claims 5 elements
+    let mut d = Decoder::new(e.finish(), ByteOrder::Big);
+    assert_eq!(d.read_seq_len(Some(4)), Err(CdrError::BoundExceeded { bound: 4, got: 5 }));
+}
+
+#[test]
+fn byte_seq_roundtrip() {
+    let mut e = Encoder::new(ByteOrder::Big);
+    e.write_byte_seq(b"payload");
+    let mut d = Decoder::new(e.finish(), ByteOrder::Big);
+    assert_eq!(d.read_byte_seq().unwrap(), b"payload");
+}
+
+#[test]
+fn struct_macro_roundtrip_and_typecode() {
+    #[derive(Debug, PartialEq, Clone)]
+    struct Request {
+        id: u64,
+        op: String,
+        sizes: Vec<u32>,
+    }
+    impl_cdr_struct!(Request { id: u64, op: String, sizes: Vec<u32> });
+
+    roundtrip(Request { id: 9, op: "solve".into(), sizes: vec![1, 2, 3] });
+    match Request::type_code() {
+        TypeCode::Struct { name, fields } => {
+            assert_eq!(name, "Request");
+            assert_eq!(fields.len(), 3);
+            assert_eq!(fields[1].0, "op");
+        }
+        other => panic!("expected struct typecode, got {other}"),
+    }
+}
+
+#[test]
+fn any_roundtrip_through_typecode() {
+    let tc = TypeCode::Struct {
+        name: "s".into(),
+        fields: std::sync::Arc::new(vec![
+            ("a".into(), TypeCode::Double),
+            ("b".into(), TypeCode::sequence(TypeCode::String)),
+        ]),
+    };
+    let v = Value::Struct(vec![
+        Value::Double(2.5),
+        Value::Sequence(vec![Value::String("q".into())]),
+    ]);
+    let any = Any::new(tc.clone(), v).unwrap();
+    let mut e = Encoder::new(ByteOrder::Big);
+    any.encode_value(&mut e);
+    let mut d = Decoder::new(e.finish(), ByteOrder::Big);
+    let back = Any::decode_value(&tc, &mut d).unwrap();
+    assert_eq!(back, any);
+}
+
+#[test]
+fn any_shape_mismatch_rejected() {
+    let err = Any::new(TypeCode::Double, Value::Long(3)).unwrap_err();
+    assert!(matches!(err, CdrError::TypeMismatch { .. }));
+}
+
+#[test]
+fn any_enum_discriminant_validated() {
+    let tc = TypeCode::Enum {
+        name: "status".into(),
+        variants: std::sync::Arc::new(vec!["ok".into(), "busy".into()]),
+    };
+    assert!(Any::new(tc.clone(), Value::Enum(1)).is_ok());
+    let err = Any::new(tc, Value::Enum(2)).unwrap_err();
+    assert!(matches!(err, CdrError::InvalidEnumDiscriminant { .. }));
+}
+
+#[test]
+fn dsequence_typecode_is_distributed() {
+    assert!(TypeCode::dsequence(TypeCode::Double).is_distributed());
+    assert!(!TypeCode::sequence(TypeCode::Double).is_distributed());
+}
+
+#[test]
+fn typecode_display() {
+    assert_eq!(TypeCode::dsequence(TypeCode::Double).to_string(), "dsequence<double>");
+    assert_eq!(
+        TypeCode::bounded_sequence(TypeCode::sequence(TypeCode::Double), 1024).to_string(),
+        "sequence<sequence<double>, 1024>"
+    );
+}
+
+#[test]
+fn byte_order_flags() {
+    assert_eq!(ByteOrder::from_flag(0).unwrap(), ByteOrder::Big);
+    assert_eq!(ByteOrder::from_flag(1).unwrap(), ByteOrder::Little);
+    assert_eq!(ByteOrder::from_flag(7), Err(CdrError::BadByteOrderFlag(7)));
+    assert_eq!(ByteOrder::Big.flag(), 0);
+}
+
+#[test]
+fn implementation_limit_guards_allocation() {
+    // Claim a 2^33-byte string without providing it.
+    let mut e = Encoder::new(ByteOrder::Big);
+    e.write_u32(u32::MAX);
+    let mut d = Decoder::new(e.finish(), ByteOrder::Big);
+    // u32::MAX < 2^32 so it passes the limit but fails truncation — either
+    // way decode must not panic or over-allocate eagerly enough to abort.
+    assert!(d.read_string().is_err());
+}
+
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_value_tree() -> impl Strategy<Value = Vec<Vec<f64>>> {
+        proptest::collection::vec(proptest::collection::vec(any::<f64>(), 0..20), 0..20)
+    }
+
+    proptest! {
+        #[test]
+        fn u32_roundtrip(v in any::<u32>()) {
+            let b = to_bytes(&v);
+            prop_assert_eq!(from_bytes::<u32>(&b).unwrap(), v);
+        }
+
+        #[test]
+        fn i64_roundtrip(v in any::<i64>()) {
+            let b = to_bytes(&v);
+            prop_assert_eq!(from_bytes::<i64>(&b).unwrap(), v);
+        }
+
+        #[test]
+        fn f64_roundtrip_bits(v in any::<f64>()) {
+            let b = to_bytes(&v);
+            let back = from_bytes::<f64>(&b).unwrap();
+            prop_assert_eq!(back.to_bits(), v.to_bits());
+        }
+
+        #[test]
+        fn string_roundtrip(s in "\\PC*") {
+            let b = to_bytes(&s);
+            prop_assert_eq!(from_bytes::<String>(&b).unwrap(), s);
+        }
+
+        #[test]
+        fn nested_matrix_roundtrip(m in arb_value_tree()) {
+            let b = to_bytes(&m);
+            let back = from_bytes::<Vec<Vec<f64>>>(&b).unwrap();
+            prop_assert_eq!(
+                back.iter().flatten().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                m.iter().flatten().map(|f| f.to_bits()).collect::<Vec<_>>()
+            );
+        }
+
+        #[test]
+        fn decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let b = Bytes::from(data);
+            // Whatever the bytes, decoding returns Ok or Err — never panics.
+            let _ = from_bytes::<Vec<Vec<f64>>>(&b);
+            let _ = from_bytes::<String>(&b);
+            let _ = from_bytes::<Vec<String>>(&b);
+            let mut d = Decoder::new(b, ByteOrder::Big);
+            let _ = Any::decode_value(&TypeCode::sequence(TypeCode::String), &mut d);
+        }
+
+        #[test]
+        fn mixed_stream_positions_agree(
+            a in any::<u8>(), b in any::<u32>(), c in any::<f64>(), s in "[a-z]{0,12}"
+        ) {
+            let mut e = Encoder::new(ByteOrder::Little);
+            e.write_u8(a);
+            e.write_u32(b);
+            e.write_f64(c);
+            e.write_string(&s);
+            let buf = e.finish();
+            let mut d = Decoder::new(buf, ByteOrder::Little);
+            prop_assert_eq!(d.read_u8().unwrap(), a);
+            prop_assert_eq!(d.read_u32().unwrap(), b);
+            prop_assert_eq!(d.read_f64().unwrap().to_bits(), c.to_bits());
+            prop_assert_eq!(d.read_string().unwrap(), s);
+            prop_assert_eq!(d.remaining(), 0);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Runtime type descriptions.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A runtime description of an IDL type, used by the dynamic invocation
+/// interface, the interface repository wire format, and [`crate::Any`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TypeCode {
+    /// `void` — operation with no return value.
+    Void,
+    /// `boolean`.
+    Boolean,
+    /// `octet` (u8).
+    Octet,
+    /// `short` (i16).
+    Short,
+    /// `unsigned short` (u16).
+    UShort,
+    /// `long` (i32).
+    Long,
+    /// `unsigned long` (u32).
+    ULong,
+    /// `long long` (i64).
+    LongLong,
+    /// `unsigned long long` (u64).
+    ULongLong,
+    /// `float` (f32).
+    Float,
+    /// `double` (f64).
+    Double,
+    /// `char`.
+    Char,
+    /// `string`.
+    String,
+    /// `sequence<elem, bound?>`.
+    Sequence {
+        /// Element type.
+        elem: Arc<TypeCode>,
+        /// Optional IDL bound.
+        bound: Option<u32>,
+    },
+    /// PARDIS extension: `dsequence<elem, bound?>` — a sequence distributed
+    /// over the address spaces of an SPMD program's computing threads.
+    DSequence {
+        /// Element type.
+        elem: Arc<TypeCode>,
+        /// Optional IDL bound.
+        bound: Option<u32>,
+    },
+    /// A named struct with ordered fields.
+    Struct {
+        /// IDL name.
+        name: String,
+        /// Field (name, type) pairs in declaration order.
+        fields: Arc<Vec<(String, TypeCode)>>,
+    },
+    /// A named enum with its variant labels.
+    Enum {
+        /// IDL name.
+        name: String,
+        /// Variant labels in declaration order (discriminants 0..n).
+        variants: Arc<Vec<String>>,
+    },
+    /// An object reference to an interface.
+    ObjRef {
+        /// Interface repository id (e.g. the interface name).
+        interface: String,
+    },
+}
+
+impl TypeCode {
+    /// Convenience constructor for an unbounded sequence.
+    pub fn sequence(elem: TypeCode) -> TypeCode {
+        TypeCode::Sequence { elem: Arc::new(elem), bound: None }
+    }
+
+    /// Convenience constructor for a bounded sequence.
+    pub fn bounded_sequence(elem: TypeCode, bound: u32) -> TypeCode {
+        TypeCode::Sequence { elem: Arc::new(elem), bound: Some(bound) }
+    }
+
+    /// Convenience constructor for an unbounded distributed sequence.
+    pub fn dsequence(elem: TypeCode) -> TypeCode {
+        TypeCode::DSequence { elem: Arc::new(elem), bound: None }
+    }
+
+    /// Is this a distributed type? (Distributed types are only legal as
+    /// operation arguments on SPMD objects.)
+    pub fn is_distributed(&self) -> bool {
+        matches!(self, TypeCode::DSequence { .. })
+    }
+
+    /// A short stable tag for diagnostics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TypeCode::Void => "void",
+            TypeCode::Boolean => "boolean",
+            TypeCode::Octet => "octet",
+            TypeCode::Short => "short",
+            TypeCode::UShort => "ushort",
+            TypeCode::Long => "long",
+            TypeCode::ULong => "ulong",
+            TypeCode::LongLong => "longlong",
+            TypeCode::ULongLong => "ulonglong",
+            TypeCode::Float => "float",
+            TypeCode::Double => "double",
+            TypeCode::Char => "char",
+            TypeCode::String => "string",
+            TypeCode::Sequence { .. } => "sequence",
+            TypeCode::DSequence { .. } => "dsequence",
+            TypeCode::Struct { .. } => "struct",
+            TypeCode::Enum { .. } => "enum",
+            TypeCode::ObjRef { .. } => "objref",
+        }
+    }
+}
+
+impl fmt::Display for TypeCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeCode::Sequence { elem, bound: Some(b) } => write!(f, "sequence<{elem}, {b}>"),
+            TypeCode::Sequence { elem, bound: None } => write!(f, "sequence<{elem}>"),
+            TypeCode::DSequence { elem, bound: Some(b) } => write!(f, "dsequence<{elem}, {b}>"),
+            TypeCode::DSequence { elem, bound: None } => write!(f, "dsequence<{elem}>"),
+            TypeCode::Struct { name, .. } => write!(f, "struct {name}"),
+            TypeCode::Enum { name, .. } => write!(f, "enum {name}"),
+            TypeCode::ObjRef { interface } => write!(f, "interface {interface}"),
+            other => f.write_str(other.kind_name()),
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! pardis-idlc — the PARDIS IDL compiler command line.
+//!
+//! ```text
+//! pardis-idlc [-pooma] [-hpcxx] [-o OUT.rs] INPUT.idl
+//! ```
+//!
+//! Mirrors the paper's compiler invocations: "when invoked with the
+//! `-pooma` option, the POOMA:field pragma causes the compiler to generate
+//! stub code marshaling the distributed sequence into a POOMA field;
+//! similarly, a `-hpcxx` option ... a no-options invocation will generate
+//! standard stubs" (§4.3).
+
+use pardis_codegen::{compile_idl, CodegenOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut opts = CodegenOptions::default();
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-pooma" => opts.pooma = true,
+            "-hpcxx" => opts.hpcxx = true,
+            "-o" => match args.next() {
+                Some(path) => output = Some(path),
+                None => {
+                    eprintln!("pardis-idlc: -o needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "-h" | "--help" => {
+                println!("usage: pardis-idlc [-pooma] [-hpcxx] [-o OUT.rs] INPUT.idl");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("pardis-idlc: unknown option {other:?}");
+                return ExitCode::FAILURE;
+            }
+            other => {
+                if input.replace(other.to_string()).is_some() {
+                    eprintln!("pardis-idlc: more than one input file");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    let Some(input) = input else {
+        eprintln!("usage: pardis-idlc [-pooma] [-hpcxx] [-o OUT.rs] INPUT.idl");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pardis-idlc: cannot read {input:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match compile_idl(&source, &opts) {
+        Ok(rust) => {
+            match output {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, rust) {
+                        eprintln!("pardis-idlc: cannot write {path:?}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                None => print!("{rust}"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(diags) => {
+            for d in diags {
+                eprintln!("{}", d.render(&source));
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! pardis-codegen — the PARDIS IDL compiler back end.
+//!
+//! "The IDL compiler translates the specifications of objects into 'stub'
+//! code containing calls to the ORB" (§2.2). This crate turns the resolved
+//! [`Model`](pardis_idl::Model) into Rust source:
+//!
+//! * data types — Rust structs/enums/aliases with
+//!   `CdrCodec` (pardis-cdr) marshaling (including the
+//!   automatically generated marshaling for dynamically-sized nested
+//!   structures that §4.1 highlights);
+//! * **client proxies** — for every operation a blocking stub, a
+//!   non-blocking `_nb` stub returning futures (§3.3), and — for operations
+//!   with distributed arguments — the second, non-distributed `_single` stub
+//!   PARDIS generates for single clients (§3.1);
+//! * **server skeletons** — an `…Impl` trait plus an `…Skel` adapter
+//!   implementing `pardis_core::Servant`;
+//! * **pragma mappings** — with [`CodegenOptions::pooma`] /
+//!   [`CodegenOptions::hpcxx`] enabled (the paper's `-pooma` / `-hpcxx`
+//!   compiler options), extra stubs that marshal straight from
+//!   `pooma_rs::Field2D` / `pstl_rs::DistVector` (§3.4, §4.3).
+//!
+//! The emitted source is plain text meant to be `include!`d (typically from
+//! a `build.rs`, as the `pardis` facade crate does) or written by the
+//! `pardis-idlc` binary.
+
+mod emit;
+mod names;
+
+pub use emit::generate;
+
+use pardis_idl::Diagnostic;
+
+/// What the compiler should emit, mirroring the paper's command-line
+/// options.
+#[derive(Debug, Clone, Default)]
+pub struct CodegenOptions {
+    /// Generate `*_pooma` stubs for `#pragma POOMA:…`-annotated dsequences
+    /// (the `-pooma` option).
+    pub pooma: bool,
+    /// Generate `*_hpcxx` stubs for `#pragma HPC++:…`-annotated dsequences
+    /// (the `-hpcxx` option).
+    pub hpcxx: bool,
+}
+
+/// Front end + back end in one call: IDL source text to Rust source text.
+pub fn compile_idl(source: &str, opts: &CodegenOptions) -> Result<String, Vec<Diagnostic>> {
+    let model = pardis_idl::compile(source)?;
+    Ok(generate(&model, opts))
+}
+
+#[cfg(test)]
+mod tests;

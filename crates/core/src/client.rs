@@ -1,0 +1,995 @@
+//! The client side of the ORB: binding, proxies, invocation.
+//!
+//! A parallel client is a [`ClientGroup`] of computing threads. Each thread
+//! attaches for its [`ClientThread`], then binds to objects either
+//! collectively ([`ClientThread::spmd_bind`], one binding representing the
+//! whole parallel client) or individually ([`ClientThread::bind`], one
+//! binding per thread) — §3.1. Operations are invoked through a
+//! [`CallBuilder`], blocking ([`CallBuilder::invoke`]), non-blocking with
+//! futures ([`CallBuilder::invoke_nb`]) or oneway
+//! ([`CallBuilder::invoke_oneway`]).
+
+use crate::dist::{plan_transfer, Distribution};
+use crate::dseq::DSequence;
+use crate::error::{OrbError, OrbResult};
+use crate::object::{BindingId, ClientId, DistPolicy, EndpointId, ObjectKind, ObjectRef};
+use crate::orb::{Envelope, Orb, TransferStrategy};
+use crate::poa::FORWARD_TAG;
+use crate::protocol::{
+    frame_list, unframe_list, ArgDir, DArgDesc, FragmentMsg, Message, ReplyMsg, ReplyStatus,
+    RequestMsg,
+};
+use crate::servant::{ServantCtx, ServerRequest};
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+use pardis_cdr::{Any, ByteOrder, CdrCodec, Decoder, Encoder, TypeCode};
+use pardis_netsim::HostId;
+use pardis_rts::Rts;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A (possibly parallel) client registered with the ORB. Clone into each
+/// computing thread and call [`ClientGroup::attach`] there.
+#[derive(Clone)]
+pub struct ClientGroup {
+    orb: Orb,
+    id: ClientId,
+    host: HostId,
+    nthreads: usize,
+    reply_eps: Vec<EndpointId>,
+    reply_rxs: Arc<Mutex<Vec<Option<Receiver<Envelope>>>>>,
+    namespace: Arc<Mutex<String>>,
+}
+
+impl ClientGroup {
+    /// Register a client of `nthreads` computing threads on `host`.
+    pub fn create(orb: &Orb, host: HostId, nthreads: usize) -> ClientGroup {
+        assert!(nthreads > 0, "client needs at least one computing thread");
+        let id = orb.alloc_client();
+        let mut reply_eps = Vec::with_capacity(nthreads);
+        let mut reply_rxs = Vec::with_capacity(nthreads);
+        for _ in 0..nthreads {
+            let (ep, rx) = orb.register_endpoint(host);
+            reply_eps.push(ep);
+            reply_rxs.push(Some(rx));
+        }
+        ClientGroup {
+            orb: orb.clone(),
+            id,
+            host,
+            nthreads,
+            reply_eps,
+            reply_rxs: Arc::new(Mutex::new(reply_rxs)),
+            namespace: Arc::new(Mutex::new(crate::repository::DEFAULT_REPOSITORY.to_string())),
+        }
+    }
+
+    /// Resolve names in a different repository namespace.
+    pub fn with_namespace(self, ns: &str) -> Self {
+        *self.namespace.lock() = ns.to_string();
+        self
+    }
+
+    /// Number of computing threads.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Claim computing thread `thread`'s client endpoint. `rts` is required
+    /// when `nthreads > 1`.
+    pub fn attach(&self, thread: usize, rts: Option<Arc<dyn Rts>>) -> ClientThread {
+        assert!(thread < self.nthreads, "thread {thread} out of range");
+        if self.nthreads > 1 {
+            let r = rts.as_ref().expect("parallel clients must attach with an RTS endpoint");
+            assert_eq!(r.size(), self.nthreads, "RTS world size != client thread count");
+            assert_eq!(r.rank(), thread, "RTS rank != attaching thread");
+        }
+        let rx = self.reply_rxs.lock()[thread]
+            .take()
+            .unwrap_or_else(|| panic!("thread {thread} already attached"));
+        ClientThread {
+            core: Arc::new(PumpCore {
+                orb: self.orb.clone(),
+                host: self.host,
+                client: self.id,
+                thread,
+                nthreads: self.nthreads,
+                reply_eps: self.reply_eps.clone(),
+                rx,
+                rts,
+                router: Mutex::new(HashMap::new()),
+                orphans: Mutex::new(HashMap::new()),
+                collective_seq: AtomicU64::new(0),
+                single_seq: AtomicU64::new(0),
+            }),
+            namespace: self.namespace.lock().clone(),
+            spmd_bind_seq: AtomicU64::new(0),
+            single_bind_seq: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Per-thread message pump and reply router, shared between a thread's
+/// proxies and the futures they mint.
+pub(crate) struct PumpCore {
+    pub orb: Orb,
+    pub host: HostId,
+    pub client: ClientId,
+    pub thread: usize,
+    pub nthreads: usize,
+    pub reply_eps: Vec<EndpointId>,
+    rx: Receiver<Envelope>,
+    pub rts: Option<Arc<dyn Rts>>,
+    router: Mutex<HashMap<(BindingId, u64), Arc<InvocationState>>>,
+    orphans: Mutex<HashMap<(BindingId, u64), Vec<Message>>>,
+    /// Invocation counter of the collective entity (all threads of an SPMD
+    /// client stay in sync by the SPMD calling discipline).
+    collective_seq: AtomicU64,
+    /// Invocation counter of this thread acting as a single client.
+    single_seq: AtomicU64,
+}
+
+impl PumpCore {
+    fn register(&self, key: (BindingId, u64), state: Arc<InvocationState>) {
+        self.router.lock().insert(key, state.clone());
+        let stashed = self.orphans.lock().remove(&key);
+        if let Some(msgs) = stashed {
+            for msg in msgs {
+                self.route(msg);
+            }
+        }
+    }
+
+    fn unregister(&self, key: (BindingId, u64)) {
+        self.router.lock().remove(&key);
+    }
+
+    /// Completion check without pumping — only meaningful when a
+    /// communication thread (or another caller) is draining the endpoint.
+    pub(crate) fn peek_complete(&self, key: (BindingId, u64)) -> bool {
+        self.router.lock().get(&key).map(|s| s.is_complete()).unwrap_or(false)
+    }
+
+    /// Ingest available messages; optionally wait up to `wait` for the first
+    /// one. Returns true if anything was processed.
+    pub(crate) fn pump_step(&self, wait: Option<Duration>) -> bool {
+        let mut progressed = false;
+        while let Ok(env) = self.rx.try_recv() {
+            self.ingest_wire(&env.wire);
+            progressed = true;
+        }
+        if let Some(rts) = &self.rts {
+            while let Some(msg) = rts.try_recv(None, FORWARD_TAG) {
+                self.ingest_wire(&msg.data);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            if let Some(timeout) = wait {
+                if let Ok(env) = self.rx.recv_timeout(timeout) {
+                    self.ingest_wire(&env.wire);
+                    progressed = true;
+                }
+            }
+        }
+        progressed
+    }
+
+    fn ingest_wire(&self, wire: &Bytes) {
+        let Ok(msg) = Message::decode(wire) else {
+            debug_assert!(false, "malformed frame at client");
+            return;
+        };
+        // Funneled forwarding at the client edge: thread 0 relays frames
+        // destined for siblings over the run-time system.
+        match &msg {
+            Message::Fragment(f) if f.dst_thread as usize != self.thread => {
+                if let Some(rts) = &self.rts {
+                    rts.send(f.dst_thread as usize, FORWARD_TAG, wire.clone());
+                } else {
+                    debug_assert!(false, "fragment for thread {} at single client", f.dst_thread);
+                }
+                return;
+            }
+            Message::Reply(r) => {
+                let key = (r.binding, r.req_id);
+                let fan_out = {
+                    let router = self.router.lock();
+                    router
+                        .get(&key)
+                        .map(|s| s.funneled && s.client_threads > 1 && self.thread == 0)
+                        .unwrap_or(false)
+                };
+                if fan_out {
+                    let rts = self.rts.as_ref().expect("parallel client has an RTS");
+                    for t in 1..self.nthreads {
+                        rts.send(t, FORWARD_TAG, wire.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+        self.route(msg);
+    }
+
+    fn route(&self, msg: Message) {
+        let key = match &msg {
+            Message::Reply(r) => (r.binding, r.req_id),
+            Message::Fragment(f) => (f.binding, f.req_id),
+            // Close or stray messages at a client endpoint: ignore.
+            _ => return,
+        };
+        let state = self.router.lock().get(&key).cloned();
+        match state {
+            Some(state) => {
+                state.absorb(msg);
+            }
+            None => {
+                self.orphans.lock().entry(key).or_default().push(msg);
+            }
+        }
+    }
+}
+
+/// Client-side record of one in-flight invocation; the rendezvous point
+/// between the pump and the futures.
+pub struct InvocationState {
+    pub(crate) funneled: bool,
+    pub(crate) client_threads: usize,
+    pub(crate) thread: usize,
+    server: crate::object::ServerId,
+    out_wire_idx: Vec<u32>,
+    out_dists: Vec<Distribution>,
+    inner: Mutex<InvInner>,
+}
+
+#[derive(Default)]
+struct InvInner {
+    reply: Option<ReplyMsg>,
+    frags: HashMap<u32, Vec<(u64, u64, Bytes)>>,
+}
+
+impl InvocationState {
+    fn absorb(&self, msg: Message) {
+        let mut inner = self.inner.lock();
+        match msg {
+            Message::Reply(r) => inner.reply = Some(r),
+            Message::Fragment(f) => {
+                inner.frags.entry(f.arg).or_default().push((f.start, f.count, Bytes::from(f.data)));
+            }
+            _ => {}
+        }
+    }
+
+    /// Reply present and, on success, every expected local out-element
+    /// arrived. (All futures of one invocation resolve together, §3.3.)
+    fn is_complete(&self) -> bool {
+        let inner = self.inner.lock();
+        let Some(reply) = &inner.reply else { return false };
+        if !matches!(reply.status, ReplyStatus::Ok) {
+            return true;
+        }
+        for (ordinal, wire_idx) in self.out_wire_idx.iter().enumerate() {
+            let Some(len) = reply.dout_lens.get(ordinal) else { return false };
+            let expected =
+                self.out_dists[ordinal].local_len(*len, self.client_threads, self.thread);
+            let arrived: u64 = inner
+                .frags
+                .get(wire_idx)
+                .map(|fs| fs.iter().map(|(_, c, _)| c).sum())
+                .unwrap_or(0);
+            if arrived < expected {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn check_status(&self) -> OrbResult<()> {
+        let inner = self.inner.lock();
+        match &inner.reply {
+            Some(ReplyMsg { status: ReplyStatus::Exception(msg), .. }) => {
+                Err(OrbError::ServerException(msg.clone()))
+            }
+            Some(ReplyMsg { status: ReplyStatus::UserException { id, data }, .. }) => {
+                Err(OrbError::UserException { id: id.clone(), data: data.clone() })
+            }
+            Some(_) => Ok(()),
+            None => Err(OrbError::Protocol("reply not yet available".into())),
+        }
+    }
+
+    fn scalar<T: CdrCodec>(&self, slot: usize) -> OrbResult<T> {
+        self.check_status()?;
+        let inner = self.inner.lock();
+        let reply = inner.reply.as_ref().expect("checked");
+        let blob = reply
+            .outs
+            .get(slot)
+            .ok_or_else(|| OrbError::Protocol(format!("no scalar out slot {slot}")))?;
+        let mut d = Decoder::new(Bytes::copy_from_slice(blob), ByteOrder::native());
+        Ok(T::decode(&mut d)?)
+    }
+
+    fn any(&self, slot: usize, tc: &TypeCode) -> OrbResult<Any> {
+        self.check_status()?;
+        let inner = self.inner.lock();
+        let reply = inner.reply.as_ref().expect("checked");
+        let blob = reply
+            .outs
+            .get(slot)
+            .ok_or_else(|| OrbError::Protocol(format!("no scalar out slot {slot}")))?;
+        let mut d = Decoder::new(Bytes::copy_from_slice(blob), ByteOrder::native());
+        Ok(Any::decode_value(tc, &mut d)?)
+    }
+
+    fn dseq<T: CdrCodec + Clone>(&self, ordinal: usize) -> OrbResult<DSequence<T>> {
+        self.check_status()?;
+        let inner = self.inner.lock();
+        let reply = inner.reply.as_ref().expect("checked");
+        let wire_idx = *self
+            .out_wire_idx
+            .get(ordinal)
+            .ok_or_else(|| OrbError::Protocol(format!("no distributed out-arg {ordinal}")))?;
+        let len = *reply
+            .dout_lens
+            .get(ordinal)
+            .ok_or_else(|| OrbError::Protocol("reply missing dout length".into()))?;
+        let dist = self.out_dists[ordinal].clone();
+        let n = self.client_threads;
+        let t = self.thread;
+        let local_len = dist.local_len(len, n, t) as usize;
+        let mut staged: Vec<Option<T>> = (0..local_len).map(|_| None).collect();
+        if let Some(pieces) = inner.frags.get(&wire_idx) {
+            for (start, count, data) in pieces {
+                let mut d = Decoder::new(data.clone(), ByteOrder::native());
+                for idx in *start..*start + *count {
+                    let (owner, local) = dist.global_to_local(len, n, idx);
+                    if owner != t {
+                        return Err(OrbError::Protocol(format!(
+                            "out fragment element {idx} belongs to thread {owner}, got thread {t}"
+                        )));
+                    }
+                    staged[local as usize] = Some(T::decode(&mut d)?);
+                }
+            }
+        }
+        let mut local = Vec::with_capacity(local_len);
+        for (i, v) in staged.into_iter().enumerate() {
+            local.push(v.ok_or_else(|| {
+                OrbError::Protocol(format!("distributed out-arg {ordinal} missing element {i}"))
+            })?);
+        }
+        Ok(DSequence::from_local(local, len, dist, n, t))
+    }
+}
+
+/// One computing thread's client endpoint.
+pub struct ClientThread {
+    core: Arc<PumpCore>,
+    namespace: String,
+    spmd_bind_seq: AtomicU64,
+    single_bind_seq: AtomicU64,
+}
+
+impl ClientThread {
+    /// The ORB.
+    pub fn orb(&self) -> &Orb {
+        &self.core.orb
+    }
+
+    /// This thread's index.
+    pub fn thread(&self) -> usize {
+        self.core.thread
+    }
+
+    /// The client's computing-thread count.
+    pub fn nthreads(&self) -> usize {
+        self.core.nthreads
+    }
+
+    /// The host this client runs on.
+    pub fn host(&self) -> HostId {
+        self.core.host
+    }
+
+    /// Collectively bind to `name`: the parallel client acts as one entity.
+    /// Every computing thread must call this in the same order. Operations
+    /// on the returned proxy must be invoked collectively and may use
+    /// distributed arguments (§3.1).
+    pub fn spmd_bind(&self, name: &str) -> OrbResult<Proxy> {
+        let obj = self.core.orb.resolve(&self.namespace, name)?;
+        let policy = self.core.orb.dist_policy(obj.key)?;
+        let seq = self.spmd_bind_seq.fetch_add(1, Ordering::Relaxed);
+        let binding = BindingId((self.core.client.0 << 24) | seq);
+        Ok(Proxy {
+            core: self.core.clone(),
+            obj,
+            policy,
+            binding,
+            collective: true,
+            req_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Start a dedicated communication thread draining this client
+    /// thread's endpoint (the §6 future-work experiment). See
+    /// [`CommThread`].
+    pub fn start_comm_thread(&self) -> CommThread {
+        CommThread::spawn(self.core.clone())
+    }
+
+    /// Bind this thread individually: one binding per thread, invocations
+    /// are per-thread, distributed arguments are passed whole (the second
+    /// stub PARDIS generates for single-client use, §3.1).
+    pub fn bind(&self, name: &str) -> OrbResult<Proxy> {
+        let obj = self.core.orb.resolve(&self.namespace, name)?;
+        let policy = self.core.orb.dist_policy(obj.key)?;
+        let seq = self.single_bind_seq.fetch_add(1, Ordering::Relaxed);
+        let binding = BindingId(
+            (self.core.client.0 << 24)
+                | (1 << 23)
+                | ((self.core.thread as u64 & 0x7f) << 16)
+                | seq,
+        );
+        Ok(Proxy {
+            core: self.core.clone(),
+            obj,
+            policy,
+            binding,
+            collective: false,
+            req_seq: AtomicU64::new(0),
+        })
+    }
+}
+
+/// A bound object proxy. Generated typed proxies wrap this; it can also be
+/// driven directly (the dynamic invocation interface).
+pub struct Proxy {
+    core: Arc<PumpCore>,
+    obj: ObjectRef,
+    policy: DistPolicy,
+    binding: BindingId,
+    collective: bool,
+    req_seq: AtomicU64,
+}
+
+impl Proxy {
+    /// The bound object's reference.
+    pub fn object(&self) -> &ObjectRef {
+        &self.obj
+    }
+
+    /// Was this proxy produced by `spmd_bind`?
+    pub fn is_collective(&self) -> bool {
+        self.collective
+    }
+
+    /// The binding id (request sequencing is per binding).
+    pub fn binding(&self) -> BindingId {
+        self.binding
+    }
+
+    /// Begin an invocation of `op`.
+    pub fn call(&self, op: &str) -> CallBuilder<'_> {
+        CallBuilder { proxy: self, op: op.to_string(), ins: Vec::new(), dargs: Vec::new() }
+    }
+}
+
+enum DArgEntry {
+    In {
+        len: u64,
+        client_dist: Distribution,
+        encode: Box<dyn Fn(u64, u64) -> Bytes + Send>,
+    },
+    Out {
+        expected_dist: Distribution,
+    },
+}
+
+/// Builder for one invocation: scalar arguments, distributed arguments,
+/// expected out distributions — then `invoke` / `invoke_nb` /
+/// `invoke_oneway`.
+pub struct CallBuilder<'p> {
+    proxy: &'p Proxy,
+    op: String,
+    ins: Vec<Vec<u8>>,
+    dargs: Vec<DArgEntry>,
+}
+
+impl<'p> CallBuilder<'p> {
+    /// Append a scalar (non-distributed) in-argument.
+    pub fn arg<T: CdrCodec>(mut self, v: &T) -> Self {
+        let mut e = Encoder::new(ByteOrder::native());
+        v.encode(&mut e);
+        self.ins.push(e.finish().to_vec());
+        self
+    }
+
+    /// Append a dynamically typed in-argument (dynamic invocation
+    /// interface).
+    pub fn any_arg(mut self, a: &Any) -> Self {
+        let mut e = Encoder::new(ByteOrder::native());
+        a.encode_value(&mut e);
+        self.ins.push(e.finish().to_vec());
+        self
+    }
+
+    /// Append a distributed in-argument from this thread's view of the
+    /// sequence (SPMD stub variant).
+    pub fn dseq_in<T: CdrCodec + Clone + Send + Sync + 'static>(
+        mut self,
+        ds: &DSequence<T>,
+    ) -> Self {
+        let captured = ds.clone();
+        self.dargs.push(DArgEntry::In {
+            len: ds.len(),
+            client_dist: ds.dist().clone(),
+            encode: Box::new(move |s, c| captured.encode_range(s, c)),
+        });
+        self
+    }
+
+    /// Append a whole (non-distributed) sequence as a distributed
+    /// in-argument — the stub variant generated "with corresponding
+    /// non-distributed arguments to support single invocations" (§3.1).
+    pub fn dseq_in_full<T: CdrCodec + Clone + Send + Sync + 'static>(
+        self,
+        elems: Vec<T>,
+    ) -> Self {
+        let ds = DSequence::concentrated(elems);
+        self.dseq_in(&ds)
+    }
+
+    /// Declare a distributed out-argument and the distribution this side
+    /// expects it in (§3.2: "the client can set the distribution of the
+    /// expected 'out' arguments before making an invocation").
+    pub fn dseq_out(mut self, expected_dist: Distribution) -> Self {
+        self.dargs.push(DArgEntry::Out { expected_dist });
+        self
+    }
+
+    /// Blocking invocation: returns only after the request "has been fully
+    /// processed by the server".
+    pub fn invoke(self) -> OrbResult<ReplyData> {
+        let timeout = self.proxy.core.orb.config().timeout;
+        let (state, key) = self.launch(false)?;
+        let core = state.1.clone();
+        let state = state.0;
+        let result = wait_complete(&core, &state, timeout);
+        core.unregister(key);
+        result?;
+        state.check_status()?;
+        Ok(ReplyData { state })
+    }
+
+    /// Non-blocking invocation: returns immediately after the request has
+    /// been sent, with a handle minting futures for the out-arguments and
+    /// return value.
+    pub fn invoke_nb(self) -> OrbResult<InvocationHandle> {
+        let (state, key) = self.launch(false)?;
+        Ok(InvocationHandle { core: state.1, state: state.0, key })
+    }
+
+    /// Oneway invocation: no reply at all (§4.3 discusses the cost of
+    /// non-blocking invocations *not* being oneway).
+    pub fn invoke_oneway(self) -> OrbResult<()> {
+        let (_state, _key) = self.launch(true)?;
+        Ok(())
+    }
+
+    /// Validate, register, and ship the request. Returns the state and its
+    /// router key.
+    #[allow(clippy::type_complexity)]
+    fn launch(
+        self,
+        oneway: bool,
+    ) -> OrbResult<((Arc<InvocationState>, Arc<PumpCore>), (BindingId, u64))> {
+        let proxy = self.proxy;
+        let core = &proxy.core;
+        let cfg = core.orb.config();
+
+        // Single objects cannot take distributed arguments (§3.1).
+        if matches!(proxy.obj.kind, ObjectKind::Single { .. }) && !self.dargs.is_empty() {
+            return Err(OrbError::Protocol(
+                "single objects cannot operate on distributed arguments".into(),
+            ));
+        }
+
+        // The calling side's shape: collective proxies span the whole client
+        // group; per-thread bindings act as a 1-thread client.
+        let (cthreads, cthread, reply_to) = if proxy.collective {
+            (core.nthreads, core.thread, core.reply_eps.clone())
+        } else {
+            (1usize, 0usize, vec![core.reply_eps[core.thread]])
+        };
+
+        let funneled = cfg.transfer_strategy == TransferStrategy::Funneled
+            && proxy.obj.kind == ObjectKind::Spmd
+            && (cthreads > 1 || proxy.obj.nthreads > 1);
+
+        let req_id = proxy.req_seq.fetch_add(1, Ordering::Relaxed);
+        let key = (proxy.binding, req_id);
+        // Sequencing identity: which client entity this request belongs to,
+        // and its position in that entity's invocation order.
+        let (entity, client_seq) = if proxy.collective {
+            (core.client.0 << 1, core.collective_seq.fetch_add(1, Ordering::Relaxed))
+        } else {
+            (
+                (core.client.0 << 9) | ((core.thread as u64 & 0x7f) << 1) | 1,
+                core.single_seq.fetch_add(1, Ordering::Relaxed),
+            )
+        };
+
+        // Wire descriptors.
+        let mut descs = Vec::with_capacity(self.dargs.len());
+        let mut out_wire_idx = Vec::new();
+        let mut out_dists = Vec::new();
+        for (i, entry) in self.dargs.iter().enumerate() {
+            match entry {
+                DArgEntry::In { len, client_dist, .. } => {
+                    client_dist
+                        .validate(*len, cthreads)
+                        .map_err(OrbError::Protocol)?;
+                    descs.push(DArgDesc { dir: ArgDir::In, len: *len, client_dist: client_dist.clone() });
+                }
+                DArgEntry::Out { expected_dist } => {
+                    out_wire_idx.push(i as u32);
+                    out_dists.push(expected_dist.clone());
+                    descs.push(DArgDesc {
+                        dir: ArgDir::Out,
+                        len: 0,
+                        client_dist: expected_dist.clone(),
+                    });
+                }
+            }
+        }
+
+        let state = Arc::new(InvocationState {
+            funneled,
+            client_threads: cthreads,
+            thread: cthread,
+            server: proxy.obj.server,
+            out_wire_idx,
+            out_dists,
+            inner: Mutex::new(InvInner::default()),
+        });
+        if !oneway {
+            core.register(key, state.clone());
+        }
+
+        // Collocated direct call: a single object on the same host becomes a
+        // direct call to the servant, bypassing the network transport
+        // (§4.1).
+        if cfg.local_bypass
+            && proxy.obj.host == core.host
+            && self.dargs.is_empty()
+            && !oneway
+        {
+            if let ObjectKind::Single { thread } = proxy.obj.kind {
+                if let Some(servant) =
+                    core.orb.collocated_servant(proxy.obj.server, thread, proxy.obj.key)
+                {
+                    let ctx = ServantCtx {
+                        thread,
+                        nthreads: proxy.obj.nthreads,
+                        client_threads: cthreads,
+                        rts: None,
+                    };
+                    let sreq =
+                        ServerRequest { op: &self.op, ins: &self.ins, dins: &[], ctx: &ctx };
+                    let reply = match servant.dispatch(sreq) {
+                        Ok(rep) => match rep.raised {
+                            Some(raised) => ReplyMsg {
+                                req_id,
+                                binding: proxy.binding,
+                                status: ReplyStatus::UserException {
+                                    id: raised.id,
+                                    data: raised.data,
+                                },
+                                outs: Vec::new(),
+                                dout_lens: Vec::new(),
+                            },
+                            None => ReplyMsg {
+                                req_id,
+                                binding: proxy.binding,
+                                status: ReplyStatus::Ok,
+                                outs: rep.outs,
+                                dout_lens: Vec::new(),
+                            },
+                        },
+                        Err(msg) => ReplyMsg {
+                            req_id,
+                            binding: proxy.binding,
+                            status: ReplyStatus::Exception(msg),
+                            outs: Vec::new(),
+                            dout_lens: Vec::new(),
+                        },
+                    };
+                    state.absorb(Message::Reply(reply));
+                    return Ok(((state, core.clone()), key));
+                }
+            }
+        }
+
+        let endpoints = core.orb.server_endpoints(proxy.obj.server)?;
+
+        // Control message — sent by the lead thread of the call.
+        let control = Message::Request(RequestMsg {
+            req_id,
+            binding: proxy.binding,
+            entity,
+            client_seq,
+            client: core.client,
+            object: proxy.obj.key,
+            op: self.op.clone(),
+            oneway,
+            funneled,
+            reply_to: reply_to.clone(),
+            client_threads: cthreads as u32,
+            client_host: core.host.raw(),
+            ins: self.ins.clone(),
+            dargs: descs.clone(),
+        });
+        let lead = !proxy.collective || core.thread == 0;
+        if lead {
+            match proxy.obj.kind {
+                ObjectKind::Single { thread } => {
+                    core.orb.send(core.host, endpoints[thread], &control)?;
+                }
+                ObjectKind::Spmd if funneled => {
+                    core.orb.send(core.host, endpoints[0], &control)?;
+                }
+                ObjectKind::Spmd => {
+                    for ep in &endpoints {
+                        core.orb.send(core.host, *ep, &control)?;
+                    }
+                }
+            }
+        }
+
+        // Distributed in-argument fragments.
+        let mut my_frames: Vec<Bytes> = Vec::new();
+        for (i, entry) in self.dargs.iter().enumerate() {
+            let DArgEntry::In { len, client_dist, encode } = entry else { continue };
+            let server_dist = proxy.policy.get(&self.op, i as u32);
+            let plan =
+                plan_transfer(*len, client_dist, cthreads, &server_dist, proxy.obj.nthreads);
+            for piece in plan.iter().filter(|p| p.src == cthread) {
+                let data = encode(piece.start, piece.count);
+                let frag = Message::Fragment(FragmentMsg {
+                    req_id,
+                    binding: proxy.binding,
+                    arg: i as u32,
+                    dir: ArgDir::In,
+                    start: piece.start,
+                    count: piece.count,
+                    dst_thread: piece.dst as u32,
+                    src_thread: cthread as u32,
+                    data: data.to_vec(),
+                });
+                if funneled {
+                    my_frames.push(frag.encode());
+                } else {
+                    core.orb.send(core.host, endpoints[piece.dst], &frag)?;
+                }
+            }
+        }
+        if funneled {
+            if proxy.collective && cthreads > 1 {
+                // Funnel all threads' fragments through thread 0's wire
+                // connection, gathered over the run-time system.
+                let rts = core.rts.as_ref().expect("parallel client has an RTS");
+                let gathered = rts.gather(0, frame_list(&my_frames));
+                if let Some(lists) = gathered {
+                    for list in lists {
+                        for frame in unframe_list(&list).expect("self-framed list") {
+                            core.orb.send_wire(core.host, endpoints[0], frame)?;
+                        }
+                    }
+                }
+            } else {
+                for frame in my_frames {
+                    core.orb.send_wire(core.host, endpoints[0], frame)?;
+                }
+            }
+        }
+
+        Ok(((state, core.clone()), key))
+    }
+}
+
+fn wait_complete(
+    core: &Arc<PumpCore>,
+    state: &Arc<InvocationState>,
+    timeout: Duration,
+) -> OrbResult<()> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if state.is_complete() {
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            return Err(OrbError::Timeout { waiting_for: "invocation reply".into() });
+        }
+        core.pump_step(Some(Duration::from_micros(200)));
+    }
+}
+
+/// Handle returned by a non-blocking invocation: check or await completion,
+/// and mint futures for the results.
+pub struct InvocationHandle {
+    core: Arc<PumpCore>,
+    state: Arc<InvocationState>,
+    key: (BindingId, u64),
+}
+
+impl InvocationHandle {
+    /// Has the server completed (all results locally available)?
+    /// Non-blocking: pumps whatever has arrived first.
+    pub fn resolved(&self) -> bool {
+        self.core.pump_step(None);
+        self.state.is_complete()
+    }
+
+    /// Completion check without pumping: observes progress made by a
+    /// [`CommThread`] (or any concurrent pump) only.
+    pub fn peek(&self) -> bool {
+        self.core.peek_complete(self.key)
+    }
+
+    /// Block until completion, then hand back the reply.
+    pub fn wait(self) -> OrbResult<ReplyData> {
+        let timeout = self.core.orb.config().timeout;
+        wait_complete(&self.core, &self.state, timeout)?;
+        self.core.unregister(self.key);
+        self.state.check_status()?;
+        Ok(ReplyData { state: self.state })
+    }
+
+    /// Mint a future for scalar out slot `slot` (slot 0 is the return value
+    /// of a non-void operation).
+    pub fn scalar_future<T: CdrCodec>(&self, slot: usize) -> crate::future::PFuture<T> {
+        crate::future::PFuture::new(self.core.clone(), self.state.clone(), slot)
+    }
+
+    /// Mint a future for distributed out-argument `ordinal`.
+    pub fn dseq_future<T: CdrCodec + Clone>(
+        &self,
+        ordinal: usize,
+    ) -> crate::future::DSeqFuture<T> {
+        crate::future::DSeqFuture::new(self.core.clone(), self.state.clone(), ordinal)
+    }
+
+    /// Best-effort cancel: tells the server to drop the request if it has
+    /// not been dispatched yet.
+    pub fn cancel(self) {
+        if let Ok(endpoints) = self.core.orb.server_endpoints(self.state.server) {
+            let msg = Message::Cancel { binding: self.key.0, req_id: self.key.1 };
+            for ep in endpoints {
+                let _ = self.core.orb.send(self.core.host, ep, &msg);
+            }
+        }
+        self.core.unregister(self.key);
+    }
+}
+
+/// The results of a completed invocation.
+pub struct ReplyData {
+    state: Arc<InvocationState>,
+}
+
+impl std::fmt::Debug for ReplyData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplyData").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for Proxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Proxy")
+            .field("object", &self.obj.stringify())
+            .field("binding", &self.binding)
+            .field("collective", &self.collective)
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for InvocationHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InvocationHandle").field("key", &self.key).finish()
+    }
+}
+
+impl ReplyData {
+    /// Decode scalar out slot `slot` (slot 0 is the return value of a
+    /// non-void operation).
+    pub fn scalar<T: CdrCodec>(&self, slot: usize) -> OrbResult<T> {
+        self.state.scalar(slot)
+    }
+
+    /// Decode scalar out slot `slot` dynamically.
+    pub fn any(&self, slot: usize, tc: &TypeCode) -> OrbResult<Any> {
+        self.state.any(slot, tc)
+    }
+
+    /// Assemble distributed out-argument `ordinal` into this thread's local
+    /// view.
+    pub fn dseq<T: CdrCodec + Clone>(&self, ordinal: usize) -> OrbResult<DSequence<T>> {
+        self.state.dseq(ordinal)
+    }
+}
+
+/// A dedicated communication thread: the experiment the paper's §6 names
+/// as immediate future work — "using communication threads (additional to
+/// the computing threads) as sending and receiving processes", so replies
+/// and fragments are ingested while the computing thread is busy with its
+/// own work instead of waiting for it to poll.
+///
+/// The thread drains this client thread's reply endpoint continuously;
+/// futures then resolve in the background ([`InvocationHandle::peek`]
+/// observes this without pumping). Stop it by dropping the handle or
+/// calling [`CommThread::stop`]. As the paper anticipates, it contends for
+/// a processor with the computing threads — that is the trade-off being
+/// studied.
+///
+/// Not supported together with the funneled transfer strategy (forwarding
+/// to sibling threads needs the computing thread's RTS endpoint).
+pub struct CommThread {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CommThread {
+    pub(crate) fn spawn(core: Arc<PumpCore>) -> CommThread {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = stop.clone();
+        let handle = std::thread::spawn(move || {
+            while !flag.load(Ordering::Relaxed) {
+                core.pump_step(Some(Duration::from_micros(200)));
+            }
+        });
+        CommThread { stop, handle: Some(handle) }
+    }
+
+    /// Ask the thread to exit and wait for it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for CommThread {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Internal accessors shared with the future module.
+pub(crate) mod internal {
+    use super::*;
+
+    pub fn complete(state: &InvocationState) -> bool {
+        state.is_complete()
+    }
+
+    pub fn scalar<T: CdrCodec>(state: &InvocationState, slot: usize) -> OrbResult<T> {
+        state.scalar(slot)
+    }
+
+    pub fn dseq<T: CdrCodec + Clone>(
+        state: &InvocationState,
+        ordinal: usize,
+    ) -> OrbResult<DSequence<T>> {
+        state.dseq(ordinal)
+    }
+}

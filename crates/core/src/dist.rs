@@ -1,0 +1,383 @@
+//! Distribution templates and transfer planning.
+//!
+//! A *distribution template* describes "in what proportions the elements of a
+//! sequence should be distributed among the processors" (§3.2). The ORB uses
+//! the client-side and server-side templates of an argument to plan the
+//! transfer: with knowledge of both distributions it can move each element
+//! directly between the owning computing threads of client and server — the
+//! optimisation of Keahey & Gannon's companion paper \[KG97\] — instead of
+//! funneling everything through thread 0.
+
+use pardis_cdr::{CdrCodec, CdrError, Decoder, Encoder, TypeCode};
+
+/// How a distributed sequence's elements are mapped onto the computing
+/// threads of one side of an invocation.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub enum Distribution {
+    /// Contiguous blocks, as equal as possible; the first `len % n` threads
+    /// get one extra element. The paper's default (`BLOCK`).
+    #[default]
+    Block,
+    /// Round-robin by element (`CYCLIC`): element `i` lives on thread
+    /// `i % n`.
+    Cyclic,
+    /// All elements on one thread — the paper's "concentrated on one
+    /// processor" server-side default in the §3.2 example.
+    Concentrated(usize),
+    /// Explicit element counts per thread, in thread order. Generalises the
+    /// paper's "proportions" template; must sum to the sequence length at
+    /// application time.
+    Irregular(Vec<u64>),
+    /// Blocks of `b` elements dealt round-robin (`BLOCK_CYCLIC(b)`): block
+    /// `j` lives on thread `j % n`. The flexibility extension the paper's
+    /// future-work section calls for; `BlockCyclic(1)` is `Cyclic`.
+    BlockCyclic(u64),
+}
+
+
+/// A maximal run of consecutive global indices owned by one thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// First global index of the run.
+    pub start: u64,
+    /// Number of elements in the run.
+    pub count: u64,
+}
+
+/// One piece of a transfer plan: elements `[start, start+count)` move from
+/// `src` (thread on the sending side) to `dst` (thread on the receiving
+/// side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanPiece {
+    /// Sending-side thread.
+    pub src: usize,
+    /// Receiving-side thread.
+    pub dst: usize,
+    /// First global index.
+    pub start: u64,
+    /// Element count.
+    pub count: u64,
+}
+
+impl Distribution {
+    /// The thread owning global index `idx` under this distribution of `len`
+    /// elements over `n` threads.
+    ///
+    /// # Panics
+    /// Panics if `idx >= len`, `n == 0`, or an irregular template does not
+    /// cover `len` elements.
+    pub fn owner(&self, len: u64, n: usize, idx: u64) -> usize {
+        assert!(n > 0, "distribution over zero threads");
+        assert!(idx < len, "index {idx} out of range for length {len}");
+        match self {
+            Distribution::Block => {
+                let n = n as u64;
+                let base = len / n;
+                let extra = len % n;
+                // First `extra` threads own (base+1) elements each.
+                let fat = extra * (base + 1);
+                #[allow(clippy::manual_checked_ops)]
+                if idx < fat {
+                    (idx / (base + 1)) as usize
+                } else if base == 0 {
+                    // len < n and idx >= fat cannot happen (fat == len).
+                    unreachable!("index beyond distributed range")
+                } else {
+                    (extra + (idx - fat) / base) as usize
+                }
+            }
+            Distribution::Cyclic => (idx % n as u64) as usize,
+            Distribution::Concentrated(t) => {
+                assert!(*t < n, "concentrated thread {t} out of range for {n} threads");
+                *t
+            }
+            Distribution::Irregular(counts) => {
+                assert_eq!(counts.len(), n, "irregular template thread count mismatch");
+                let total: u64 = counts.iter().sum();
+                assert_eq!(total, len, "irregular template covers {total} of {len} elements");
+                let mut acc = 0u64;
+                for (t, c) in counts.iter().enumerate() {
+                    acc += c;
+                    if idx < acc {
+                        return t;
+                    }
+                }
+                unreachable!("prefix sums cover the length")
+            }
+            Distribution::BlockCyclic(b) => {
+                assert!(*b > 0, "block-cyclic block size must be positive");
+                ((idx / b) % n as u64) as usize
+            }
+        }
+    }
+
+    /// The number of elements thread `t` owns.
+    pub fn local_len(&self, len: u64, n: usize, t: usize) -> u64 {
+        assert!(t < n, "thread {t} out of range for {n} threads");
+        match self {
+            Distribution::Block => {
+                let n64 = n as u64;
+                let base = len / n64;
+                let extra = len % n64;
+                base + u64::from((t as u64) < extra)
+            }
+            Distribution::Cyclic => {
+                let n64 = n as u64;
+                let base = len / n64;
+                base + u64::from((t as u64) < len % n64)
+            }
+            Distribution::Concentrated(c) => {
+                if t == *c {
+                    len
+                } else {
+                    0
+                }
+            }
+            Distribution::Irregular(counts) => {
+                assert_eq!(counts.len(), n, "irregular template thread count mismatch");
+                counts[t]
+            }
+            Distribution::BlockCyclic(b) => {
+                assert!(*b > 0, "block-cyclic block size must be positive");
+                let nblocks = len.div_ceil(*b);
+                let t64 = t as u64;
+                let n64 = n as u64;
+                if nblocks == 0 {
+                    return 0;
+                }
+                // Full blocks owned by t, plus the (possibly short) last block.
+                let owned_full = (nblocks / n64) * b
+                    + if nblocks % n64 > t64 { *b } else { 0 };
+                let last_block = nblocks - 1;
+                if last_block % n64 == t64 {
+                    let last_size = len - last_block * b;
+                    owned_full - b + last_size
+                } else {
+                    owned_full
+                }
+            }
+        }
+    }
+
+    /// The maximal runs of global indices thread `t` owns, in ascending
+    /// order.
+    pub fn runs(&self, len: u64, n: usize, t: usize) -> Vec<Run> {
+        assert!(t < n, "thread {t} out of range for {n} threads");
+        if len == 0 {
+            return Vec::new();
+        }
+        match self {
+            Distribution::Block => {
+                let count = self.local_len(len, n, t);
+                if count == 0 {
+                    return Vec::new();
+                }
+                let n64 = n as u64;
+                let base = len / n64;
+                let extra = len % n64;
+                let t64 = t as u64;
+                let start = if t64 < extra {
+                    t64 * (base + 1)
+                } else {
+                    extra * (base + 1) + (t64 - extra) * base
+                };
+                vec![Run { start, count }]
+            }
+            Distribution::Cyclic => {
+                let mut runs = Vec::new();
+                let mut idx = t as u64;
+                while idx < len {
+                    runs.push(Run { start: idx, count: 1 });
+                    idx += n as u64;
+                }
+                runs
+            }
+            Distribution::Concentrated(c) => {
+                if t == *c {
+                    vec![Run { start: 0, count: len }]
+                } else {
+                    Vec::new()
+                }
+            }
+            Distribution::Irregular(counts) => {
+                assert_eq!(counts.len(), n, "irregular template thread count mismatch");
+                let start: u64 = counts[..t].iter().sum();
+                let count = counts[t];
+                if count == 0 {
+                    Vec::new()
+                } else {
+                    vec![Run { start, count }]
+                }
+            }
+            Distribution::BlockCyclic(b) => {
+                assert!(*b > 0, "block-cyclic block size must be positive");
+                let mut runs = Vec::new();
+                let mut block = t as u64;
+                let n64 = n as u64;
+                loop {
+                    let start = block * b;
+                    if start >= len {
+                        break;
+                    }
+                    runs.push(Run { start, count: (*b).min(len - start) });
+                    block += n64;
+                }
+                runs
+            }
+        }
+    }
+
+    /// Map a global index to the owning thread's local offset.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn global_to_local(&self, len: u64, n: usize, idx: u64) -> (usize, u64) {
+        let owner = self.owner(len, n, idx);
+        let local = match self {
+            Distribution::Block | Distribution::Irregular(_) | Distribution::Concentrated(_) => {
+                let runs = self.runs(len, n, owner);
+                // Block/irregular/concentrated have a single run per thread.
+                idx - runs[0].start
+            }
+            Distribution::Cyclic => idx / n as u64,
+            Distribution::BlockCyclic(b) => {
+                let block = idx / b;
+                (block / n as u64) * b + idx % b
+            }
+        };
+        (owner, local)
+    }
+
+    /// Map a thread-local offset back to the global index.
+    pub fn local_to_global(&self, len: u64, n: usize, t: usize, local: u64) -> u64 {
+        match self {
+            Distribution::Cyclic => t as u64 + local * n as u64,
+            Distribution::BlockCyclic(b) => {
+                let ordinal = local / b;
+                let block = ordinal * n as u64 + t as u64;
+                block * b + local % b
+            }
+            _ => {
+                let runs = self.runs(len, n, t);
+                assert!(!runs.is_empty(), "thread {t} owns no elements");
+                runs[0].start + local
+            }
+        }
+    }
+
+    /// Validate this template against a length and thread count, returning a
+    /// human-readable complaint rather than panicking.
+    pub fn validate(&self, len: u64, n: usize) -> Result<(), String> {
+        if n == 0 {
+            return Err("distribution over zero threads".into());
+        }
+        match self {
+            Distribution::Concentrated(t) if *t >= n => {
+                Err(format!("concentrated thread {t} out of range for {n} threads"))
+            }
+            Distribution::Irregular(counts) => {
+                if counts.len() != n {
+                    return Err(format!(
+                        "irregular template has {} entries for {n} threads",
+                        counts.len()
+                    ));
+                }
+                let total: u64 = counts.iter().sum();
+                if total != len {
+                    return Err(format!("irregular template covers {total} of {len} elements"));
+                }
+                Ok(())
+            }
+            Distribution::BlockCyclic(0) => {
+                Err("block-cyclic block size must be positive".into())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Plan the movement of `len` elements from a source side (`src_dist` over
+/// `src_n` threads) to a destination side (`dst_dist` over `dst_n` threads).
+///
+/// Pieces are returned sorted by global index, coalesced into maximal runs
+/// with a constant (src, dst) pair. The plan is deterministic, so client and
+/// server compute identical plans independently — no negotiation round-trip
+/// is needed.
+pub fn plan_transfer(
+    len: u64,
+    src_dist: &Distribution,
+    src_n: usize,
+    dst_dist: &Distribution,
+    dst_n: usize,
+) -> Vec<PlanPiece> {
+    let mut pieces = Vec::new();
+    if len == 0 {
+        return pieces;
+    }
+    let mut idx = 0u64;
+    let mut cur_src = src_dist.owner(len, src_n, 0);
+    let mut cur_dst = dst_dist.owner(len, dst_n, 0);
+    let mut run_start = 0u64;
+    while idx < len {
+        let s = src_dist.owner(len, src_n, idx);
+        let d = dst_dist.owner(len, dst_n, idx);
+        if s != cur_src || d != cur_dst {
+            pieces.push(PlanPiece { src: cur_src, dst: cur_dst, start: run_start, count: idx - run_start });
+            cur_src = s;
+            cur_dst = d;
+            run_start = idx;
+        }
+        idx += 1;
+    }
+    pieces.push(PlanPiece { src: cur_src, dst: cur_dst, start: run_start, count: len - run_start });
+    pieces
+}
+
+impl CdrCodec for Distribution {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            Distribution::Block => e.write_u32(0),
+            Distribution::Cyclic => e.write_u32(1),
+            Distribution::Concentrated(t) => {
+                e.write_u32(2);
+                e.write_u64(*t as u64);
+            }
+            Distribution::Irregular(counts) => {
+                e.write_u32(3);
+                counts.encode(e);
+            }
+            Distribution::BlockCyclic(b) => {
+                e.write_u32(4);
+                e.write_u64(*b);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder) -> Result<Self, CdrError> {
+        Ok(match d.read_u32()? {
+            0 => Distribution::Block,
+            1 => Distribution::Cyclic,
+            2 => Distribution::Concentrated(d.read_u64()? as usize),
+            3 => Distribution::Irregular(Vec::<u64>::decode(d)?),
+            4 => Distribution::BlockCyclic(d.read_u64()?),
+            other => {
+                return Err(CdrError::InvalidEnumDiscriminant {
+                    name: "Distribution".into(),
+                    value: other,
+                })
+            }
+        })
+    }
+    fn type_code() -> TypeCode {
+        TypeCode::Enum {
+            name: "Distribution".into(),
+            variants: std::sync::Arc::new(vec![
+                "Block".into(),
+                "Cyclic".into(),
+                "Concentrated".into(),
+                "Irregular".into(),
+                "BlockCyclic".into(),
+            ]),
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Futures — results of services that may not yet be available (§3.3).
+//!
+//! A non-blocking invocation returns immediately with futures of its out
+//! arguments and return value. Reading an unresolved future blocks until
+//! the result is delivered; [`PFuture::resolved`] polls instead. All futures
+//! minted by one invocation resolve at the same time, when the server
+//! completes. The C++ mapping in the paper drew on ABC++'s futures; this
+//! Rust mapping keeps the same three verbs: `resolved`, blocking `get`, and
+//! cheap handle semantics (futures are handles to shared state, so
+//! instantiation is inexpensive, §4.1).
+
+use crate::client::{internal, InvocationState, PumpCore};
+use crate::dseq::DSequence;
+use crate::error::{OrbError, OrbResult};
+use pardis_cdr::CdrCodec;
+use std::marker::PhantomData;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn wait(core: &PumpCore, state: &InvocationState, timeout: Duration) -> OrbResult<()> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if internal::complete(state) {
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            return Err(OrbError::Timeout { waiting_for: "future resolution".into() });
+        }
+        core.pump_step(Some(Duration::from_micros(200)));
+    }
+}
+
+/// A future of a scalar result (return value or non-distributed out
+/// argument).
+pub struct PFuture<T> {
+    core: Arc<PumpCore>,
+    state: Arc<InvocationState>,
+    slot: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: CdrCodec> PFuture<T> {
+    pub(crate) fn new(core: Arc<PumpCore>, state: Arc<InvocationState>, slot: usize) -> Self {
+        PFuture { core, state, slot, _marker: PhantomData }
+    }
+
+    /// Poll: has the result been delivered? (Pumps pending messages first.)
+    pub fn resolved(&self) -> bool {
+        self.core.pump_step(None);
+        internal::complete(&self.state)
+    }
+
+    /// Read the value, blocking until the future resolves. A server
+    /// exception surfaces here as [`OrbError::ServerException`].
+    pub fn get(&self) -> OrbResult<T> {
+        let timeout = self.core.orb.config().timeout;
+        wait(&self.core, &self.state, timeout)?;
+        internal::scalar(&self.state, self.slot)
+    }
+
+    /// Read with an explicit deadline.
+    pub fn get_timeout(&self, timeout: Duration) -> OrbResult<T> {
+        wait(&self.core, &self.state, timeout)?;
+        internal::scalar(&self.state, self.slot)
+    }
+}
+
+impl<T> std::fmt::Debug for PFuture<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PFuture(slot {}, resolved: {})", self.slot, internal::complete(&self.state))
+    }
+}
+
+/// A future of a distributed out argument: resolves to this thread's local
+/// view of the result sequence.
+pub struct DSeqFuture<T> {
+    core: Arc<PumpCore>,
+    state: Arc<InvocationState>,
+    ordinal: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: CdrCodec + Clone> DSeqFuture<T> {
+    pub(crate) fn new(core: Arc<PumpCore>, state: Arc<InvocationState>, ordinal: usize) -> Self {
+        DSeqFuture { core, state, ordinal, _marker: PhantomData }
+    }
+
+    /// Poll: has the result been delivered?
+    pub fn resolved(&self) -> bool {
+        self.core.pump_step(None);
+        internal::complete(&self.state)
+    }
+
+    /// Assemble the local view, blocking until the future resolves.
+    pub fn get(&self) -> OrbResult<DSequence<T>> {
+        let timeout = self.core.orb.config().timeout;
+        wait(&self.core, &self.state, timeout)?;
+        internal::dseq(&self.state, self.ordinal)
+    }
+
+    /// Assemble with an explicit deadline.
+    pub fn get_timeout(&self, timeout: Duration) -> OrbResult<DSequence<T>> {
+        wait(&self.core, &self.state, timeout)?;
+        internal::dseq(&self.state, self.ordinal)
+    }
+}
+
+impl<T> std::fmt::Debug for DSeqFuture<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DSeqFuture(out {}, resolved: {})",
+            self.ordinal,
+            internal::complete(&self.state)
+        )
+    }
+}

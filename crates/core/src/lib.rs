@@ -1,0 +1,99 @@
+//! # pardis-core — the PARDIS Object Request Broker
+//!
+//! A from-scratch Rust reproduction of PARDIS (Keahey & Gannon, SC'97): a
+//! CORBA-style distributed object system extended for data-parallel
+//! computation.
+//!
+//! The pieces, in paper order:
+//!
+//! * **Object model** (§2.1) — [`ObjectRef`], [`ObjectKind`]: *SPMD objects*
+//!   are implemented by the collaboration of all computing threads of a
+//!   parallel server and may take distributed arguments; *single objects*
+//!   belong to one thread.
+//! * **The ORB** (§2.2) — [`Orb`]: endpoint registry and request routing
+//!   over a simulated network ([`pardis_netsim`]), object/implementation
+//!   repositories, activation agents, configuration (transfer strategy,
+//!   local bypass).
+//! * **Server side** (§3.1, §3.3) — [`ServerGroup`] / [`Poa`]:
+//!   `activate_spmd` (collective), `activate_single`, `impl_is_ready`
+//!   (surrender control), `process_requests` (poll mid-computation).
+//! * **Client side** (§3.1) — [`ClientGroup`] / [`ClientThread`]:
+//!   `spmd_bind` (the parallel client as one entity) and `bind` (one binding
+//!   per thread); [`Proxy`] / [`CallBuilder`] for invocations.
+//! * **Distributed arguments** (§3.2) — [`DSequence`] with
+//!   [`Distribution`] templates, redistribution, and planned thread-to-thread
+//!   transfer ([`dist::plan_transfer`]).
+//! * **Futures** (§3.3) — [`PFuture`], [`DSeqFuture`]: non-blocking
+//!   invocations resolve all their futures at once.
+//!
+//! ## A complete round trip
+//!
+//! ```
+//! use pardis_core::*;
+//! use std::sync::Arc;
+//!
+//! struct Echo;
+//! impl Servant for Echo {
+//!     fn interface(&self) -> &str { "echo" }
+//!     fn dispatch(&self, req: ServerRequest<'_>) -> Result<ServerReply, String> {
+//!         let text: String = req.scalar(0).map_err(|e| e.to_string())?;
+//!         let mut rep = ServerReply::new();
+//!         rep.push_scalar(&format!("echo: {text}"));
+//!         Ok(rep)
+//!     }
+//! }
+//!
+//! let (orb, host) = Orb::single_host();
+//! let group = ServerGroup::create(&orb, "echo-server", host, 1);
+//! let g2 = group.clone();
+//! let server = std::thread::spawn(move || {
+//!     let mut poa = g2.attach(0, None);
+//!     poa.activate_single("echo1", Arc::new(Echo));
+//!     poa.impl_is_ready();
+//! });
+//!
+//! let client = ClientGroup::create(&orb, host, 1).attach(0, None);
+//! let proxy = client.bind("echo1").unwrap();
+//! let reply = proxy.call("shout").arg(&"hi".to_string()).invoke().unwrap();
+//! assert_eq!(reply.scalar::<String>(0).unwrap(), "echo: hi");
+//!
+//! group.shutdown();
+//! server.join().unwrap();
+//! ```
+
+pub mod dist;
+pub mod dseq;
+pub mod error;
+pub mod future;
+pub mod interface_repo;
+pub mod object;
+pub mod orb;
+pub mod poa;
+pub mod protocol;
+pub mod repository;
+pub mod servant;
+
+mod client;
+
+pub use client::{
+    CallBuilder, ClientGroup, ClientThread, CommThread, InvocationHandle, Proxy, ReplyData,
+};
+pub use dist::{plan_transfer, Distribution, PlanPiece, Run};
+pub use dseq::DSequence;
+pub use error::{OrbError, OrbResult};
+pub use future::{DSeqFuture, PFuture};
+pub use interface_repo::{InterfaceDef, InterfaceRepository, OpSig, ParamMode, ParamSig};
+pub use object::{
+    BindingId, ClientId, DistPolicy, EndpointId, ObjectKey, ObjectKind, ObjectRef, ServerId,
+};
+pub use orb::{Orb, OrbConfig, TransferStrategy};
+pub use poa::{DeferredCall, Poa, ServerGroup};
+pub use repository::{
+    ActivationMode, ImplementationRepository, Launcher, ObjectRepository, DEFAULT_REPOSITORY,
+};
+pub use servant::{
+    DInLocal, DOutArg, DispatchResult, Raised, ServantCtx, Servant, ServerReply, ServerRequest,
+};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,338 @@
+//! The Object Request Broker.
+//!
+//! The `Orb` is the entity "responsible for managing requests between the
+//! client and the server" (§2.2): it owns the endpoint registry (transport),
+//! the object and implementation repositories, the registered servants (for
+//! the collocated-call optimisation), and the global configuration knobs
+//! (transfer strategy, local bypass, timeouts).
+
+use crate::error::{OrbError, OrbResult};
+use crate::object::{ClientId, DistPolicy, EndpointId, ObjectKey, ObjectRef, ServerId};
+use crate::protocol::Message;
+use crate::interface_repo::InterfaceRepository;
+use crate::repository::{ActivationMode, ImplementationRepository, ObjectRepository};
+use crate::servant::Servant;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use pardis_netsim::{HostId, Network, TimeScale};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How distributed arguments move between parallel client and parallel
+/// server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransferStrategy {
+    /// Direct thread-to-thread transfer planned from both distribution
+    /// templates (the \[KG97\] optimisation). The default.
+    #[default]
+    Parallel,
+    /// Everything funnels through thread 0 on both sides — models an ORB to
+    /// which only one computing thread of the SPMD program is visible.
+    Funneled,
+}
+
+/// Global ORB configuration.
+#[derive(Debug, Clone)]
+pub struct OrbConfig {
+    /// Distributed-argument transfer strategy.
+    pub transfer_strategy: TransferStrategy,
+    /// Turn collocated direct calls on/off (§4.1: "invocation on a local
+    /// object becomes a direct call to the object, bypassing the network
+    /// transport").
+    pub local_bypass: bool,
+    /// Activation agent behaviour.
+    pub activation: ActivationMode,
+    /// How long binds and invocations wait before giving up.
+    pub timeout: Duration,
+}
+
+impl Default for OrbConfig {
+    fn default() -> Self {
+        OrbConfig {
+            transfer_strategy: TransferStrategy::Parallel,
+            local_bypass: true,
+            activation: ActivationMode::Activating,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A transport delivery: the wire frame plus the sending host (for reply
+/// cost accounting and diagnostics).
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Host the frame came from.
+    pub from_host: HostId,
+    /// Encoded [`Message`] frame.
+    pub wire: bytes::Bytes,
+}
+
+pub(crate) struct ServerRecord {
+    #[allow(dead_code)]
+    pub host: HostId,
+    #[allow(dead_code)]
+    pub nthreads: usize,
+    pub endpoints: Vec<EndpointId>,
+    #[allow(dead_code)]
+    pub name: String,
+}
+
+/// Registered object metadata (what the repository hands to binders).
+#[derive(Clone)]
+pub(crate) struct ObjectMeta {
+    pub oref: ObjectRef,
+    pub policy: DistPolicy,
+}
+
+pub(crate) struct OrbInner {
+    pub network: Network,
+    next_id: AtomicU64,
+    endpoints: RwLock<HashMap<EndpointId, (HostId, Sender<Envelope>)>>,
+    pub servers: RwLock<HashMap<ServerId, ServerRecord>>,
+    pub objects: RwLock<HashMap<ObjectKey, ObjectMeta>>,
+    pub names: ObjectRepository,
+    pub impls: ImplementationRepository,
+    pub interfaces: InterfaceRepository,
+    #[allow(clippy::type_complexity)]
+    pub servants: RwLock<HashMap<(ServerId, usize, ObjectKey), Arc<dyn Servant>>>,
+    pub config: RwLock<OrbConfig>,
+    /// Total frames and bytes moved (for benches and EXPERIMENTS.md).
+    pub frames_sent: AtomicU64,
+    pub bytes_sent: AtomicU64,
+}
+
+/// The Object Request Broker. Cheap to clone; all clones share state.
+#[derive(Clone)]
+pub struct Orb {
+    pub(crate) inner: Arc<OrbInner>,
+}
+
+impl Orb {
+    /// An ORB over an existing simulated network.
+    pub fn new(network: Network) -> Orb {
+        Orb {
+            inner: Arc::new(OrbInner {
+                network,
+                next_id: AtomicU64::new(1),
+                endpoints: RwLock::new(HashMap::new()),
+                servers: RwLock::new(HashMap::new()),
+                objects: RwLock::new(HashMap::new()),
+                names: ObjectRepository::new(),
+                impls: ImplementationRepository::new(),
+                interfaces: InterfaceRepository::new(),
+                servants: RwLock::new(HashMap::new()),
+                config: RwLock::new(OrbConfig::default()),
+                frames_sent: AtomicU64::new(0),
+                bytes_sent: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Convenience: an ORB with one host and no delay injection — the
+    /// configuration unit tests use.
+    pub fn single_host() -> (Orb, HostId) {
+        let net = Network::new(TimeScale::off());
+        let host = net.add_host("localhost");
+        (Orb::new(net), host)
+    }
+
+    /// The simulated network.
+    pub fn network(&self) -> &Network {
+        &self.inner.network
+    }
+
+    /// The object repository (naming).
+    pub fn names(&self) -> &ObjectRepository {
+        &self.inner.names
+    }
+
+    /// The implementation repository (activation).
+    pub fn impls(&self) -> &ImplementationRepository {
+        &self.inner.impls
+    }
+
+    /// The interface repository (runtime type descriptions for the DII).
+    pub fn interfaces(&self) -> &InterfaceRepository {
+        &self.inner.interfaces
+    }
+
+    /// Snapshot of the configuration.
+    pub fn config(&self) -> OrbConfig {
+        self.inner.config.read().clone()
+    }
+
+    /// Set the distributed-argument transfer strategy.
+    pub fn set_transfer_strategy(&self, s: TransferStrategy) {
+        self.inner.config.write().transfer_strategy = s;
+    }
+
+    /// Enable/disable the collocated direct-call optimisation.
+    pub fn set_local_bypass(&self, on: bool) {
+        self.inner.config.write().local_bypass = on;
+    }
+
+    /// Configure the activation agent.
+    pub fn set_activation(&self, mode: ActivationMode) {
+        self.inner.config.write().activation = mode;
+    }
+
+    /// Set the bind/invoke timeout.
+    pub fn set_timeout(&self, t: Duration) {
+        self.inner.config.write().timeout = t;
+    }
+
+    /// Frames and bytes moved so far (diagnostics).
+    pub fn traffic(&self) -> (u64, u64) {
+        (
+            self.inner.frames_sent.load(Ordering::Relaxed),
+            self.inner.bytes_sent.load(Ordering::Relaxed),
+        )
+    }
+
+    pub(crate) fn alloc_id(&self) -> u64 {
+        self.inner.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Create a transport endpoint on `host`; the receiver side goes to the
+    /// owning thread.
+    pub(crate) fn register_endpoint(&self, host: HostId) -> (EndpointId, Receiver<Envelope>) {
+        let id = EndpointId(self.alloc_id());
+        let (tx, rx) = unbounded();
+        self.inner.endpoints.write().insert(id, (host, tx));
+        (id, rx)
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn unregister_endpoint(&self, id: EndpointId) {
+        self.inner.endpoints.write().remove(&id);
+    }
+
+    /// Route a message to an endpoint, charging the network model for the
+    /// frame size on the caller's thread (a send is synchronous — the
+    /// paper's non-blocking invocations were not "oneway", so clients pay
+    /// the send time; §4.3 leans on exactly this).
+    pub(crate) fn send(&self, from_host: HostId, to: EndpointId, msg: &Message) -> OrbResult<()> {
+        self.send_wire(from_host, to, msg.encode())
+    }
+
+    /// Route an already-encoded frame.
+    pub(crate) fn send_wire(
+        &self,
+        from_host: HostId,
+        to: EndpointId,
+        wire: bytes::Bytes,
+    ) -> OrbResult<()> {
+        let (to_host, tx) = {
+            let eps = self.inner.endpoints.read();
+            let (h, tx) = eps.get(&to).ok_or(OrbError::Disconnected)?;
+            (*h, tx.clone())
+        };
+        self.inner.network.charge(from_host, to_host, wire.len());
+        self.inner.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes_sent.fetch_add(wire.len() as u64, Ordering::Relaxed);
+        tx.send(Envelope { from_host, wire }).map_err(|_| OrbError::Disconnected)
+    }
+
+    /// Register object metadata + repository name. Returns the reference.
+    pub(crate) fn register_object(
+        &self,
+        namespace: &str,
+        name: &str,
+        meta: ObjectMeta,
+    ) -> ObjectRef {
+        let oref = meta.oref.clone();
+        self.inner.objects.write().insert(oref.key, meta);
+        self.inner.names.register(namespace, name, oref.key);
+        oref
+    }
+
+    /// Remove an object (on server shutdown).
+    pub(crate) fn unregister_object(&self, key: ObjectKey) {
+        self.inner.objects.write().remove(&key);
+    }
+
+    pub(crate) fn object_meta(&self, key: ObjectKey) -> Option<ObjectMeta> {
+        self.inner.objects.read().get(&key).cloned()
+    }
+
+    /// Resolve `name` in `namespace` to an object reference, activating the
+    /// implementation if the agent is configured to and one is registered.
+    pub fn resolve(&self, namespace: &str, name: &str) -> OrbResult<ObjectRef> {
+        let cfg = self.config();
+        let deadline = Instant::now() + cfg.timeout;
+        let mut activated = false;
+        loop {
+            if let Some(key) = self.inner.names.lookup(namespace, name) {
+                if let Some(meta) = self.object_meta(key) {
+                    return Ok(meta.oref);
+                }
+            }
+            if !activated && cfg.activation == ActivationMode::Activating {
+                activated = self.inner.impls.launch_once(namespace, name);
+                if activated {
+                    continue; // give the launcher's registration a chance
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(OrbError::ObjectNotFound(format!("{namespace}/{name}")));
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// The server-side distribution policy of an object (what the client
+    /// plans in-argument transfers against).
+    pub fn dist_policy(&self, key: ObjectKey) -> OrbResult<DistPolicy> {
+        self.object_meta(key)
+            .map(|m| m.policy)
+            .ok_or_else(|| OrbError::ObjectNotFound(format!("key {}", key.0)))
+    }
+
+    /// Look up the request endpoints of an object's server, in thread order.
+    pub(crate) fn server_endpoints(&self, server: ServerId) -> OrbResult<Vec<EndpointId>> {
+        self.inner
+            .servers
+            .read()
+            .get(&server)
+            .map(|r| r.endpoints.clone())
+            .ok_or(OrbError::Disconnected)
+    }
+
+    /// Register a servant for the collocated direct-call path.
+    pub(crate) fn register_servant(
+        &self,
+        server: ServerId,
+        thread: usize,
+        key: ObjectKey,
+        servant: Arc<dyn Servant>,
+    ) {
+        self.inner.servants.write().insert((server, thread, key), servant);
+    }
+
+    /// Fetch a collocated servant, if the object lives in this process.
+    pub(crate) fn collocated_servant(
+        &self,
+        server: ServerId,
+        thread: usize,
+        key: ObjectKey,
+    ) -> Option<Arc<dyn Servant>> {
+        self.inner.servants.read().get(&(server, thread, key)).cloned()
+    }
+
+    /// Allocate an id for a client group.
+    pub(crate) fn alloc_client(&self) -> ClientId {
+        ClientId(self.alloc_id())
+    }
+}
+
+impl std::fmt::Debug for Orb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Orb")
+            .field("endpoints", &self.inner.endpoints.read().len())
+            .field("servers", &self.inner.servers.read().len())
+            .field("objects", &self.inner.objects.read().len())
+            .finish()
+    }
+}

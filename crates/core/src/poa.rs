@@ -1,0 +1,670 @@
+//! The Portable Object Adapter — the server side of the ORB.
+//!
+//! A parallel server is a [`ServerGroup`]: one request endpoint per computing
+//! thread. Each thread attaches to get its [`Poa`], activates servants
+//! (collectively for SPMD objects, individually for single objects), then
+//! either surrenders control with [`Poa::impl_is_ready`] or polls
+//! periodically with [`Poa::process_requests`] from inside its computation —
+//! exactly the programming model of §3.3.
+
+use crate::dist::plan_transfer;
+use crate::error::OrbResult;
+use crate::object::{BindingId, DistPolicy, EndpointId, ObjectKey, ObjectKind, ObjectRef, ServerId};
+use crate::orb::{Envelope, ObjectMeta, Orb, ServerRecord};
+use crate::protocol::{ArgDir, DArgDesc, FragmentMsg, Message, ReplyMsg, ReplyStatus, RequestMsg};
+use crate::servant::{DInLocal, ServantCtx, Servant, ServerReply, ServerRequest};
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+use pardis_netsim::HostId;
+use pardis_rts::{tags, Rts};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// RTS tag used to forward ORB frames between sibling computing threads
+/// (the funneled path and collective control distribution).
+pub(crate) const FORWARD_TAG: u64 = tags::PARDIS_BASE | 0xF0;
+
+/// A parallel server registered with the ORB: a set of computing-thread
+/// endpoints plus shared identity. Clone the group into each computing
+/// thread and call [`ServerGroup::attach`] there.
+#[derive(Clone)]
+pub struct ServerGroup {
+    orb: Orb,
+    id: ServerId,
+    host: HostId,
+    nthreads: usize,
+    endpoints: Vec<EndpointId>,
+    inboxes: Arc<Mutex<Vec<Option<Receiver<Envelope>>>>>,
+    namespace: Arc<Mutex<String>>,
+}
+
+impl ServerGroup {
+    /// Register a server of `nthreads` computing threads on `host`.
+    pub fn create(orb: &Orb, name: &str, host: HostId, nthreads: usize) -> ServerGroup {
+        assert!(nthreads > 0, "server needs at least one computing thread");
+        let id = ServerId(orb.alloc_id());
+        let mut endpoints = Vec::with_capacity(nthreads);
+        let mut inboxes = Vec::with_capacity(nthreads);
+        for _ in 0..nthreads {
+            let (ep, rx) = orb.register_endpoint(host);
+            endpoints.push(ep);
+            inboxes.push(Some(rx));
+        }
+        orb.inner.servers.write().insert(
+            id,
+            ServerRecord { host, nthreads, endpoints: endpoints.clone(), name: name.to_string() },
+        );
+        ServerGroup {
+            orb: orb.clone(),
+            id,
+            host,
+            nthreads,
+            endpoints,
+            inboxes: Arc::new(Mutex::new(inboxes)),
+            namespace: Arc::new(Mutex::new(crate::repository::DEFAULT_REPOSITORY.to_string())),
+        }
+    }
+
+    /// Use a different object-repository namespace for this server's
+    /// registrations (namespace splitting, §2.2).
+    pub fn with_namespace(self, ns: &str) -> Self {
+        *self.namespace.lock() = ns.to_string();
+        self
+    }
+
+    /// The server id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The host this server runs on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Number of computing threads.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Claim computing thread `thread`'s adapter. `rts` is required when
+    /// `nthreads > 1` (the ORB needs the run-time system to reach sibling
+    /// threads).
+    ///
+    /// # Panics
+    /// Panics if the thread index is out of range, already attached, or a
+    /// parallel server attaches without an RTS endpoint.
+    pub fn attach(&self, thread: usize, rts: Option<Arc<dyn Rts>>) -> Poa {
+        assert!(thread < self.nthreads, "thread {thread} out of range");
+        if self.nthreads > 1 {
+            let r = rts.as_ref().expect("parallel servers must attach with an RTS endpoint");
+            assert_eq!(r.size(), self.nthreads, "RTS world size != server thread count");
+            assert_eq!(r.rank(), thread, "RTS rank != attaching thread");
+        }
+        let inbox = self.inboxes.lock()[thread]
+            .take()
+            .unwrap_or_else(|| panic!("thread {thread} already attached"));
+        Poa {
+            orb: self.orb.clone(),
+            server: self.id,
+            host: self.host,
+            thread,
+            nthreads: self.nthreads,
+            namespace: self.namespace.lock().clone(),
+            rts,
+            inbox,
+            servants: HashMap::new(),
+            pending: HashMap::new(),
+            deferred: Vec::new(),
+            closed: false,
+        }
+    }
+
+    /// Ask every computing thread's adapter loop to exit after draining.
+    pub fn shutdown(&self) {
+        for ep in &self.endpoints {
+            // Shutdown is control-plane; charge from the server's own host.
+            let _ = self.orb.send(self.host, *ep, &Message::Close);
+        }
+    }
+}
+
+struct PendingReq {
+    control: Option<RequestMsg>,
+    /// Fragments per wire darg index.
+    frags: HashMap<u32, Vec<FragmentMsg>>,
+}
+
+impl PendingReq {
+    fn new() -> Self {
+        PendingReq { control: None, frags: HashMap::new() }
+    }
+}
+
+/// One computing thread's object adapter.
+pub struct Poa {
+    orb: Orb,
+    server: ServerId,
+    host: HostId,
+    thread: usize,
+    nthreads: usize,
+    namespace: String,
+    rts: Option<Arc<dyn Rts>>,
+    inbox: Receiver<Envelope>,
+    servants: HashMap<ObjectKey, Arc<dyn Servant>>,
+    pending: HashMap<(BindingId, u64), PendingReq>,
+    deferred: Vec<DeferredCall>,
+    closed: bool,
+}
+
+/// A request whose servant deferred the reply (see
+/// [`crate::servant::DispatchResult::Defer`]).
+pub struct DeferredCall {
+    req: RequestMsg,
+}
+
+impl DeferredCall {
+    /// The operation name of the parked request.
+    pub fn op(&self) -> &str {
+        &self.req.op
+    }
+
+    /// The binding the request arrived on.
+    pub fn binding(&self) -> BindingId {
+        self.req.binding
+    }
+
+    /// The request id within its binding.
+    pub fn req_id(&self) -> u64 {
+        self.req.req_id
+    }
+}
+
+impl Poa {
+    /// This adapter's computing-thread index.
+    pub fn thread(&self) -> usize {
+        self.thread
+    }
+
+    /// The server's computing-thread count.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// The ORB.
+    pub fn orb(&self) -> &Orb {
+        &self.orb
+    }
+
+    /// Collectively activate an SPMD object. Every computing thread must
+    /// call this with the same name and policy, in the same order relative
+    /// to other activations (instantiation "is collective with respect to
+    /// all the computing threads of the server", §3.1).
+    ///
+    /// Thread 0 allocates the key and registers the object; the key reaches
+    /// the siblings through the run-time system.
+    pub fn activate_spmd(
+        &mut self,
+        name: &str,
+        servant: Arc<dyn Servant>,
+        policy: DistPolicy,
+    ) -> ObjectRef {
+        let key = if self.nthreads == 1 {
+            ObjectKey(self.orb.alloc_id())
+        } else {
+            let rts = self.rts.as_ref().expect("parallel server has an RTS");
+            if self.thread == 0 {
+                let key = ObjectKey(self.orb.alloc_id());
+                rts.broadcast(0, Some(Bytes::copy_from_slice(&key.0.to_be_bytes())));
+                key
+            } else {
+                let b = rts.broadcast(0, None);
+                ObjectKey(u64::from_be_bytes(b[..8].try_into().expect("key bytes")))
+            }
+        };
+        let oref = ObjectRef {
+            key,
+            interface: servant.interface().to_string(),
+            server: self.server,
+            host: self.host,
+            nthreads: self.nthreads,
+            kind: ObjectKind::Spmd,
+        };
+        if self.thread == 0 {
+            self.orb.register_object(&self.namespace, name, ObjectMeta { oref: oref.clone(), policy });
+        }
+        self.orb.register_servant(self.server, self.thread, key, servant.clone());
+        self.servants.insert(key, servant);
+        oref
+    }
+
+    /// Activate a single object owned by this computing thread. Single and
+    /// SPMD objects can share the resources of the same parallel server
+    /// (§4.2); only objects without distributed arguments may be single.
+    pub fn activate_single(&mut self, name: &str, servant: Arc<dyn Servant>) -> ObjectRef {
+        let key = ObjectKey(self.orb.alloc_id());
+        let oref = ObjectRef {
+            key,
+            interface: servant.interface().to_string(),
+            server: self.server,
+            host: self.host,
+            nthreads: self.nthreads,
+            kind: ObjectKind::Single { thread: self.thread },
+        };
+        self.orb.register_object(
+            &self.namespace,
+            name,
+            ObjectMeta { oref: oref.clone(), policy: DistPolicy::new() },
+        );
+        self.orb.register_servant(self.server, self.thread, key, servant.clone());
+        self.servants.insert(key, servant);
+        oref
+    }
+
+    /// Deactivate: unregister this thread's servants. (Thread 0 removes the
+    /// repository entries.)
+    pub fn deactivate_all(&mut self) {
+        for key in self.servants.keys() {
+            if self.thread == 0 {
+                self.orb.unregister_object(*key);
+            }
+        }
+        self.servants.clear();
+    }
+
+    /// Surrender control to PARDIS: poll for requests until the server is
+    /// deactivated (a `Close` frame arrives). Does not return before then
+    /// (§3.3).
+    pub fn impl_is_ready(&mut self) {
+        while !self.closed {
+            self.pump(true);
+            self.dispatch_ready();
+        }
+        // Drain whatever is still queued so late fragments don't leak.
+        self.pump(false);
+    }
+
+    /// Poll for and serve pending requests without blocking, then return so
+    /// the server can proceed with its interrupted computation (§3.3).
+    /// Returns the number of requests dispatched.
+    pub fn process_requests(&mut self) -> usize {
+        self.pump(false);
+        self.dispatch_ready()
+    }
+
+    /// True once a `Close` frame has been seen.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Ingest messages. With `block`, waits (in small slices) until at least
+    /// one message arrived or the adapter closed.
+    fn pump(&mut self, block: bool) {
+        let mut got_any = false;
+        loop {
+            let mut progressed = false;
+            while let Ok(env) = self.inbox.try_recv() {
+                self.handle_wire(&env.wire);
+                progressed = true;
+            }
+            if let Some(rts) = self.rts.clone() {
+                while let Some(msg) = rts.try_recv(None, FORWARD_TAG) {
+                    self.handle_wire(&msg.data);
+                    progressed = true;
+                }
+            }
+            got_any |= progressed;
+            if !block || got_any || self.closed {
+                return;
+            }
+            // Block briefly on the inbox; RTS forwards are re-checked each
+            // slice.
+            if let Ok(env) = self.inbox.recv_timeout(Duration::from_micros(200)) {
+                self.handle_wire(&env.wire);
+                got_any = true;
+            }
+        }
+    }
+
+    fn handle_wire(&mut self, wire: &Bytes) {
+        match Message::decode(wire) {
+            Ok(msg) => self.handle(msg, wire),
+            Err(e) => {
+                // A malformed frame cannot be answered (no parseable reply
+                // address); drop it loudly in debug builds.
+                debug_assert!(false, "malformed frame: {e}");
+            }
+        }
+    }
+
+    fn handle(&mut self, msg: Message, wire: &Bytes) {
+        match msg {
+            Message::Request(req) => {
+                // Funneled control arrives only at thread 0; fan it out to
+                // the siblings through the run-time system. (SPMD objects
+                // only — single-object requests go straight to the owner.)
+                if self.is_funneled_entry(&req) {
+                    let rts = self.rts.as_ref().expect("parallel server has an RTS");
+                    for t in 1..self.nthreads {
+                        rts.send(t, FORWARD_TAG, wire.clone());
+                    }
+                }
+                let entry =
+                    self.pending.entry((req.binding, req.req_id)).or_insert_with(PendingReq::new);
+                entry.control = Some(req);
+            }
+            Message::Fragment(frag) => {
+                if frag.dst_thread as usize != self.thread {
+                    // Funneled data: forward to the true owner over the RTS.
+                    let rts = self.rts.as_ref().expect("parallel server has an RTS");
+                    rts.send(frag.dst_thread as usize, FORWARD_TAG, wire.clone());
+                    return;
+                }
+                let entry =
+                    self.pending.entry((frag.binding, frag.req_id)).or_insert_with(PendingReq::new);
+                entry.frags.entry(frag.arg).or_default().push(frag);
+            }
+            Message::Cancel { binding, req_id } => {
+                self.pending.remove(&(binding, req_id));
+            }
+            Message::Close => {
+                self.closed = true;
+            }
+            Message::Reply(_) => {
+                debug_assert!(false, "server received a Reply frame");
+            }
+        }
+    }
+
+    /// Does this request use the funneled path and need fan-out from thread
+    /// 0?
+    fn is_funneled_entry(&self, req: &RequestMsg) -> bool {
+        if self.thread != 0 || self.nthreads == 1 || !req.funneled {
+            return false;
+        }
+        matches!(
+            self.orb.object_meta(req.object).map(|m| m.oref.kind),
+            Some(ObjectKind::Spmd)
+        )
+    }
+
+    /// Dispatch every pending request that is complete and next in its
+    /// client entity's invocation sequence. Returns the number dispatched.
+    ///
+    /// Ordering matters twice over: it is the paper's per-client sequencing
+    /// guarantee, and — because SPMD dispatches run collectively on every
+    /// computing thread — all threads must pick the *same* order or their
+    /// servants' internal collectives would cross. Controls from one client
+    /// entity arrive FIFO, and every thread orders by (entity, client_seq),
+    /// so the collective order is deterministic. (Requests from *different*
+    /// concurrent client entities racing for the same SPMD object are
+    /// ordered by entity id once both are visible; as in the original
+    /// system, truly simultaneous arrival from distinct clients relies on
+    /// the clients synchronising themselves.)
+    fn dispatch_ready(&mut self) -> usize {
+        let mut dispatched = 0;
+        loop {
+            let ready = self.find_ready();
+            match ready {
+                Some(key) => {
+                    let pending = self.pending.remove(&key).expect("found above");
+                    let req = pending.control.expect("complete implies control");
+                    self.dispatch(req, pending.frags);
+                    dispatched += 1;
+                }
+                None => return dispatched,
+            }
+        }
+    }
+
+    fn find_ready(&self) -> Option<(BindingId, u64)> {
+        // For each client entity, only its lowest-sequence pending request
+        // is eligible; dispatch the eligible request with the globally
+        // lowest (entity, seq) key.
+        let mut heads: HashMap<u64, (&RequestMsg, &PendingReq, (BindingId, u64))> =
+            HashMap::new();
+        for (key, pending) in &self.pending {
+            let Some(req) = &pending.control else { continue };
+            match heads.entry(req.entity) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if req.client_seq < e.get().0.client_seq {
+                        e.insert((req, pending, *key));
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((req, pending, *key));
+                }
+            }
+        }
+        heads
+            .into_iter()
+            .filter(|(_, (req, pending, _))| self.request_complete(req, pending))
+            .min_by_key(|(entity, (req, _, _))| (*entity, req.client_seq))
+            .map(|(_, (_, _, key))| key)
+    }
+
+    /// All in-fragments for this thread arrived?
+    fn request_complete(&self, req: &RequestMsg, pending: &PendingReq) -> bool {
+        let Some(meta) = self.orb.object_meta(req.object) else {
+            return true; // dispatch will answer with an exception
+        };
+        for (i, desc) in req.dargs.iter().enumerate() {
+            if desc.dir != ArgDir::In {
+                continue;
+            }
+            let server_dist = meta.policy.get(&req.op, i as u32);
+            let expected = server_dist.local_len(desc.len, self.nthreads, self.thread);
+            let arrived: u64 = pending
+                .frags
+                .get(&(i as u32))
+                .map(|fs| fs.iter().map(|f| f.count).sum())
+                .unwrap_or(0);
+            if arrived < expected {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn dispatch(&mut self, req: RequestMsg, mut frags: HashMap<u32, Vec<FragmentMsg>>) {
+        let servant = self.servants.get(&req.object).cloned();
+        let meta = self.orb.object_meta(req.object);
+        let result = match (servant, meta) {
+            (Some(servant), Some(meta)) => {
+                let deferrable = !req.oneway;
+                let ctx = ServantCtx {
+                    thread: self.thread,
+                    nthreads: self.nthreads,
+                    client_threads: req.client_threads as usize,
+                    rts: self.rts.clone(),
+                };
+                // Assemble distributed in-arguments.
+                let mut dins = Vec::new();
+                for (i, desc) in req.dargs.iter().enumerate() {
+                    if desc.dir != ArgDir::In {
+                        continue;
+                    }
+                    let mut pieces: Vec<(u64, u64, Bytes)> = frags
+                        .remove(&(i as u32))
+                        .unwrap_or_default()
+                        .into_iter()
+                        .map(|f| (f.start, f.count, Bytes::from(f.data)))
+                        .collect();
+                    pieces.sort_by_key(|p| p.0);
+                    dins.push(DInLocal {
+                        desc: desc.clone(),
+                        server_dist: meta.policy.get(&req.op, i as u32),
+                        pieces,
+                    });
+                }
+                let sreq = ServerRequest { op: &req.op, ins: &req.ins, dins: &dins, ctx: &ctx };
+                match servant.dispatch_deferred(sreq) {
+                    Ok(crate::servant::DispatchResult::Defer) if deferrable => {
+                        self.deferred.push(DeferredCall { req });
+                        return;
+                    }
+                    Ok(crate::servant::DispatchResult::Defer) => {
+                        // Deferring a oneway call is meaningless; treat as done.
+                        return;
+                    }
+                    Ok(crate::servant::DispatchResult::Reply(rep)) => Ok(rep),
+                    Err(e) => Err(e),
+                }
+            }
+            _ => Err(format!("object key {} not active on this server", req.object.0)),
+        };
+        if req.oneway {
+            return;
+        }
+        self.send_reply(&req, result);
+    }
+
+    /// Take the requests whose servants deferred their replies. The server
+    /// completes each later with [`Poa::reply_deferred`].
+    pub fn take_deferred(&mut self) -> Vec<DeferredCall> {
+        std::mem::take(&mut self.deferred)
+    }
+
+    /// Complete a previously deferred request: ships out-fragments and the
+    /// reply control exactly as an immediate reply would have.
+    pub fn reply_deferred(&self, call: DeferredCall, result: Result<ServerReply, String>) {
+        self.send_reply(&call.req, result);
+    }
+
+    /// Ship out-fragments and (from the responsible thread) the reply
+    /// control.
+    ///
+    /// With the parallel strategy each server thread sends its fragments
+    /// straight to the owning client thread's endpoint. With the funneled
+    /// strategy every thread's fragments are gathered at server thread 0
+    /// over the run-time system and leave through a single wire connection
+    /// to the client's thread-0 endpoint — the "only one computing thread
+    /// visible to the ORB" model.
+    fn send_reply(&self, req: &RequestMsg, result: Result<ServerReply, String>) {
+        let m = req.client_threads as usize;
+        let funneled = req.funneled;
+        let is_spmd = matches!(
+            self.orb.object_meta(req.object).map(|meta| meta.oref.kind),
+            Some(ObjectKind::Spmd)
+        );
+
+        let out_descs: Vec<(usize, &DArgDesc)> = req
+            .dargs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.dir == ArgDir::Out)
+            .collect();
+
+        let (status, outs, dout_lens) = match &result {
+            Ok(reply) if reply.raised.is_some() => {
+                let raised = reply.raised.as_ref().expect("checked");
+                (
+                    ReplyStatus::UserException {
+                        id: raised.id.clone(),
+                        data: raised.data.clone(),
+                    },
+                    Vec::new(),
+                    Vec::new(),
+                )
+            }
+            Ok(reply) => {
+                debug_assert_eq!(
+                    reply.douts.len(),
+                    out_descs.len(),
+                    "servant produced {} distributed outs, signature declares {}",
+                    reply.douts.len(),
+                    out_descs.len()
+                );
+                // Cut fragments of each distributed out argument.
+                let mut my_frames: Vec<Bytes> = Vec::new();
+                for (ordinal, dout) in reply.douts.iter().enumerate() {
+                    let (wire_idx, desc) = out_descs[ordinal];
+                    let plan = plan_transfer(
+                        dout.len,
+                        &dout.dist,
+                        self.nthreads,
+                        &desc.client_dist,
+                        m,
+                    );
+                    for piece in plan.iter().filter(|p| p.src == self.thread) {
+                        let data = dout.encode_range(piece.start, piece.count);
+                        let frag = Message::Fragment(FragmentMsg {
+                            req_id: req.req_id,
+                            binding: req.binding,
+                            arg: wire_idx as u32,
+                            dir: ArgDir::Out,
+                            start: piece.start,
+                            count: piece.count,
+                            dst_thread: piece.dst as u32,
+                            src_thread: self.thread as u32,
+                            data: data.to_vec(),
+                        });
+                        if funneled {
+                            my_frames.push(frag.encode());
+                        } else {
+                            let _ = self.orb.send(self.host, req.reply_to[piece.dst], &frag);
+                        }
+                    }
+                }
+                if funneled && is_spmd && self.nthreads > 1 {
+                    // Collective: funnel everyone's fragments through thread
+                    // 0's wire connection.
+                    let rts = self.rts.as_ref().expect("parallel server has an RTS");
+                    let gathered =
+                        rts.gather(0, crate::protocol::frame_list(&my_frames));
+                    if let Some(lists) = gathered {
+                        for list in lists {
+                            for frame in crate::protocol::unframe_list(&list)
+                                .expect("self-framed list")
+                            {
+                                let _ = self.send_raw(req.reply_to[0], frame);
+                            }
+                        }
+                    }
+                } else if funneled {
+                    for frame in my_frames {
+                        let _ = self.send_raw(req.reply_to[0], frame);
+                    }
+                }
+                (ReplyStatus::Ok, reply.outs.clone(), reply.douts.iter().map(|d| d.len).collect())
+            }
+            Err(msg) => (ReplyStatus::Exception(msg.clone()), Vec::new(), Vec::new()),
+        };
+
+        // The reply control is sent once: by the owning thread for single
+        // objects, by thread 0 for SPMD objects.
+        let am_responsible = match self.orb.object_meta(req.object).map(|meta| meta.oref.kind) {
+            Some(ObjectKind::Single { thread }) => thread == self.thread,
+            _ => self.thread == 0,
+        };
+        if am_responsible {
+            let reply = Message::Reply(ReplyMsg {
+                req_id: req.req_id,
+                binding: req.binding,
+                status,
+                outs,
+                dout_lens,
+            });
+            if funneled {
+                let _ = self.orb.send(self.host, req.reply_to[0], &reply);
+            } else {
+                for ep in &req.reply_to {
+                    let _ = self.orb.send(self.host, *ep, &reply);
+                }
+            }
+        }
+    }
+
+    /// Send an already-encoded frame (charging the network for its size).
+    fn send_raw(&self, to: EndpointId, frame: Bytes) -> OrbResult<()> {
+        self.orb.send_wire(self.host, to, frame)
+    }
+}
+
+impl Drop for Poa {
+    fn drop(&mut self) {
+        self.deactivate_all();
+    }
+}

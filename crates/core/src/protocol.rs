@@ -1,0 +1,418 @@
+//! The PARDIS inter-ORB protocol — a GIOP-like framed message set.
+//!
+//! Every message that crosses between hosts is CDR-encoded; the transport
+//! moves opaque byte frames whose length feeds the network cost model. The
+//! frame layout is
+//!
+//! ```text
+//! 'P' 'R' 'D' 'S'  version  byte-order-flag  msg-type  pad  body...
+//! ```
+
+use crate::dist::Distribution;
+use crate::object::{BindingId, ClientId, EndpointId, ObjectKey};
+use bytes::Bytes;
+use pardis_cdr::{ByteOrder, CdrCodec, CdrError, Decoder, Encoder};
+
+/// Protocol magic.
+pub const MAGIC: [u8; 4] = *b"PRDS";
+/// Protocol version.
+pub const VERSION: u8 = 1;
+
+/// Direction of a distributed argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgDir {
+    /// Client → server.
+    In,
+    /// Server → client.
+    Out,
+}
+
+/// Wire descriptor of one distributed argument of an invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DArgDesc {
+    /// Direction.
+    pub dir: ArgDir,
+    /// Global element count. For `out` arguments this is the client's
+    /// *expected* length hint (0 = unknown; the reply's descriptor is
+    /// authoritative).
+    pub len: u64,
+    /// The distribution on the *client* side (source for `in`, expected
+    /// destination for `out`).
+    pub client_dist: Distribution,
+}
+
+/// A request — the control part of an invocation. Bulk distributed-argument
+/// data travels separately in [`FragmentMsg`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestMsg {
+    /// Per-binding monotone request id (sequencing guarantee).
+    pub req_id: u64,
+    /// The binding this request belongs to.
+    pub binding: BindingId,
+    /// The client *entity* issuing the request: a parallel client bound
+    /// with `spmd_bind` acts as one entity; a thread bound with `bind` is
+    /// its own entity. Servers dispatch each entity's requests in
+    /// `client_seq` order — the paper's invocation-sequence guarantee.
+    pub entity: u64,
+    /// Monotone per-entity invocation counter.
+    pub client_seq: u64,
+    /// Client group issuing the request.
+    pub client: ClientId,
+    /// Target object.
+    pub object: ObjectKey,
+    /// Operation name.
+    pub op: String,
+    /// True for non-blocking "send and forget" style delivery of the
+    /// request (the invocation still produces a reply unless `oneway`).
+    pub oneway: bool,
+    /// True when the invocation uses the funneled transfer strategy (all
+    /// traffic enters/leaves through thread 0 on both sides).
+    pub funneled: bool,
+    /// Reply endpoints of the client's computing threads, in thread order.
+    pub reply_to: Vec<EndpointId>,
+    /// Number of computing threads of the client.
+    pub client_threads: u32,
+    /// Raw host id of the client (for reply routing cost).
+    pub client_host: u32,
+    /// Scalar (non-distributed) in-arguments, one CDR blob per slot.
+    pub ins: Vec<Vec<u8>>,
+    /// Distributed argument descriptors, in slot order (ins then outs as
+    /// declared).
+    pub dargs: Vec<DArgDesc>,
+}
+
+/// Completion status carried by a reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplyStatus {
+    /// The servant completed.
+    Ok,
+    /// The servant failed with a system-level message.
+    Exception(String),
+    /// The servant raised a typed IDL user exception (`raises`).
+    UserException {
+        /// Exception repository id.
+        id: String,
+        /// CDR-encoded exception members.
+        data: Vec<u8>,
+    },
+}
+
+/// A reply — scalar out-arguments and the return value; distributed
+/// out-arguments travel as [`FragmentMsg`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplyMsg {
+    /// Request this answers.
+    pub req_id: u64,
+    /// Binding of the request.
+    pub binding: BindingId,
+    /// Status.
+    pub status: ReplyStatus,
+    /// Return value (slot 0 if the operation is non-void) followed by
+    /// scalar out-arguments, one CDR blob per slot.
+    pub outs: Vec<Vec<u8>>,
+    /// Authoritative descriptors for the distributed out-arguments
+    /// (actual lengths, server-side distribution not included — the client
+    /// only needs length + its own expected distribution).
+    pub dout_lens: Vec<u64>,
+}
+
+/// A fragment of a distributed argument: the elements of global range
+/// `[start, start+count)` encoded back-to-back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentMsg {
+    /// Request this belongs to.
+    pub req_id: u64,
+    /// Binding of the request.
+    pub binding: BindingId,
+    /// Index into the request's darg descriptor list.
+    pub arg: u32,
+    /// Direction (fragments flow both ways).
+    pub dir: ArgDir,
+    /// First global element index.
+    pub start: u64,
+    /// Element count.
+    pub count: u64,
+    /// Destination thread on the receiving side (lets edge threads forward
+    /// funneled fragments to their true owner over the RTS).
+    pub dst_thread: u32,
+    /// Sending thread.
+    pub src_thread: u32,
+    /// CDR-encoded elements.
+    pub data: Vec<u8>,
+}
+
+/// All messages the ORB moves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Invocation control.
+    Request(RequestMsg),
+    /// Invocation completion.
+    Reply(ReplyMsg),
+    /// Bulk data.
+    Fragment(FragmentMsg),
+    /// Cancel a pending request (best effort).
+    Cancel {
+        /// Binding of the request to cancel.
+        binding: BindingId,
+        /// The request id.
+        req_id: u64,
+    },
+    /// Orderly connection shutdown; a POA loop returns when it sees this.
+    Close,
+}
+
+impl Message {
+    fn type_tag(&self) -> u8 {
+        match self {
+            Message::Request(_) => 0,
+            Message::Reply(_) => 1,
+            Message::Fragment(_) => 2,
+            Message::Cancel { .. } => 3,
+            Message::Close => 4,
+        }
+    }
+
+    /// Frame this message for the wire.
+    pub fn encode(&self) -> Bytes {
+        let order = ByteOrder::native();
+        let mut e = Encoder::with_capacity(order, 64);
+        e.write_raw(&MAGIC);
+        e.write_u8(VERSION);
+        e.write_u8(order.flag());
+        e.write_u8(self.type_tag());
+        e.write_u8(0); // pad
+        match self {
+            Message::Request(r) => encode_request(r, &mut e),
+            Message::Reply(r) => encode_reply(r, &mut e),
+            Message::Fragment(f) => encode_fragment(f, &mut e),
+            Message::Cancel { binding, req_id } => {
+                binding.encode(&mut e);
+                e.write_u64(*req_id);
+            }
+            Message::Close => {}
+        }
+        e.finish()
+    }
+
+    /// Parse a frame.
+    pub fn decode(frame: &Bytes) -> Result<Message, CdrError> {
+        // Peek the header with a throwaway decoder to learn the byte order.
+        if frame.len() < 8 {
+            return Err(CdrError::Truncated { needed: 8, remaining: frame.len() });
+        }
+        if frame[0..4] != MAGIC {
+            return Err(CdrError::TypeMismatch {
+                expected: "PRDS frame".into(),
+                found: format!("{:02x?}", &frame[0..4]),
+            });
+        }
+        let order = ByteOrder::from_flag(frame[5])?;
+        let ty = frame[6];
+        let mut d = Decoder::new(frame.clone(), order);
+        d.read_raw(8)?; // skip header
+        Ok(match ty {
+            0 => Message::Request(decode_request(&mut d)?),
+            1 => Message::Reply(decode_reply(&mut d)?),
+            2 => Message::Fragment(decode_fragment(&mut d)?),
+            3 => Message::Cancel { binding: BindingId::decode(&mut d)?, req_id: d.read_u64()? },
+            4 => Message::Close,
+            other => Err(CdrError::InvalidEnumDiscriminant {
+                name: "MessageType".into(),
+                value: other as u32,
+            })?,
+        })
+    }
+}
+
+impl ArgDir {
+    fn encode(&self, e: &mut Encoder) {
+        e.write_u8(match self {
+            ArgDir::In => 0,
+            ArgDir::Out => 1,
+        });
+    }
+    fn decode(d: &mut Decoder) -> Result<Self, CdrError> {
+        match d.read_u8()? {
+            0 => Ok(ArgDir::In),
+            1 => Ok(ArgDir::Out),
+            other => Err(CdrError::InvalidEnumDiscriminant {
+                name: "ArgDir".into(),
+                value: other as u32,
+            }),
+        }
+    }
+}
+
+fn encode_darg(a: &DArgDesc, e: &mut Encoder) {
+    a.dir.encode(e);
+    e.write_u64(a.len);
+    a.client_dist.encode(e);
+}
+
+fn decode_darg(d: &mut Decoder) -> Result<DArgDesc, CdrError> {
+    Ok(DArgDesc { dir: ArgDir::decode(d)?, len: d.read_u64()?, client_dist: Distribution::decode(d)? })
+}
+
+fn encode_request(r: &RequestMsg, e: &mut Encoder) {
+    e.write_u64(r.req_id);
+    r.binding.encode(e);
+    e.write_u64(r.entity);
+    e.write_u64(r.client_seq);
+    r.client.encode(e);
+    r.object.encode(e);
+    e.write_string(&r.op);
+    e.write_bool(r.oneway);
+    e.write_bool(r.funneled);
+    e.write_u32(r.reply_to.len() as u32);
+    for ep in &r.reply_to {
+        ep.encode(e);
+    }
+    e.write_u32(r.client_threads);
+    e.write_u32(r.client_host);
+    e.write_u32(r.ins.len() as u32);
+    for blob in &r.ins {
+        e.write_byte_seq(blob);
+    }
+    e.write_u32(r.dargs.len() as u32);
+    for a in &r.dargs {
+        encode_darg(a, e);
+    }
+}
+
+fn decode_request(d: &mut Decoder) -> Result<RequestMsg, CdrError> {
+    let req_id = d.read_u64()?;
+    let binding = BindingId::decode(d)?;
+    let entity = d.read_u64()?;
+    let client_seq = d.read_u64()?;
+    let client = ClientId::decode(d)?;
+    let object = ObjectKey::decode(d)?;
+    let op = d.read_string()?;
+    let oneway = d.read_bool()?;
+    let funneled = d.read_bool()?;
+    let n_reply = d.read_seq_len(None)?;
+    let mut reply_to = Vec::with_capacity(n_reply.min(1 << 12));
+    for _ in 0..n_reply {
+        reply_to.push(EndpointId::decode(d)?);
+    }
+    let client_threads = d.read_u32()?;
+    let client_host = d.read_u32()?;
+    let n_ins = d.read_seq_len(None)?;
+    let mut ins = Vec::with_capacity(n_ins.min(1 << 12));
+    for _ in 0..n_ins {
+        ins.push(d.read_byte_seq()?);
+    }
+    let n_dargs = d.read_seq_len(None)?;
+    let mut dargs = Vec::with_capacity(n_dargs.min(1 << 12));
+    for _ in 0..n_dargs {
+        dargs.push(decode_darg(d)?);
+    }
+    Ok(RequestMsg {
+        req_id,
+        binding,
+        entity,
+        client_seq,
+        client,
+        object,
+        op,
+        oneway,
+        funneled,
+        reply_to,
+        client_threads,
+        client_host,
+        ins,
+        dargs,
+    })
+}
+
+fn encode_reply(r: &ReplyMsg, e: &mut Encoder) {
+    e.write_u64(r.req_id);
+    r.binding.encode(e);
+    match &r.status {
+        ReplyStatus::Ok => e.write_u8(0),
+        ReplyStatus::Exception(msg) => {
+            e.write_u8(1);
+            e.write_string(msg);
+        }
+        ReplyStatus::UserException { id, data } => {
+            e.write_u8(2);
+            e.write_string(id);
+            e.write_byte_seq(data);
+        }
+    }
+    e.write_u32(r.outs.len() as u32);
+    for blob in &r.outs {
+        e.write_byte_seq(blob);
+    }
+    r.dout_lens.encode(e);
+}
+
+fn decode_reply(d: &mut Decoder) -> Result<ReplyMsg, CdrError> {
+    let req_id = d.read_u64()?;
+    let binding = BindingId::decode(d)?;
+    let status = match d.read_u8()? {
+        0 => ReplyStatus::Ok,
+        1 => ReplyStatus::Exception(d.read_string()?),
+        2 => ReplyStatus::UserException { id: d.read_string()?, data: d.read_byte_seq()? },
+        other => {
+            return Err(CdrError::InvalidEnumDiscriminant {
+                name: "ReplyStatus".into(),
+                value: other as u32,
+            })
+        }
+    };
+    let n_outs = d.read_seq_len(None)?;
+    let mut outs = Vec::with_capacity(n_outs.min(1 << 12));
+    for _ in 0..n_outs {
+        outs.push(d.read_byte_seq()?);
+    }
+    let dout_lens = Vec::<u64>::decode(d)?;
+    Ok(ReplyMsg { req_id, binding, status, outs, dout_lens })
+}
+
+/// Frame a list of wire messages into one buffer (used when funneling
+/// several frames through a single RTS gather).
+pub fn frame_list(frames: &[Bytes]) -> Bytes {
+    let mut e = Encoder::new(ByteOrder::native());
+    e.write_u32(frames.len() as u32);
+    for f in frames {
+        e.write_byte_seq(f);
+    }
+    e.finish()
+}
+
+/// Inverse of [`frame_list`].
+pub fn unframe_list(buf: &Bytes) -> Result<Vec<Bytes>, CdrError> {
+    let mut d = Decoder::new(buf.clone(), ByteOrder::native());
+    let n = d.read_seq_len(None)?;
+    let mut out = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        out.push(Bytes::from(d.read_byte_seq()?));
+    }
+    Ok(out)
+}
+
+fn encode_fragment(f: &FragmentMsg, e: &mut Encoder) {
+    e.write_u64(f.req_id);
+    f.binding.encode(e);
+    e.write_u32(f.arg);
+    f.dir.encode(e);
+    e.write_u64(f.start);
+    e.write_u64(f.count);
+    e.write_u32(f.dst_thread);
+    e.write_u32(f.src_thread);
+    e.write_byte_seq(&f.data);
+}
+
+fn decode_fragment(d: &mut Decoder) -> Result<FragmentMsg, CdrError> {
+    Ok(FragmentMsg {
+        req_id: d.read_u64()?,
+        binding: BindingId::decode(d)?,
+        arg: d.read_u32()?,
+        dir: ArgDir::decode(d)?,
+        start: d.read_u64()?,
+        count: d.read_u64()?,
+        dst_thread: d.read_u32()?,
+        src_thread: d.read_u32()?,
+        data: d.read_byte_seq()?,
+    })
+}

@@ -1,0 +1,10 @@
+//! Unit and integration tests of the ORB core.
+
+mod comm_thread_tests;
+mod deferred_tests;
+mod dist_tests;
+mod dseq_tests;
+mod orb_tests;
+mod protocol_tests;
+mod repository_tests;
+mod spmd_tests;

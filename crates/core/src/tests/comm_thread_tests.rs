@@ -1,0 +1,105 @@
+//! Communication threads (the §6 future-work experiment).
+
+use crate::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Doubler;
+
+impl Servant for Doubler {
+    fn interface(&self) -> &str {
+        "doubler"
+    }
+    fn dispatch(&self, req: ServerRequest<'_>) -> Result<ServerReply, String> {
+        let v: i64 = req.scalar(0).map_err(|e| e.to_string())?;
+        let mut rep = ServerReply::new();
+        rep.push_scalar(&(v * 2));
+        Ok(rep)
+    }
+}
+
+fn serve(orb: &Orb, host: pardis_netsim::HostId, name: &str) -> (ServerGroup, std::thread::JoinHandle<()>) {
+    let group = ServerGroup::create(orb, "doubler", host, 1);
+    let g = group.clone();
+    let name = name.to_string();
+    let join = std::thread::spawn(move || {
+        let mut poa = g.attach(0, None);
+        poa.activate_single(&name, Arc::new(Doubler));
+        poa.impl_is_ready();
+    });
+    (group, join)
+}
+
+#[test]
+fn comm_thread_resolves_futures_while_client_computes() {
+    let (orb, host) = Orb::single_host();
+    orb.set_local_bypass(false);
+    let (group, join) = serve(&orb, host, "d1");
+
+    let client = ClientGroup::create(&orb, host, 1).attach(0, None);
+    let comm = client.start_comm_thread();
+    let proxy = client.bind("d1").unwrap();
+
+    let inv = proxy.call("x").arg(&21i64).invoke_nb().unwrap();
+    // The client "computes" without ever pumping; the communication thread
+    // must ingest the reply on its own. `peek` never pumps.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while !inv.peek() {
+        assert!(std::time::Instant::now() < deadline, "comm thread never ingested the reply");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let fut: PFuture<i64> = inv.scalar_future(0);
+    assert_eq!(fut.get().unwrap(), 42);
+
+    comm.stop();
+    group.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn without_comm_thread_peek_stays_false() {
+    let (orb, host) = Orb::single_host();
+    orb.set_local_bypass(false);
+    let (group, join) = serve(&orb, host, "d2");
+
+    let client = ClientGroup::create(&orb, host, 1).attach(0, None);
+    let proxy = client.bind("d2").unwrap();
+    let inv = proxy.call("x").arg(&1i64).invoke_nb().unwrap();
+    // Nobody drains the endpoint, so without pumping nothing resolves...
+    std::thread::sleep(Duration::from_millis(30));
+    assert!(!inv.peek(), "reply ingested without any pump");
+    // ...until the owner pumps.
+    assert!(inv.wait().is_ok());
+    group.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn comm_thread_and_owner_pumping_coexist() {
+    // Both the comm thread and the future's own blocking get() drain the
+    // endpoint concurrently; every reply must still reach its invocation.
+    let (orb, host) = Orb::single_host();
+    orb.set_local_bypass(false);
+    let (group, join) = serve(&orb, host, "d3");
+
+    let client = ClientGroup::create(&orb, host, 1).attach(0, None);
+    let comm = client.start_comm_thread();
+    let proxy = client.bind("d3").unwrap();
+
+    for i in 0..50i64 {
+        let inv = proxy.call("x").arg(&i).invoke_nb().unwrap();
+        let fut: PFuture<i64> = inv.scalar_future(0);
+        assert_eq!(fut.get().unwrap(), i * 2);
+    }
+    comm.stop();
+    group.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn dropping_the_handle_stops_the_thread() {
+    let (orb, host) = Orb::single_host();
+    let client = ClientGroup::create(&orb, host, 1).attach(0, None);
+    let comm = client.start_comm_thread();
+    drop(comm); // must join without hanging
+}

@@ -1,0 +1,299 @@
+use crate::dist::*;
+
+#[test]
+fn block_owner_and_local_len_consistent() {
+    // 10 elements over 3 threads: 4,3,3.
+    let d = Distribution::Block;
+    assert_eq!(d.local_len(10, 3, 0), 4);
+    assert_eq!(d.local_len(10, 3, 1), 3);
+    assert_eq!(d.local_len(10, 3, 2), 3);
+    assert_eq!(d.owner(10, 3, 0), 0);
+    assert_eq!(d.owner(10, 3, 3), 0);
+    assert_eq!(d.owner(10, 3, 4), 1);
+    assert_eq!(d.owner(10, 3, 6), 1);
+    assert_eq!(d.owner(10, 3, 7), 2);
+    assert_eq!(d.owner(10, 3, 9), 2);
+}
+
+#[test]
+fn block_runs_are_contiguous_and_cover() {
+    let d = Distribution::Block;
+    let r0 = d.runs(10, 3, 0);
+    let r1 = d.runs(10, 3, 1);
+    let r2 = d.runs(10, 3, 2);
+    assert_eq!(r0, vec![Run { start: 0, count: 4 }]);
+    assert_eq!(r1, vec![Run { start: 4, count: 3 }]);
+    assert_eq!(r2, vec![Run { start: 7, count: 3 }]);
+}
+
+#[test]
+fn block_more_threads_than_elements() {
+    let d = Distribution::Block;
+    // 2 elements over 5 threads: threads 0 and 1 get one each.
+    assert_eq!(d.local_len(2, 5, 0), 1);
+    assert_eq!(d.local_len(2, 5, 1), 1);
+    assert_eq!(d.local_len(2, 5, 2), 0);
+    assert_eq!(d.owner(2, 5, 1), 1);
+    assert!(d.runs(2, 5, 3).is_empty());
+}
+
+#[test]
+fn cyclic_owner_and_locals() {
+    let d = Distribution::Cyclic;
+    assert_eq!(d.owner(10, 3, 0), 0);
+    assert_eq!(d.owner(10, 3, 4), 1);
+    assert_eq!(d.owner(10, 3, 5), 2);
+    assert_eq!(d.local_len(10, 3, 0), 4); // 0,3,6,9
+    assert_eq!(d.local_len(10, 3, 1), 3); // 1,4,7
+    assert_eq!(d.global_to_local(10, 3, 7), (1, 2));
+    assert_eq!(d.local_to_global(10, 3, 1, 2), 7);
+}
+
+#[test]
+fn concentrated_owns_everything() {
+    let d = Distribution::Concentrated(2);
+    assert_eq!(d.owner(5, 4, 3), 2);
+    assert_eq!(d.local_len(5, 4, 2), 5);
+    assert_eq!(d.local_len(5, 4, 0), 0);
+    assert_eq!(d.runs(5, 4, 2), vec![Run { start: 0, count: 5 }]);
+}
+
+#[test]
+fn irregular_follows_counts() {
+    let d = Distribution::Irregular(vec![2, 0, 3]);
+    assert_eq!(d.owner(5, 3, 0), 0);
+    assert_eq!(d.owner(5, 3, 1), 0);
+    assert_eq!(d.owner(5, 3, 2), 2);
+    assert_eq!(d.local_len(5, 3, 1), 0);
+    assert!(d.runs(5, 3, 1).is_empty());
+    assert_eq!(d.runs(5, 3, 2), vec![Run { start: 2, count: 3 }]);
+}
+
+#[test]
+fn block_cyclic_owner_and_locals() {
+    let d = Distribution::BlockCyclic(3);
+    // 11 elements, 2 threads, blocks of 3: [0..3)->t0, [3..6)->t1,
+    // [6..9)->t0, [9..11)->t1.
+    assert_eq!(d.owner(11, 2, 0), 0);
+    assert_eq!(d.owner(11, 2, 4), 1);
+    assert_eq!(d.owner(11, 2, 7), 0);
+    assert_eq!(d.owner(11, 2, 10), 1);
+    assert_eq!(d.local_len(11, 2, 0), 6);
+    assert_eq!(d.local_len(11, 2, 1), 5);
+    assert_eq!(
+        d.runs(11, 2, 1),
+        vec![Run { start: 3, count: 3 }, Run { start: 9, count: 2 }]
+    );
+    assert_eq!(d.global_to_local(11, 2, 7), (0, 4));
+    assert_eq!(d.local_to_global(11, 2, 0, 4), 7);
+}
+
+#[test]
+fn block_cyclic_of_one_equals_cyclic() {
+    let bc = Distribution::BlockCyclic(1);
+    let c = Distribution::Cyclic;
+    for idx in 0..17 {
+        assert_eq!(bc.owner(17, 3, idx), c.owner(17, 3, idx));
+    }
+    for t in 0..3 {
+        assert_eq!(bc.local_len(17, 3, t), c.local_len(17, 3, t));
+    }
+}
+
+#[test]
+fn validate_catches_mismatches() {
+    assert!(Distribution::Irregular(vec![1, 2]).validate(4, 2).is_err());
+    assert!(Distribution::Irregular(vec![1, 2]).validate(3, 3).is_err());
+    assert!(Distribution::Concentrated(3).validate(5, 3).is_err());
+    assert!(Distribution::Block.validate(5, 3).is_ok());
+    assert!(Distribution::BlockCyclic(0).validate(5, 3).is_err());
+    assert!(Distribution::BlockCyclic(2).validate(5, 3).is_ok());
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn owner_out_of_range_panics() {
+    Distribution::Block.owner(5, 2, 5);
+}
+
+#[test]
+fn global_local_roundtrip_all_dists() {
+    for dist in [
+        Distribution::Block,
+        Distribution::Cyclic,
+        Distribution::Concentrated(1),
+        Distribution::Irregular(vec![3, 0, 7, 2]),
+        Distribution::BlockCyclic(3),
+        Distribution::BlockCyclic(5),
+    ] {
+        let (len, n) = (12u64, 4usize);
+        if dist.validate(len, n).is_err() {
+            continue;
+        }
+        for idx in 0..len {
+            let (t, local) = dist.global_to_local(len, n, idx);
+            assert_eq!(dist.local_to_global(len, n, t, local), idx, "{dist:?} idx {idx}");
+        }
+    }
+}
+
+#[test]
+fn plan_block_to_block_same_shape_is_identity_diagonal() {
+    let plan = plan_transfer(12, &Distribution::Block, 3, &Distribution::Block, 3);
+    assert_eq!(plan.len(), 3);
+    for (i, piece) in plan.iter().enumerate() {
+        assert_eq!(piece.src, i);
+        assert_eq!(piece.dst, i);
+        assert_eq!(piece.count, 4);
+    }
+}
+
+#[test]
+fn plan_block_to_concentrated_funnels() {
+    let plan = plan_transfer(10, &Distribution::Block, 2, &Distribution::Concentrated(0), 1);
+    assert_eq!(plan.len(), 2);
+    assert_eq!(plan[0], PlanPiece { src: 0, dst: 0, start: 0, count: 5 });
+    assert_eq!(plan[1], PlanPiece { src: 1, dst: 0, start: 5, count: 5 });
+}
+
+#[test]
+fn plan_block_to_cyclic_has_elementwise_pieces() {
+    let plan = plan_transfer(6, &Distribution::Block, 2, &Distribution::Cyclic, 2);
+    // src 0 owns 0,1,2 (dst 0,1,0), src 1 owns 3,4,5 (dst 1,0,1).
+    let covered: u64 = plan.iter().map(|p| p.count).sum();
+    assert_eq!(covered, 6);
+    for p in &plan {
+        for idx in p.start..p.start + p.count {
+            assert_eq!(Distribution::Block.owner(6, 2, idx), p.src);
+            assert_eq!(Distribution::Cyclic.owner(6, 2, idx), p.dst);
+        }
+    }
+}
+
+#[test]
+fn plan_zero_length_is_empty() {
+    assert!(plan_transfer(0, &Distribution::Block, 2, &Distribution::Block, 3).is_empty());
+}
+
+#[test]
+fn distribution_cdr_roundtrip() {
+    for d in [
+        Distribution::Block,
+        Distribution::Cyclic,
+        Distribution::Concentrated(7),
+        Distribution::Irregular(vec![1, 2, 3]),
+        Distribution::BlockCyclic(64),
+    ] {
+        let b = pardis_cdr::to_bytes(&d);
+        assert_eq!(pardis_cdr::from_bytes::<Distribution>(&b).unwrap(), d);
+    }
+}
+
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+    use proptest::strategy::ValueTree;
+
+    fn arb_dist(n: usize, len: u64) -> impl Strategy<Value = Distribution> {
+        prop_oneof![
+            Just(Distribution::Block),
+            Just(Distribution::Cyclic),
+            (0..n).prop_map(Distribution::Concentrated),
+            (1u64..9).prop_map(Distribution::BlockCyclic),
+            // Random irregular template summing to len.
+            proptest::collection::vec(0u64..=len, n - 1).prop_map(move |mut cuts| {
+                cuts.sort_unstable();
+                let mut counts = Vec::with_capacity(n);
+                let mut prev = 0;
+                for c in cuts {
+                    counts.push(c - prev);
+                    prev = c;
+                }
+                counts.push(len - prev);
+                Distribution::Irregular(counts)
+            }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ownership partitions indices: local_lens sum to len and owner is
+        /// consistent with local_len.
+        #[test]
+        fn ownership_partitions(
+            len in 0u64..200,
+            n in 1usize..8,
+            seed in any::<u64>(),
+        ) {
+            let dist = {
+                let mut runner = proptest::test_runner::TestRunner::deterministic();
+                let _ = seed;
+                arb_dist(n, len).new_tree(&mut runner).unwrap().current()
+            };
+            prop_assume!(dist.validate(len, n).is_ok());
+            let total: u64 = (0..n).map(|t| dist.local_len(len, n, t)).sum();
+            prop_assert_eq!(total, len);
+            let mut per_thread = vec![0u64; n];
+            for idx in 0..len {
+                per_thread[dist.owner(len, n, idx)] += 1;
+            }
+            for (t, count) in per_thread.iter().enumerate() {
+                prop_assert_eq!(*count, dist.local_len(len, n, t));
+            }
+        }
+
+        /// Runs exactly cover each thread's owned set, in order.
+        #[test]
+        fn runs_cover_ownership(len in 0u64..150, n in 1usize..6) {
+            for dist in [
+                Distribution::Block,
+                Distribution::Cyclic,
+                Distribution::BlockCyclic(4),
+            ] {
+                for t in 0..n {
+                    let mut covered = Vec::new();
+                    for run in dist.runs(len, n, t) {
+                        for idx in run.start..run.start + run.count {
+                            covered.push(idx);
+                        }
+                    }
+                    let owned: Vec<u64> =
+                        (0..len).filter(|&i| dist.owner(len, n, i) == t).collect();
+                    prop_assert_eq!(covered, owned);
+                }
+            }
+        }
+
+        /// A transfer plan covers every index exactly once with correct
+        /// endpoints.
+        #[test]
+        fn plan_is_exact_cover(
+            len in 0u64..200,
+            src_n in 1usize..5,
+            dst_n in 1usize..5,
+        ) {
+            for (src, dst) in [
+                (Distribution::Block, Distribution::Block),
+                (Distribution::Block, Distribution::Cyclic),
+                (Distribution::Cyclic, Distribution::Block),
+                (Distribution::Cyclic, Distribution::Cyclic),
+                (Distribution::Block, Distribution::BlockCyclic(3)),
+                (Distribution::BlockCyclic(5), Distribution::Block),
+            ] {
+                let plan = plan_transfer(len, &src, src_n, &dst, dst_n);
+                let covered: u64 = plan.iter().map(|p| p.count).sum();
+                prop_assert_eq!(covered, len);
+                let mut next = 0;
+                for p in &plan {
+                    prop_assert_eq!(p.start, next, "plan pieces are ordered and dense");
+                    next = p.start + p.count;
+                    for idx in p.start..p.start + p.count {
+                        prop_assert_eq!(src.owner(len, src_n, idx), p.src);
+                        prop_assert_eq!(dst.owner(len, dst_n, idx), p.dst);
+                    }
+                }
+            }
+        }
+    }
+}

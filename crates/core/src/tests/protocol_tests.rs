@@ -1,0 +1,162 @@
+use crate::dist::Distribution;
+use crate::object::{BindingId, ClientId, EndpointId, ObjectKey};
+use crate::protocol::*;
+use bytes::Bytes;
+
+fn sample_request() -> RequestMsg {
+    RequestMsg {
+        req_id: 42,
+        binding: BindingId(7),
+        entity: 6,
+        client_seq: 9,
+        client: ClientId(3),
+        object: ObjectKey(11),
+        op: "solve".into(),
+        oneway: false,
+        funneled: true,
+        reply_to: vec![EndpointId(100), EndpointId(101)],
+        client_threads: 2,
+        client_host: 1,
+        ins: vec![vec![1, 2, 3], vec![]],
+        dargs: vec![
+            DArgDesc { dir: ArgDir::In, len: 1024, client_dist: Distribution::Block },
+            DArgDesc {
+                dir: ArgDir::Out,
+                len: 0,
+                client_dist: Distribution::Irregular(vec![10, 20]),
+            },
+        ],
+    }
+}
+
+#[test]
+fn request_roundtrip() {
+    let msg = Message::Request(sample_request());
+    let wire = msg.encode();
+    assert_eq!(&wire[..4], b"PRDS");
+    assert_eq!(Message::decode(&wire).unwrap(), msg);
+}
+
+#[test]
+fn reply_roundtrip_ok_and_exception() {
+    for status in [
+        ReplyStatus::Ok,
+        ReplyStatus::Exception("boom".into()),
+        ReplyStatus::UserException { id: "overflow".into(), data: vec![1, 2, 3] },
+    ] {
+        let msg = Message::Reply(ReplyMsg {
+            req_id: 1,
+            binding: BindingId(2),
+            status,
+            outs: vec![vec![9, 9]],
+            dout_lens: vec![512],
+        });
+        let wire = msg.encode();
+        assert_eq!(Message::decode(&wire).unwrap(), msg);
+    }
+}
+
+#[test]
+fn fragment_roundtrip() {
+    let msg = Message::Fragment(FragmentMsg {
+        req_id: 5,
+        binding: BindingId(6),
+        arg: 2,
+        dir: ArgDir::Out,
+        start: 128,
+        count: 64,
+        dst_thread: 3,
+        src_thread: 1,
+        data: (0..200u8).collect(),
+    });
+    let wire = msg.encode();
+    assert_eq!(Message::decode(&wire).unwrap(), msg);
+}
+
+#[test]
+fn cancel_and_close_roundtrip() {
+    for msg in [Message::Cancel { binding: BindingId(1), req_id: 9 }, Message::Close] {
+        assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+    }
+}
+
+#[test]
+fn bad_magic_rejected() {
+    let mut wire = Message::Close.encode().to_vec();
+    wire[0] = b'X';
+    assert!(Message::decode(&Bytes::from(wire)).is_err());
+}
+
+#[test]
+fn truncated_frame_rejected() {
+    let wire = Message::Request(sample_request()).encode();
+    let cut = wire.slice(0..wire.len() / 2);
+    assert!(Message::decode(&cut).is_err());
+    assert!(Message::decode(&wire.slice(0..3)).is_err());
+}
+
+#[test]
+fn unknown_type_tag_rejected() {
+    let mut wire = Message::Close.encode().to_vec();
+    wire[6] = 250;
+    assert!(Message::decode(&Bytes::from(wire)).is_err());
+}
+
+#[test]
+fn frame_list_roundtrip() {
+    let frames = vec![
+        Bytes::from_static(b"alpha"),
+        Bytes::new(),
+        Bytes::from(vec![0u8; 100]),
+    ];
+    let framed = frame_list(&frames);
+    assert_eq!(unframe_list(&framed).unwrap(), frames);
+    assert_eq!(unframe_list(&frame_list(&[])).unwrap(), Vec::<Bytes>::new());
+}
+
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn fragment_fuzz_roundtrip(
+            req_id in any::<u64>(),
+            arg in any::<u32>(),
+            start in any::<u64>(),
+            count in any::<u64>(),
+            data in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let msg = Message::Fragment(FragmentMsg {
+                req_id,
+                binding: BindingId(1),
+                arg,
+                dir: ArgDir::In,
+                start,
+                count,
+                dst_thread: 0,
+                src_thread: 0,
+                data,
+            });
+            prop_assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        }
+
+        #[test]
+        fn decode_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = Message::decode(&Bytes::from(data));
+        }
+
+        #[test]
+        fn decode_never_panics_on_mutated_frames(
+            flip in 0usize..64,
+            val in any::<u8>(),
+        ) {
+            let mut wire = Message::Request(sample_request()).encode().to_vec();
+            let idx = flip % wire.len();
+            wire[idx] = val;
+            let _ = Message::decode(&Bytes::from(wire));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+use crate::object::ObjectKey;
+use crate::repository::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn register_lookup_unregister() {
+    let repo = ObjectRepository::new();
+    assert_eq!(repo.lookup("default", "a"), None);
+    assert_eq!(repo.register("default", "a", ObjectKey(1)), None);
+    assert_eq!(repo.lookup("default", "a"), Some(ObjectKey(1)));
+    // Re-registration displaces.
+    assert_eq!(repo.register("default", "a", ObjectKey(2)), Some(ObjectKey(1)));
+    assert_eq!(repo.unregister("default", "a"), Some(ObjectKey(2)));
+    assert_eq!(repo.lookup("default", "a"), None);
+}
+
+#[test]
+fn namespaces_are_isolated() {
+    let repo = ObjectRepository::new();
+    repo.register("ns1", "solver", ObjectKey(1));
+    repo.register("ns2", "solver", ObjectKey(2));
+    assert_eq!(repo.lookup("ns1", "solver"), Some(ObjectKey(1)));
+    assert_eq!(repo.lookup("ns2", "solver"), Some(ObjectKey(2)));
+    assert_eq!(repo.lookup("ns3", "solver"), None);
+    assert_eq!(repo.namespaces(), vec!["ns1".to_string(), "ns2".to_string()]);
+}
+
+#[test]
+fn list_is_sorted() {
+    let repo = ObjectRepository::new();
+    repo.register("default", "zeta", ObjectKey(1));
+    repo.register("default", "alpha", ObjectKey(2));
+    assert_eq!(repo.list("default"), vec!["alpha".to_string(), "zeta".to_string()]);
+    assert!(repo.list("empty").is_empty());
+}
+
+#[test]
+fn impl_repo_launches_once() {
+    let launches = Arc::new(AtomicUsize::new(0));
+    let repo = ImplementationRepository::new();
+    let l = launches.clone();
+    repo.register("default", "srv", Arc::new(move || {
+        l.fetch_add(1, Ordering::SeqCst);
+    }));
+    assert!(repo.has("default", "srv"));
+    assert!(!repo.has("default", "other"));
+    assert!(repo.launch_once("default", "srv"));
+    assert!(!repo.launch_once("default", "srv"), "second launch suppressed");
+    assert_eq!(launches.load(Ordering::SeqCst), 1);
+    repo.reset_launch_state("default", "srv");
+    assert!(repo.launch_once("default", "srv"));
+    assert_eq!(launches.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn launch_unknown_is_noop() {
+    let repo = ImplementationRepository::new();
+    assert!(!repo.launch_once("default", "ghost"));
+}

@@ -1,0 +1,282 @@
+//! The abstract syntax tree produced by the parser.
+
+use crate::diag::Span;
+
+/// A whole IDL compilation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Spec {
+    /// Top-level definitions in source order.
+    pub defs: Vec<Def>,
+}
+
+/// Any definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Def {
+    /// `module name { ... };`
+    Module(Module),
+    /// `interface name [: bases] { ... };`
+    Interface(Interface),
+    /// `typedef type name;` with attached pragma mappings.
+    Typedef(Typedef),
+    /// `struct name { ... };`
+    Struct(StructDef),
+    /// `enum name { ... };`
+    Enum(EnumDef),
+    /// `const type name = expr;`
+    Const(ConstDef),
+    /// `exception name { ... };`
+    Exception(ExceptionDef),
+}
+
+/// A module scope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Nested definitions.
+    pub defs: Vec<Def>,
+    /// Source span of the name.
+    pub span: Span,
+}
+
+/// An interface declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interface {
+    /// Interface name (the repository id).
+    pub name: String,
+    /// Base interface names (scoped).
+    pub bases: Vec<ScopedName>,
+    /// Operations in declaration order.
+    pub ops: Vec<OpDecl>,
+    /// Nested typedefs/consts declared inside the interface.
+    pub defs: Vec<Def>,
+    /// Source span of the name.
+    pub span: Span,
+}
+
+/// One operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpDecl {
+    /// `oneway` flag (no reply at all).
+    pub oneway: bool,
+    /// Return type (`void` allowed).
+    pub ret: TypeSpec,
+    /// Operation name.
+    pub name: String,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Exceptions this operation may raise (`raises(a, b)`).
+    pub raises: Vec<ScopedName>,
+    /// Source span of the name.
+    pub span: Span,
+}
+
+/// Parameter passing direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client to server.
+    In,
+    /// Server to client.
+    Out,
+    /// Both ways.
+    InOut,
+}
+
+/// One parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Direction.
+    pub dir: Direction,
+    /// Type.
+    pub ty: TypeSpec,
+    /// Name.
+    pub name: String,
+    /// Source span of the name.
+    pub span: Span,
+}
+
+/// A typedef, possibly annotated with pragma mappings ("the programmer
+/// needs to annotate the IDL definitions with pragma statements directing
+/// the compiler to generate stubs marshaling the data into existing
+/// structures", §3.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Typedef {
+    /// New name.
+    pub name: String,
+    /// Aliased type.
+    pub ty: TypeSpec,
+    /// Pragma mappings attached immediately above this typedef.
+    pub pragmas: Vec<PragmaMap>,
+    /// Source span of the name.
+    pub span: Span,
+}
+
+/// A `#pragma System:native` mapping directive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PragmaMap {
+    /// Package name, e.g. `HPC++` or `POOMA`.
+    pub system: String,
+    /// Native container, e.g. `vector` or `field` (the "extension after the
+    /// colon").
+    pub native: String,
+    /// Source span of the directive.
+    pub span: Span,
+}
+
+/// An exception definition (structurally a struct, but only usable in
+/// `raises` clauses).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExceptionDef {
+    /// Exception name (the repository id).
+    pub name: String,
+    /// Members in declaration order.
+    pub fields: Vec<(TypeSpec, String)>,
+    /// Source span of the name.
+    pub span: Span,
+}
+
+/// A struct.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<(TypeSpec, String)>,
+    /// Source span of the name.
+    pub span: Span,
+}
+
+/// An enum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// Variant labels, discriminants 0..n.
+    pub variants: Vec<String>,
+    /// Source span of the name.
+    pub span: Span,
+}
+
+/// A constant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstDef {
+    /// Declared type.
+    pub ty: TypeSpec,
+    /// Name.
+    pub name: String,
+    /// Value expression.
+    pub value: ConstExpr,
+    /// Source span of the name.
+    pub span: Span,
+}
+
+/// A possibly-scoped name (`a::b::c`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopedName {
+    /// Path segments.
+    pub parts: Vec<String>,
+    /// Source span.
+    pub span: Span,
+}
+
+impl ScopedName {
+    /// Render with `::` separators.
+    pub fn dotted(&self) -> String {
+        self.parts.join("::")
+    }
+}
+
+/// A type expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeSpec {
+    /// `void` (returns only).
+    Void,
+    /// `boolean`.
+    Boolean,
+    /// `octet`.
+    Octet,
+    /// `char`.
+    Char,
+    /// `short`.
+    Short,
+    /// `unsigned short`.
+    UShort,
+    /// `long`.
+    Long,
+    /// `unsigned long`.
+    ULong,
+    /// `long long`.
+    LongLong,
+    /// `unsigned long long`.
+    ULongLong,
+    /// `float`.
+    Float,
+    /// `double`.
+    Double,
+    /// `string`.
+    String,
+    /// `sequence<elem [, bound]>`.
+    Sequence {
+        /// Element type.
+        elem: Box<TypeSpec>,
+        /// Optional bound expression.
+        bound: Option<ConstExpr>,
+    },
+    /// PARDIS extension: `dsequence<elem [, bound [, client_dist
+    /// [, server_dist]]]>`.
+    DSequence {
+        /// Element type.
+        elem: Box<TypeSpec>,
+        /// Optional bound expression.
+        bound: Option<ConstExpr>,
+        /// Default distribution on the client side.
+        client_dist: Option<DistSpec>,
+        /// Default distribution on the server side.
+        server_dist: Option<DistSpec>,
+    },
+    /// A reference to a named type.
+    Named(ScopedName),
+    /// Fixed-size array `T name[N]` (stored on the element type after the
+    /// declarator is parsed).
+    Array {
+        /// Element type.
+        elem: Box<TypeSpec>,
+        /// Length expression.
+        len: ConstExpr,
+    },
+}
+
+/// A distribution template in a `dsequence` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistSpec {
+    /// `BLOCK` — uniform blockwise (the §3.2 example's client side).
+    Block,
+    /// `CYCLIC`.
+    Cyclic,
+    /// `CONCENTRATED` or `CONCENTRATED(k)` — all on one processor (the
+    /// §3.2 example's server side).
+    Concentrated(Option<ConstExpr>),
+    /// `BLOCK_CYCLIC(b)` — blocks of `b` dealt round-robin (this
+    /// implementation's extension, per the paper's future work).
+    BlockCyclic(ConstExpr),
+}
+
+/// A constant expression (integers, named constants, arithmetic).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstExpr {
+    /// Integer literal.
+    Int(u64),
+    /// Named constant reference.
+    Name(ScopedName),
+    /// Binary operation.
+    Binary {
+        /// `+ - * /`
+        op: char,
+        /// Left operand.
+        lhs: Box<ConstExpr>,
+        /// Right operand.
+        rhs: Box<ConstExpr>,
+    },
+    /// Unary negation.
+    Neg(Box<ConstExpr>),
+}

@@ -1,0 +1,75 @@
+//! Spans and diagnostics.
+
+use std::fmt;
+
+/// A byte range in the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Inclusive start byte.
+    pub start: usize,
+    /// Exclusive end byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both.
+    pub fn merge(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+}
+
+/// A compiler diagnostic with source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// What went wrong.
+    pub message: String,
+    /// Where.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Construct a diagnostic.
+    pub fn new(message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic { message: message.into(), span }
+    }
+
+    /// Render with line/column and a source excerpt, `rustc`-style.
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = line_col(source, self.span.start);
+        let line_text = source.lines().nth(line - 1).unwrap_or("");
+        let width = (self.span.end.saturating_sub(self.span.start)).max(1);
+        let marker = " ".repeat(col - 1) + &"^".repeat(width.min(line_text.len() + 1 - (col - 1)).max(1));
+        format!("error: {}\n --> line {line}, column {col}\n  | {line_text}\n  | {marker}", self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error at bytes {}..{}: {}", self.span.start, self.span.end, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// 1-based (line, column) of a byte offset.
+pub fn line_col(source: &str, offset: usize) -> (usize, usize) {
+    let mut line = 1;
+    let mut col = 1;
+    for (i, ch) in source.char_indices() {
+        if i >= offset {
+            break;
+        }
+        if ch == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}

@@ -1,0 +1,223 @@
+//! The IDL lexer.
+
+use crate::diag::{Diagnostic, Span};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are recognised by the parser).
+    Ident(String),
+    /// Integer literal (decimal, hex `0x`, or octal `0`-prefixed).
+    Int(u64),
+    /// Floating literal.
+    Float(f64),
+    /// String literal (quotes stripped, escapes resolved).
+    Str(String),
+    /// `#pragma` line: everything after `#pragma`, trimmed.
+    Pragma(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `::`
+    Scope,
+    /// `:`
+    Colon,
+    /// `=`
+    Eq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Tokenise IDL source.
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let n = bytes.len();
+
+    while i < n {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                i += 2;
+                loop {
+                    if i + 1 >= n {
+                        return Err(Diagnostic::new(
+                            "unterminated block comment",
+                            Span::new(start, n),
+                        ));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '#' => {
+                // Directive line; only #pragma is meaningful.
+                let line_end = source[i..].find('\n').map(|o| i + o).unwrap_or(n);
+                let line = &source[i..line_end];
+                if let Some(rest) = line.strip_prefix("#pragma") {
+                    tokens.push(Token {
+                        tok: Tok::Pragma(rest.trim().to_string()),
+                        span: Span::new(start, line_end),
+                    });
+                } else {
+                    return Err(Diagnostic::new(
+                        format!("unsupported directive {line:?}"),
+                        Span::new(start, line_end),
+                    ));
+                }
+                i = line_end;
+            }
+            '"' => {
+                let mut out = String::new();
+                i += 1;
+                loop {
+                    if i >= n {
+                        return Err(Diagnostic::new(
+                            "unterminated string literal",
+                            Span::new(start, n),
+                        ));
+                    }
+                    match bytes[i] as char {
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\\' if i + 1 < n => {
+                            out.push(match bytes[i + 1] as char {
+                                'n' => '\n',
+                                't' => '\t',
+                                other => other,
+                            });
+                            i += 2;
+                        }
+                        ch => {
+                            out.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Token { tok: Tok::Str(out), span: Span::new(start, i) });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                while i < n && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(source[start..i].to_string()),
+                    span: Span::new(start, i),
+                });
+            }
+            c if c.is_ascii_digit() => {
+                while i < n
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let tok = if text.contains('.') || (text.contains(['e', 'E']) && !text.starts_with("0x")) {
+                    Tok::Float(text.parse().map_err(|_| {
+                        Diagnostic::new(format!("bad float literal {text:?}"), Span::new(start, i))
+                    })?)
+                } else if let Some(hex) = text.strip_prefix("0x").or(text.strip_prefix("0X")) {
+                    Tok::Int(u64::from_str_radix(hex, 16).map_err(|_| {
+                        Diagnostic::new(format!("bad hex literal {text:?}"), Span::new(start, i))
+                    })?)
+                } else if text.len() > 1 && text.starts_with('0') {
+                    Tok::Int(u64::from_str_radix(&text[1..], 8).map_err(|_| {
+                        Diagnostic::new(format!("bad octal literal {text:?}"), Span::new(start, i))
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| {
+                        Diagnostic::new(format!("bad integer literal {text:?}"), Span::new(start, i))
+                    })?)
+                };
+                tokens.push(Token { tok, span: Span::new(start, i) });
+            }
+            ':' => {
+                if i + 1 < n && bytes[i + 1] == b':' {
+                    tokens.push(Token { tok: Tok::Scope, span: Span::new(start, i + 2) });
+                    i += 2;
+                } else {
+                    tokens.push(Token { tok: Tok::Colon, span: Span::new(start, i + 1) });
+                    i += 1;
+                }
+            }
+            _ => {
+                let tok = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    '<' => Tok::Lt,
+                    '>' => Tok::Gt,
+                    ';' => Tok::Semi,
+                    ',' => Tok::Comma,
+                    '=' => Tok::Eq,
+                    '+' => Tok::Plus,
+                    '-' => Tok::Minus,
+                    '*' => Tok::Star,
+                    '/' => Tok::Slash,
+                    other => {
+                        return Err(Diagnostic::new(
+                            format!("unexpected character {other:?}"),
+                            Span::new(start, start + other.len_utf8()),
+                        ))
+                    }
+                };
+                tokens.push(Token { tok, span: Span::new(start, i + 1) });
+                i += 1;
+            }
+        }
+    }
+    tokens.push(Token { tok: Tok::Eof, span: Span::new(n, n) });
+    Ok(tokens)
+}

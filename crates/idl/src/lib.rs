@@ -1,0 +1,51 @@
+//! pardis-idl — the extended CORBA IDL front end.
+//!
+//! PARDIS represents object specifications in "a slightly extended version
+//! of the CORBA Interface Definition Language" (§2.1): standard IDL plus
+//!
+//! * **`dsequence<T, bound?, client_dist?, server_dist?>`** — distributed
+//!   sequences, legal only in the operations of interfaces that SPMD objects
+//!   implement;
+//! * **`#pragma <System>:<native-type>`** directives that tell the compiler
+//!   to marshal the following typedef straight into a package's native
+//!   container (`#pragma POOMA:field`, `#pragma HPC++:vector`, §3.4).
+//!
+//! The crate is a classical three-stage front end:
+//!
+//! 1. [`lex`](lexer::lex) — source text to spanned tokens;
+//! 2. [`parse`](parser::parse) — tokens to the [`ast`];
+//! 3. [`analyze`](sema::analyze) — name resolution, const-expression
+//!    evaluation, legality checks; produces the resolved [`model`] the code
+//!    generator (`pardis-codegen`) consumes.
+//!
+//! [`compile`] runs all three.
+//!
+//! ## Supported IDL subset
+//!
+//! Modules, interfaces (single and multiple inheritance), operations
+//! (including `oneway` and `raises`), attributes (`readonly`), structs,
+//! enums, exceptions, typedefs, fixed arrays, bounded/unbounded sequences,
+//! the PARDIS `dsequence` extension, constants with arithmetic, `#pragma`
+//! mapping directives. Not implemented (absent from the paper's usage):
+//! unions, `any`-typed parameters, `wchar`/`wstring`, `fixed`, contexts,
+//! forward declarations.
+
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod model;
+pub mod parser;
+pub mod sema;
+
+pub use diag::{Diagnostic, Span};
+pub use model::Model;
+
+/// Run the whole front end on IDL source text.
+pub fn compile(source: &str) -> Result<Model, Vec<Diagnostic>> {
+    let tokens = lexer::lex(source).map_err(|d| vec![d])?;
+    let spec = parser::parse(&tokens).map_err(|d| vec![d])?;
+    sema::analyze(&spec)
+}
+
+#[cfg(test)]
+mod tests;

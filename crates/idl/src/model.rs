@@ -1,0 +1,260 @@
+//! The resolved model handed to the code generator.
+
+use crate::ast::PragmaMap;
+
+/// A fully resolved distribution template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RDist {
+    /// `BLOCK`.
+    Block,
+    /// `CYCLIC`.
+    Cyclic,
+    /// `CONCENTRATED(k)` (default thread 0).
+    Concentrated(u64),
+    /// `BLOCK_CYCLIC(b)`.
+    BlockCyclic(u64),
+}
+
+/// A fully resolved type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RType {
+    /// `void` (return position only).
+    Void,
+    /// `boolean`.
+    Boolean,
+    /// `octet`.
+    Octet,
+    /// `char`.
+    Char,
+    /// `short`.
+    Short,
+    /// `unsigned short`.
+    UShort,
+    /// `long`.
+    Long,
+    /// `unsigned long`.
+    ULong,
+    /// `long long`.
+    LongLong,
+    /// `unsigned long long`.
+    ULongLong,
+    /// `float`.
+    Float,
+    /// `double`.
+    Double,
+    /// `string`.
+    String,
+    /// `sequence<elem, bound?>`.
+    Sequence {
+        /// Element type.
+        elem: Box<RType>,
+        /// Evaluated bound.
+        bound: Option<u64>,
+    },
+    /// `dsequence<elem, ...>` with evaluated bound and defaults.
+    DSequence {
+        /// Element type.
+        elem: Box<RType>,
+        /// Evaluated bound.
+        bound: Option<u64>,
+        /// Declared client-side default distribution.
+        client_dist: Option<RDist>,
+        /// Declared server-side default distribution.
+        server_dist: Option<RDist>,
+        /// Pragma mappings inherited from the declaring typedef
+        /// (`#pragma POOMA:field` etc.).
+        pragmas: Vec<PragmaMap>,
+    },
+    /// Fixed-size array.
+    Array {
+        /// Element type.
+        elem: Box<RType>,
+        /// Evaluated length.
+        len: u64,
+    },
+    /// Reference to a named struct (by flat model name).
+    StructRef(String),
+    /// Reference to a named enum.
+    EnumRef(String),
+    /// Object reference to an interface.
+    InterfaceRef(String),
+}
+
+impl RType {
+    /// Does this type (or anything it contains) involve a distributed
+    /// sequence?
+    pub fn is_distributed(&self) -> bool {
+        matches!(self, RType::DSequence { .. })
+    }
+}
+
+/// A resolved named type definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NamedType {
+    /// `typedef` alias.
+    Alias {
+        /// Module path.
+        path: Vec<String>,
+        /// IDL name.
+        name: String,
+        /// Resolved aliased type.
+        ty: RType,
+    },
+    /// Struct definition.
+    Struct {
+        /// Module path.
+        path: Vec<String>,
+        /// IDL name.
+        name: String,
+        /// Resolved fields.
+        fields: Vec<(String, RType)>,
+    },
+    /// Enum definition.
+    Enum {
+        /// Module path.
+        path: Vec<String>,
+        /// IDL name.
+        name: String,
+        /// Variant labels.
+        variants: Vec<String>,
+    },
+    /// Exception definition (only usable in `raises` clauses).
+    Exception {
+        /// Module path.
+        path: Vec<String>,
+        /// IDL name (the repository id).
+        name: String,
+        /// Resolved members.
+        fields: Vec<(String, RType)>,
+    },
+}
+
+impl NamedType {
+    /// Flat `path::name` key.
+    pub fn key(&self) -> String {
+        let (path, name) = match self {
+            NamedType::Alias { path, name, .. }
+            | NamedType::Struct { path, name, .. }
+            | NamedType::Enum { path, name, .. }
+            | NamedType::Exception { path, name, .. } => (path, name),
+        };
+        flat_key(path, name)
+    }
+}
+
+/// Join a path and name into the flat key used across the model.
+pub fn flat_key(path: &[String], name: &str) -> String {
+    if path.is_empty() {
+        name.to_string()
+    } else {
+        format!("{}::{}", path.join("::"), name)
+    }
+}
+
+/// Parameter direction (resolved).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RDir {
+    /// Client → server.
+    In,
+    /// Server → client.
+    Out,
+    /// Both (scalar types only).
+    InOut,
+}
+
+/// A resolved parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RParam {
+    /// Direction.
+    pub dir: RDir,
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: RType,
+}
+
+/// A resolved operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ROp {
+    /// Name.
+    pub name: String,
+    /// `oneway` (no reply).
+    pub oneway: bool,
+    /// Return type.
+    pub ret: RType,
+    /// Parameters in declaration order.
+    pub params: Vec<RParam>,
+    /// Flat keys of the exceptions this operation may raise.
+    pub raises: Vec<String>,
+}
+
+impl ROp {
+    /// Does any parameter use a distributed type?
+    pub fn has_distributed(&self) -> bool {
+        self.params.iter().any(|p| p.ty.is_distributed())
+    }
+}
+
+/// A resolved interface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RInterface {
+    /// Module path.
+    pub path: Vec<String>,
+    /// IDL name (also the interface repository id).
+    pub name: String,
+    /// Flat keys of direct bases.
+    pub bases: Vec<String>,
+    /// Own operations, declaration order.
+    pub ops: Vec<ROp>,
+}
+
+impl RInterface {
+    /// Flat key.
+    pub fn key(&self) -> String {
+        flat_key(&self.path, &self.name)
+    }
+}
+
+/// A resolved constant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RConst {
+    /// Module path.
+    pub path: Vec<String>,
+    /// Name.
+    pub name: String,
+    /// Declared type.
+    pub ty: RType,
+    /// Evaluated value.
+    pub value: i128,
+}
+
+/// The resolved compilation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Model {
+    /// Named types in source order.
+    pub types: Vec<NamedType>,
+    /// Interfaces in source order.
+    pub interfaces: Vec<RInterface>,
+    /// Constants in source order.
+    pub consts: Vec<RConst>,
+}
+
+impl Model {
+    /// Find an interface by flat key.
+    pub fn interface(&self, key: &str) -> Option<&RInterface> {
+        self.interfaces.iter().find(|i| i.key() == key)
+    }
+
+    /// All operations of an interface including inherited ones
+    /// (base-first, declaration order).
+    pub fn all_ops(&self, key: &str) -> Vec<&ROp> {
+        let mut out = Vec::new();
+        if let Some(iface) = self.interface(key) {
+            for base in &iface.bases {
+                out.extend(self.all_ops(base));
+            }
+            out.extend(iface.ops.iter());
+        }
+        out
+    }
+}

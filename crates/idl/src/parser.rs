@@ -1,0 +1,572 @@
+//! Recursive-descent parser.
+
+use crate::ast::*;
+use crate::diag::{Diagnostic, Span};
+use crate::lexer::{Tok, Token};
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    /// Pragma directives seen but not yet attached to a typedef.
+    pending_pragmas: Vec<PragmaMap>,
+}
+
+/// Parse a token stream into a [`Spec`].
+pub fn parse(tokens: &[Token]) -> Result<Spec, Diagnostic> {
+    let mut p = Parser { toks: tokens, pos: 0, pending_pragmas: Vec::new() };
+    let mut defs = Vec::new();
+    while !p.at_eof() {
+        defs.push(p.definition()?);
+    }
+    if let Some(stray) = p.pending_pragmas.first() {
+        return Err(Diagnostic::new(
+            "pragma mapping is not followed by a typedef",
+            stray.span,
+        ));
+    }
+    Ok(Spec { defs })
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn at_eof(&mut self) -> bool {
+        self.absorb_pragmas_allowed();
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    /// Consume pragma tokens into the pending list wherever a definition
+    /// could start.
+    fn absorb_pragmas_allowed(&mut self) {
+        while let Tok::Pragma(text) = self.peek().clone() {
+            let span = self.span();
+            self.pos += 1;
+            // Expected form: System:native [extension...]
+            if let Some((system, native)) = text.split_once(':') {
+                self.pending_pragmas.push(PragmaMap {
+                    system: system.trim().to_string(),
+                    native: native.trim().to_string(),
+                    span,
+                });
+            } else {
+                // Unknown pragma: ignored, as real IDL compilers do.
+            }
+        }
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if !matches!(t.tok, Tok::Eof) {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<Span, Diagnostic> {
+        if self.peek() == &tok {
+            Ok(self.bump().span)
+        } else {
+            Err(Diagnostic::new(
+                format!("expected {what}, found {:?}", self.peek()),
+                self.span(),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), Diagnostic> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                let span = self.span();
+                self.bump();
+                Ok((name, span))
+            }
+            other => {
+                Err(Diagnostic::new(format!("expected {what}, found {other:?}"), self.span()))
+            }
+        }
+    }
+
+    /// Is the next token this keyword?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn definition(&mut self) -> Result<Def, Diagnostic> {
+        self.absorb_pragmas_allowed();
+        if self.at_kw("module") {
+            self.module().map(Def::Module)
+        } else if self.at_kw("interface") {
+            self.interface().map(Def::Interface)
+        } else if self.at_kw("typedef") {
+            self.typedef().map(Def::Typedef)
+        } else if self.at_kw("struct") {
+            self.struct_def().map(Def::Struct)
+        } else if self.at_kw("enum") {
+            self.enum_def().map(Def::Enum)
+        } else if self.at_kw("const") {
+            self.const_def().map(Def::Const)
+        } else if self.at_kw("exception") {
+            self.exception_def().map(Def::Exception)
+        } else {
+            Err(Diagnostic::new(
+                format!("expected a definition, found {:?}", self.peek()),
+                self.span(),
+            ))
+        }
+    }
+
+    fn exception_def(&mut self) -> Result<ExceptionDef, Diagnostic> {
+        self.bump(); // exception
+        let (name, span) = self.ident("exception name")?;
+        self.expect(Tok::LBrace, "`{`")?;
+        let mut fields = Vec::new();
+        while !matches!(self.peek(), Tok::RBrace) {
+            let ty = self.type_spec(false)?;
+            let (fname, _) = self.ident("member name")?;
+            self.expect(Tok::Semi, "`;`")?;
+            fields.push((ty, fname));
+        }
+        self.expect(Tok::RBrace, "`}`")?;
+        self.expect(Tok::Semi, "`;`")?;
+        Ok(ExceptionDef { name, fields, span })
+    }
+
+    fn module(&mut self) -> Result<Module, Diagnostic> {
+        self.bump(); // module
+        let (name, span) = self.ident("module name")?;
+        self.expect(Tok::LBrace, "`{`")?;
+        let mut defs = Vec::new();
+        loop {
+            self.absorb_pragmas_allowed();
+            if matches!(self.peek(), Tok::RBrace) {
+                break;
+            }
+            defs.push(self.definition()?);
+        }
+        self.expect(Tok::RBrace, "`}`")?;
+        let _ = self.eat_semi();
+        Ok(Module { name, defs, span })
+    }
+
+    fn eat_semi(&mut self) -> bool {
+        if matches!(self.peek(), Tok::Semi) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn interface(&mut self) -> Result<Interface, Diagnostic> {
+        self.bump(); // interface
+        let (name, span) = self.ident("interface name")?;
+        let mut bases = Vec::new();
+        if matches!(self.peek(), Tok::Colon) {
+            self.bump();
+            loop {
+                bases.push(self.scoped_name()?);
+                if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::LBrace, "`{`")?;
+        let mut ops = Vec::new();
+        let mut defs = Vec::new();
+        loop {
+            self.absorb_pragmas_allowed();
+            if matches!(self.peek(), Tok::RBrace) {
+                break;
+            }
+            if self.at_kw("typedef") {
+                defs.push(Def::Typedef(self.typedef()?));
+            } else if self.at_kw("const") {
+                defs.push(Def::Const(self.const_def()?));
+            } else if self.at_kw("struct") {
+                defs.push(Def::Struct(self.struct_def()?));
+            } else if self.at_kw("enum") {
+                defs.push(Def::Enum(self.enum_def()?));
+            } else if self.at_kw("exception") {
+                defs.push(Def::Exception(self.exception_def()?));
+            } else if self.at_kw("attribute") || self.at_kw("readonly") {
+                ops.extend(self.attribute()?);
+            } else {
+                ops.push(self.op_decl()?);
+            }
+        }
+        self.expect(Tok::RBrace, "`}`")?;
+        if !self.eat_semi() {
+            return Err(Diagnostic::new("interface must end with `;`", self.span()));
+        }
+        Ok(Interface { name, bases, ops, defs, span })
+    }
+
+    /// `attribute T name;` desugars to `_get_name` and `_set_name`
+    /// operations (the CORBA mapping); `readonly attribute` drops the
+    /// setter.
+    fn attribute(&mut self) -> Result<Vec<OpDecl>, Diagnostic> {
+        let readonly = self.eat_kw("readonly");
+        if !self.eat_kw("attribute") {
+            return Err(Diagnostic::new("`readonly` must introduce an attribute", self.span()));
+        }
+        let ty = self.type_spec(false)?;
+        let (name, span) = self.ident("attribute name")?;
+        self.expect(Tok::Semi, "`;`")?;
+        let mut ops = vec![OpDecl {
+            oneway: false,
+            ret: ty.clone(),
+            name: format!("_get_{name}"),
+            params: vec![],
+            raises: vec![],
+            span,
+        }];
+        if !readonly {
+            ops.push(OpDecl {
+                oneway: false,
+                ret: TypeSpec::Void,
+                name: format!("_set_{name}"),
+                params: vec![Param { dir: Direction::In, ty, name: "value".to_string(), span }],
+                raises: vec![],
+                span,
+            });
+        }
+        Ok(ops)
+    }
+
+    fn op_decl(&mut self) -> Result<OpDecl, Diagnostic> {
+        let oneway = self.eat_kw("oneway");
+        let ret = self.type_spec(true)?;
+        let (name, span) = self.ident("operation name")?;
+        self.expect(Tok::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !matches!(self.peek(), Tok::RParen) {
+            loop {
+                params.push(self.param()?);
+                if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "`)`")?;
+        let mut raises = Vec::new();
+        if self.eat_kw("raises") {
+            self.expect(Tok::LParen, "`(`")?;
+            loop {
+                raises.push(self.scoped_name()?);
+                if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen, "`)`")?;
+        }
+        self.expect(Tok::Semi, "`;`")?;
+        Ok(OpDecl { oneway, ret, name, params, raises, span })
+    }
+
+    fn param(&mut self) -> Result<Param, Diagnostic> {
+        let dir = if self.eat_kw("in") {
+            Direction::In
+        } else if self.eat_kw("out") {
+            Direction::Out
+        } else if self.eat_kw("inout") {
+            Direction::InOut
+        } else {
+            return Err(Diagnostic::new(
+                format!("expected `in`, `out` or `inout`, found {:?}", self.peek()),
+                self.span(),
+            ));
+        };
+        let ty = self.type_spec(false)?;
+        let (name, span) = self.ident("parameter name")?;
+        Ok(Param { dir, ty, name, span })
+    }
+
+    fn typedef(&mut self) -> Result<Typedef, Diagnostic> {
+        let pragmas = std::mem::take(&mut self.pending_pragmas);
+        self.bump(); // typedef
+        let ty = self.type_spec(false)?;
+        let (name, span) = self.ident("typedef name")?;
+        let ty = self.array_suffix(ty)?;
+        self.expect(Tok::Semi, "`;`")?;
+        Ok(Typedef { name, ty, pragmas, span })
+    }
+
+    /// Parse trailing `[N]` declarator suffixes (IDL fixed arrays),
+    /// outermost dimension first.
+    fn array_suffix(&mut self, mut ty: TypeSpec) -> Result<TypeSpec, Diagnostic> {
+        let mut dims = Vec::new();
+        while let Tok::LBracket = self.peek() {
+            self.bump();
+            dims.push(self.const_expr()?);
+            self.expect(Tok::RBracket, "`]`")?;
+        }
+        for len in dims.into_iter().rev() {
+            ty = TypeSpec::Array { elem: Box::new(ty), len };
+        }
+        Ok(ty)
+    }
+
+    fn struct_def(&mut self) -> Result<StructDef, Diagnostic> {
+        self.bump(); // struct
+        let (name, span) = self.ident("struct name")?;
+        self.expect(Tok::LBrace, "`{`")?;
+        let mut fields = Vec::new();
+        while !matches!(self.peek(), Tok::RBrace) {
+            let ty = self.type_spec(false)?;
+            let (fname, _) = self.ident("field name")?;
+            let ty = self.array_suffix(ty)?;
+            self.expect(Tok::Semi, "`;`")?;
+            fields.push((ty, fname));
+        }
+        self.expect(Tok::RBrace, "`}`")?;
+        self.expect(Tok::Semi, "`;`")?;
+        Ok(StructDef { name, fields, span })
+    }
+
+    fn enum_def(&mut self) -> Result<EnumDef, Diagnostic> {
+        self.bump(); // enum
+        let (name, span) = self.ident("enum name")?;
+        self.expect(Tok::LBrace, "`{`")?;
+        let mut variants = Vec::new();
+        loop {
+            let (v, _) = self.ident("enum variant")?;
+            variants.push(v);
+            if matches!(self.peek(), Tok::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(Tok::RBrace, "`}`")?;
+        self.expect(Tok::Semi, "`;`")?;
+        Ok(EnumDef { name, variants, span })
+    }
+
+    fn const_def(&mut self) -> Result<ConstDef, Diagnostic> {
+        self.bump(); // const
+        let ty = self.type_spec(false)?;
+        let (name, span) = self.ident("constant name")?;
+        self.expect(Tok::Eq, "`=`")?;
+        let value = self.const_expr()?;
+        self.expect(Tok::Semi, "`;`")?;
+        Ok(ConstDef { ty, name, value, span })
+    }
+
+    fn scoped_name(&mut self) -> Result<ScopedName, Diagnostic> {
+        let (first, mut span) = self.ident("name")?;
+        let mut parts = vec![first];
+        while matches!(self.peek(), Tok::Scope) {
+            self.bump();
+            let (next, s) = self.ident("name after `::`")?;
+            span = span.merge(s);
+            parts.push(next);
+        }
+        Ok(ScopedName { parts, span })
+    }
+
+    fn type_spec(&mut self, allow_void: bool) -> Result<TypeSpec, Diagnostic> {
+        let span = self.span();
+        if self.eat_kw("void") {
+            if allow_void {
+                return Ok(TypeSpec::Void);
+            }
+            return Err(Diagnostic::new("`void` is only legal as a return type", span));
+        }
+        if self.eat_kw("boolean") {
+            return Ok(TypeSpec::Boolean);
+        }
+        if self.eat_kw("octet") {
+            return Ok(TypeSpec::Octet);
+        }
+        if self.eat_kw("char") {
+            return Ok(TypeSpec::Char);
+        }
+        if self.eat_kw("float") {
+            return Ok(TypeSpec::Float);
+        }
+        if self.eat_kw("double") {
+            return Ok(TypeSpec::Double);
+        }
+        if self.eat_kw("string") {
+            return Ok(TypeSpec::String);
+        }
+        if self.eat_kw("short") {
+            return Ok(TypeSpec::Short);
+        }
+        if self.eat_kw("long") {
+            return Ok(if self.eat_kw("long") { TypeSpec::LongLong } else { TypeSpec::Long });
+        }
+        if self.eat_kw("unsigned") {
+            if self.eat_kw("short") {
+                return Ok(TypeSpec::UShort);
+            }
+            if self.eat_kw("long") {
+                return Ok(if self.eat_kw("long") {
+                    TypeSpec::ULongLong
+                } else {
+                    TypeSpec::ULong
+                });
+            }
+            return Err(Diagnostic::new(
+                "`unsigned` must be followed by `short` or `long`",
+                self.span(),
+            ));
+        }
+        if self.eat_kw("sequence") {
+            self.expect(Tok::Lt, "`<`")?;
+            let elem = Box::new(self.type_spec(false)?);
+            let bound = if matches!(self.peek(), Tok::Comma) {
+                self.bump();
+                Some(self.const_expr()?)
+            } else {
+                None
+            };
+            self.expect(Tok::Gt, "`>`")?;
+            return Ok(TypeSpec::Sequence { elem, bound });
+        }
+        if self.eat_kw("dsequence") {
+            self.expect(Tok::Lt, "`<`")?;
+            let elem = Box::new(self.type_spec(false)?);
+            let mut bound = None;
+            let mut dists = Vec::new();
+            while matches!(self.peek(), Tok::Comma) {
+                self.bump();
+                // A distribution keyword or a bound expression.
+                if self.at_kw("BLOCK")
+                    || self.at_kw("CYCLIC")
+                    || self.at_kw("CONCENTRATED")
+                    || self.at_kw("BLOCK_CYCLIC")
+                {
+                    dists.push(self.dist_spec()?);
+                } else if bound.is_none() && dists.is_empty() {
+                    bound = Some(self.const_expr()?);
+                } else {
+                    return Err(Diagnostic::new(
+                        "expected a distribution specifier (BLOCK, CYCLIC, CONCENTRATED)",
+                        self.span(),
+                    ));
+                }
+            }
+            if dists.len() > 2 {
+                return Err(Diagnostic::new(
+                    "dsequence takes at most two distribution specifiers (client, server)",
+                    self.span(),
+                ));
+            }
+            self.expect(Tok::Gt, "`>`")?;
+            let mut it = dists.into_iter();
+            return Ok(TypeSpec::DSequence {
+                elem,
+                bound,
+                client_dist: it.next(),
+                server_dist: it.next(),
+            });
+        }
+        Ok(TypeSpec::Named(self.scoped_name()?))
+    }
+
+    fn dist_spec(&mut self) -> Result<DistSpec, Diagnostic> {
+        if self.at_kw("BLOCK_CYCLIC") {
+            self.bump();
+            self.expect(Tok::LParen, "`(`")?;
+            let e = self.const_expr()?;
+            self.expect(Tok::RParen, "`)`")?;
+            return Ok(DistSpec::BlockCyclic(e));
+        }
+        if self.eat_kw("BLOCK") {
+            return Ok(DistSpec::Block);
+        }
+        if self.eat_kw("CYCLIC") {
+            return Ok(DistSpec::Cyclic);
+        }
+        if self.eat_kw("CONCENTRATED") {
+            let arg = if matches!(self.peek(), Tok::LParen) {
+                self.bump();
+                let e = self.const_expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Some(e)
+            } else {
+                None
+            };
+            return Ok(DistSpec::Concentrated(arg));
+        }
+        Err(Diagnostic::new(
+            "expected BLOCK, CYCLIC, CONCENTRATED or BLOCK_CYCLIC",
+            self.span(),
+        ))
+    }
+
+    /// `expr := term (('+'|'-') term)*`, `term := factor (('*'|'/') factor)*`
+    fn const_expr(&mut self) -> Result<ConstExpr, Diagnostic> {
+        let mut lhs = self.const_term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => '+',
+                Tok::Minus => '-',
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.const_term()?;
+            lhs = ConstExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn const_term(&mut self) -> Result<ConstExpr, Diagnostic> {
+        let mut lhs = self.const_factor()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => '*',
+                Tok::Slash => '/',
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.const_factor()?;
+            lhs = ConstExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn const_factor(&mut self) -> Result<ConstExpr, Diagnostic> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(ConstExpr::Int(v))
+            }
+            Tok::Minus => {
+                self.bump();
+                Ok(ConstExpr::Neg(Box::new(self.const_factor()?)))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.const_expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(_) => Ok(ConstExpr::Name(self.scoped_name()?)),
+            other => Err(Diagnostic::new(
+                format!("expected a constant expression, found {other:?}"),
+                self.span(),
+            )),
+        }
+    }
+}

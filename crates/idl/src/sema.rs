@@ -1,0 +1,494 @@
+//! Semantic analysis: name resolution, const evaluation, legality rules.
+
+use crate::ast::{self, ConstExpr, Def, Direction, DistSpec, Spec, TypeSpec};
+use crate::diag::{Diagnostic, Span};
+use crate::model::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Sym {
+    Alias(usize),
+    Struct(usize),
+    Enum(usize),
+    Exception(usize),
+    Interface(usize),
+    Const(usize),
+    Module,
+}
+
+struct Analyzer {
+    model: Model,
+    symbols: HashMap<String, Sym>,
+    errors: Vec<Diagnostic>,
+}
+
+/// Resolve and check a parsed [`Spec`], producing the code-generation
+/// [`Model`].
+pub fn analyze(spec: &Spec) -> Result<Model, Vec<Diagnostic>> {
+    let mut a = Analyzer { model: Model::default(), symbols: HashMap::new(), errors: Vec::new() };
+    a.collect_defs(&spec.defs, &mut Vec::new());
+    if a.errors.is_empty() {
+        Ok(a.model)
+    } else {
+        Err(a.errors)
+    }
+}
+
+impl Analyzer {
+    fn err(&mut self, msg: impl Into<String>, span: Span) {
+        self.errors.push(Diagnostic::new(msg, span));
+    }
+
+    fn declare(&mut self, path: &[String], name: &str, sym: Sym, span: Span) -> bool {
+        let key = flat_key(path, name);
+        match self.symbols.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let key = e.key().clone();
+                self.err(format!("duplicate definition of {key:?}"), span);
+                false
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(sym);
+                true
+            }
+        }
+    }
+
+    fn collect_defs(&mut self, defs: &[Def], path: &mut Vec<String>) {
+        for def in defs {
+            match def {
+                Def::Module(m) => {
+                    self.declare(path, &m.name, Sym::Module, m.span);
+                    path.push(m.name.clone());
+                    self.collect_defs(&m.defs, path);
+                    path.pop();
+                }
+                Def::Typedef(td) => {
+                    let ty = self.resolve_type(&td.ty, path, td.span, TypePos::Typedef);
+                    // Attach typedef-level pragmas to the distributed type.
+                    let ty = match ty {
+                        RType::DSequence { elem, bound, client_dist, server_dist, mut pragmas } => {
+                            pragmas.extend(td.pragmas.iter().cloned());
+                            RType::DSequence { elem, bound, client_dist, server_dist, pragmas }
+                        }
+                        other => {
+                            if !td.pragmas.is_empty() {
+                                self.err(
+                                    "pragma mappings only apply to dsequence typedefs",
+                                    td.pragmas[0].span,
+                                );
+                            }
+                            other
+                        }
+                    };
+                    let idx = self.model.types.len();
+                    if self.declare(path, &td.name, Sym::Alias(idx), td.span) {
+                        self.model.types.push(NamedType::Alias {
+                            path: path.clone(),
+                            name: td.name.clone(),
+                            ty,
+                        });
+                    }
+                }
+                Def::Struct(sd) => {
+                    let mut fields = Vec::new();
+                    let mut seen = Vec::new();
+                    for (fty, fname) in &sd.fields {
+                        if seen.contains(fname) {
+                            self.err(
+                                format!("duplicate field {fname:?} in struct {}", sd.name),
+                                sd.span,
+                            );
+                        }
+                        seen.push(fname.clone());
+                        let rty = self.resolve_type(fty, path, sd.span, TypePos::StructField);
+                        fields.push((fname.clone(), rty));
+                    }
+                    let idx = self.model.types.len();
+                    if self.declare(path, &sd.name, Sym::Struct(idx), sd.span) {
+                        self.model.types.push(NamedType::Struct {
+                            path: path.clone(),
+                            name: sd.name.clone(),
+                            fields,
+                        });
+                    }
+                }
+                Def::Enum(ed) => {
+                    let mut seen = Vec::new();
+                    for v in &ed.variants {
+                        if seen.contains(v) {
+                            self.err(
+                                format!("duplicate variant {v:?} in enum {}", ed.name),
+                                ed.span,
+                            );
+                        }
+                        seen.push(v.clone());
+                    }
+                    let idx = self.model.types.len();
+                    if self.declare(path, &ed.name, Sym::Enum(idx), ed.span) {
+                        self.model.types.push(NamedType::Enum {
+                            path: path.clone(),
+                            name: ed.name.clone(),
+                            variants: ed.variants.clone(),
+                        });
+                    }
+                }
+                Def::Const(cd) => {
+                    let ty = self.resolve_type(&cd.ty, path, cd.span, TypePos::ConstType);
+                    let value = self.eval_const(&cd.value, path, cd.span);
+                    let idx = self.model.consts.len();
+                    if self.declare(path, &cd.name, Sym::Const(idx), cd.span) {
+                        self.model.consts.push(RConst {
+                            path: path.clone(),
+                            name: cd.name.clone(),
+                            ty,
+                            value,
+                        });
+                    }
+                }
+                Def::Exception(xd) => {
+                    let mut fields = Vec::new();
+                    let mut seen = Vec::new();
+                    for (fty, fname) in &xd.fields {
+                        if seen.contains(fname) {
+                            self.err(
+                                format!("duplicate member {fname:?} in exception {}", xd.name),
+                                xd.span,
+                            );
+                        }
+                        seen.push(fname.clone());
+                        let rty = self.resolve_type(fty, path, xd.span, TypePos::StructField);
+                        fields.push((fname.clone(), rty));
+                    }
+                    let idx = self.model.types.len();
+                    if self.declare(path, &xd.name, Sym::Exception(idx), xd.span) {
+                        self.model.types.push(NamedType::Exception {
+                            path: path.clone(),
+                            name: xd.name.clone(),
+                            fields,
+                        });
+                    }
+                }
+                Def::Interface(iface) => self.collect_interface(iface, path),
+            }
+        }
+    }
+
+    fn collect_interface(&mut self, iface: &ast::Interface, path: &mut Vec<String>) {
+        // Nested definitions first (scoped inside the interface name).
+        path.push(iface.name.clone());
+        self.collect_defs(&iface.defs, path);
+        path.pop();
+
+        let mut bases = Vec::new();
+        for base in &iface.bases {
+            match self.lookup(&base.parts, path) {
+                Some((key, Sym::Interface(_))) => bases.push(key),
+                Some((key, _)) => {
+                    self.err(format!("{key:?} is not an interface"), base.span)
+                }
+                None => self.err(format!("unknown interface {:?}", base.dotted()), base.span),
+            }
+        }
+
+        let mut ops = Vec::new();
+        let iface_scope = {
+            let mut p = path.clone();
+            p.push(iface.name.clone());
+            p
+        };
+        for op in &iface.ops {
+            if ops.iter().any(|o: &ROp| o.name == op.name) {
+                self.err(
+                    format!("duplicate operation {:?} (IDL has no overloading)", op.name),
+                    op.span,
+                );
+            }
+            let ret = self.resolve_type(&op.ret, &iface_scope, op.span, TypePos::Return);
+            let mut params = Vec::new();
+            for p in &op.params {
+                if params.iter().any(|q: &RParam| q.name == p.name) {
+                    self.err(format!("duplicate parameter {:?}", p.name), p.span);
+                }
+                let pos = match p.dir {
+                    Direction::In => TypePos::InParam,
+                    Direction::Out => TypePos::OutParam,
+                    Direction::InOut => TypePos::InOutParam,
+                };
+                let ty = self.resolve_type(&p.ty, &iface_scope, p.span, pos);
+                let dir = match p.dir {
+                    Direction::In => RDir::In,
+                    Direction::Out => RDir::Out,
+                    Direction::InOut => RDir::InOut,
+                };
+                if dir == RDir::InOut && ty.is_distributed() {
+                    self.err(
+                        "distributed sequences may be `in` or `out`, not `inout`",
+                        p.span,
+                    );
+                }
+                params.push(RParam { dir, name: p.name.clone(), ty });
+            }
+            if op.oneway {
+                if op.ret != TypeSpec::Void {
+                    self.err("oneway operations must return void", op.span);
+                }
+                if op.params.iter().any(|p| p.dir != Direction::In) {
+                    self.err("oneway operations may only have `in` parameters", op.span);
+                }
+                if !op.raises.is_empty() {
+                    self.err("oneway operations cannot raise exceptions", op.span);
+                }
+            }
+            let mut raises = Vec::new();
+            for name in &op.raises {
+                match self.lookup(&name.parts, &iface_scope) {
+                    Some((key, Sym::Exception(_))) => raises.push(key),
+                    Some((key, _)) => {
+                        self.err(format!("{key:?} is not an exception"), name.span)
+                    }
+                    None => {
+                        self.err(format!("unknown exception {:?}", name.dotted()), name.span)
+                    }
+                }
+            }
+            ops.push(ROp { name: op.name.clone(), oneway: op.oneway, ret, params, raises });
+        }
+
+        let idx = self.model.interfaces.len();
+        if self.declare(path, &iface.name, Sym::Interface(idx), iface.span) {
+            self.model.interfaces.push(RInterface {
+                path: path.clone(),
+                name: iface.name.clone(),
+                bases,
+                ops,
+            });
+            // Check inherited-op collisions now that the interface exists.
+            let key = flat_key(path, &iface.name);
+            let mut names: Vec<String> =
+                self.model.all_ops(&key).iter().map(|o| o.name.clone()).collect();
+            names.sort_unstable();
+            for w in names.windows(2) {
+                if w[0] == w[1] {
+                    self.err(
+                        format!(
+                            "interface {} inherits or declares operation {:?} more than once",
+                            iface.name, w[0]
+                        ),
+                        iface.span,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Resolve a scoped name against the current module path, innermost
+    /// scope first. Returns the flat key and symbol.
+    fn lookup(&self, parts: &[String], path: &[String]) -> Option<(String, Sym)> {
+        let suffix = parts.join("::");
+        for depth in (0..=path.len()).rev() {
+            let key = if depth == 0 {
+                suffix.clone()
+            } else {
+                format!("{}::{}", path[..depth].join("::"), suffix)
+            };
+            if let Some(sym) = self.symbols.get(&key) {
+                return Some((key, sym.clone()));
+            }
+        }
+        None
+    }
+
+    fn eval_const(&mut self, e: &ConstExpr, path: &[String], span: Span) -> i128 {
+        match e {
+            ConstExpr::Int(v) => *v as i128,
+            ConstExpr::Neg(inner) => -self.eval_const(inner, path, span),
+            ConstExpr::Name(name) => match self.lookup(&name.parts, path) {
+                Some((_, Sym::Const(idx))) => self.model.consts[idx].value,
+                Some((key, _)) => {
+                    self.err(format!("{key:?} is not a constant"), name.span);
+                    0
+                }
+                None => {
+                    self.err(format!("unknown constant {:?}", name.dotted()), name.span);
+                    0
+                }
+            },
+            ConstExpr::Binary { op, lhs, rhs } => {
+                let l = self.eval_const(lhs, path, span);
+                let r = self.eval_const(rhs, path, span);
+                match op {
+                    '+' => l.wrapping_add(r),
+                    '-' => l.wrapping_sub(r),
+                    '*' => l.wrapping_mul(r),
+                    '/' => {
+                        if r == 0 {
+                            self.err("division by zero in constant expression", span);
+                            0
+                        } else {
+                            l / r
+                        }
+                    }
+                    other => unreachable!("parser only produces + - * /: {other}"),
+                }
+            }
+        }
+    }
+
+    fn eval_bound(&mut self, e: &ConstExpr, path: &[String], span: Span) -> Option<u64> {
+        let v = self.eval_const(e, path, span);
+        if v <= 0 {
+            self.err(format!("sequence bound must be positive, got {v}"), span);
+            None
+        } else if v > u32::MAX as i128 {
+            self.err(format!("sequence bound {v} exceeds 2^32-1"), span);
+            None
+        } else {
+            Some(v as u64)
+        }
+    }
+
+    fn resolve_dist(&mut self, d: &DistSpec, path: &[String], span: Span) -> RDist {
+        match d {
+            DistSpec::Block => RDist::Block,
+            DistSpec::Cyclic => RDist::Cyclic,
+            DistSpec::Concentrated(None) => RDist::Concentrated(0),
+            DistSpec::Concentrated(Some(e)) => {
+                let v = self.eval_const(e, path, span);
+                if v < 0 {
+                    self.err("CONCENTRATED thread must be non-negative", span);
+                    RDist::Concentrated(0)
+                } else {
+                    RDist::Concentrated(v as u64)
+                }
+            }
+            DistSpec::BlockCyclic(e) => {
+                let v = self.eval_const(e, path, span);
+                if v <= 0 {
+                    self.err("BLOCK_CYCLIC block size must be positive", span);
+                    RDist::BlockCyclic(1)
+                } else {
+                    RDist::BlockCyclic(v as u64)
+                }
+            }
+        }
+    }
+
+    fn resolve_type(&mut self, ty: &TypeSpec, path: &[String], span: Span, pos: TypePos) -> RType {
+        let rty = match ty {
+            TypeSpec::Void => RType::Void,
+            TypeSpec::Boolean => RType::Boolean,
+            TypeSpec::Octet => RType::Octet,
+            TypeSpec::Char => RType::Char,
+            TypeSpec::Short => RType::Short,
+            TypeSpec::UShort => RType::UShort,
+            TypeSpec::Long => RType::Long,
+            TypeSpec::ULong => RType::ULong,
+            TypeSpec::LongLong => RType::LongLong,
+            TypeSpec::ULongLong => RType::ULongLong,
+            TypeSpec::Float => RType::Float,
+            TypeSpec::Double => RType::Double,
+            TypeSpec::String => RType::String,
+            TypeSpec::Sequence { elem, bound } => {
+                let e = self.resolve_type(elem, path, span, TypePos::Element);
+                if e.is_distributed() {
+                    self.err("sequence elements may not be distributed", span);
+                }
+                let b = bound.as_ref().and_then(|b| self.eval_bound(b, path, span));
+                RType::Sequence { elem: Box::new(e), bound: b }
+            }
+            TypeSpec::DSequence { elem, bound, client_dist, server_dist } => {
+                let e = self.resolve_type(elem, path, span, TypePos::Element);
+                if e.is_distributed() {
+                    self.err("dsequence elements may not themselves be distributed", span);
+                }
+                let b = bound.as_ref().and_then(|b| self.eval_bound(b, path, span));
+                RType::DSequence {
+                    elem: Box::new(e),
+                    bound: b,
+                    client_dist: client_dist.as_ref().map(|d| self.resolve_dist(d, path, span)),
+                    server_dist: server_dist.as_ref().map(|d| self.resolve_dist(d, path, span)),
+                    pragmas: Vec::new(),
+                }
+            }
+            TypeSpec::Array { elem, len } => {
+                let e = self.resolve_type(elem, path, span, TypePos::Element);
+                if e.is_distributed() {
+                    self.err("array elements may not be distributed", span);
+                }
+                let n = self.eval_const(len, path, span);
+                if n <= 0 || n > u32::MAX as i128 {
+                    self.err(format!("array length must be in 1..2^32, got {n}"), span);
+                    RType::Array { elem: Box::new(e), len: 1 }
+                } else {
+                    RType::Array { elem: Box::new(e), len: n as u64 }
+                }
+            }
+            TypeSpec::Named(name) => match self.lookup(&name.parts, path) {
+                Some((key, Sym::Alias(idx))) => {
+                    // Aliases resolve structurally, so codegen always sees
+                    // the underlying shape; the alias itself is also emitted
+                    // as a Rust type alias.
+                    let NamedType::Alias { ty, .. } = self.model.types[idx].clone() else {
+                        unreachable!("alias index points at an alias");
+                    };
+                    let _ = key;
+                    ty
+                }
+                Some((key, Sym::Struct(_))) => RType::StructRef(key),
+                Some((key, Sym::Enum(_))) => RType::EnumRef(key),
+                Some((key, Sym::Exception(_))) => {
+                    self.err(
+                        format!("exception {key:?} can only appear in a raises clause"),
+                        name.span,
+                    );
+                    RType::Long
+                }
+                Some((key, Sym::Interface(_))) => RType::InterfaceRef(key),
+                Some((key, Sym::Const(_))) => {
+                    self.err(format!("{key:?} is a constant, not a type"), name.span);
+                    RType::Long
+                }
+                Some((key, Sym::Module)) => {
+                    self.err(format!("{key:?} is a module, not a type"), name.span);
+                    RType::Long
+                }
+                None => {
+                    self.err(format!("unknown type {:?}", name.dotted()), name.span);
+                    RType::Long
+                }
+            },
+        };
+
+        // Positional legality for distributed sequences (§3.2: they are
+        // argument containers for SPMD objects).
+        if rty.is_distributed() {
+            match pos {
+                TypePos::InParam | TypePos::OutParam | TypePos::Typedef | TypePos::Element => {}
+                TypePos::Return => {
+                    self.err("operations may not return dsequence; use an out parameter", span)
+                }
+                TypePos::StructField => {
+                    self.err("struct fields may not be distributed", span)
+                }
+                TypePos::ConstType => self.err("constants may not be distributed", span),
+                TypePos::InOutParam => {
+                    self.err("distributed sequences may be `in` or `out`, not `inout`", span)
+                }
+            }
+        }
+        rty
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TypePos {
+    Typedef,
+    StructField,
+    ConstType,
+    Return,
+    InParam,
+    OutParam,
+    InOutParam,
+    Element,
+}

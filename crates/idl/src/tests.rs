@@ -1,0 +1,475 @@
+use crate::ast::PragmaMap;
+use crate::lexer::{lex, Tok};
+use crate::model::*;
+use crate::{compile, parser};
+
+/// The solver IDL from §4.1 of the paper, verbatim in spirit.
+const SOLVERS_IDL: &str = r#"
+// Linear-system solvers (fig. 2 experiment).
+typedef sequence<double> row;
+typedef dsequence<row> matrix;
+typedef dsequence<double> vector;
+
+interface direct {
+    void solve(in matrix A, in vector B, out vector X);
+};
+interface iterative {
+    void solve(in double tol, in matrix A, in vector B, out vector X);
+};
+"#;
+
+/// The pipeline IDL from §4.3, with pragma mappings.
+const PIPELINE_IDL: &str = r#"
+const long N = 128;
+#pragma HPC++:vector
+#pragma POOMA:field
+typedef dsequence<double, N*N, BLOCK, BLOCK> field;
+
+interface visualizer {
+    void show(in field myfield);
+};
+interface field_operations {
+    void gradient(in field myfield);
+};
+"#;
+
+#[test]
+fn lexes_tokens_and_pragmas() {
+    let toks = lex("typedef dsequence<double, 0x10> v; // comment\n#pragma POOMA:field\n")
+        .expect("lex");
+    let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
+    assert!(matches!(kinds[0], Tok::Ident(s) if s == "typedef"));
+    assert!(matches!(kinds[2], Tok::Lt));
+    assert!(kinds.iter().any(|t| matches!(t, Tok::Int(16))));
+    assert!(kinds.iter().any(|t| matches!(t, Tok::Pragma(p) if p == "POOMA:field")));
+    assert!(matches!(kinds.last().unwrap(), Tok::Eof));
+}
+
+#[test]
+fn lexes_octal_float_string() {
+    let toks = lex(r#"010 2.5 "a\nb""#).unwrap();
+    assert!(matches!(toks[0].tok, Tok::Int(8)));
+    assert!(matches!(toks[1].tok, Tok::Float(f) if f == 2.5));
+    assert!(matches!(&toks[2].tok, Tok::Str(s) if s == "a\nb"));
+}
+
+#[test]
+fn lex_errors_are_spanned() {
+    let err = lex("interface x { @ }").unwrap_err();
+    assert!(err.message.contains("unexpected character"));
+    assert_eq!(err.span.start, 14);
+    let err = lex("/* unterminated").unwrap_err();
+    assert!(err.message.contains("unterminated block comment"));
+    let err = lex("\"open").unwrap_err();
+    assert!(err.message.contains("unterminated string"));
+}
+
+#[test]
+fn parses_paper_solver_idl() {
+    let model = compile(SOLVERS_IDL).expect("compile");
+    assert_eq!(model.interfaces.len(), 2);
+    let direct = model.interface("direct").unwrap();
+    assert_eq!(direct.ops.len(), 1);
+    let solve = &direct.ops[0];
+    assert_eq!(solve.name, "solve");
+    assert_eq!(solve.ret, RType::Void);
+    assert_eq!(solve.params.len(), 3);
+    assert_eq!(solve.params[0].dir, RDir::In);
+    assert_eq!(solve.params[2].dir, RDir::Out);
+    // matrix = dsequence<sequence<double>>.
+    match &solve.params[0].ty {
+        RType::DSequence { elem, .. } => match elem.as_ref() {
+            RType::Sequence { elem, bound: None } => assert_eq!(**elem, RType::Double),
+            other => panic!("matrix elem should be a sequence, got {other:?}"),
+        },
+        other => panic!("matrix should be distributed, got {other:?}"),
+    }
+    assert!(solve.has_distributed());
+}
+
+#[test]
+fn parses_pipeline_idl_with_pragmas() {
+    let model = compile(PIPELINE_IDL).expect("compile");
+    assert_eq!(model.consts.len(), 1);
+    assert_eq!(model.consts[0].value, 128);
+    // The `field` alias carries both pragma mappings and the evaluated
+    // bound N*N.
+    let field = model
+        .types
+        .iter()
+        .find_map(|t| match t {
+            NamedType::Alias { name, ty, .. } if name == "field" => Some(ty.clone()),
+            _ => None,
+        })
+        .expect("field alias");
+    match field {
+        RType::DSequence { bound, client_dist, server_dist, pragmas, .. } => {
+            assert_eq!(bound, Some(128 * 128));
+            assert_eq!(client_dist, Some(RDist::Block));
+            assert_eq!(server_dist, Some(RDist::Block));
+            let systems: Vec<(&str, &str)> =
+                pragmas.iter().map(|p: &PragmaMap| (p.system.as_str(), p.native.as_str())).collect();
+            assert!(systems.contains(&("HPC++", "vector")));
+            assert!(systems.contains(&("POOMA", "field")));
+        }
+        other => panic!("field should be a dsequence, got {other:?}"),
+    }
+}
+
+#[test]
+fn dna_idl_from_section_4_2() {
+    let model = compile(
+        r#"
+        typedef sequence<string> dna_list;
+        interface list_server {
+            void match(in string s, out dna_list l);
+        };
+        enum status { done, working };
+        interface dna_db {
+            status search(in string s);
+        };
+        "#,
+    )
+    .expect("compile");
+    let db = model.interface("dna_db").unwrap();
+    assert_eq!(db.ops[0].ret, RType::EnumRef("status".into()));
+    let ls = model.interface("list_server").unwrap();
+    match &ls.ops[0].params[1].ty {
+        RType::Sequence { elem, .. } => assert_eq!(**elem, RType::String),
+        other => panic!("dna_list should resolve to sequence<string>, got {other:?}"),
+    }
+}
+
+#[test]
+fn modules_scope_names() {
+    let model = compile(
+        r#"
+        module math {
+            typedef dsequence<double> vec;
+            interface adder {
+                void add(in vec a, in vec b, out vec c);
+            };
+        };
+        module other {
+            interface user {
+                void consume(in math::vec v);
+            };
+        };
+        "#,
+    )
+    .expect("compile");
+    assert_eq!(model.interfaces[0].key(), "math::adder");
+    assert_eq!(model.interfaces[1].key(), "other::user");
+    assert!(model.interfaces[1].ops[0].params[0].ty.is_distributed());
+}
+
+#[test]
+fn interface_inheritance_flattens_ops() {
+    let model = compile(
+        r#"
+        interface base { void ping(); };
+        interface derived : base { void pong(); };
+        "#,
+    )
+    .expect("compile");
+    let ops = model.all_ops("derived");
+    let names: Vec<&str> = ops.iter().map(|o| o.name.as_str()).collect();
+    assert_eq!(names, vec!["ping", "pong"]);
+}
+
+#[test]
+fn structs_and_consts_resolve() {
+    let model = compile(
+        r#"
+        const long SIZE = 4 * (3 + 2) - 6 / 2;
+        struct point { double x; double y; };
+        typedef sequence<point, SIZE> points;
+        interface geom { void centroid(in points p, out point c); };
+        "#,
+    )
+    .expect("compile");
+    assert_eq!(model.consts[0].value, 17);
+    match &model.interface("geom").unwrap().ops[0].params[0].ty {
+        RType::Sequence { elem, bound } => {
+            assert_eq!(**elem, RType::StructRef("point".into()));
+            assert_eq!(*bound, Some(17));
+        }
+        other => panic!("points should be a bounded sequence, got {other:?}"),
+    }
+}
+
+#[test]
+fn oneway_rules_enforced() {
+    let errs = compile("interface i { oneway long bad(); };").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("must return void")));
+    let errs = compile("interface i { oneway void bad(out long x); };").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("only have `in`")));
+    assert!(compile("interface i { oneway void ok(in long x); };").is_ok());
+}
+
+#[test]
+fn distributed_legality_rules() {
+    let errs = compile("struct s { dsequence<double> d; };").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("may not be distributed")));
+
+    let errs = compile("interface i { dsequence<double> get(); };").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("may not return dsequence")));
+
+    let errs = compile("interface i { void f(inout dsequence<double> d); };").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("not `inout`")));
+
+    let errs = compile("typedef sequence<dsequence<double>> bad;").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("elements may not be distributed")));
+
+    let errs = compile("typedef dsequence<dsequence<double>> bad;").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("not themselves be distributed")));
+}
+
+#[test]
+fn error_recovery_reports_unknown_names() {
+    let errs = compile("interface i { void f(in nosuch x); };").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("unknown type")));
+    let errs = compile("typedef sequence<double, NOPE> v;").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("unknown constant")));
+}
+
+#[test]
+fn duplicate_definitions_rejected() {
+    let errs = compile("typedef long a; typedef short a;").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("duplicate definition")));
+    let errs = compile("interface i { void f(); void f(); };").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("no overloading")));
+    let errs =
+        compile("interface a { void f(); }; interface b : a { void f(); };").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("more than once")));
+}
+
+#[test]
+fn bound_validation() {
+    let errs = compile("typedef sequence<double, 0> v;").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("must be positive")));
+    let errs = compile("typedef sequence<double, 0 - 4> v;").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("must be positive")));
+    let errs = compile("const long Z = 1 / 0;").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("division by zero")));
+}
+
+#[test]
+fn stray_pragma_rejected() {
+    let toks = lex("#pragma POOMA:field\ninterface i { };").unwrap();
+    let err = parser::parse(&toks).unwrap_err();
+    assert!(err.message.contains("not followed by a typedef"));
+}
+
+#[test]
+fn pragma_on_non_dsequence_rejected() {
+    let errs = compile("#pragma POOMA:field\ntypedef long x;").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("only apply to dsequence")));
+}
+
+#[test]
+fn concentrated_with_thread_argument() {
+    let model =
+        compile("typedef dsequence<double, 1024, BLOCK, CONCENTRATED(2)> v;").expect("compile");
+    match &model.types[0] {
+        NamedType::Alias { ty: RType::DSequence { server_dist, .. }, .. } => {
+            assert_eq!(*server_dist, Some(RDist::Concentrated(2)));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn fixed_arrays_resolve() {
+    let model = compile(
+        r#"
+        const long DIM = 3;
+        typedef double triple[DIM];
+        typedef double grid[2][DIM];
+        struct cell { double corners[4]; };
+        interface geo { void take(in triple t, in grid g, in cell c); };
+        "#,
+    )
+    .expect("compile");
+    match &model.types[0] {
+        NamedType::Alias { ty: RType::Array { elem, len }, .. } => {
+            assert_eq!(**elem, RType::Double);
+            assert_eq!(*len, 3);
+        }
+        other => panic!("expected array alias, got {other:?}"),
+    }
+    // Multi-dimensional: outer dimension first.
+    match &model.types[1] {
+        NamedType::Alias { ty: RType::Array { elem, len }, .. } => {
+            assert_eq!(*len, 2);
+            assert!(matches!(elem.as_ref(), RType::Array { len: 3, .. }));
+        }
+        other => panic!("expected 2-D array alias, got {other:?}"),
+    }
+    let errs = compile("typedef double bad[0];").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("array length")));
+}
+
+#[test]
+fn exceptions_and_raises_resolve() {
+    let model = compile(
+        r#"
+        exception overflow { long max; string detail; };
+        interface counter {
+            void bump(in long by) raises(overflow);
+        };
+        "#,
+    )
+    .expect("compile");
+    match &model.types[0] {
+        NamedType::Exception { name, fields, .. } => {
+            assert_eq!(name, "overflow");
+            assert_eq!(fields.len(), 2);
+            assert_eq!(fields[0].1, RType::Long);
+        }
+        other => panic!("expected exception, got {other:?}"),
+    }
+    assert_eq!(model.interface("counter").unwrap().ops[0].raises, vec!["overflow".to_string()]);
+
+    let errs = compile("interface c { void f() raises(nope); };").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("unknown exception")));
+
+    let errs =
+        compile("struct s { long x; }; interface c { void f() raises(s); };").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("is not an exception")));
+
+    let errs = compile(
+        "exception e { long x; }; interface c { oneway void f() raises(e); };",
+    )
+    .unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("cannot raise")));
+
+    // Exceptions are not types.
+    let errs =
+        compile("exception e { long x; }; interface c { void f(in e arg); };").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("raises clause")));
+}
+
+#[test]
+fn attributes_desugar_to_get_set_ops() {
+    let model = compile(
+        r#"
+        interface thermostat {
+            attribute double target;
+            readonly attribute double current;
+        };
+        "#,
+    )
+    .expect("compile");
+    let ops: Vec<&str> =
+        model.interface("thermostat").unwrap().ops.iter().map(|o| o.name.as_str()).collect();
+    assert_eq!(ops, vec!["_get_target", "_set_target", "_get_current"]);
+    let setter = &model.interface("thermostat").unwrap().ops[1];
+    assert_eq!(setter.ret, RType::Void);
+    assert_eq!(setter.params[0].ty, RType::Double);
+    assert_eq!(setter.params[0].dir, RDir::In);
+
+    let errs = compile("interface x { readonly long broken; };").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("must introduce an attribute")));
+}
+
+#[test]
+fn block_cyclic_distribution_spec() {
+    let model =
+        compile("typedef dsequence<double, 4096, BLOCK_CYCLIC(64), BLOCK> v;").expect("compile");
+    match &model.types[0] {
+        NamedType::Alias { ty: RType::DSequence { client_dist, server_dist, .. }, .. } => {
+            assert_eq!(*client_dist, Some(RDist::BlockCyclic(64)));
+            assert_eq!(*server_dist, Some(RDist::Block));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    let errs = compile("typedef dsequence<double, 16, BLOCK_CYCLIC(0)> v;").unwrap_err();
+    assert!(errs.iter().any(|e| e.message.contains("must be positive")));
+}
+
+#[test]
+fn diagnostics_render_with_location() {
+    let src = "typedef nosuch v;";
+    let errs = compile(src).unwrap_err();
+    let rendered = errs[0].render(src);
+    assert!(rendered.contains("line 1"), "{rendered}");
+    assert!(rendered.contains("nosuch"), "{rendered}");
+}
+
+#[test]
+fn unsigned_variants_parse() {
+    let model = compile(
+        "interface i { unsigned long long f(in unsigned short a, in unsigned long b); };",
+    )
+    .expect("compile");
+    let op = &model.interface("i").unwrap().ops[0];
+    assert_eq!(op.ret, RType::ULongLong);
+    assert_eq!(op.params[0].ty, RType::UShort);
+    assert_eq!(op.params[1].ty, RType::ULong);
+}
+
+#[test]
+fn object_reference_parameters() {
+    let model = compile(
+        r#"
+        interface worker { void run(); };
+        interface registry { void enlist(in worker w); };
+        "#,
+    )
+    .expect("compile");
+    assert_eq!(
+        model.interface("registry").unwrap().ops[0].params[0].ty,
+        RType::InterfaceRef("worker".into())
+    );
+}
+
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The lexer never panics on arbitrary input.
+        #[test]
+        fn lexer_total(input in "\\PC{0,200}") {
+            let _ = lex(&input);
+        }
+
+        /// The whole front end never panics on arbitrary almost-IDL input.
+        #[test]
+        fn compiler_total(input in "[a-z{}();:<>,=# ]{0,120}") {
+            let _ = compile(&input);
+        }
+
+        /// Round-trip: constant arithmetic matches Rust's.
+        #[test]
+        fn const_arithmetic(a in 0i64..1000, b in 1i64..1000, c in 1i64..100) {
+            let src = format!("const long long X = {a} + {b} * {c} - {b} / {c};");
+            let model = compile(&src).expect("compile");
+            prop_assert_eq!(model.consts[0].value as i64, a + b * c - b / c);
+        }
+
+        /// Identifier-heavy interfaces compile and preserve op order.
+        #[test]
+        fn many_ops(names in proptest::collection::hash_set("[a-z][a-z0-9_]{0,10}", 1..10)) {
+            let names: Vec<String> = names.into_iter().collect();
+            let body: String =
+                names.iter().map(|n| format!("void {n}(in long x);")).collect();
+            let src = format!("interface i {{ {body} }};");
+            match compile(&src) {
+                Ok(model) => {
+                    let got: Vec<&str> = model.interface("i").unwrap()
+                        .ops.iter().map(|o| o.name.as_str()).collect();
+                    let want: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+                    prop_assert_eq!(got, want);
+                }
+                Err(_) => {
+                    // Keywords among the generated names may legitimately
+                    // fail to parse; that is still non-panicking behaviour.
+                }
+            }
+        }
+    }
+}

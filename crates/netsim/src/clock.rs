@@ -1,0 +1,102 @@
+//! Clock handling: time scaling for real-time injection and a virtual clock
+//! for deterministic tests.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A global multiplier applied to every modelled delay before sleeping.
+///
+/// A scale of `1.0` injects delays at their modelled magnitude; `0.01` runs a
+/// sweep 100x faster while preserving every *ratio* the evaluation figures
+/// depend on; `0.0` disables sleeping entirely (pure virtual accounting).
+#[derive(Debug, Clone)]
+pub struct TimeScale {
+    scale: Arc<Mutex<f64>>,
+}
+
+impl TimeScale {
+    /// Create a new time scale.
+    ///
+    /// # Panics
+    /// Panics if `scale` is negative or non-finite.
+    pub fn new(scale: f64) -> Self {
+        assert!(scale.is_finite() && scale >= 0.0, "time scale must be finite and >= 0");
+        TimeScale { scale: Arc::new(Mutex::new(scale)) }
+    }
+
+    /// Real-time injection at modelled magnitude.
+    pub fn realtime() -> Self {
+        TimeScale::new(1.0)
+    }
+
+    /// No sleeping at all; only virtual accounting.
+    pub fn off() -> Self {
+        TimeScale::new(0.0)
+    }
+
+    /// Current multiplier.
+    pub fn get(&self) -> f64 {
+        *self.scale.lock()
+    }
+
+    /// Change the multiplier (affects all clones).
+    pub fn set(&self, scale: f64) {
+        assert!(scale.is_finite() && scale >= 0.0, "time scale must be finite and >= 0");
+        *self.scale.lock() = scale;
+    }
+
+    /// Scale a modelled duration down to the injected duration.
+    pub fn apply(&self, modelled: Duration) -> Duration {
+        modelled.mul_f64(self.get())
+    }
+}
+
+impl Default for TimeScale {
+    fn default() -> Self {
+        TimeScale::realtime()
+    }
+}
+
+/// A monotone virtual clock accumulating modelled seconds.
+///
+/// Thread-safe; cloning shares the underlying counter.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    seconds: Arc<Mutex<f64>>,
+}
+
+impl VirtualClock {
+    /// A clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance the clock by a modelled duration and return the new reading.
+    pub fn advance(&self, by: Duration) -> f64 {
+        let mut s = self.seconds.lock();
+        *s += by.as_secs_f64();
+        *s
+    }
+
+    /// Advance the clock to at least `to` seconds (used to merge parallel
+    /// transfer timelines: the completion time of concurrent transfers is
+    /// their max, not their sum).
+    pub fn advance_to(&self, to: f64) -> f64 {
+        let mut s = self.seconds.lock();
+        if to > *s {
+            *s = to;
+        }
+        *s
+    }
+
+    /// Current reading in modelled seconds.
+    pub fn now(&self) -> f64 {
+        *self.seconds.lock()
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        *self.seconds.lock() = 0.0;
+    }
+}

@@ -1,0 +1,113 @@
+//! Link cost model.
+
+use std::time::Duration;
+
+/// A point-to-point link characterised by the Hockney (alpha/beta) model plus
+/// a fixed per-message software overhead.
+///
+/// `transfer_time(n) = latency + overhead + n / bandwidth`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// One-way wire latency in seconds.
+    pub latency_s: f64,
+    /// Bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+    /// Fixed per-message software overhead in seconds (protocol stack,
+    /// marshaling entry/exit — the `t_o` of figure 2's cost equation).
+    pub overhead_s: f64,
+    /// Shared medium: concurrent transfers serialise (classic half-duplex
+    /// Ethernet). Dedicated/switched links let transfers overlap.
+    pub shared: bool,
+}
+
+/// Named link configurations matching the paper's testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkPreset {
+    /// Dedicated 155 Mb/s ATM (OC-3) link between HOST 1 and HOST 2
+    /// (figures 2 and 4).
+    AtmOc3,
+    /// Shared 10 Mb/s Ethernet between the SGI PC and the IBM SP/2
+    /// (figure 5).
+    Ethernet10,
+    /// 100 Mb/s Ethernet, for what-if sweeps.
+    Ethernet100,
+    /// Loopback / shared memory inside one host.
+    Loopback,
+}
+
+impl LinkPreset {
+    /// Materialise the preset as a [`Link`].
+    pub fn link(self) -> Link {
+        match self {
+            // 155 Mb/s ≈ 19.4 MB/s payload; ATM SAR + AAL5 keeps latency low.
+            // Dedicated: transfers in different directions/threads overlap.
+            LinkPreset::AtmOc3 => Link::new(0.000_9, 155.0e6 / 8.0, 0.000_6),
+            // 10 Mb/s *shared* Ethernet with a mid-90s IP stack: one frame
+            // on the wire at a time.
+            LinkPreset::Ethernet10 => Link::new(0.001_2, 10.0e6 / 8.0, 0.001_0).shared_medium(),
+            LinkPreset::Ethernet100 => Link::new(0.000_5, 100.0e6 / 8.0, 0.000_4),
+            // Same-host transport: memcpy-class bandwidth, negligible latency.
+            LinkPreset::Loopback => Link::new(0.000_005, 400.0e6, 0.000_005),
+        }
+    }
+}
+
+impl Link {
+    /// Create a link from raw parameters.
+    ///
+    /// # Panics
+    /// Panics if `bandwidth_bps` is not strictly positive or any parameter is
+    /// negative or non-finite.
+    pub fn new(latency_s: f64, bandwidth_bps: f64, overhead_s: f64) -> Self {
+        assert!(
+            latency_s.is_finite() && latency_s >= 0.0,
+            "latency must be finite and non-negative"
+        );
+        assert!(
+            bandwidth_bps.is_finite() && bandwidth_bps > 0.0,
+            "bandwidth must be finite and positive"
+        );
+        assert!(
+            overhead_s.is_finite() && overhead_s >= 0.0,
+            "overhead must be finite and non-negative"
+        );
+        Link { latency_s, bandwidth_bps, overhead_s, shared: false }
+    }
+
+    /// Mark this link as a shared medium (transfers serialise).
+    pub fn shared_medium(mut self) -> Self {
+        self.shared = true;
+        self
+    }
+
+    /// A zero-cost link (useful to disable network accounting in tests).
+    pub fn free() -> Self {
+        Link::new(0.0, f64::MAX / 4.0, 0.0)
+    }
+
+    /// Modelled time to move `bytes` across this link, in seconds.
+    pub fn transfer_seconds(&self, bytes: usize) -> f64 {
+        self.latency_s + self.overhead_s + bytes as f64 / self.bandwidth_bps
+    }
+
+    /// Modelled time to move `bytes` across this link.
+    pub fn transfer_time(&self, bytes: usize) -> Duration {
+        Duration::from_secs_f64(self.transfer_seconds(bytes))
+    }
+
+    /// Effective throughput in bytes/second for messages of a given size,
+    /// i.e. `bytes / transfer_seconds(bytes)`. Approaches `bandwidth_bps`
+    /// as the message grows.
+    pub fn effective_throughput(&self, bytes: usize) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        bytes as f64 / self.transfer_seconds(bytes)
+    }
+
+    /// The message size at which half of the peak bandwidth is achieved
+    /// (the classic `n_1/2` metric).
+    pub fn n_half(&self) -> usize {
+        ((self.latency_s + self.overhead_s) * self.bandwidth_bps).ceil() as usize
+    }
+}

@@ -1,0 +1,250 @@
+//! Host registry and delay injection.
+
+use crate::{Link, LinkPreset, TimeScale, VirtualClock};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Opaque identifier of a registered host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub(crate) u32);
+
+impl HostId {
+    /// Raw numeric id (stable for the lifetime of the [`Network`]).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild a `HostId` from its raw value (used when object references
+    /// cross the wire). Only meaningful within the network that issued it.
+    pub fn from_raw(raw: u32) -> HostId {
+        HostId(raw)
+    }
+}
+
+/// A registered host: a named machine in the simulated testbed.
+#[derive(Debug, Clone)]
+pub struct Host {
+    /// Identifier within the owning network.
+    pub id: HostId,
+    /// Human-readable name, e.g. `"HOST_1"`.
+    pub name: String,
+    /// Loopback link used for intra-host transfers.
+    pub loopback: Link,
+    /// Relative compute speed of one processor of this host (1.0 = baseline).
+    /// Figure 2 depends on HOST 2 being the faster machine.
+    pub speed: f64,
+}
+
+struct Inner {
+    hosts: Vec<Host>,
+    by_name: HashMap<String, HostId>,
+    links: HashMap<(HostId, HostId), Link>,
+    default_link: Link,
+    /// One wire-guard per unordered host pair, taken while a transfer over
+    /// a shared-medium link is in flight.
+    medium_locks: HashMap<(HostId, HostId), Arc<parking_lot::Mutex<()>>>,
+}
+
+/// The simulated testbed: a set of hosts and the links joining them.
+///
+/// Cloning a `Network` is cheap and shares all state.
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<RwLock<Inner>>,
+    scale: TimeScale,
+    clock: VirtualClock,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new(TimeScale::off())
+    }
+}
+
+impl Network {
+    /// Create an empty network with the given time scale for delay injection.
+    pub fn new(scale: TimeScale) -> Self {
+        Network {
+            inner: Arc::new(RwLock::new(Inner {
+                hosts: Vec::new(),
+                by_name: HashMap::new(),
+                links: HashMap::new(),
+                default_link: LinkPreset::Ethernet10.link(),
+                medium_locks: HashMap::new(),
+            })),
+            scale,
+            clock: VirtualClock::new(),
+        }
+    }
+
+    /// The paper's figure 2/4 testbed: `HOST_1` (4-node SGI Onyx, slower
+    /// processors) and `HOST_2` (10-node SGI PowerChallenge, faster
+    /// processors) joined by a dedicated ATM OC-3 link.
+    pub fn paper_atm_testbed(scale: TimeScale) -> Self {
+        let net = Network::new(scale);
+        net.add_host_with_speed("HOST_1", 1.0);
+        net.add_host_with_speed("HOST_2", 1.8);
+        net.connect_by_name("HOST_1", "HOST_2", LinkPreset::AtmOc3.link());
+        net
+    }
+
+    /// The paper's figure 5 testbed: the SGI PC (diffusion + its visualizer)
+    /// and the IBM SP/2 (gradient), communicating over Ethernet; an SGI Indy
+    /// workstation runs the gradient's visualizer.
+    pub fn paper_ethernet_testbed(scale: TimeScale) -> Self {
+        let net = Network::new(scale);
+        net.add_host_with_speed("SGI_PC", 1.0);
+        net.add_host_with_speed("SP2", 1.1);
+        net.add_host_with_speed("INDY", 0.6);
+        let eth = LinkPreset::Ethernet10.link();
+        net.connect_by_name("SGI_PC", "SP2", eth);
+        net.connect_by_name("SGI_PC", "INDY", eth);
+        net.connect_by_name("SP2", "INDY", eth);
+        net
+    }
+
+    /// Register a host with baseline speed.
+    pub fn add_host(&self, name: &str) -> HostId {
+        self.add_host_with_speed(name, 1.0)
+    }
+
+    /// Register a host with a relative per-processor compute speed.
+    ///
+    /// # Panics
+    /// Panics if a host of the same name already exists or speed is not
+    /// strictly positive.
+    pub fn add_host_with_speed(&self, name: &str, speed: f64) -> HostId {
+        assert!(speed.is_finite() && speed > 0.0, "host speed must be positive");
+        let mut inner = self.inner.write();
+        assert!(
+            !inner.by_name.contains_key(name),
+            "host {name:?} already registered"
+        );
+        let id = HostId(inner.hosts.len() as u32);
+        inner.hosts.push(Host {
+            id,
+            name: name.to_string(),
+            loopback: LinkPreset::Loopback.link(),
+            speed,
+        });
+        inner.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Install a (bidirectional) link between two hosts.
+    pub fn connect(&self, a: HostId, b: HostId, link: Link) {
+        let mut inner = self.inner.write();
+        inner.links.insert((a, b), link);
+        inner.links.insert((b, a), link);
+    }
+
+    /// Install a link looked up by host names.
+    ///
+    /// # Panics
+    /// Panics if either host is unknown.
+    pub fn connect_by_name(&self, a: &str, b: &str, link: Link) {
+        let (a, b) = {
+            let inner = self.inner.read();
+            (
+                *inner.by_name.get(a).unwrap_or_else(|| panic!("unknown host {a:?}")),
+                *inner.by_name.get(b).unwrap_or_else(|| panic!("unknown host {b:?}")),
+            )
+        };
+        self.connect(a, b, link);
+    }
+
+    /// Set the link used between host pairs that have no explicit link.
+    pub fn set_default_link(&self, link: Link) {
+        self.inner.write().default_link = link;
+    }
+
+    /// Look a host up by name.
+    pub fn host_by_name(&self, name: &str) -> Option<HostId> {
+        self.inner.read().by_name.get(name).copied()
+    }
+
+    /// Host metadata.
+    ///
+    /// # Panics
+    /// Panics on an id from a different network.
+    pub fn host(&self, id: HostId) -> Host {
+        self.inner.read().hosts[id.0 as usize].clone()
+    }
+
+    /// Number of registered hosts.
+    pub fn host_count(&self) -> usize {
+        self.inner.read().hosts.len()
+    }
+
+    /// The link that a message from `from` to `to` traverses.
+    pub fn link_between(&self, from: HostId, to: HostId) -> Link {
+        let inner = self.inner.read();
+        if from == to {
+            return inner.hosts[from.0 as usize].loopback;
+        }
+        inner.links.get(&(from, to)).copied().unwrap_or(inner.default_link)
+    }
+
+    /// Modelled duration of moving `bytes` from `from` to `to`.
+    pub fn transfer_time(&self, from: HostId, to: HostId, bytes: usize) -> Duration {
+        self.link_between(from, to).transfer_time(bytes)
+    }
+
+    /// Charge a transfer in scaled real time: sleeps for the modelled
+    /// duration times the network's [`TimeScale`], and also accumulates the
+    /// full modelled duration on the virtual clock. On a shared-medium link
+    /// (classic Ethernet) concurrent transfers over the same host pair
+    /// serialise. Returns the modelled duration.
+    pub fn charge(&self, from: HostId, to: HostId, bytes: usize) -> Duration {
+        let link = self.link_between(from, to);
+        let t = link.transfer_time(bytes);
+        self.clock.advance(t);
+        let injected = self.scale.apply(t);
+        if !injected.is_zero() {
+            let guard = link.shared.then(|| self.medium_lock(from, to));
+            let _held = guard.as_ref().map(|m| m.lock());
+            std::thread::sleep(injected);
+        }
+        t
+    }
+
+    fn medium_lock(&self, a: HostId, b: HostId) -> Arc<parking_lot::Mutex<()>> {
+        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        let mut inner = self.inner.write();
+        inner.medium_locks.entry(key).or_default().clone()
+    }
+
+    /// Charge a transfer in virtual time only (no sleeping).
+    pub fn charge_virtual(&self, from: HostId, to: HostId, bytes: usize) -> Duration {
+        let t = self.transfer_time(from, to, bytes);
+        self.clock.advance(t);
+        t
+    }
+
+    /// The network-wide virtual clock (sum of all modelled transfer times).
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The time scale used for real-time injection.
+    pub fn time_scale(&self) -> &TimeScale {
+        &self.scale
+    }
+
+    /// Relative compute speed of a host's processors.
+    pub fn host_speed(&self, id: HostId) -> f64 {
+        self.inner.read().hosts[id.0 as usize].speed
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("Network")
+            .field("hosts", &inner.hosts.iter().map(|h| h.name.clone()).collect::<Vec<_>>())
+            .field("links", &inner.links.len())
+            .finish()
+    }
+}

@@ -1,0 +1,259 @@
+use crate::*;
+use std::time::Duration;
+
+#[test]
+fn link_transfer_time_is_alpha_beta() {
+    let l = Link::new(0.001, 1000.0, 0.0005);
+    // 1000 bytes at 1000 B/s = 1 s, plus 1.5 ms fixed.
+    let t = l.transfer_seconds(1000);
+    assert!((t - 1.0015).abs() < 1e-12, "got {t}");
+}
+
+#[test]
+fn zero_byte_message_still_pays_latency() {
+    let l = LinkPreset::AtmOc3.link();
+    assert!(l.transfer_seconds(0) > 0.0);
+    assert_eq!(l.transfer_time(0), Duration::from_secs_f64(l.latency_s + l.overhead_s));
+}
+
+#[test]
+fn atm_is_faster_than_ethernet_for_bulk() {
+    let atm = LinkPreset::AtmOc3.link();
+    let eth = LinkPreset::Ethernet10.link();
+    let n = 1 << 20;
+    assert!(atm.transfer_seconds(n) < eth.transfer_seconds(n));
+}
+
+#[test]
+fn loopback_is_fastest() {
+    let lo = LinkPreset::Loopback.link();
+    for preset in [LinkPreset::AtmOc3, LinkPreset::Ethernet10, LinkPreset::Ethernet100] {
+        assert!(lo.transfer_seconds(4096) < preset.link().transfer_seconds(4096));
+    }
+}
+
+#[test]
+fn effective_throughput_approaches_bandwidth() {
+    let l = LinkPreset::Ethernet100.link();
+    let small = l.effective_throughput(64);
+    let large = l.effective_throughput(64 << 20);
+    assert!(small < large);
+    assert!(large <= l.bandwidth_bps);
+    assert!(large > 0.95 * l.bandwidth_bps);
+}
+
+#[test]
+fn n_half_reaches_half_bandwidth() {
+    let l = LinkPreset::AtmOc3.link();
+    let n = l.n_half();
+    let tp = l.effective_throughput(n);
+    assert!((tp - l.bandwidth_bps / 2.0).abs() / l.bandwidth_bps < 0.01, "tp {tp}");
+}
+
+#[test]
+#[should_panic(expected = "bandwidth must be finite and positive")]
+fn zero_bandwidth_rejected() {
+    let _ = Link::new(0.0, 0.0, 0.0);
+}
+
+#[test]
+#[should_panic(expected = "latency must be finite and non-negative")]
+fn negative_latency_rejected() {
+    let _ = Link::new(-1.0, 1.0, 0.0);
+}
+
+#[test]
+fn network_registration_and_lookup() {
+    let net = Network::new(TimeScale::off());
+    let a = net.add_host("alpha");
+    let b = net.add_host("beta");
+    assert_ne!(a, b);
+    assert_eq!(net.host_by_name("alpha"), Some(a));
+    assert_eq!(net.host_by_name("gamma"), None);
+    assert_eq!(net.host(a).name, "alpha");
+    assert_eq!(net.host_count(), 2);
+}
+
+#[test]
+#[should_panic(expected = "already registered")]
+fn duplicate_host_rejected() {
+    let net = Network::new(TimeScale::off());
+    net.add_host("x");
+    net.add_host("x");
+}
+
+#[test]
+fn intra_host_uses_loopback() {
+    let net = Network::new(TimeScale::off());
+    let a = net.add_host("a");
+    assert_eq!(net.link_between(a, a), LinkPreset::Loopback.link());
+}
+
+#[test]
+fn explicit_link_is_symmetric() {
+    let net = Network::new(TimeScale::off());
+    let a = net.add_host("a");
+    let b = net.add_host("b");
+    let l = LinkPreset::AtmOc3.link();
+    net.connect(a, b, l);
+    assert_eq!(net.link_between(a, b), l);
+    assert_eq!(net.link_between(b, a), l);
+}
+
+#[test]
+fn unconnected_pair_uses_default_link() {
+    let net = Network::new(TimeScale::off());
+    let a = net.add_host("a");
+    let b = net.add_host("b");
+    assert_eq!(net.link_between(a, b), LinkPreset::Ethernet10.link());
+    net.set_default_link(Link::free());
+    assert_eq!(net.link_between(a, b), Link::free());
+}
+
+#[test]
+fn charge_accumulates_virtual_clock() {
+    let net = Network::new(TimeScale::off());
+    let a = net.add_host("a");
+    let b = net.add_host("b");
+    net.connect(a, b, Link::new(0.5, 1.0e6, 0.0));
+    net.charge(a, b, 1_000_000); // 0.5 + 1.0 = 1.5 s modelled
+    net.charge_virtual(a, b, 0); // +0.5 s
+    let now = net.clock().now();
+    assert!((now - 2.0).abs() < 1e-9, "clock {now}");
+}
+
+#[test]
+fn charge_sleeps_scaled() {
+    let net = Network::new(TimeScale::new(0.01));
+    let a = net.add_host("a");
+    let b = net.add_host("b");
+    net.connect(a, b, Link::new(1.0, 1.0e9, 0.0)); // 1 s modelled latency
+    let start = std::time::Instant::now();
+    let modelled = net.charge(a, b, 0);
+    let waited = start.elapsed();
+    assert_eq!(modelled, Duration::from_secs(1));
+    assert!(waited >= Duration::from_millis(9), "waited {waited:?}");
+    assert!(waited < Duration::from_millis(500), "waited {waited:?}");
+}
+
+#[test]
+fn shared_medium_serialises_concurrent_transfers() {
+    let net = Network::new(TimeScale::new(1.0));
+    let a = net.add_host("a");
+    let b = net.add_host("b");
+    net.connect(a, b, Link::new(0.02, 1.0e9, 0.0).shared_medium());
+    // Four concurrent 20ms transfers over the shared wire must take ~80ms;
+    // over a dedicated wire they would overlap into ~20ms.
+    let start = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let net = net.clone();
+            s.spawn(move || {
+                net.charge(a, b, 0);
+            });
+        }
+    });
+    let waited = start.elapsed();
+    assert!(waited >= Duration::from_millis(75), "shared wire overlapped: {waited:?}");
+
+    let dedicated = Network::new(TimeScale::new(1.0));
+    let a = dedicated.add_host("a");
+    let b = dedicated.add_host("b");
+    dedicated.connect(a, b, Link::new(0.02, 1.0e9, 0.0));
+    let start = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let net = dedicated.clone();
+            s.spawn(move || {
+                net.charge(a, b, 0);
+            });
+        }
+    });
+    let waited = start.elapsed();
+    assert!(waited < Duration::from_millis(60), "dedicated wire serialised: {waited:?}");
+}
+
+#[test]
+fn paper_testbeds_have_expected_shape() {
+    let atm = Network::paper_atm_testbed(TimeScale::off());
+    let h1 = atm.host_by_name("HOST_1").unwrap();
+    let h2 = atm.host_by_name("HOST_2").unwrap();
+    assert!(atm.host_speed(h2) > atm.host_speed(h1), "HOST_2 is the faster machine");
+    assert_eq!(atm.link_between(h1, h2), LinkPreset::AtmOc3.link());
+
+    let eth = Network::paper_ethernet_testbed(TimeScale::off());
+    assert_eq!(eth.host_count(), 3);
+    let pc = eth.host_by_name("SGI_PC").unwrap();
+    let sp2 = eth.host_by_name("SP2").unwrap();
+    assert_eq!(eth.link_between(pc, sp2), LinkPreset::Ethernet10.link());
+}
+
+#[test]
+fn virtual_clock_advance_to_is_monotone() {
+    let c = VirtualClock::new();
+    c.advance(Duration::from_secs(2));
+    assert_eq!(c.advance_to(1.0), 2.0); // never goes backwards
+    assert_eq!(c.advance_to(3.5), 3.5);
+    c.reset();
+    assert_eq!(c.now(), 0.0);
+}
+
+#[test]
+fn time_scale_shared_between_clones() {
+    let s = TimeScale::new(1.0);
+    let s2 = s.clone();
+    s2.set(0.25);
+    assert_eq!(s.get(), 0.25);
+    assert_eq!(s.apply(Duration::from_secs(4)), Duration::from_secs(1));
+}
+
+#[test]
+#[should_panic(expected = "time scale must be finite")]
+fn nan_time_scale_rejected() {
+    let _ = TimeScale::new(f64::NAN);
+}
+
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn transfer_time_monotone_in_size(
+            lat in 0.0f64..0.1,
+            bw in 1.0f64..1e9,
+            ovh in 0.0f64..0.1,
+            a in 0usize..1_000_000,
+            b in 0usize..1_000_000,
+        ) {
+            let l = Link::new(lat, bw, ovh);
+            let (small, big) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(l.transfer_seconds(small) <= l.transfer_seconds(big));
+        }
+
+        #[test]
+        fn transfer_time_superadditive_split(
+            bw in 1.0f64..1e9,
+            lat in 1e-9f64..0.1,
+            n in 2usize..1_000_000,
+        ) {
+            // Splitting a message into two never beats sending it whole
+            // (each piece re-pays latency).
+            let l = Link::new(lat, bw, 0.0);
+            let whole = l.transfer_seconds(n);
+            let half = l.transfer_seconds(n / 2) + l.transfer_seconds(n - n / 2);
+            prop_assert!(half >= whole - 1e-12);
+        }
+
+        #[test]
+        fn virtual_clock_sums(durs in proptest::collection::vec(0.0f64..10.0, 0..50)) {
+            let c = VirtualClock::new();
+            let mut total = 0.0;
+            for d in &durs {
+                c.advance(Duration::from_secs_f64(*d));
+                total += d;
+            }
+            prop_assert!((c.now() - total).abs() < 1e-6);
+        }
+    }
+}

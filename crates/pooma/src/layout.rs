@@ -1,0 +1,82 @@
+//! Mesh decomposition.
+
+/// A 1-D (row-block) decomposition of an `nx × ny` mesh over `nthreads`
+/// computing threads: thread `t` owns a contiguous band of rows.
+///
+/// Row-major convention: row `j` (0..ny), column `i` (0..nx); the flattened
+/// index of `(i, j)` is `j * nx + i` — matching §4.3's "two dimensional
+/// array represented as a vector in row-major order".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout2D {
+    /// Columns (fast axis).
+    pub nx: usize,
+    /// Rows (slow axis).
+    pub ny: usize,
+    /// Computing threads.
+    pub nthreads: usize,
+}
+
+impl Layout2D {
+    /// Create a layout.
+    ///
+    /// # Panics
+    /// Panics on a degenerate mesh or zero threads.
+    pub fn new(nx: usize, ny: usize, nthreads: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "mesh must be non-degenerate");
+        assert!(nthreads > 0, "layout over zero threads");
+        assert!(
+            nthreads <= ny,
+            "cannot give {nthreads} threads at least one row of {ny}"
+        );
+        Layout2D { nx, ny, nthreads }
+    }
+
+    /// Number of rows thread `t` owns.
+    pub fn local_rows(&self, t: usize) -> usize {
+        assert!(t < self.nthreads, "thread {t} out of range");
+        let base = self.ny / self.nthreads;
+        let extra = self.ny % self.nthreads;
+        base + usize::from(t < extra)
+    }
+
+    /// First global row of thread `t`'s band.
+    pub fn first_row(&self, t: usize) -> usize {
+        assert!(t < self.nthreads, "thread {t} out of range");
+        let base = self.ny / self.nthreads;
+        let extra = self.ny % self.nthreads;
+        if t < extra {
+            t * (base + 1)
+        } else {
+            extra * (base + 1) + (t - extra) * base
+        }
+    }
+
+    /// Thread owning global row `j`.
+    pub fn row_owner(&self, j: usize) -> usize {
+        assert!(j < self.ny, "row {j} out of range");
+        for t in 0..self.nthreads {
+            let first = self.first_row(t);
+            if j >= first && j < first + self.local_rows(t) {
+                return t;
+            }
+        }
+        unreachable!("rows are fully covered")
+    }
+
+    /// Element counts per thread for the row-major flattening — the
+    /// irregular PARDIS distribution template this layout corresponds to.
+    pub fn element_counts(&self) -> Vec<u64> {
+        (0..self.nthreads).map(|t| (self.local_rows(t) * self.nx) as u64).collect()
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// True for an empty mesh (cannot happen after construction, but
+    /// completes the `len`/`is_empty` pair).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,32 @@
+//! pooma-rs — a POOMA-like parallel field substrate.
+//!
+//! POOMA (Atlas et al., SC'95) gave scientific applications data-parallel
+//! *fields* over decomposed meshes. PARDIS's §4.3 pipelines a POOMA
+//! diffusion application into an HPC++ gradient application by mapping the
+//! IDL `dsequence` onto POOMA's `field` with a `#pragma POOMA:field`
+//! directive.
+//!
+//! This crate rebuilds the minimum POOMA surface that experiment needs:
+//!
+//! * [`Layout2D`] — a 1-D (row-block) decomposition of an `nx × ny` mesh
+//!   over the computing threads of an SPMD program;
+//! * [`Field2D`] — a distributed 2-D field with guard (ghost) cells,
+//!   guard-cell exchange over the RTS, and 9-point stencil application;
+//! * [`diffusion_step`](Field2D::stencil9) — the simplified 2-D diffusion
+//!   of §4.3;
+//! * [`PoomaComm`] — POOMA's communication abstraction implementing the
+//!   PARDIS [`Rts`](pardis_rts::Rts) interface (the paper's third RTS port);
+//! * conversions between [`Field2D`] and the PARDIS
+//!   [`DSequence`](pardis_core::DSequence) — the runtime half of the
+//!   `#pragma POOMA:field` mapping.
+
+mod comm;
+mod field;
+mod layout;
+
+pub use comm::PoomaComm;
+pub use field::Field2D;
+pub use layout::Layout2D;
+
+#[cfg(test)]
+mod tests;

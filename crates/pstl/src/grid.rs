@@ -1,0 +1,137 @@
+//! Grid algorithms over row-major distributed vectors.
+//!
+//! §4.3 of the PARDIS paper represents a 2-D field as "a vector in
+//! row-major order" and computes the *magnitude gradient* of the diffusion
+//! field in HPC++ PSTL to identify the areas of most intensive change.
+
+use crate::DistVector;
+use bytes::Bytes;
+use pardis_rts::Rts;
+
+/// Tag for gradient halo-row traffic (user band).
+const ROW_TAG: u64 = 0x7003;
+
+/// Compute `sqrt(gx^2 + gy^2)` of an `nx × ny` row-major grid held in a
+/// row-aligned block-distributed vector, using central differences inside
+/// and one-sided differences on the boundary. Collective.
+///
+/// # Panics
+/// Panics if the vector's shape is not `nx * ny` or its blocks do not align
+/// to whole rows (redistribute first — for `ny % nthreads == 0` the BLOCK
+/// template is automatically row-aligned).
+pub fn magnitude_gradient(
+    v: &DistVector<f64>,
+    nx: usize,
+    ny: usize,
+    rts: &dyn Rts,
+) -> DistVector<f64> {
+    assert_eq!(v.len(), nx * ny, "vector is not an {nx}x{ny} grid");
+    let first = v.first_index();
+    let count = v.local().len();
+    assert!(
+        first.is_multiple_of(nx) && count.is_multiple_of(nx),
+        "blocks must align to whole rows (first {first}, count {count}, nx {nx})"
+    );
+    let first_row = first / nx;
+    let local_rows = count / nx;
+    let t = v.thread();
+    let n = v.nthreads();
+    assert!(
+        n == 1 || ny >= n,
+        "gradient needs at least one row per thread ({ny} rows, {n} threads)"
+    );
+    debug_assert_eq!(rts.rank(), t, "gradient called from the wrong thread");
+
+    // Exchange boundary rows with neighbours. Threads with zero rows still
+    // participate (sending empty payloads keeps the exchange collective).
+    let local = v.local();
+    if t > 0 {
+        let row = if local_rows > 0 { &local[..nx] } else { &[][..] };
+        rts.send(t - 1, ROW_TAG, Bytes::from(rowvec(row)));
+    }
+    if t + 1 < n {
+        let row = if local_rows > 0 { &local[count - nx..] } else { &[][..] };
+        rts.send(t + 1, ROW_TAG, Bytes::from(rowvec(row)));
+    }
+    let above: Option<Vec<f64>> = if t > 0 {
+        let msg = rts.recv(Some(t - 1), ROW_TAG);
+        (!msg.data.is_empty()).then(|| unrow(&msg.data))
+    } else {
+        None
+    };
+    let below: Option<Vec<f64>> = if t + 1 < n {
+        let msg = rts.recv(Some(t + 1), ROW_TAG);
+        (!msg.data.is_empty()).then(|| unrow(&msg.data))
+    } else {
+        None
+    };
+
+    let get = |i: usize, j: usize| -> f64 {
+        // `j == first_row - 1`, written to avoid underflow.
+        if let (true, Some(above)) = (j + 1 == first_row, above.as_ref()) {
+            above[i]
+        } else if j == first_row + local_rows {
+            below.as_ref().expect("gradient reads one row past the block")[i]
+        } else {
+            local[(j - first_row) * nx + i]
+        }
+    };
+
+    let mut out = Vec::with_capacity(count);
+    for lj in 0..local_rows {
+        let j = first_row + lj;
+        for i in 0..nx {
+            let gx = match i {
+                0 => get(1, j) - get(0, j),
+                _ if i == nx - 1 => get(nx - 1, j) - get(nx - 2, j),
+                _ => (get(i + 1, j) - get(i - 1, j)) / 2.0,
+            };
+            let gy = match j {
+                0 => get(i, 1) - get(i, 0),
+                _ if j == ny - 1 => get(i, ny - 1) - get(i, ny - 2),
+                _ => (get(i, j + 1) - get(i, j - 1)) / 2.0,
+            };
+            out.push((gx * gx + gy * gy).sqrt());
+        }
+    }
+    DistVector::from_local(out, nx * ny, n, t)
+}
+
+/// Sequential reference implementation (tests and single-process
+/// visualizers).
+pub fn magnitude_gradient_seq(grid: &[f64], nx: usize, ny: usize) -> Vec<f64> {
+    assert_eq!(grid.len(), nx * ny, "grid is not {nx}x{ny}");
+    let get = |i: usize, j: usize| grid[j * nx + i];
+    let mut out = Vec::with_capacity(grid.len());
+    for j in 0..ny {
+        for i in 0..nx {
+            let gx = match i {
+                0 => get(1, j) - get(0, j),
+                _ if i == nx - 1 => get(nx - 1, j) - get(nx - 2, j),
+                _ => (get(i + 1, j) - get(i - 1, j)) / 2.0,
+            };
+            let gy = match j {
+                0 => get(i, 1) - get(i, 0),
+                _ if j == ny - 1 => get(i, ny - 1) - get(i, ny - 2),
+                _ => (get(i, j + 1) - get(i, j - 1)) / 2.0,
+            };
+            out.push((gx * gx + gy * gy).sqrt());
+        }
+    }
+    out
+}
+
+fn rowvec(row: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(row.len() * 8);
+    for v in row {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+    out
+}
+
+fn unrow(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_be_bytes(c.try_into().expect("8-byte chunk")))
+        .collect()
+}

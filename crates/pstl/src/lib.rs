@@ -1,0 +1,27 @@
+//! pstl-rs — an HPC++ Parallel Standard Template Library substrate.
+//!
+//! HPC++ PSTL (Gannon et al.) gave C++ programs STL-style containers and
+//! algorithms over distributed memory; its flagship container is the
+//! *distributed vector*. PARDIS §4.3 maps IDL `dsequence`s onto PSTL
+//! distributed vectors with `#pragma HPC++:vector` and implements the
+//! gradient stage of the diffusion pipeline in PSTL.
+//!
+//! This crate rebuilds that surface:
+//!
+//! * [`DistVector`] — a block-distributed vector over the computing threads
+//!   of an SPMD program, with STL-flavoured parallel algorithms
+//!   (`par_transform`, `par_for_each`, `par_reduce`, `par_inclusive_scan`);
+//! * [`grid`] — grid helpers over row-major vectors, including the
+//!   magnitude-gradient kernel the paper's §4.3 metaapplication computes;
+//! * conversions to and from the PARDIS
+//!   [`DSequence`](pardis_core::DSequence) — the runtime half of the
+//!   `#pragma HPC++:vector` mapping.
+
+pub mod grid;
+
+mod vector;
+
+pub use vector::DistVector;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,30 @@
+//! The message unit moved by the runtime.
+
+use bytes::Bytes;
+
+/// One message: sender rank, tag, payload.
+///
+/// Payloads are [`Bytes`] so a broadcast of a large buffer shares one
+/// allocation across receivers instead of copying per destination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Msg {
+    /// Rank of the sender within its world.
+    pub from: usize,
+    /// Message tag (see [`crate::tags`] for the reserved bands).
+    pub tag: u64,
+    /// Payload bytes.
+    pub data: Bytes,
+}
+
+impl Msg {
+    /// Construct a message.
+    pub fn new(from: usize, tag: u64, data: Bytes) -> Self {
+        Msg { from, tag, data }
+    }
+
+    /// Does this message match a receive posted for `(from, tag)`?
+    /// `None` acts as MPI's `ANY_SOURCE`.
+    pub fn matches(&self, from: Option<usize>, tag: u64) -> bool {
+        self.tag == tag && from.is_none_or(|f| f == self.from)
+    }
+}

@@ -1,0 +1,385 @@
+use crate::*;
+use bytes::Bytes;
+use std::time::Duration;
+
+fn b(s: &str) -> Bytes {
+    Bytes::copy_from_slice(s.as_bytes())
+}
+
+#[test]
+fn send_recv_between_two_ranks() {
+    let out = World::run(2, |rank| {
+        if rank.rank() == 0 {
+            rank.send(1, 7, b("hello"));
+            String::new()
+        } else {
+            let msg = rank.recv(Some(0), 7);
+            assert_eq!(msg.from, 0);
+            String::from_utf8(msg.data.to_vec()).unwrap()
+        }
+    });
+    assert_eq!(out[1], "hello");
+}
+
+#[test]
+fn recv_matches_by_tag_out_of_order() {
+    World::run(2, |rank| {
+        if rank.rank() == 0 {
+            rank.send(1, 1, b("first"));
+            rank.send(1, 2, b("second"));
+        } else {
+            // Receive tag 2 first even though tag 1 arrived earlier.
+            let m2 = rank.recv(Some(0), 2);
+            assert_eq!(&m2.data[..], b"second");
+            let m1 = rank.recv(Some(0), 1);
+            assert_eq!(&m1.data[..], b"first");
+        }
+    });
+}
+
+#[test]
+fn recv_any_source() {
+    World::run(3, |rank| {
+        if rank.rank() == 0 {
+            let m1 = rank.recv(None, 5);
+            let m2 = rank.recv(None, 5);
+            let mut froms = vec![m1.from, m2.from];
+            froms.sort_unstable();
+            assert_eq!(froms, vec![1, 2]);
+        } else {
+            rank.send(0, 5, b("x"));
+        }
+    });
+}
+
+#[test]
+fn try_recv_and_probe() {
+    World::run(2, |rank| {
+        if rank.rank() == 0 {
+            assert!(rank.try_recv(None, 9).is_none());
+            assert!(!rank.probe(None, 9));
+            rank.barrier();
+            rank.barrier();
+            assert!(rank.probe(Some(1), 9));
+            assert_eq!(rank.pending(), 1);
+            assert!(rank.try_recv(None, 9).is_some());
+            assert_eq!(rank.pending(), 0);
+        } else {
+            rank.barrier();
+            rank.send(0, 9, b("m"));
+            rank.barrier();
+        }
+    });
+}
+
+#[test]
+fn recv_timeout_expires() {
+    World::run(1, |rank| {
+        let start = std::time::Instant::now();
+        assert!(rank.recv_timeout(None, 1, Duration::from_millis(30)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    });
+}
+
+#[test]
+fn barrier_synchronises() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let before = AtomicUsize::new(0);
+    World::run(4, |rank| {
+        before.fetch_add(1, Ordering::SeqCst);
+        rank.barrier();
+        // After the barrier every rank must observe all 4 increments.
+        assert_eq!(before.load(Ordering::SeqCst), 4);
+    });
+}
+
+#[test]
+fn repeated_barriers_do_not_deadlock() {
+    World::run(3, |rank| {
+        for _ in 0..100 {
+            rank.barrier();
+        }
+    });
+}
+
+#[test]
+fn broadcast_delivers_to_all() {
+    let out = World::run(4, |rank| {
+        let data = if rank.rank() == 2 { Some(b("payload")) } else { None };
+        rank.broadcast(2, data)
+    });
+    for part in out {
+        assert_eq!(&part[..], b"payload");
+    }
+}
+
+#[test]
+fn gather_collects_in_rank_order() {
+    let out = World::run(4, |rank| {
+        let part = Bytes::from(vec![rank.rank() as u8]);
+        rank.gather(1, part)
+    });
+    assert!(out[0].is_none());
+    let parts = out[1].as_ref().unwrap();
+    assert_eq!(parts.len(), 4);
+    for (i, p) in parts.iter().enumerate() {
+        assert_eq!(p[0] as usize, i);
+    }
+}
+
+#[test]
+fn scatter_routes_per_rank() {
+    let out = World::run(3, |rank| {
+        let parts = (rank.rank() == 0)
+            .then(|| (0..3).map(|i| Bytes::from(vec![i as u8 * 10])).collect());
+        rank.scatter(0, parts)
+    });
+    for (i, p) in out.iter().enumerate() {
+        assert_eq!(p[0] as usize, i * 10);
+    }
+}
+
+#[test]
+fn all_gather_gives_everyone_everything() {
+    let out = World::run(5, |rank| {
+        let part = Bytes::from(format!("r{}", rank.rank()));
+        rank.all_gather(part)
+    });
+    for parts in out {
+        assert_eq!(parts.len(), 5);
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(&p[..], format!("r{i}").as_bytes());
+        }
+    }
+}
+
+#[test]
+fn collectives_interleave_with_point_to_point() {
+    World::run(2, |rank| {
+        // Point-to-point traffic between collectives must not confuse the
+        // collective tag matching.
+        if rank.rank() == 0 {
+            rank.send(1, 3, b("p2p"));
+        }
+        let bc = rank.broadcast(0, (rank.rank() == 0).then(|| b("bc1")));
+        assert_eq!(&bc[..], b"bc1");
+        if rank.rank() == 1 {
+            assert_eq!(&rank.recv(Some(0), 3).data[..], b"p2p");
+        }
+        let bc2 = rank.broadcast(1, (rank.rank() == 1).then(|| b("bc2")));
+        assert_eq!(&bc2[..], b"bc2");
+    });
+}
+
+#[test]
+fn mixed_roots_sequence_correctly() {
+    World::run(3, |rank| {
+        for round in 0..10u8 {
+            let root = (round as usize) % 3;
+            let data = (rank.rank() == root).then(|| Bytes::from(vec![round]));
+            let got = rank.broadcast(root, data);
+            assert_eq!(got[0], round);
+            rank.barrier();
+        }
+    });
+}
+
+#[test]
+#[should_panic(expected = "world size must be at least 1")]
+fn zero_size_world_rejected() {
+    let _ = World::new(0);
+}
+
+#[test]
+fn single_rank_world_collectives_are_identities() {
+    World::run(1, |rank| {
+        assert_eq!(rank.size(), 1);
+        rank.barrier();
+        assert_eq!(&rank.broadcast(0, Some(b("x")))[..], b"x");
+        assert_eq!(rank.gather(0, b("g")).unwrap().len(), 1);
+        assert_eq!(&rank.scatter(0, Some(vec![b("s")]))[..], b"s");
+        assert_eq!(rank.all_gather(b("a")).len(), 1);
+    });
+}
+
+#[test]
+fn reduce_op_apply() {
+    assert_eq!(ReduceOp::Sum.apply(&[1.0, 2.0, 3.0]), 6.0);
+    assert_eq!(ReduceOp::Max.apply(&[1.0, 5.0, 3.0]), 5.0);
+    assert_eq!(ReduceOp::Min.apply(&[1.0, 5.0, 3.0]), 1.0);
+}
+
+#[test]
+fn tags_bands_are_disjoint() {
+    assert!(tags::is_user(0));
+    assert!(tags::is_user(tags::PARDIS_BASE - 1));
+    assert!(!tags::is_user(tags::PARDIS_BASE));
+    assert!(!tags::is_user(tags::pardis(42)));
+    assert!(tags::pardis(42) < tags::COLLECTIVE_BASE);
+}
+
+mod rts_trait_tests {
+    use super::*;
+
+    #[test]
+    fn mpi_rts_wraps_rank() {
+        let out = World::run(3, |rank| {
+            let r = rank.rank();
+            let rts = MpiRts::new(rank);
+            exercise(&rts, r, 3)
+        });
+        assert_eq!(out, vec![3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn tulip_rts_meets_the_same_contract() {
+        let (_world, endpoints) = TulipWorld::new(3);
+        let out: Vec<f64> = std::thread::scope(|s| {
+            endpoints
+                .into_iter()
+                .enumerate()
+                .map(|(i, ep)| s.spawn(move || exercise(&ep, i, 3)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(out, vec![3.0, 3.0, 3.0]);
+    }
+
+    /// Shared conformance exercise run against any [`Rts`] implementation:
+    /// point-to-point ring, barrier, broadcast, gather/scatter, all-reduce.
+    fn exercise(rts: &dyn Rts, expect_rank: usize, expect_size: usize) -> f64 {
+        assert_eq!(rts.rank(), expect_rank);
+        assert_eq!(rts.size(), expect_size);
+        let n = rts.size();
+        let me = rts.rank();
+
+        // Ring: send to the right, receive from the left.
+        rts.send((me + 1) % n, 11, Bytes::from(vec![me as u8]));
+        let from_left = rts.recv(Some((me + n - 1) % n), 11);
+        assert_eq!(from_left.data[0] as usize, (me + n - 1) % n);
+
+        rts.barrier();
+
+        let bc = rts.broadcast(0, (me == 0).then(|| b("z")));
+        assert_eq!(&bc[..], b"z");
+
+        let gathered = rts.gather(0, Bytes::from(vec![me as u8]));
+        let scattered = if me == 0 {
+            let parts = gathered.unwrap();
+            assert_eq!(parts.len(), n);
+            rts.scatter(0, Some(parts))
+        } else {
+            rts.scatter(0, None)
+        };
+        assert_eq!(scattered[0] as usize, me);
+
+        assert!(rts.try_recv(None, 999).is_none());
+        assert!(rts.recv_timeout(None, 999, Duration::from_millis(5)).is_none());
+
+        // Each rank contributes 1.0; the sum is the world size.
+        rts.all_reduce_f64(1.0, ReduceOp::Sum)
+    }
+}
+
+mod tulip_one_sided {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let (_w, eps) = TulipWorld::new(2);
+        let id = eps[0].register_region(1, vec![0u8; 8]);
+        eps[1].put(id, 2, &[0xaa, 0xbb]);
+        assert_eq!(eps[0].get(id, 0, 8), vec![0, 0, 0xaa, 0xbb, 0, 0, 0, 0]);
+        eps[0].unregister_region(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "put out of bounds")]
+    fn put_out_of_bounds_rejected() {
+        let (_w, eps) = TulipWorld::new(1);
+        let id = eps[0].register_region(1, vec![0u8; 4]);
+        eps[0].put(id, 2, &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_region_rejected() {
+        let (_w, eps) = TulipWorld::new(1);
+        eps[0].register_region(1, vec![]);
+        eps[0].register_region(1, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown region")]
+    fn unknown_region_rejected() {
+        let (_w, eps) = TulipWorld::new(1);
+        eps[0].get(RegionId { owner: 0, number: 99 }, 0, 0);
+    }
+}
+
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Messages between a fixed (sender, receiver, tag) triple are
+        /// delivered in FIFO order regardless of world size.
+        #[test]
+        fn p2p_fifo_order(n in 2usize..6, count in 1usize..20) {
+            World::run(n, |rank| {
+                if rank.rank() == 0 {
+                    for i in 0..count {
+                        rank.send(1, 4, Bytes::from(vec![i as u8]));
+                    }
+                } else if rank.rank() == 1 {
+                    for i in 0..count {
+                        let m = rank.recv(Some(0), 4);
+                        assert_eq!(m.data[0] as usize, i);
+                    }
+                }
+            });
+        }
+
+        /// all_gather result is identical on every rank and ordered by rank.
+        #[test]
+        fn all_gather_consistency(n in 1usize..6) {
+            let out = World::run(n, |rank| {
+                rank.all_gather(Bytes::from(vec![rank.rank() as u8; rank.rank() + 1]))
+            });
+            for parts in &out {
+                prop_assert_eq!(parts.len(), n);
+                for (i, p) in parts.iter().enumerate() {
+                    prop_assert_eq!(p.len(), i + 1);
+                    prop_assert!(p.iter().all(|&x| x as usize == i));
+                }
+            }
+        }
+
+        /// all-reduce agrees with a sequential reduction on every rank.
+        #[test]
+        fn all_reduce_matches_sequential(
+            n in 1usize..6,
+            values in proptest::collection::vec(-1e6f64..1e6, 6),
+        ) {
+            let vals = values.clone();
+            let out = World::run(n, move |rank| {
+                let rts = MpiRts::new(rank);
+                let mine = vals[rts.rank()];
+                (
+                    rts.all_reduce_f64(mine, ReduceOp::Sum),
+                    rts.all_reduce_f64(mine, ReduceOp::Max),
+                )
+            });
+            let expected_sum: f64 = values[..n].iter().sum();
+            let expected_max = values[..n].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            for (sum, max) in out {
+                prop_assert!((sum - expected_sum).abs() < 1e-6);
+                prop_assert_eq!(max, expected_max);
+            }
+        }
+    }
+}

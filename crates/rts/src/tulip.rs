@@ -1,0 +1,256 @@
+//! A Tulip-style one-sided run-time system, and the RTS interface built on
+//! top of it.
+//!
+//! Tulip (Beckman & Gannon, IPPS'96) is an object-parallel run-time system
+//! built around *one-sided* operations: a thread registers memory regions
+//! and remote threads `put`/`get` them without a matching receive. PARDIS
+//! lists Tulip as one of the run-time systems its ORB interface was
+//! implemented over, and names one-sided systems as the future direction for
+//! distributed arguments.
+//!
+//! Here the one-sided layer is a registry of named regions guarded by locks
+//! (a software emulation of remote DMA), and [`TulipRts`] shows that the
+//! ORB's two-sided [`Rts`] contract can be met with nothing but `put`s into
+//! per-destination queue regions.
+
+use crate::{Msg, ReduceOp, Rts};
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Identifier of a registered region: (owning rank, region number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionId {
+    /// Rank that owns (registered) the region.
+    pub owner: usize,
+    /// Owner-local region number.
+    pub number: u64,
+}
+
+/// A registered memory region: a byte buffer remote ranks can `put` into and
+/// `get` from.
+#[derive(Debug, Default)]
+pub struct Region {
+    data: Vec<u8>,
+}
+
+struct QueueCell {
+    queue: Mutex<VecDeque<Msg>>,
+    arrived: Condvar,
+}
+
+struct TulipShared {
+    size: usize,
+    regions: Mutex<HashMap<RegionId, Region>>,
+    /// One incoming queue region per rank, pre-registered; `send` is a `put`
+    /// appended here.
+    queues: Vec<QueueCell>,
+    barrier: Mutex<(usize, u64)>,
+    barrier_cv: Condvar,
+}
+
+/// The shared state of a Tulip program: create once, derive a [`TulipRts`]
+/// per computing thread.
+#[derive(Clone)]
+pub struct TulipWorld {
+    shared: Arc<TulipShared>,
+}
+
+impl TulipWorld {
+    /// Number of computing threads.
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+}
+
+impl TulipWorld {
+    /// Create the shared state for `size` computing threads and hand out the
+    /// per-thread endpoints.
+    ///
+    /// # Panics
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> (TulipWorld, Vec<TulipRts>) {
+        assert!(size > 0, "world size must be at least 1");
+        let shared = Arc::new(TulipShared {
+            size,
+            regions: Mutex::new(HashMap::new()),
+            queues: (0..size)
+                .map(|_| QueueCell { queue: Mutex::new(VecDeque::new()), arrived: Condvar::new() })
+                .collect(),
+            barrier: Mutex::new((0, 0)),
+            barrier_cv: Condvar::new(),
+        });
+        let endpoints = (0..size)
+            .map(|rank| TulipRts {
+                shared: shared.clone(),
+                rank,
+                coll_seq: std::sync::atomic::AtomicU64::new(0),
+            })
+            .collect();
+        (TulipWorld { shared }, endpoints)
+    }
+}
+
+/// One computing thread's endpoint into a Tulip program.
+pub struct TulipRts {
+    shared: Arc<TulipShared>,
+    rank: usize,
+    coll_seq: std::sync::atomic::AtomicU64,
+}
+
+impl TulipRts {
+    /// Register a region owned by this rank with initial contents.
+    pub fn register_region(&self, number: u64, data: Vec<u8>) -> RegionId {
+        let id = RegionId { owner: self.rank, number };
+        let prev = self.shared.regions.lock().insert(id, Region { data });
+        assert!(prev.is_none(), "region {id:?} registered twice");
+        id
+    }
+
+    /// One-sided write of `data` at `offset` into a remote (or local) region.
+    ///
+    /// # Panics
+    /// Panics if the region is unknown or the write is out of bounds.
+    pub fn put(&self, id: RegionId, offset: usize, data: &[u8]) {
+        let mut regions = self.shared.regions.lock();
+        let region = regions.get_mut(&id).unwrap_or_else(|| panic!("unknown region {id:?}"));
+        assert!(
+            offset + data.len() <= region.data.len(),
+            "put out of bounds: {}..{} of {}",
+            offset,
+            offset + data.len(),
+            region.data.len()
+        );
+        region.data[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// One-sided read of `len` bytes at `offset` from a region.
+    pub fn get(&self, id: RegionId, offset: usize, len: usize) -> Vec<u8> {
+        let regions = self.shared.regions.lock();
+        let region = regions.get(&id).unwrap_or_else(|| panic!("unknown region {id:?}"));
+        region.data[offset..offset + len].to_vec()
+    }
+
+    /// Drop a region registration.
+    pub fn unregister_region(&self, id: RegionId) {
+        self.shared.regions.lock().remove(&id);
+    }
+
+    fn next_coll_tag(&self) -> u64 {
+        crate::tags::COLLECTIVE_BASE
+            | self.coll_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl Rts for TulipRts {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+    fn size(&self) -> usize {
+        self.shared.size
+    }
+    fn send(&self, to: usize, tag: u64, data: Bytes) {
+        assert!(to < self.shared.size, "send to rank {to} out of range");
+        let cell = &self.shared.queues[to];
+        cell.queue.lock().push_back(Msg::new(self.rank, tag, data));
+        cell.arrived.notify_all();
+    }
+    fn recv(&self, from: Option<usize>, tag: u64) -> Msg {
+        let cell = &self.shared.queues[self.rank];
+        let mut q = cell.queue.lock();
+        loop {
+            if let Some(idx) = q.iter().position(|m| m.matches(from, tag)) {
+                return q.remove(idx).expect("index valid");
+            }
+            cell.arrived.wait(&mut q);
+        }
+    }
+    fn recv_timeout(&self, from: Option<usize>, tag: u64, timeout: Duration) -> Option<Msg> {
+        let deadline = Instant::now() + timeout;
+        let cell = &self.shared.queues[self.rank];
+        let mut q = cell.queue.lock();
+        loop {
+            if let Some(idx) = q.iter().position(|m| m.matches(from, tag)) {
+                return q.remove(idx);
+            }
+            if cell.arrived.wait_until(&mut q, deadline).timed_out() {
+                return q.iter().position(|m| m.matches(from, tag)).and_then(|i| q.remove(i));
+            }
+        }
+    }
+    fn try_recv(&self, from: Option<usize>, tag: u64) -> Option<Msg> {
+        let cell = &self.shared.queues[self.rank];
+        let mut q = cell.queue.lock();
+        let idx = q.iter().position(|m| m.matches(from, tag))?;
+        q.remove(idx)
+    }
+    fn barrier(&self) {
+        self.coll_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut state = self.shared.barrier.lock();
+        let gen = state.1;
+        state.0 += 1;
+        if state.0 == self.shared.size {
+            state.0 = 0;
+            state.1 = state.1.wrapping_add(1);
+            self.shared.barrier_cv.notify_all();
+        } else {
+            while state.1 == gen {
+                self.shared.barrier_cv.wait(&mut state);
+            }
+        }
+    }
+    fn broadcast(&self, root: usize, data: Option<Bytes>) -> Bytes {
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let data = data.expect("broadcast root must supply data");
+            for to in 0..self.shared.size {
+                if to != root {
+                    self.send(to, tag, data.clone());
+                }
+            }
+            data
+        } else {
+            assert!(data.is_none(), "non-root rank passed data to broadcast");
+            self.recv(Some(root), tag).data
+        }
+    }
+    fn gather(&self, root: usize, part: Bytes) -> Option<Vec<Bytes>> {
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let mut parts: Vec<Option<Bytes>> = vec![None; self.shared.size];
+            parts[root] = Some(part);
+            for _ in 0..self.shared.size - 1 {
+                let msg = self.recv(None, tag);
+                parts[msg.from] = Some(msg.data);
+            }
+            Some(parts.into_iter().map(|p| p.expect("every rank contributed")).collect())
+        } else {
+            self.send(root, tag, part);
+            None
+        }
+    }
+    fn scatter(&self, root: usize, parts: Option<Vec<Bytes>>) -> Bytes {
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let parts = parts.expect("scatter root must supply parts");
+            assert_eq!(parts.len(), self.shared.size, "scatter needs one part per rank");
+            let mut own = None;
+            for (to, part) in parts.into_iter().enumerate() {
+                if to == root {
+                    own = Some(part);
+                } else {
+                    self.send(to, tag, part);
+                }
+            }
+            own.expect("root part present")
+        } else {
+            assert!(parts.is_none(), "non-root rank passed parts to scatter");
+            self.recv(Some(root), tag).data
+        }
+    }
+}
+
+// ReduceOp re-exported for convenience in one-sided contexts.
+const _: fn(ReduceOp, &[f64]) -> f64 = ReduceOp::apply;

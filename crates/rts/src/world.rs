@@ -1,0 +1,312 @@
+//! The MPI-like world of computing threads.
+
+use crate::{tags, Msg};
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-rank mailbox with unordered tag matching (like an MPI receive queue).
+struct Mailbox {
+    queue: Mutex<VecDeque<Msg>>,
+    arrived: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Mailbox { queue: Mutex::new(VecDeque::new()), arrived: Condvar::new() }
+    }
+
+    fn push(&self, msg: Msg) {
+        self.queue.lock().push_back(msg);
+        self.arrived.notify_all();
+    }
+
+    fn take_match(&self, from: Option<usize>, tag: u64) -> Option<Msg> {
+        let mut q = self.queue.lock();
+        let idx = q.iter().position(|m| m.matches(from, tag))?;
+        q.remove(idx)
+    }
+
+    fn wait_match(&self, from: Option<usize>, tag: u64, timeout: Option<Duration>) -> Option<Msg> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(idx) = q.iter().position(|m| m.matches(from, tag)) {
+                return q.remove(idx);
+            }
+            match deadline {
+                Some(dl) => {
+                    if self.arrived.wait_until(&mut q, dl).timed_out() {
+                        return q
+                            .iter()
+                            .position(|m| m.matches(from, tag))
+                            .and_then(|idx| q.remove(idx));
+                    }
+                }
+                None => self.arrived.wait(&mut q),
+            }
+        }
+    }
+}
+
+struct Barrier {
+    state: Mutex<(usize, u64)>, // (count, generation)
+    released: Condvar,
+}
+
+struct WorldInner {
+    size: usize,
+    mailboxes: Vec<Mailbox>,
+    barrier: Barrier,
+}
+
+/// A world of `size` computing threads.
+///
+/// Analogous to `MPI_COMM_WORLD`: create one, hand each thread its
+/// [`Rank`], and let them communicate. The convenience entry point
+/// [`World::run`] spawns the threads for you (the usual SPMD launch).
+#[derive(Clone)]
+pub struct World {
+    inner: Arc<WorldInner>,
+}
+
+impl World {
+    /// Create a world and return the per-thread [`Rank`] handles, in rank
+    /// order.
+    ///
+    /// # Panics
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> (World, Vec<Rank>) {
+        assert!(size > 0, "world size must be at least 1");
+        let inner = Arc::new(WorldInner {
+            size,
+            mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
+            barrier: Barrier { state: Mutex::new((0, 0)), released: Condvar::new() },
+        });
+        let ranks = (0..size)
+            .map(|r| Rank { world: inner.clone(), rank: r, coll_seq: AtomicU64::new(0) })
+            .collect();
+        (World { inner }, ranks)
+    }
+
+    /// SPMD launch: run `f(rank)` on `size` OS threads and collect the
+    /// results in rank order. Panics in any thread propagate.
+    pub fn run<R, F>(size: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Rank) -> R + Send + Sync,
+    {
+        let (_world, ranks) = World::new(size);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranks
+                .into_iter()
+                .map(|rank| scope.spawn(move || f(rank)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("computing thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Number of computing threads.
+    pub fn size(&self) -> usize {
+        self.inner.size
+    }
+}
+
+/// One computing thread's endpoint into its [`World`].
+///
+/// A `Rank` is owned by exactly one thread (it is `Send` but deliberately not
+/// `Clone`); all state it reaches is behind the world's locks.
+pub struct Rank {
+    world: Arc<WorldInner>,
+    rank: usize,
+    /// Collective sequence number. SPMD discipline (all ranks execute
+    /// collectives in the same order) makes equal sequence numbers match up,
+    /// which keys each collective's internal tags.
+    coll_seq: AtomicU64,
+}
+
+impl Rank {
+    /// This thread's rank, `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.world.size
+    }
+
+    /// Asynchronous tagged send. Never blocks (mailboxes are unbounded).
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range.
+    pub fn send(&self, to: usize, tag: u64, data: Bytes) {
+        assert!(to < self.world.size, "send to rank {to} out of range");
+        self.world.mailboxes[to].push(Msg::new(self.rank, tag, data));
+    }
+
+    /// Blocking receive matching `(from, tag)`; `from = None` accepts any
+    /// source.
+    pub fn recv(&self, from: Option<usize>, tag: u64) -> Msg {
+        self.world.mailboxes[self.rank]
+            .wait_match(from, tag, None)
+            .expect("untimed wait always yields a message")
+    }
+
+    /// Blocking receive with a timeout. `None` on expiry.
+    pub fn recv_timeout(&self, from: Option<usize>, tag: u64, timeout: Duration) -> Option<Msg> {
+        self.world.mailboxes[self.rank].wait_match(from, tag, Some(timeout))
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self, from: Option<usize>, tag: u64) -> Option<Msg> {
+        self.world.mailboxes[self.rank].take_match(from, tag)
+    }
+
+    /// Is a matching message waiting? (MPI_Probe without dequeuing.)
+    pub fn probe(&self, from: Option<usize>, tag: u64) -> bool {
+        self.world.mailboxes[self.rank]
+            .queue
+            .lock()
+            .iter()
+            .any(|m| m.matches(from, tag))
+    }
+
+    /// Number of queued (unreceived) messages, any tag.
+    pub fn pending(&self) -> usize {
+        self.world.mailboxes[self.rank].queue.lock().len()
+    }
+
+    fn next_coll_tag(&self) -> u64 {
+        tags::COLLECTIVE_BASE | self.coll_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Synchronise all ranks (central counter barrier).
+    pub fn barrier(&self) {
+        // Barrier participation also consumes a collective sequence number so
+        // barriers interleave correctly with the message-based collectives.
+        self.coll_seq.fetch_add(1, Ordering::Relaxed);
+        let b = &self.world.barrier;
+        let mut state = b.state.lock();
+        let gen = state.1;
+        state.0 += 1;
+        if state.0 == self.world.size {
+            state.0 = 0;
+            state.1 = state.1.wrapping_add(1);
+            b.released.notify_all();
+        } else {
+            while state.1 == gen {
+                b.released.wait(&mut state);
+            }
+        }
+    }
+
+    /// Broadcast from `root`: the root passes `Some(data)`, everyone gets the
+    /// payload.
+    ///
+    /// # Panics
+    /// Panics if the root passes `None` or a non-root passes `Some`.
+    pub fn broadcast(&self, root: usize, data: Option<Bytes>) -> Bytes {
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let data = data.expect("broadcast root must supply data");
+            for to in 0..self.world.size {
+                if to != root {
+                    self.world.mailboxes[to].push(Msg::new(self.rank, tag, data.clone()));
+                }
+            }
+            data
+        } else {
+            assert!(data.is_none(), "non-root rank passed data to broadcast");
+            self.recv(Some(root), tag).data
+        }
+    }
+
+    /// Gather each rank's `part` at `root` (in rank order). Non-roots get
+    /// `None`.
+    pub fn gather(&self, root: usize, part: Bytes) -> Option<Vec<Bytes>> {
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let mut parts: Vec<Option<Bytes>> = vec![None; self.world.size];
+            parts[root] = Some(part);
+            for _ in 0..self.world.size - 1 {
+                let msg = self.recv(None, tag);
+                parts[msg.from] = Some(msg.data);
+            }
+            Some(parts.into_iter().map(|p| p.expect("every rank contributed")).collect())
+        } else {
+            self.send(root, tag, part);
+            None
+        }
+    }
+
+    /// Scatter: the root supplies one payload per rank; each rank receives
+    /// its own.
+    ///
+    /// # Panics
+    /// Panics if the root's `parts` has the wrong length, the root passes
+    /// `None`, or a non-root passes `Some`.
+    pub fn scatter(&self, root: usize, parts: Option<Vec<Bytes>>) -> Bytes {
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let parts = parts.expect("scatter root must supply parts");
+            assert_eq!(parts.len(), self.world.size, "scatter needs one part per rank");
+            let mut own = None;
+            for (to, part) in parts.into_iter().enumerate() {
+                if to == root {
+                    own = Some(part);
+                } else {
+                    self.world.mailboxes[to].push(Msg::new(self.rank, tag, part));
+                }
+            }
+            own.expect("root part present")
+        } else {
+            assert!(parts.is_none(), "non-root rank passed parts to scatter");
+            self.recv(Some(root), tag).data
+        }
+    }
+
+    /// All-gather: everyone receives every rank's part, in rank order.
+    pub fn all_gather(&self, part: Bytes) -> Vec<Bytes> {
+        // Gather to 0, then broadcast the concatenation framing.
+        let gathered = self.gather(0, part);
+        if self.rank == 0 {
+            let parts = gathered.expect("rank 0 gathers");
+            let mut framed = bytes::BytesMut::new();
+            use bytes::BufMut;
+            framed.put_u32(parts.len() as u32);
+            for p in &parts {
+                framed.put_u32(p.len() as u32);
+                framed.extend_from_slice(p);
+            }
+            self.broadcast(0, Some(framed.freeze()));
+            parts
+        } else {
+            let framed = self.broadcast(0, None);
+            let mut parts = Vec::new();
+            let mut pos = 0usize;
+            let count = u32::from_be_bytes(framed[0..4].try_into().unwrap()) as usize;
+            pos += 4;
+            for _ in 0..count {
+                let len = u32::from_be_bytes(framed[pos..pos + 4].try_into().unwrap()) as usize;
+                pos += 4;
+                parts.push(framed.slice(pos..pos + len));
+                pos += len;
+            }
+            parts
+        }
+    }
+}
+
+impl std::fmt::Debug for Rank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Rank({}/{})", self.rank, self.world.size)
+    }
+}

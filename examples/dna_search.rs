@@ -1,0 +1,61 @@
+//! §4.2 / figure 4 — parallel interaction: SPMD and single objects on one
+//! parallel server.
+//!
+//! ```text
+//! cargo run --release --example dna_search [PROCESSORS]
+//! ```
+//!
+//! A parallel server hosts the SPMD `dna_db` object plus five single
+//! `list_server` objects (exact matches and the four edit-distance
+//! derivative classes). The client launches a non-blocking `search`, then
+//! keeps querying the list servers while the search runs — comparing the
+//! centralized placement (all lists on thread 0) against the distributed
+//! one.
+
+use pardis::core::{ClientGroup, Orb};
+use pardis::netsim::{Network, TimeScale};
+use pardis_apps::dna::{run_fig4_client, spawn_dna_server, DnaServerConfig, Placement, LIST_NAMES};
+
+fn main() {
+    let p: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    println!("DNA database search on a {p}-thread parallel server");
+
+    for placement in [Placement::Centralized, Placement::Distributed] {
+        let net = Network::paper_atm_testbed(TimeScale::off());
+        let h1 = net.host_by_name("HOST_1").unwrap();
+        let orb = Orb::new(net);
+
+        let cfg = DnaServerConfig {
+            nthreads: p,
+            db_size: 3_000,
+            len_range: (40, 80),
+            seed: 42,
+            placement,
+            chunk: 16,
+            ..Default::default()
+        };
+        let server = spawn_dna_server(&orb, h1, cfg);
+
+        let client = ClientGroup::create(&orb, h1, 1).attach(0, None);
+        let (elapsed, queries, hits) =
+            run_fig4_client(&client, "ACGTA", &["GAT", "TTA", "CGC", "AAA"]).expect("client");
+        println!(
+            "  {placement:?}: search + {queries} list queries in {elapsed:.3} s ({hits} hits)"
+        );
+
+        // Show what the search produced.
+        let sizes: Vec<String> = {
+            use pardis::generated::dna::ListServerProxy;
+            LIST_NAMES
+                .iter()
+                .map(|n| {
+                    let proxy = ListServerProxy::bind(&client, n).expect("bind list");
+                    let (all,) = proxy.match_(&String::new()).expect("match");
+                    format!("{n}:{}", all.len())
+                })
+                .collect()
+        };
+        println!("    list sizes: {}", sizes.join("  "));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,90 @@
+//! Dynamic invocation: no compiled stubs at all.
+//!
+//! ```text
+//! cargo run --release --example dynamic_client
+//! ```
+//!
+//! The client loads `idl/dna.idl` into the ORB's Interface Repository at
+//! *runtime*, introspects the `list_server` interface, type-checks a call
+//! against the repository signature, and invokes `match` through the
+//! dynamic invocation interface with `Any` arguments — the CORBA workflow
+//! for talking to an object you learned about after you were compiled.
+
+use pardis::cdr::{Any, TypeCode, Value};
+use pardis::core::{ClientGroup, Orb};
+use pardis::ifr;
+use pardis_apps::dna::{spawn_dna_server, DnaServerConfig, Placement};
+
+fn main() {
+    let (orb, host) = Orb::single_host();
+
+    // A normal, stub-based DNA server (the server side is oblivious to how
+    // clients were built).
+    let server = spawn_dna_server(
+        &orb,
+        host,
+        DnaServerConfig {
+            nthreads: 2,
+            db_size: 500,
+            placement: Placement::Distributed,
+            ..Default::default()
+        },
+    );
+
+    // Load the interface descriptions from the IDL text, at runtime.
+    let idl_source = std::fs::read_to_string("idl/dna.idl").expect("read idl/dna.idl");
+    ifr::load_idl(&orb, &idl_source).expect("load IDL into the interface repository");
+
+    // Introspect.
+    println!("interfaces known to the repository: {:?}", orb.interfaces().ids());
+    for op in orb.interfaces().all_ops("list_server") {
+        let params: Vec<String> =
+            op.params.iter().map(|p| format!("{:?} {}: {}", p.mode, p.name, p.tc)).collect();
+        println!("  list_server::{}({}) -> {}", op.name, params.join(", "), op.ret);
+    }
+
+    // Run the search so the lists have content.
+    let client = ClientGroup::create(&orb, host, 1).attach(0, None);
+    let db = client.spmd_bind("dna_db").expect("bind dna_db");
+    let reply = db.call("search").arg(&"ACGT".to_string()).invoke().expect("search");
+    let status = reply
+        .any(0, &TypeCode::Enum {
+            name: "status".into(),
+            variants: std::sync::Arc::new(vec!["done".into(), "working".into()]),
+        })
+        .expect("status");
+    println!("search returned {status}");
+
+    // Type-check a dynamic call against the repository, then make it.
+    let arg_tc = TypeCode::String;
+    let sig = orb
+        .interfaces()
+        .check_call("list_server", "match", &[arg_tc])
+        .expect("signature check");
+    let out_tc = sig.params.iter().find(|p| p.name == "l").expect("out param `l`").tc.clone();
+
+    let exact = client.bind("exact").expect("bind exact list");
+    let query = Any::new(TypeCode::String, Value::String("GAT".into())).expect("arg");
+    let reply = exact.call("match").any_arg(&query).invoke().expect("dynamic match");
+    let hits = reply.any(0, &out_tc).expect("decode hits");
+    match &hits.value {
+        Value::Sequence(items) => {
+            println!("dynamic match(\"GAT\") on the exact list: {} hits", items.len());
+            for item in items.iter().take(3) {
+                if let Value::String(s) = item {
+                    println!("  {s}");
+                }
+            }
+        }
+        other => println!("unexpected reply shape: {other:?}"),
+    }
+
+    // The repository also rejects bad calls before they touch the wire.
+    let err = orb
+        .interfaces()
+        .check_call("list_server", "match", &[TypeCode::Double])
+        .unwrap_err();
+    println!("repository rejected a mistyped call: {err}");
+
+    server.shutdown();
+}

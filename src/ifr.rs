@@ -1,0 +1,118 @@
+//! Loading compiled IDL models into the ORB's Interface Repository.
+//!
+//! The IDL front end ([`pardis_idl`]) produces a resolved [`Model`]; this
+//! module translates it into runtime [`TypeCode`]s and [`InterfaceDef`]s so
+//! clients without compiled stubs can introspect interfaces and drive the
+//! dynamic invocation interface (see `examples/dynamic_client.rs`).
+
+use pardis_cdr::TypeCode;
+use pardis_core::{InterfaceDef, OpSig, Orb, ParamMode, ParamSig};
+use pardis_idl::model::{Model, NamedType, RDir, RType};
+use std::sync::Arc;
+
+/// Translate a resolved IDL type into its runtime [`TypeCode`].
+pub fn type_code(model: &Model, ty: &RType) -> TypeCode {
+    match ty {
+        RType::Void => TypeCode::Void,
+        RType::Boolean => TypeCode::Boolean,
+        RType::Octet => TypeCode::Octet,
+        RType::Char => TypeCode::Char,
+        RType::Short => TypeCode::Short,
+        RType::UShort => TypeCode::UShort,
+        RType::Long => TypeCode::Long,
+        RType::ULong => TypeCode::ULong,
+        RType::LongLong => TypeCode::LongLong,
+        RType::ULongLong => TypeCode::ULongLong,
+        RType::Float => TypeCode::Float,
+        RType::Double => TypeCode::Double,
+        RType::String => TypeCode::String,
+        RType::Sequence { elem, bound } => TypeCode::Sequence {
+            elem: Arc::new(type_code(model, elem)),
+            bound: bound.map(|b| b as u32),
+        },
+        RType::DSequence { elem, bound, .. } => TypeCode::DSequence {
+            elem: Arc::new(type_code(model, elem)),
+            bound: bound.map(|b| b as u32),
+        },
+        RType::Array { elem, len } => TypeCode::Sequence {
+            elem: Arc::new(type_code(model, elem)),
+            bound: Some(*len as u32),
+        },
+        RType::StructRef(key) => {
+            for t in &model.types {
+                if let NamedType::Struct { name, fields, .. } = t {
+                    if t.key() == *key {
+                        return TypeCode::Struct {
+                            name: name.clone(),
+                            fields: Arc::new(
+                                fields
+                                    .iter()
+                                    .map(|(fname, fty)| {
+                                        (fname.clone(), type_code(model, fty))
+                                    })
+                                    .collect(),
+                            ),
+                        };
+                    }
+                }
+            }
+            unreachable!("sema resolved struct {key:?}")
+        }
+        RType::EnumRef(key) => {
+            for t in &model.types {
+                if let NamedType::Enum { name, variants, .. } = t {
+                    if t.key() == *key {
+                        return TypeCode::Enum {
+                            name: name.clone(),
+                            variants: Arc::new(variants.clone()),
+                        };
+                    }
+                }
+            }
+            unreachable!("sema resolved enum {key:?}")
+        }
+        RType::InterfaceRef(key) => TypeCode::ObjRef { interface: key.clone() },
+    }
+}
+
+/// Register every interface of a compiled model with the ORB's Interface
+/// Repository.
+pub fn load_model(orb: &Orb, model: &Model) {
+    for iface in &model.interfaces {
+        let ops = iface
+            .ops
+            .iter()
+            .map(|op| OpSig {
+                name: op.name.clone(),
+                oneway: op.oneway,
+                ret: type_code(model, &op.ret),
+                params: op
+                    .params
+                    .iter()
+                    .map(|p| ParamSig {
+                        name: p.name.clone(),
+                        mode: match p.dir {
+                            RDir::In => ParamMode::In,
+                            RDir::Out => ParamMode::Out,
+                            RDir::InOut => ParamMode::InOut,
+                        },
+                        tc: type_code(model, &p.ty),
+                    })
+                    .collect(),
+                raises: op.raises.clone(),
+            })
+            .collect();
+        orb.interfaces().register(InterfaceDef {
+            id: iface.key(),
+            bases: iface.bases.clone(),
+            ops,
+        });
+    }
+}
+
+/// Convenience: compile IDL source text and load it in one step.
+pub fn load_idl(orb: &Orb, source: &str) -> Result<(), Vec<pardis_idl::Diagnostic>> {
+    let model = pardis_idl::compile(source)?;
+    load_model(orb, &model);
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Attributes and typed user exceptions through the whole stack, using the
+//! stubs generated from `idl/bank.idl`.
+
+use pardis::core::{ClientGroup, Orb, OrbError, Raised, ServantCtx};
+use pardis::generated::bank::{AccountImpl, AccountProxy, AccountSkel, InsufficientFunds};
+use std::sync::Mutex;
+use std::sync::Arc;
+
+struct Account {
+    balance: Mutex<f64>,
+}
+
+impl AccountImpl for Account {
+    fn get_balance(&self, _ctx: &ServantCtx) -> Result<(f64,), String> {
+        Ok((*self.balance.lock().unwrap(),))
+    }
+    fn deposit(&self, _ctx: &ServantCtx, amount: f64) -> Result<(), String> {
+        if amount <= 0.0 {
+            return Err("deposits must be positive".into());
+        }
+        *self.balance.lock().unwrap() += amount;
+        Ok(())
+    }
+    fn withdraw(&self, _ctx: &ServantCtx, amount: f64) -> Result<(), Raised> {
+        let mut balance = self.balance.lock().unwrap();
+        if amount > *balance {
+            return Err(InsufficientFunds { balance: *balance, requested: amount }.into());
+        }
+        *balance -= amount;
+        Ok(())
+    }
+}
+
+fn start_bank(orb: &Orb, host: pardis::netsim::HostId) -> pardis_apps::ServerHandle {
+    let group = pardis::core::ServerGroup::create(orb, "bank", host, 1);
+    let g = group.clone();
+    let join = std::thread::spawn(move || {
+        let mut poa = g.attach(0, None);
+        poa.activate_single(
+            "acct1",
+            Arc::new(AccountSkel(Account { balance: Mutex::new(100.0) })),
+        );
+        poa.impl_is_ready();
+    });
+    pardis_apps::ServerHandle::new(group, join)
+}
+
+#[test]
+fn attributes_and_typed_exceptions_roundtrip() {
+    let (orb, host) = Orb::single_host();
+    let server = start_bank(&orb, host);
+
+    let client = ClientGroup::create(&orb, host, 1).attach(0, None);
+    let account = AccountProxy::bind(&client, "acct1").unwrap();
+
+    // Readonly attribute → generated getter.
+    assert_eq!(account.get_balance().unwrap().0, 100.0);
+
+    // Normal operations.
+    account.deposit(&50.0).unwrap();
+    account.withdraw(&30.0).unwrap();
+    assert_eq!(account.get_balance().unwrap().0, 120.0);
+
+    // A raises-declared failure arrives as a *typed* exception the client
+    // can decode field by field.
+    let err = account.withdraw(&500.0).unwrap_err();
+    assert!(matches!(err, OrbError::UserException { .. }), "got {err:?}");
+    let exc = InsufficientFunds::from_error(&err).expect("typed decode");
+    assert_eq!(exc.balance, 120.0);
+    assert_eq!(exc.requested, 500.0);
+    assert_eq!(InsufficientFunds::REPO_ID, "insufficient_funds");
+    assert!(exc.to_string().contains("insufficient_funds"));
+
+    // The wrong exception type refuses to decode.
+    assert!(InsufficientFunds::from_error(&OrbError::Disconnected).is_none());
+
+    // Plain string exceptions still work alongside typed ones.
+    let err = account.deposit(&-1.0).unwrap_err();
+    assert_eq!(err, OrbError::ServerException("deposits must be positive".into()));
+
+    // Balance was untouched by the failed operations.
+    assert_eq!(account.get_balance().unwrap().0, 120.0);
+
+    server.shutdown();
+}
+
+#[test]
+fn typed_exceptions_through_nonblocking_futures() {
+    let (orb, host) = Orb::single_host();
+    orb.set_local_bypass(false); // over the wire
+    let server = start_bank(&orb, host);
+
+    let client = ClientGroup::create(&orb, host, 1).attach(0, None);
+    let account = AccountProxy::bind(&client, "acct1").unwrap();
+
+    let futs = account.withdraw_nb(&10_000.0).unwrap();
+    let err = futs.handle.wait().unwrap_err();
+    let exc = InsufficientFunds::from_error(&err).expect("typed decode via futures");
+    assert_eq!(exc.requested, 10_000.0);
+
+    server.shutdown();
+}

@@ -1,0 +1,112 @@
+//! The Interface Repository + dynamic invocation, end to end.
+
+use pardis::cdr::{Any, TypeCode, Value};
+use pardis::core::{ClientGroup, Orb, ParamMode};
+use pardis::ifr;
+
+#[test]
+fn shipped_idl_loads_into_the_repository() {
+    let (orb, _host) = Orb::single_host();
+    for file in ["idl/solvers.idl", "idl/dna.idl", "idl/pipeline.idl"] {
+        let src = std::fs::read_to_string(file).unwrap();
+        ifr::load_idl(&orb, &src).unwrap();
+    }
+    let ids = orb.interfaces().ids();
+    for expect in ["direct", "iterative", "dna_db", "list_server", "visualizer", "field_operations"]
+    {
+        assert!(ids.contains(&expect.to_string()), "{expect} missing from {ids:?}");
+    }
+
+    // Signature details survive the translation.
+    let solve = orb.interfaces().find_op("iterative", "solve").unwrap();
+    assert_eq!(solve.ret, TypeCode::Void);
+    assert_eq!(solve.params.len(), 4);
+    assert_eq!(solve.params[0].tc, TypeCode::Double);
+    assert_eq!(solve.params[0].mode, ParamMode::In);
+    assert!(solve.params[1].tc.is_distributed(), "matrix is distributed");
+    assert_eq!(solve.params[3].mode, ParamMode::Out);
+    assert!(solve.has_distributed());
+
+    // The pipeline `field` bound N*N survives const evaluation.
+    let show = orb.interfaces().find_op("visualizer", "show").unwrap();
+    match &show.params[0].tc {
+        TypeCode::DSequence { bound, .. } => assert_eq!(*bound, Some(128 * 128)),
+        other => panic!("field should be a dsequence, got {other}"),
+    }
+}
+
+#[test]
+fn repository_checked_dii_roundtrip() {
+    use pardis::core::{Servant, ServerGroup, ServerReply, ServerRequest};
+    use std::sync::Arc;
+
+    struct Greeter;
+    impl Servant for Greeter {
+        fn interface(&self) -> &str {
+            "greeter"
+        }
+        fn dispatch(&self, req: ServerRequest<'_>) -> Result<ServerReply, String> {
+            let name: String = req.scalar(0).map_err(|e| e.to_string())?;
+            let mut rep = ServerReply::new();
+            rep.push_scalar(&format!("hello, {name}"));
+            Ok(rep)
+        }
+    }
+
+    let (orb, host) = Orb::single_host();
+    ifr::load_idl(&orb, "interface greeter { string greet(in string name); };").unwrap();
+
+    let group = ServerGroup::create(&orb, "greeter", host, 1);
+    let g = group.clone();
+    let server = std::thread::spawn(move || {
+        let mut poa = g.attach(0, None);
+        poa.activate_single("greeter1", Arc::new(Greeter));
+        poa.impl_is_ready();
+    });
+
+    let client = ClientGroup::create(&orb, host, 1).attach(0, None);
+    let proxy = client.bind("greeter1").unwrap();
+
+    // Validate, then invoke dynamically using the signature's typecodes.
+    let sig = orb.interfaces().check_call("greeter", "greet", &[TypeCode::String]).unwrap();
+    let arg = Any::new(TypeCode::String, Value::String("pardis".into())).unwrap();
+    let reply = proxy.call("greet").any_arg(&arg).invoke().unwrap();
+    let out = reply.any(0, &sig.ret).unwrap();
+    assert_eq!(out.value, Value::String("hello, pardis".into()));
+
+    // Mistyped and unknown calls are rejected before hitting the wire.
+    assert!(orb.interfaces().check_call("greeter", "greet", &[TypeCode::Long]).is_err());
+    assert!(orb.interfaces().check_call("greeter", "shout", &[]).is_err());
+
+    group.shutdown();
+    server.join().unwrap();
+}
+
+#[test]
+fn struct_and_enum_typecodes_translate() {
+    let (orb, _host) = Orb::single_host();
+    ifr::load_idl(
+        &orb,
+        r#"
+        enum colour { red, green };
+        struct pixel { colour c; double x; };
+        interface canvas { void put(in pixel p); };
+        "#,
+    )
+    .unwrap();
+    let put = orb.interfaces().find_op("canvas", "put").unwrap();
+    match &put.params[0].tc {
+        TypeCode::Struct { name, fields } => {
+            assert_eq!(name, "pixel");
+            assert_eq!(fields.len(), 2);
+            match &fields[0].1 {
+                TypeCode::Enum { name, variants } => {
+                    assert_eq!(name, "colour");
+                    assert_eq!(variants.as_slice(), ["red".to_string(), "green".to_string()]);
+                }
+                other => panic!("expected enum, got {other}"),
+            }
+        }
+        other => panic!("expected struct, got {other}"),
+    }
+}

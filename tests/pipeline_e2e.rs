@@ -1,0 +1,111 @@
+//! End-to-end §4.3: the diffusion → gradient pipeline over the pragma
+//! mappings.
+
+use pardis::core::Orb;
+use pardis::netsim::{Network, TimeScale};
+use pardis_apps::pipeline::{
+    diffusion_checksum_seq, run_diffusion, run_gradient_alone, spawn_gradient_server,
+    spawn_visualizer, PipelineConfig,
+};
+
+fn testbed() -> (Orb, pardis::netsim::HostId, pardis::netsim::HostId, pardis::netsim::HostId) {
+    let net = Network::paper_ethernet_testbed(TimeScale::off());
+    let pc = net.host_by_name("SGI_PC").unwrap();
+    let sp2 = net.host_by_name("SP2").unwrap();
+    let indy = net.host_by_name("INDY").unwrap();
+    (Orb::new(net), pc, sp2, indy)
+}
+
+fn small_cfg(threads: usize) -> PipelineConfig {
+    PipelineConfig {
+        nx: 32,
+        ny: 32,
+        steps: 10,
+        gradient_every: 2,
+        alpha: 0.05,
+        threads,
+        show_every_step: true,
+    }
+}
+
+#[test]
+fn full_metaapplication_runs_and_checks_out() {
+    let (orb, pc, sp2, indy) = testbed();
+    let cfg = small_cfg(2);
+    let (vis_d, stats_d) = spawn_visualizer(&orb, pc, "vis_diffusion");
+    let (vis_g, stats_g) = spawn_visualizer(&orb, indy, "vis_gradient");
+    let grad = spawn_gradient_server(&orb, sp2, "fops", 2, Some("vis_gradient"), cfg.nx, cfg.ny);
+
+    let (elapsed, checksum) = run_diffusion(&orb, pc, "vis_diffusion", Some("fops"), &cfg).unwrap();
+    assert!(elapsed > 0.0);
+
+    // The distributed pipeline must not change the numerics.
+    let expect = diffusion_checksum_seq(&cfg);
+    assert!((checksum - expect).abs() < 1e-9, "checksum {checksum} vs sequential {expect}");
+
+    // Every step was shown to the diffusion visualizer; every 2nd step's
+    // gradient landed at the gradient visualizer.
+    assert_eq!(stats_d.lock().frames, cfg.steps);
+    assert_eq!(stats_g.lock().frames, cfg.steps / cfg.gradient_every);
+    assert!(stats_g.lock().checksum > 0.0, "gradient frames must carry data");
+
+    grad.shutdown();
+    vis_d.shutdown();
+    vis_g.shutdown();
+}
+
+#[test]
+fn diffusion_alone_skips_the_gradient() {
+    let (orb, pc, _sp2, _indy) = testbed();
+    let cfg = small_cfg(2);
+    let (vis, stats) = spawn_visualizer(&orb, pc, "vis_only");
+    let (_elapsed, checksum) = run_diffusion(&orb, pc, "vis_only", None, &cfg).unwrap();
+    let expect = diffusion_checksum_seq(&cfg);
+    assert!((checksum - expect).abs() < 1e-9);
+    assert_eq!(stats.lock().frames, cfg.steps);
+    vis.shutdown();
+}
+
+#[test]
+fn gradient_alone_component() {
+    let (orb, pc, sp2, _indy) = testbed();
+    let grad = spawn_gradient_server(&orb, sp2, "fops2", 2, None, 32, 32);
+    let elapsed = run_gradient_alone(&orb, pc, "fops2", 2, 32, 32, 4).unwrap();
+    assert!(elapsed > 0.0);
+    grad.shutdown();
+}
+
+#[test]
+fn matched_processor_counts_one_through_four() {
+    // The paper matches diffusion and gradient processor counts; sweep a
+    // few and check the numerics stay identical.
+    let expect = diffusion_checksum_seq(&small_cfg(1));
+    for p in [1usize, 2, 4] {
+        let (orb, pc, sp2, indy) = testbed();
+        let cfg = small_cfg(p);
+        let (vis_d, _sd) = spawn_visualizer(&orb, pc, "vd");
+        let (vis_g, _sg) = spawn_visualizer(&orb, indy, "vg");
+        let grad = spawn_gradient_server(&orb, sp2, "f", p, Some("vg"), cfg.nx, cfg.ny);
+        let (_t, checksum) = run_diffusion(&orb, pc, "vd", Some("f"), &cfg).unwrap();
+        assert!((checksum - expect).abs() < 1e-9, "p={p}: {checksum} vs {expect}");
+        grad.shutdown();
+        vis_d.shutdown();
+        vis_g.shutdown();
+    }
+}
+
+#[test]
+fn network_traffic_is_charged_on_the_ethernet() {
+    let (orb, pc, sp2, indy) = testbed();
+    let cfg = small_cfg(2);
+    let (vis_d, _sd) = spawn_visualizer(&orb, pc, "vd2");
+    let (vis_g, _sg) = spawn_visualizer(&orb, indy, "vg2");
+    let grad = spawn_gradient_server(&orb, sp2, "f2", 2, Some("vg2"), cfg.nx, cfg.ny);
+    let before = orb.network().clock().now();
+    run_diffusion(&orb, pc, "vd2", Some("f2"), &cfg).unwrap();
+    let modelled = orb.network().clock().now() - before;
+    assert!(modelled > 0.0, "pipeline traffic must cost modelled time");
+    grad.shutdown();
+    vis_d.shutdown();
+    vis_g.shutdown();
+}

@@ -1,0 +1,63 @@
+//! The `-pooma` / `-hpcxx` pragma-mapped stubs end to end: invocations
+//! whose arguments are the packages' native containers (§3.4), blocking and
+//! non-blocking.
+
+use pardis::core::{ClientGroup, Orb};
+use pardis::generated::pipeline::{FieldOperationsProxy, VisualizerProxy};
+use pardis::netsim::{Network, TimeScale};
+use pardis::pooma::{Field2D, Layout2D};
+use pardis::pstl::DistVector;
+use pardis::rts::{MpiRts, Rts, World};
+use pardis_apps::pipeline::{spawn_gradient_server, spawn_visualizer};
+use std::sync::Arc;
+
+#[test]
+fn pooma_field_stub_blocking_and_nonblocking() {
+    let net = Network::paper_ethernet_testbed(TimeScale::off());
+    let pc = net.host_by_name("SGI_PC").unwrap();
+    let orb = Orb::new(net);
+    let (vis, stats) = spawn_visualizer(&orb, pc, "v1");
+
+    // Field shape must match the IDL bound: 128 x 128.
+    let (nx, ny) = (128usize, 128usize);
+    let client = ClientGroup::create(&orb, pc, 2);
+    World::run(2, |rank| {
+        let t = rank.rank();
+        let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+        let ct = client.attach(t, Some(rts));
+        let proxy = VisualizerProxy::spmd_bind(&ct, "v1").unwrap();
+        let field = Field2D::from_fn(Layout2D::new(nx, ny, 2), t, |i, j| (i + j) as f64);
+        // Blocking pragma stub: the argument is the POOMA container itself.
+        proxy.show_pooma(&field).unwrap();
+        // Non-blocking pragma stub.
+        let futs = proxy.show_pooma_nb(&field).unwrap();
+        futs.handle.wait().unwrap();
+    });
+    assert_eq!(stats.lock().frames, 2);
+    let expect: f64 = (0..ny).flat_map(|j| (0..nx).map(move |i| (i + j) as f64)).sum();
+    assert!((stats.lock().checksum - 2.0 * expect).abs() < 1e-6);
+    vis.shutdown();
+}
+
+#[test]
+fn hpcxx_vector_stub_reaches_the_gradient_server() {
+    let net = Network::paper_ethernet_testbed(TimeScale::off());
+    let pc = net.host_by_name("SGI_PC").unwrap();
+    let sp2 = net.host_by_name("SP2").unwrap();
+    let orb = Orb::new(net);
+    let grad = spawn_gradient_server(&orb, sp2, "f1", 2, None, 128, 128);
+
+    let client = ClientGroup::create(&orb, pc, 2);
+    World::run(2, |rank| {
+        let t = rank.rank();
+        let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+        let ct = client.attach(t, Some(rts));
+        let proxy = FieldOperationsProxy::spmd_bind(&ct, "f1").unwrap();
+        // The argument is the PSTL container itself (`-hpcxx` mapping).
+        let v = DistVector::from_fn(128 * 128, 2, t, |g| (g % 97) as f64);
+        proxy.gradient_hpcxx(&v).unwrap();
+        let futs = proxy.gradient_hpcxx_nb(&v).unwrap();
+        futs.handle.wait().unwrap();
+    });
+    grad.shutdown();
+}

@@ -1,0 +1,134 @@
+//! Randomized soak of the whole ORB: many shapes, strategies, and
+//! interleavings in one process. The quick version runs in CI time; the
+//! heavy version is `#[ignore]`d (run with `cargo test --test soak --
+//! --ignored`).
+
+use pardis::core::{
+    ClientGroup, DSequence, DistPolicy, Distribution, Orb, Servant, ServerGroup, ServerReply,
+    ServerRequest, TransferStrategy,
+};
+use pardis::rts::{MpiRts, Rts, World};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+struct Scaler;
+
+impl Servant for Scaler {
+    fn interface(&self) -> &str {
+        "scaler"
+    }
+    fn dispatch(&self, req: ServerRequest<'_>) -> Result<ServerReply, String> {
+        let factor: f64 = req.scalar(0).map_err(|e| e.to_string())?;
+        let v: DSequence<f64> = req.dseq(0).map_err(|e| e.to_string())?;
+        let scaled: Vec<f64> = v.local().iter().map(|x| x * factor).collect();
+        let out =
+            DSequence::from_local(scaled, v.len(), v.dist().clone(), v.nthreads(), v.thread());
+        let mut rep = ServerReply::new();
+        rep.push_scalar(&(v.len() as i64));
+        rep.push_dseq(out);
+        Ok(rep)
+    }
+}
+
+fn soak(rounds: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for round in 0..rounds {
+        let server_n = rng.random_range(1..=4);
+        let client_n = rng.random_range(1..=3);
+        let len = rng.random_range(1..=80usize);
+        let strategy = if rng.random_bool(0.5) {
+            TransferStrategy::Parallel
+        } else {
+            TransferStrategy::Funneled
+        };
+        let client_dist = match rng.random_range(0..3) {
+            0 => Distribution::Block,
+            1 => Distribution::Cyclic,
+            _ => Distribution::BlockCyclic(rng.random_range(1..=5)),
+        };
+        let server_dist = match rng.random_range(0..4) {
+            0 => Distribution::Block,
+            1 => Distribution::Cyclic,
+            2 => Distribution::Concentrated(rng.random_range(0..server_n)),
+            _ => Distribution::BlockCyclic(rng.random_range(1..=4)),
+        };
+        let calls = rng.random_range(1..=4usize);
+
+        let (orb, host) = Orb::single_host();
+        orb.set_transfer_strategy(strategy);
+        let policy = DistPolicy::new().with("scale", 1, server_dist.clone());
+        let group = ServerGroup::create(&orb, "scaler", host, server_n);
+        let g = group.clone();
+        let server = std::thread::spawn(move || {
+            World::run(server_n, |rank| {
+                let t = rank.rank();
+                let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+                let mut poa = g.attach(t, Some(rts));
+                poa.activate_spmd("s1", Arc::new(Scaler), policy.clone());
+                poa.impl_is_ready();
+            });
+        });
+
+        let full: Vec<f64> = (0..len).map(|i| i as f64 + round as f64).collect();
+        let factor = rng.random_range(-3.0..3.0);
+        let expect: Vec<f64> = full.iter().map(|x| x * factor).collect();
+
+        let client = ClientGroup::create(&orb, host, client_n);
+        let out = World::run(client_n, |rank| {
+            let t = rank.rank();
+            let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+            let ct = client.attach(t, Some(rts));
+            let proxy = ct.spmd_bind("s1").unwrap();
+            let v = DSequence::distribute(&full, client_dist.clone(), client_n, t);
+            // Mix blocking and pipelined non-blocking calls.
+            let mut locals = Vec::new();
+            let mut pending = Vec::new();
+            for k in 0..calls {
+                let call = proxy
+                    .call("scale")
+                    .arg(&factor)
+                    .dseq_in(&v)
+                    .dseq_out(client_dist.clone());
+                if k % 2 == 0 {
+                    let reply = call.invoke().unwrap();
+                    locals.push(reply.dseq::<f64>(0).unwrap());
+                } else {
+                    pending.push(call.invoke_nb().unwrap());
+                }
+            }
+            for inv in pending {
+                locals.push(inv.dseq_future::<f64>(0).get().unwrap());
+            }
+            locals
+                .into_iter()
+                .map(|r| r.local_iter().map(|(g, v)| (g, *v)).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        });
+
+        for per_thread in out {
+            for result in per_thread {
+                for (g, v) in result {
+                    assert!(
+                        (v - expect[g as usize]).abs() < 1e-9,
+                        "round {round}: element {g} = {v}, expected {}",
+                        expect[g as usize]
+                    );
+                }
+            }
+        }
+        group.shutdown();
+        server.join().unwrap();
+    }
+}
+
+#[test]
+fn soak_quick() {
+    soak(12, 0xC0FFEE);
+}
+
+#[test]
+#[ignore = "heavy randomized soak; run with --ignored"]
+fn soak_heavy() {
+    soak(200, 0xDECAF);
+}
