@@ -13,7 +13,7 @@ use crate::dist::{plan_transfer, Distribution};
 use crate::dseq::DSequence;
 use crate::error::{OrbError, OrbResult};
 use crate::object::{BindingId, ClientId, DistPolicy, EndpointId, ObjectKind, ObjectRef};
-use crate::orb::{Envelope, Orb, TransferStrategy};
+use crate::orb::{Envelope, Orb, OrbConfig, TransferStrategy};
 use crate::poa::FORWARD_TAG;
 use crate::protocol::{
     frame_list, unframe_list, ArgDir, DArgDesc, FragmentMsg, Message, ReplyMsg, ReplyStatus,
@@ -26,7 +26,7 @@ use pardis_cdr::{Any, ByteOrder, CdrCodec, Decoder, Encoder, TypeCode};
 use pardis_netsim::HostId;
 use pardis_rts::Rts;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -102,6 +102,7 @@ impl ClientGroup {
                 rts,
                 router: Mutex::new(HashMap::new()),
                 orphans: Mutex::new(HashMap::new()),
+                done: Mutex::new(DoneSet::default()),
                 collective_seq: AtomicU64::new(0),
                 single_seq: AtomicU64::new(0),
             }),
@@ -125,12 +126,28 @@ pub(crate) struct PumpCore {
     pub rts: Option<Arc<dyn Rts>>,
     router: Mutex<HashMap<(BindingId, u64), Arc<InvocationState>>>,
     orphans: Mutex<HashMap<(BindingId, u64), Vec<Message>>>,
+    /// Completed invocations: late duplicate replies (retransmission
+    /// by-products) for these keys are discarded instead of piling up as
+    /// orphans.
+    done: Mutex<DoneSet>,
     /// Invocation counter of the collective entity (all threads of an SPMD
     /// client stay in sync by the SPMD calling discipline).
     collective_seq: AtomicU64,
     /// Invocation counter of this thread acting as a single client.
     single_seq: AtomicU64,
 }
+
+/// Bounded FIFO memory of finished invocation keys.
+#[derive(Default)]
+struct DoneSet {
+    set: HashSet<(BindingId, u64)>,
+    order: VecDeque<(BindingId, u64)>,
+}
+
+/// Bound on the done-set and on the number of distinct orphan keys a pump
+/// will stash — plenty for any live pipeline, small enough that duplicate
+/// storms cannot grow memory without bound.
+const PUMP_MEMORY_CAP: usize = 1024;
 
 impl PumpCore {
     fn register(&self, key: (BindingId, u64), state: Arc<InvocationState>) {
@@ -145,6 +162,16 @@ impl PumpCore {
 
     fn unregister(&self, key: (BindingId, u64)) {
         self.router.lock().remove(&key);
+        self.orphans.lock().remove(&key);
+        let mut done = self.done.lock();
+        if done.set.insert(key) {
+            done.order.push_back(key);
+            while done.order.len() > PUMP_MEMORY_CAP {
+                if let Some(old) = done.order.pop_front() {
+                    done.set.remove(&old);
+                }
+            }
+        }
     }
 
     /// Completion check without pumping — only meaningful when a
@@ -228,7 +255,17 @@ impl PumpCore {
                 state.absorb(msg);
             }
             None => {
-                self.orphans.lock().entry(key).or_default().push(msg);
+                // A reply for a finished invocation is a retransmission
+                // by-product; drop it. Unknown keys are stashed (bounded)
+                // for a registration racing the reply.
+                if self.done.lock().set.contains(&key) {
+                    return;
+                }
+                let mut orphans = self.orphans.lock();
+                if orphans.len() >= PUMP_MEMORY_CAP && !orphans.contains_key(&key) {
+                    return;
+                }
+                orphans.entry(key).or_default().push(msg);
             }
         }
     }
@@ -240,16 +277,25 @@ pub struct InvocationState {
     pub(crate) funneled: bool,
     pub(crate) client_threads: usize,
     pub(crate) thread: usize,
+    key: (BindingId, u64),
     server: crate::object::ServerId,
     out_wire_idx: Vec<u32>,
     out_dists: Vec<Distribution>,
     inner: Mutex<InvInner>,
+    /// Frames this thread must re-send to nudge the server if the reply
+    /// does not arrive: the request control plus this thread's fragments,
+    /// pre-encoded with their destination endpoints. Empty for oneways and
+    /// collocated bypass calls (nothing to retry).
+    replay: Mutex<Vec<(EndpointId, Bytes)>>,
 }
 
 #[derive(Default)]
 struct InvInner {
     reply: Option<ReplyMsg>,
     frags: HashMap<u32, Vec<(u64, u64, Bytes)>>,
+    /// Fragment identities already absorbed — duplicated or retransmitted
+    /// fragments must not double-append elements.
+    frag_seen: HashSet<(u32, u64, u64, u32)>,
 }
 
 impl InvocationState {
@@ -258,7 +304,13 @@ impl InvocationState {
         match msg {
             Message::Reply(r) => inner.reply = Some(r),
             Message::Fragment(f) => {
-                inner.frags.entry(f.arg).or_default().push((f.start, f.count, Bytes::from(f.data)));
+                if inner.frag_seen.insert((f.arg, f.start, f.count, f.src_thread)) {
+                    inner
+                        .frags
+                        .entry(f.arg)
+                        .or_default()
+                        .push((f.start, f.count, Bytes::from(f.data)));
+                }
             }
             _ => {}
         }
@@ -652,10 +704,12 @@ impl<'p> CallBuilder<'p> {
             funneled,
             client_threads: cthreads,
             thread: cthread,
+            key,
             server: proxy.obj.server,
             out_wire_idx,
             out_dists,
             inner: Mutex::new(InvInner::default()),
+            replay: Mutex::new(Vec::new()),
         });
         if !oneway {
             core.register(key, state.clone());
@@ -734,20 +788,25 @@ impl<'p> CallBuilder<'p> {
             ins: self.ins.clone(),
             dargs: descs.clone(),
         });
+        let control_wire = control.encode();
+        let control_eps: Vec<EndpointId> = match proxy.obj.kind {
+            ObjectKind::Single { thread } => vec![endpoints[thread]],
+            ObjectKind::Spmd if funneled => vec![endpoints[0]],
+            ObjectKind::Spmd => endpoints.clone(),
+        };
         let lead = !proxy.collective || core.thread == 0;
         if lead {
-            match proxy.obj.kind {
-                ObjectKind::Single { thread } => {
-                    core.orb.send(core.host, endpoints[thread], &control)?;
-                }
-                ObjectKind::Spmd if funneled => {
-                    core.orb.send(core.host, endpoints[0], &control)?;
-                }
-                ObjectKind::Spmd => {
-                    for ep in &endpoints {
-                        core.orb.send(core.host, *ep, &control)?;
-                    }
-                }
+            for ep in &control_eps {
+                core.orb.send_wire(core.host, *ep, control_wire.clone())?;
+            }
+        }
+        // Every thread (lead or not) keeps the control frames for replay: a
+        // retransmitted control from any thread nudges the server, which
+        // deduplicates by (binding, req_id) and re-sends the cached reply.
+        let mut replay: Vec<(EndpointId, Bytes)> = Vec::new();
+        if !oneway {
+            for ep in &control_eps {
+                replay.push((*ep, control_wire.clone()));
             }
         }
 
@@ -774,32 +833,91 @@ impl<'p> CallBuilder<'p> {
                 if funneled {
                     my_frames.push(frag.encode());
                 } else {
-                    core.orb.send(core.host, endpoints[piece.dst], &frag)?;
+                    let wire = frag.encode();
+                    core.orb.send_wire(core.host, endpoints[piece.dst], wire.clone())?;
+                    if !oneway {
+                        replay.push((endpoints[piece.dst], wire));
+                    }
                 }
             }
         }
         if funneled {
             if proxy.collective && cthreads > 1 {
                 // Funnel all threads' fragments through thread 0's wire
-                // connection, gathered over the run-time system.
+                // connection, gathered over the run-time system. Thread 0
+                // keeps the gathered frames for replay — a retransmission
+                // must not re-run the gather.
                 let rts = core.rts.as_ref().expect("parallel client has an RTS");
                 let gathered = rts.gather(0, frame_list(&my_frames));
                 if let Some(lists) = gathered {
                     for list in lists {
                         for frame in unframe_list(&list).expect("self-framed list") {
-                            core.orb.send_wire(core.host, endpoints[0], frame)?;
+                            core.orb.send_wire(core.host, endpoints[0], frame.clone())?;
+                            if !oneway {
+                                replay.push((endpoints[0], frame));
+                            }
                         }
                     }
                 }
             } else {
                 for frame in my_frames {
-                    core.orb.send_wire(core.host, endpoints[0], frame)?;
+                    core.orb.send_wire(core.host, endpoints[0], frame.clone())?;
+                    if !oneway {
+                        replay.push((endpoints[0], frame));
+                    }
                 }
             }
+        }
+        if !oneway {
+            *state.replay.lock() = replay;
         }
 
         Ok(((state, core.clone()), key))
     }
+}
+
+/// SplitMix64 finaliser — deterministic jitter without an RNG dependency.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Capped exponential backoff with seeded jitter: retransmission `attempt`
+/// waits `retry_base * 2^min(attempt, 6)` plus up to half that again. The
+/// jitter is a pure hash of (retry_seed, invocation key, attempt), so a
+/// replayed chaos run backs off on the same schedule.
+fn backoff_delay(cfg: &OrbConfig, key: (BindingId, u64), attempt: u32) -> Duration {
+    let delay = cfg.retry_base.max(Duration::from_micros(50)) * (1u32 << attempt.min(6));
+    let h = mix64(cfg.retry_seed ^ mix64(key.0 .0) ^ mix64(key.1) ^ u64::from(attempt));
+    delay + delay.mul_f64((h >> 11) as f64 / (1u64 << 53) as f64 * 0.5)
+}
+
+/// Re-send the recorded frames (control plus this thread's fragments) of
+/// every incomplete invocation this pump is tracking, not only the one being
+/// awaited: the POA dispatches a client entity's requests in sequence order,
+/// so a lost earlier request could otherwise block a later one at the server
+/// while only the later one was being retried. The POA deduplicates by
+/// (binding, req_id), so at worst a retransmission costs wire time; at best
+/// it resurrects a dropped request or provokes a replay of the cached reply.
+fn retransmit(core: &Arc<PumpCore>, state: &Arc<InvocationState>) -> OrbResult<()> {
+    let mut targets: Vec<Arc<InvocationState>> = core.router.lock().values().cloned().collect();
+    if !targets.iter().any(|t| Arc::ptr_eq(t, state)) {
+        targets.push(state.clone());
+    }
+    targets.retain(|t| !t.is_complete() && !t.replay.lock().is_empty());
+    if targets.is_empty() {
+        return Ok(());
+    }
+    core.orb.note_retransmit();
+    for target in targets {
+        let frames = target.replay.lock().clone();
+        for (ep, wire) in frames {
+            core.orb.send_wire(core.host, ep, wire)?;
+        }
+    }
+    Ok(())
 }
 
 fn wait_complete(
@@ -807,13 +925,33 @@ fn wait_complete(
     state: &Arc<InvocationState>,
     timeout: Duration,
 ) -> OrbResult<()> {
+    let cfg = core.orb.config();
     let deadline = Instant::now() + timeout;
+    // Retransmissions are armed only when configured and there is something
+    // to replay (not a oneway or collocated call).
+    let mut next_retry = if cfg.retry_limit > 0 && !state.replay.lock().is_empty() {
+        Some(Instant::now() + backoff_delay(&cfg, state.key, 0))
+    } else {
+        None
+    };
+    let mut attempt: u32 = 0;
     loop {
         if state.is_complete() {
             return Ok(());
         }
         if Instant::now() >= deadline {
             return Err(OrbError::Timeout { waiting_for: "invocation reply".into() });
+        }
+        if let Some(at) = next_retry {
+            if Instant::now() >= at {
+                attempt += 1;
+                retransmit(core, state)?;
+                // Once the budget is spent, stop nudging but keep waiting
+                // out the deadline — the last retransmission's reply may
+                // still be in flight.
+                next_retry = (attempt < cfg.retry_limit)
+                    .then(|| Instant::now() + backoff_delay(&cfg, state.key, attempt));
+            }
         }
         core.pump_step(Some(Duration::from_micros(200)));
     }
@@ -980,6 +1118,16 @@ pub(crate) mod internal {
 
     pub fn complete(state: &InvocationState) -> bool {
         state.is_complete()
+    }
+
+    /// Retry-aware wait shared with the future module, so a blocked
+    /// `PFuture::get` retransmits exactly like a blocking `invoke`.
+    pub fn wait(
+        core: &Arc<PumpCore>,
+        state: &Arc<InvocationState>,
+        timeout: Duration,
+    ) -> OrbResult<()> {
+        wait_complete(core, state, timeout)
     }
 
     pub fn scalar<T: CdrCodec>(state: &InvocationState, slot: usize) -> OrbResult<T> {

@@ -11,23 +11,17 @@
 
 use crate::client::{internal, InvocationState, PumpCore};
 use crate::dseq::DSequence;
-use crate::error::{OrbError, OrbResult};
+use crate::error::OrbResult;
 use pardis_cdr::CdrCodec;
 use std::marker::PhantomData;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-fn wait(core: &PumpCore, state: &InvocationState, timeout: Duration) -> OrbResult<()> {
-    let deadline = Instant::now() + timeout;
-    loop {
-        if internal::complete(state) {
-            return Ok(());
-        }
-        if Instant::now() >= deadline {
-            return Err(OrbError::Timeout { waiting_for: "future resolution".into() });
-        }
-        core.pump_step(Some(Duration::from_micros(200)));
-    }
+/// Block until the invocation completes, delegating to the client pump's
+/// retry-aware wait so futures ride the same retransmission machinery as
+/// blocking invocations.
+fn wait(core: &Arc<PumpCore>, state: &Arc<InvocationState>, timeout: Duration) -> OrbResult<()> {
+    internal::wait(core, state, timeout)
 }
 
 /// A future of a scalar result (return value or non-distributed out

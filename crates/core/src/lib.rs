@@ -80,7 +80,7 @@ pub use client::{
 };
 pub use dist::{plan_transfer, Distribution, PlanPiece, Run};
 pub use dseq::DSequence;
-pub use error::{OrbError, OrbResult};
+pub use error::{OrbError, OrbResult, TransportError};
 pub use future::{DSeqFuture, PFuture};
 pub use interface_repo::{InterfaceDef, InterfaceRepository, OpSig, ParamMode, ParamSig};
 pub use object::{

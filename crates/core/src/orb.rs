@@ -13,7 +13,7 @@ use crate::interface_repo::InterfaceRepository;
 use crate::repository::{ActivationMode, ImplementationRepository, ObjectRepository};
 use crate::servant::Servant;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use pardis_netsim::{HostId, Network, TimeScale};
+use pardis_netsim::{HostId, Network, TimeScale, Verdict};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -46,6 +46,15 @@ pub struct OrbConfig {
     pub activation: ActivationMode,
     /// How long binds and invocations wait before giving up.
     pub timeout: Duration,
+    /// Maximum retransmissions of an unanswered request before the
+    /// invocation escalates to [`OrbError::Timeout`]. `0` disables the
+    /// reliability layer entirely (the lossless-network default).
+    pub retry_limit: u32,
+    /// Base delay of the capped exponential retransmit backoff; attempt `k`
+    /// waits roughly `retry_base * 2^k` plus seeded jitter.
+    pub retry_base: Duration,
+    /// Seed of the deterministic retransmit jitter.
+    pub retry_seed: u64,
 }
 
 impl Default for OrbConfig {
@@ -55,6 +64,9 @@ impl Default for OrbConfig {
             local_bypass: true,
             activation: ActivationMode::Activating,
             timeout: Duration::from_secs(30),
+            retry_limit: 0,
+            retry_base: Duration::from_millis(10),
+            retry_seed: 0,
         }
     }
 }
@@ -101,6 +113,10 @@ pub(crate) struct OrbInner {
     /// Total frames and bytes moved (for benches and EXPERIMENTS.md).
     pub frames_sent: AtomicU64,
     pub bytes_sent: AtomicU64,
+    /// Invocation retransmission rounds performed by client pumps. Stays 0
+    /// on a lossless network — asserted by the e2e suites as the
+    /// pay-nothing proof.
+    pub retransmits: AtomicU64,
 }
 
 /// The Object Request Broker. Cheap to clone; all clones share state.
@@ -126,6 +142,7 @@ impl Orb {
                 config: RwLock::new(OrbConfig::default()),
                 frames_sent: AtomicU64::new(0),
                 bytes_sent: AtomicU64::new(0),
+                retransmits: AtomicU64::new(0),
             }),
         }
     }
@@ -183,6 +200,31 @@ impl Orb {
         self.inner.config.write().timeout = t;
     }
 
+    /// Set the maximum retransmissions per invocation (`0` = reliability
+    /// layer off, the default on a lossless network).
+    pub fn set_retry_limit(&self, n: u32) {
+        self.inner.config.write().retry_limit = n;
+    }
+
+    /// Set the base delay of the retransmit backoff.
+    pub fn set_retry_base(&self, d: Duration) {
+        self.inner.config.write().retry_base = d;
+    }
+
+    /// Set the seed of the deterministic retransmit jitter.
+    pub fn set_retry_seed(&self, seed: u64) {
+        self.inner.config.write().retry_seed = seed;
+    }
+
+    /// Retransmission rounds performed so far (0 on a lossless network).
+    pub fn retransmits(&self) -> u64 {
+        self.inner.retransmits.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_retransmit(&self) {
+        self.inner.retransmits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Frames and bytes moved so far (diagnostics).
     pub fn traffic(&self) -> (u64, u64) {
         (
@@ -229,10 +271,22 @@ impl Orb {
             let (h, tx) = eps.get(&to).ok_or(OrbError::Disconnected)?;
             (*h, tx.clone())
         };
-        self.inner.network.charge(from_host, to_host, wire.len());
+        let verdict = self.inner.network.deliver(from_host, to_host, wire.len());
         self.inner.frames_sent.fetch_add(1, Ordering::Relaxed);
         self.inner.bytes_sent.fetch_add(wire.len() as u64, Ordering::Relaxed);
-        tx.send(Envelope { from_host, wire }).map_err(|_| OrbError::Disconnected)
+        match verdict {
+            // A drop is invisible to the sender: the send "succeeds" but
+            // the frame never arrives. Recovery is the client pump's job.
+            Verdict::Dropped => Ok(()),
+            Verdict::Delivered => {
+                tx.send(Envelope { from_host, wire }).map_err(|_| OrbError::Disconnected)
+            }
+            Verdict::Duplicated => {
+                tx.send(Envelope { from_host, wire: wire.clone() })
+                    .map_err(|_| OrbError::Disconnected)?;
+                tx.send(Envelope { from_host, wire }).map_err(|_| OrbError::Disconnected)
+            }
+        }
     }
 
     /// Register object metadata + repository name. Returns the reference.

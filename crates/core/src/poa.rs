@@ -18,7 +18,7 @@ use crossbeam::channel::Receiver;
 use pardis_netsim::HostId;
 use pardis_rts::{tags, Rts};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -117,6 +117,7 @@ impl ServerGroup {
             inbox,
             servants: HashMap::new(),
             pending: HashMap::new(),
+            recent: Mutex::new(RecentInvocations::default()),
             deferred: Vec::new(),
             closed: false,
         }
@@ -135,12 +136,38 @@ struct PendingReq {
     control: Option<RequestMsg>,
     /// Fragments per wire darg index.
     frags: HashMap<u32, Vec<FragmentMsg>>,
+    /// Sibling-bound fragments already forwarded over the RTS, per wire darg
+    /// index: (start, count, src_thread, dst_thread). Thread 0 of a funneled
+    /// SPMD dispatch is the only forwarder; once it enters the (blocking,
+    /// collective) servant it stops pumping, so it must not dispatch until
+    /// every sibling's fragment has passed through — the siblings would
+    /// otherwise wait forever on data stranded in thread 0's inbox.
+    fwd: HashMap<u32, Vec<(u64, u64, u32, u32)>>,
 }
 
 impl PendingReq {
     fn new() -> Self {
-        PendingReq { control: None, frags: HashMap::new() }
+        PendingReq { control: None, frags: HashMap::new(), fwd: HashMap::new() }
     }
+}
+
+/// Bound on the at-most-once memory per adapter thread (entries, FIFO
+/// evicted). A client retransmits only while its invocation is in flight,
+/// so only the most recent keys ever need suppressing.
+const RECENT_CAP: usize = 1024;
+
+/// At-most-once memory: which invocations this thread has accepted for
+/// dispatch, and the reply frames it sent for them. A retransmitted request
+/// for a known key never reaches the servant again — it either replays the
+/// cached reply frames verbatim or (while the original is still executing)
+/// is silently dropped, leaving the client to retry into the cache later.
+#[derive(Default)]
+struct RecentInvocations {
+    /// `None` while the original dispatch is still executing (or deferred);
+    /// `Some(frames)` once the reply left, recording every (endpoint,
+    /// frame) this thread sent for it.
+    seen: HashMap<(BindingId, u64), Option<Vec<(EndpointId, Bytes)>>>,
+    order: VecDeque<(BindingId, u64)>,
 }
 
 /// One computing thread's object adapter.
@@ -155,6 +182,9 @@ pub struct Poa {
     inbox: Receiver<Envelope>,
     servants: HashMap<ObjectKey, Arc<dyn Servant>>,
     pending: HashMap<(BindingId, u64), PendingReq>,
+    /// Duplicate-suppression state; a `Mutex` only because replies are sent
+    /// from `&self` methods — the adapter itself is single-threaded.
+    recent: Mutex<RecentInvocations>,
     deferred: Vec<DeferredCall>,
     closed: bool,
 }
@@ -342,29 +372,63 @@ impl Poa {
     fn handle(&mut self, msg: Message, wire: &Bytes) {
         match msg {
             Message::Request(req) => {
+                let key = (req.binding, req.req_id);
+                // A retransmitted request for an already-accepted invocation
+                // must not reach the servant again (at-most-once): replay
+                // the cached reply, or drop it while the original executes.
+                if self.replay_if_seen(key) {
+                    return;
+                }
+                let duplicate_control =
+                    self.pending.get(&key).map(|p| p.control.is_some()).unwrap_or(false);
                 // Funneled control arrives only at thread 0; fan it out to
                 // the siblings through the run-time system. (SPMD objects
                 // only — single-object requests go straight to the owner.)
-                if self.is_funneled_entry(&req) {
+                // Duplicates are not re-fanned: the RTS is reliable.
+                if !duplicate_control && self.is_funneled_entry(&req) {
                     let rts = self.rts.as_ref().expect("parallel server has an RTS");
                     for t in 1..self.nthreads {
                         rts.send(t, FORWARD_TAG, wire.clone());
                     }
                 }
-                let entry =
-                    self.pending.entry((req.binding, req.req_id)).or_insert_with(PendingReq::new);
+                let entry = self.pending.entry(key).or_insert_with(PendingReq::new);
                 entry.control = Some(req);
             }
             Message::Fragment(frag) => {
+                let key = (frag.binding, frag.req_id);
+                let accepted = self.recent.lock().seen.contains_key(&key);
                 if frag.dst_thread as usize != self.thread {
                     // Funneled data: forward to the true owner over the RTS.
                     let rts = self.rts.as_ref().expect("parallel server has an RTS");
                     rts.send(frag.dst_thread as usize, FORWARD_TAG, wire.clone());
+                    if !accepted {
+                        // Count the forward toward dispatch readiness
+                        // (idempotently — a retransmitted fragment must not
+                        // double-count).
+                        let entry = self.pending.entry(key).or_insert_with(PendingReq::new);
+                        let rec = (frag.start, frag.count, frag.src_thread, frag.dst_thread);
+                        let slot = entry.fwd.entry(frag.arg).or_default();
+                        if !slot.contains(&rec) {
+                            slot.push(rec);
+                        }
+                    }
+                    return;
+                }
+                if accepted {
+                    // Fragment of an already-dispatched invocation
+                    // (retransmission by-product): ignore.
                     return;
                 }
                 let entry =
                     self.pending.entry((frag.binding, frag.req_id)).or_insert_with(PendingReq::new);
-                entry.frags.entry(frag.arg).or_default().push(frag);
+                let slot = entry.frags.entry(frag.arg).or_default();
+                // Idempotent reassembly: a duplicated or retransmitted
+                // fragment range must not double-count toward completion.
+                if !slot.iter().any(|f| {
+                    f.start == frag.start && f.count == frag.count && f.src_thread == frag.src_thread
+                }) {
+                    slot.push(frag);
+                }
             }
             Message::Cancel { binding, req_id } => {
                 self.pending.remove(&(binding, req_id));
@@ -445,11 +509,18 @@ impl Poa {
             .map(|(_, (_, _, key))| key)
     }
 
-    /// All in-fragments for this thread arrived?
+    /// All in-fragments for this thread arrived? On the funneled entry
+    /// thread this additionally means every sibling-bound fragment has been
+    /// forwarded: SPMD dispatch is collective and blocks this thread inside
+    /// the servant, after which nothing would pump the funnel.
     fn request_complete(&self, req: &RequestMsg, pending: &PendingReq) -> bool {
         let Some(meta) = self.orb.object_meta(req.object) else {
             return true; // dispatch will answer with an exception
         };
+        let funnel_entry = req.funneled
+            && self.thread == 0
+            && self.nthreads > 1
+            && matches!(meta.oref.kind, ObjectKind::Spmd);
         for (i, desc) in req.dargs.iter().enumerate() {
             if desc.dir != ArgDir::In {
                 continue;
@@ -464,11 +535,66 @@ impl Poa {
             if arrived < expected {
                 return false;
             }
+            if funnel_entry {
+                let sibling_expected: u64 = (1..self.nthreads)
+                    .map(|t| server_dist.local_len(desc.len, self.nthreads, t))
+                    .sum();
+                let forwarded: u64 = pending
+                    .fwd
+                    .get(&(i as u32))
+                    .map(|fs| fs.iter().map(|f| f.1).sum())
+                    .unwrap_or(0);
+                if forwarded < sibling_expected {
+                    return false;
+                }
+            }
         }
         true
     }
 
+    /// Replay (or suppress) a request whose key has already been accepted.
+    /// Returns false if the key is new.
+    fn replay_if_seen(&self, key: (BindingId, u64)) -> bool {
+        let frames = {
+            let recent = self.recent.lock();
+            match recent.seen.get(&key) {
+                None => return false,
+                // Original still executing (or deferred): drop the
+                // duplicate; the client will retry into the cache later.
+                Some(None) => return true,
+                Some(Some(frames)) => frames.clone(),
+            }
+        };
+        for (ep, wire) in frames {
+            let _ = self.orb.send_wire(self.host, ep, wire);
+        }
+        true
+    }
+
+    /// Mark an invocation accepted *before* its servant runs, closing the
+    /// window in which a duplicate arriving mid-execution would re-execute.
+    fn mark_accepted(&self, key: (BindingId, u64)) {
+        let mut recent = self.recent.lock();
+        if recent.seen.insert(key, None).is_none() {
+            recent.order.push_back(key);
+            while recent.order.len() > RECENT_CAP {
+                if let Some(old) = recent.order.pop_front() {
+                    recent.seen.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Attach the sent reply frames to an accepted invocation so future
+    /// duplicates replay them.
+    fn record_reply(&self, key: (BindingId, u64), frames: Vec<(EndpointId, Bytes)>) {
+        if let Some(slot) = self.recent.lock().seen.get_mut(&key) {
+            *slot = Some(frames);
+        }
+    }
+
     fn dispatch(&mut self, req: RequestMsg, mut frags: HashMap<u32, Vec<FragmentMsg>>) {
+        self.mark_accepted((req.binding, req.req_id));
         let servant = self.servants.get(&req.object).cloned();
         let meta = self.orb.object_meta(req.object);
         let result = match (servant, meta) {
@@ -516,6 +642,9 @@ impl Poa {
             _ => Err(format!("object key {} not active on this server", req.object.0)),
         };
         if req.oneway {
+            // No reply to cache; the accepted mark alone suppresses
+            // duplicates.
+            self.record_reply((req.binding, req.req_id), Vec::new());
             return;
         }
         self.send_reply(&req, result);
@@ -556,6 +685,10 @@ impl Poa {
             .enumerate()
             .filter(|(_, d)| d.dir == ArgDir::Out)
             .collect();
+
+        // Every frame this thread ships is also recorded so a retransmitted
+        // request can be answered from the cache without re-execution.
+        let mut sent: Vec<(EndpointId, Bytes)> = Vec::new();
 
         let (status, outs, dout_lens) = match &result {
             Ok(reply) if reply.raised.is_some() => {
@@ -604,7 +737,9 @@ impl Poa {
                         if funneled {
                             my_frames.push(frag.encode());
                         } else {
-                            let _ = self.orb.send(self.host, req.reply_to[piece.dst], &frag);
+                            let wire = frag.encode();
+                            let _ = self.send_raw(req.reply_to[piece.dst], wire.clone());
+                            sent.push((req.reply_to[piece.dst], wire));
                         }
                     }
                 }
@@ -619,13 +754,15 @@ impl Poa {
                             for frame in crate::protocol::unframe_list(&list)
                                 .expect("self-framed list")
                             {
-                                let _ = self.send_raw(req.reply_to[0], frame);
+                                let _ = self.send_raw(req.reply_to[0], frame.clone());
+                                sent.push((req.reply_to[0], frame));
                             }
                         }
                     }
                 } else if funneled {
                     for frame in my_frames {
-                        let _ = self.send_raw(req.reply_to[0], frame);
+                        let _ = self.send_raw(req.reply_to[0], frame.clone());
+                        sent.push((req.reply_to[0], frame));
                     }
                 }
                 (ReplyStatus::Ok, reply.outs.clone(), reply.douts.iter().map(|d| d.len).collect())
@@ -647,14 +784,18 @@ impl Poa {
                 outs,
                 dout_lens,
             });
+            let wire = reply.encode();
             if funneled {
-                let _ = self.orb.send(self.host, req.reply_to[0], &reply);
+                let _ = self.send_raw(req.reply_to[0], wire.clone());
+                sent.push((req.reply_to[0], wire));
             } else {
                 for ep in &req.reply_to {
-                    let _ = self.orb.send(self.host, *ep, &reply);
+                    let _ = self.send_raw(*ep, wire.clone());
+                    sent.push((*ep, wire.clone()));
                 }
             }
         }
+        self.record_reply((req.binding, req.req_id), sent);
     }
 
     /// Send an already-encoded frame (charging the network for its size).

@@ -206,6 +206,12 @@ impl Message {
                 found: format!("{:02x?}", &frame[0..4]),
             });
         }
+        if frame[4] != VERSION {
+            return Err(CdrError::TypeMismatch {
+                expected: format!("PRDS protocol version {VERSION}"),
+                found: format!("version {}", frame[4]),
+            });
+        }
         let order = ByteOrder::from_flag(frame[5])?;
         let ty = frame[6];
         let mut d = Decoder::new(frame.clone(), order);

@@ -103,6 +103,44 @@ fn unknown_type_tag_rejected() {
 }
 
 #[test]
+fn version_mismatch_rejected() {
+    for msg in [Message::Close, Message::Request(sample_request())] {
+        let mut wire = msg.encode().to_vec();
+        assert_eq!(wire[4], VERSION);
+        wire[4] = VERSION.wrapping_add(1);
+        let err = Message::decode(&Bytes::from(wire)).unwrap_err();
+        assert!(err.to_string().contains("version"), "error was: {err}");
+    }
+}
+
+/// One of each of the five message types, for mutation fuzzing.
+fn sample_messages() -> Vec<Message> {
+    vec![
+        Message::Request(sample_request()),
+        Message::Reply(ReplyMsg {
+            req_id: 1,
+            binding: BindingId(2),
+            status: ReplyStatus::UserException { id: "overflow".into(), data: vec![1, 2, 3] },
+            outs: vec![vec![9, 9]],
+            dout_lens: vec![512],
+        }),
+        Message::Fragment(FragmentMsg {
+            req_id: 5,
+            binding: BindingId(6),
+            arg: 2,
+            dir: ArgDir::Out,
+            start: 128,
+            count: 64,
+            dst_thread: 3,
+            src_thread: 1,
+            data: (0..200u8).collect(),
+        }),
+        Message::Cancel { binding: BindingId(1), req_id: 9 },
+        Message::Close,
+    ]
+}
+
+#[test]
 fn frame_list_roundtrip() {
     let frames = vec![
         Bytes::from_static(b"alpha"),
@@ -157,6 +195,30 @@ mod property {
             let idx = flip % wire.len();
             wire[idx] = val;
             let _ = Message::decode(&Bytes::from(wire));
+        }
+
+        #[test]
+        fn decode_never_panics_on_truncation_of_any_type(cut in 0.0f64..1.0) {
+            // Truncate each of the five message types at a proportional
+            // offset: decode must error or succeed, never panic.
+            for msg in sample_messages() {
+                let wire = msg.encode();
+                let keep = (wire.len() as f64 * cut) as usize;
+                let _ = Message::decode(&wire.slice(0..keep));
+            }
+        }
+
+        #[test]
+        fn decode_never_panics_on_bit_flips_of_any_type(
+            pos in any::<usize>(),
+            bit in 0u8..8,
+        ) {
+            for msg in sample_messages() {
+                let mut wire = msg.encode().to_vec();
+                let idx = pos % wire.len();
+                wire[idx] ^= 1 << bit;
+                let _ = Message::decode(&Bytes::from(wire));
+            }
         }
     }
 }

@@ -24,12 +24,21 @@
 //! * **Virtual time** ([`Network::charge_virtual`]): no sleeping; the modelled
 //!   cost is accumulated on a per-host virtual clock. Deterministic, used by
 //!   unit tests of the cost model itself.
+//!
+//! A third mode layers **deterministic fault injection** on either clock: a
+//! seeded [`FaultPlan`] (drop probability, duplication, burst loss, timed
+//! link-down windows) attaches per link or network-wide, and
+//! [`Network::deliver`] returns a [`Verdict`] the transport must honour
+//! instead of assuming every frame arrives. Without a plan installed,
+//! `deliver` is bit-identical to [`Network::charge`].
 
 mod clock;
+mod fault;
 mod link;
 mod network;
 
 pub use clock::{TimeScale, VirtualClock};
+pub use fault::{FaultPlan, FaultStats, Verdict};
 pub use link::{Link, LinkPreset};
 pub use network::{Host, HostId, Network};
 

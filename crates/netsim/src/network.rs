@@ -1,8 +1,10 @@
 //! Host registry and delay injection.
 
-use crate::{Link, LinkPreset, TimeScale, VirtualClock};
-use parking_lot::RwLock;
+use crate::fault::FaultState;
+use crate::{FaultPlan, FaultStats, Link, LinkPreset, TimeScale, Verdict, VirtualClock};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -47,6 +49,19 @@ struct Inner {
     medium_locks: HashMap<(HostId, HostId), Arc<parking_lot::Mutex<()>>>,
 }
 
+/// Fault-injection state, kept outside `Inner` so the hot lossless path
+/// never takes the registry lock for it.
+#[derive(Default)]
+struct Faults {
+    /// Network-wide plan (inter-host links only; loopback is exempt).
+    global: Option<FaultPlan>,
+    /// Per-link overrides (win over the global plan). `None` exempts the
+    /// link explicitly.
+    per_link: HashMap<(HostId, HostId), Option<FaultPlan>>,
+    /// Lazily materialised per-directed-link schedule state.
+    states: HashMap<(HostId, HostId), FaultState>,
+}
+
 /// The simulated testbed: a set of hosts and the links joining them.
 ///
 /// Cloning a `Network` is cheap and shares all state.
@@ -55,6 +70,13 @@ pub struct Network {
     inner: Arc<RwLock<Inner>>,
     scale: TimeScale,
     clock: VirtualClock,
+    /// Fast gate: false means no plan anywhere and [`Network::deliver`] is
+    /// exactly [`Network::charge`] plus one relaxed load.
+    faults_on: Arc<AtomicBool>,
+    faults: Arc<Mutex<Faults>>,
+    dropped: Arc<AtomicU64>,
+    duplicated: Arc<AtomicU64>,
+    delivered: Arc<AtomicU64>,
 }
 
 impl Default for Network {
@@ -76,6 +98,11 @@ impl Network {
             })),
             scale,
             clock: VirtualClock::new(),
+            faults_on: Arc::new(AtomicBool::new(false)),
+            faults: Arc::new(Mutex::new(Faults::default())),
+            dropped: Arc::new(AtomicU64::new(0)),
+            duplicated: Arc::new(AtomicU64::new(0)),
+            delivered: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -214,6 +241,91 @@ impl Network {
         let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
         let mut inner = self.inner.write();
         inner.medium_locks.entry(key).or_default().clone()
+    }
+
+    /// Install (or clear) a network-wide fault plan. It governs every
+    /// inter-host frame; loopback transfers are exempt. Installing a plan
+    /// resets all per-link schedule state and the fault counters, so two
+    /// runs installing the same plan see the same schedule.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        let mut f = self.faults.lock();
+        f.global = plan;
+        f.states.clear();
+        self.reset_fault_stats();
+        self.faults_on
+            .store(f.global.is_some() || f.per_link.values().any(Option::is_some), Ordering::Release);
+    }
+
+    /// Install (or clear) a fault plan on the (bidirectional) link between
+    /// two hosts. A per-link entry overrides the network-wide plan —
+    /// `Some(plan)` injects it, `None` exempts the link entirely.
+    pub fn set_link_fault_plan(&self, a: HostId, b: HostId, plan: Option<FaultPlan>) {
+        let mut f = self.faults.lock();
+        f.per_link.insert((a, b), plan.clone());
+        f.per_link.insert((b, a), plan);
+        f.states.remove(&(a, b));
+        f.states.remove(&(b, a));
+        self.faults_on
+            .store(f.global.is_some() || f.per_link.values().any(Option::is_some), Ordering::Release);
+    }
+
+    /// Counters of fault-layer activity since the last plan install.
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero the fault counters (schedule state is kept).
+    pub fn reset_fault_stats(&self) {
+        self.delivered.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
+        self.duplicated.store(0, Ordering::Relaxed);
+    }
+
+    /// Charge a transfer and decide its fate under the installed fault
+    /// plans. With no plan installed this is [`Network::charge`] plus one
+    /// atomic load — the lossless behaviour (costs, clock, verdicts) is
+    /// bit-identical to the fault-free simulator.
+    ///
+    /// A [`Verdict::Dropped`] frame still pays its transfer cost (it went
+    /// onto the wire and died there); a [`Verdict::Duplicated`] frame pays
+    /// twice, once per copy.
+    pub fn deliver(&self, from: HostId, to: HostId, bytes: usize) -> Verdict {
+        self.charge(from, to, bytes);
+        if !self.faults_on.load(Ordering::Acquire) {
+            return Verdict::Delivered;
+        }
+        let verdict = {
+            let mut f = self.faults.lock();
+            let plan = match f.per_link.get(&(from, to)) {
+                Some(per_link) => per_link.clone(),
+                None if from != to => f.global.clone(),
+                None => None,
+            };
+            match plan {
+                None => Verdict::Delivered,
+                Some(plan) => {
+                    let now = self.clock.now();
+                    f.states
+                        .entry((from, to))
+                        .or_insert_with(|| FaultState::new(plan))
+                        .verdict(from.0, to.0, now)
+                }
+            }
+        };
+        match verdict {
+            Verdict::Delivered => self.delivered.fetch_add(1, Ordering::Relaxed),
+            Verdict::Dropped => self.dropped.fetch_add(1, Ordering::Relaxed),
+            Verdict::Duplicated => {
+                // The duplicate copy also traverses the wire.
+                self.charge(from, to, bytes);
+                self.duplicated.fetch_add(1, Ordering::Relaxed)
+            }
+        };
+        verdict
     }
 
     /// Charge a transfer in virtual time only (no sleeping).

@@ -213,6 +213,176 @@ fn nan_time_scale_rejected() {
     let _ = TimeScale::new(f64::NAN);
 }
 
+#[test]
+fn deliver_without_plan_is_lossless_and_free() {
+    let net = Network::new(TimeScale::off());
+    let a = net.add_host("a");
+    let b = net.add_host("b");
+    net.connect(a, b, Link::new(0.5, 1.0e6, 0.0));
+    for _ in 0..100 {
+        assert_eq!(net.deliver(a, b, 1000), Verdict::Delivered);
+    }
+    // No plan installed: the fault layer records nothing at all, and the
+    // virtual clock matches what plain `charge` would have accumulated.
+    assert_eq!(net.fault_stats(), FaultStats::default());
+    let expected = 100.0 * (0.5 + 1000.0 / 1.0e6);
+    assert!((net.clock().now() - expected).abs() < 1e-9);
+}
+
+#[test]
+fn drop_rate_tracks_probability() {
+    let net = Network::new(TimeScale::off());
+    let a = net.add_host("a");
+    let b = net.add_host("b");
+    net.connect(a, b, Link::free());
+    net.set_fault_plan(Some(FaultPlan::new(42).with_drop(0.2)));
+    let n = 10_000;
+    let mut dropped = 0;
+    for _ in 0..n {
+        if net.deliver(a, b, 64) == Verdict::Dropped {
+            dropped += 1;
+        }
+    }
+    let rate = dropped as f64 / n as f64;
+    assert!((0.15..=0.25).contains(&rate), "drop rate {rate}");
+    assert_eq!(net.fault_stats().dropped, dropped as u64);
+}
+
+#[test]
+fn fault_schedule_is_deterministic() {
+    let run = || {
+        let net = Network::new(TimeScale::off());
+        let a = net.add_host("a");
+        let b = net.add_host("b");
+        net.connect(a, b, Link::free());
+        net.set_fault_plan(Some(FaultPlan::new(7).with_drop(0.3).with_dup(0.1)));
+        let verdicts: Vec<Verdict> =
+            (0..500).map(|i| net.deliver(a, b, 64 + (i % 7))).collect();
+        (verdicts, net.fault_stats())
+    };
+    let (v1, s1) = run();
+    let (v2, s2) = run();
+    assert_eq!(v1, v2);
+    assert_eq!(s1, s2);
+    assert!(s1.dropped > 0 && s1.duplicated > 0, "stats {s1:?}");
+}
+
+#[test]
+fn reinstalling_a_plan_restarts_its_schedule() {
+    let net = Network::new(TimeScale::off());
+    let a = net.add_host("a");
+    let b = net.add_host("b");
+    net.connect(a, b, Link::free());
+    let plan = FaultPlan::new(3).with_drop(0.5);
+    net.set_fault_plan(Some(plan.clone()));
+    let first: Vec<Verdict> = (0..100).map(|_| net.deliver(a, b, 8)).collect();
+    net.set_fault_plan(Some(plan));
+    let second: Vec<Verdict> = (0..100).map(|_| net.deliver(a, b, 8)).collect();
+    assert_eq!(first, second);
+}
+
+#[test]
+fn burst_extends_every_drop() {
+    let net = Network::new(TimeScale::off());
+    let a = net.add_host("a");
+    let b = net.add_host("b");
+    net.connect(a, b, Link::free());
+    net.set_fault_plan(Some(FaultPlan::new(11).with_drop(0.05).with_burst(3)));
+    let verdicts: Vec<Verdict> = (0..2000).map(|_| net.deliver(a, b, 8)).collect();
+    // Every drop is followed by at least 3 more: drops come in runs of >= 4.
+    let mut i = 0;
+    while i < verdicts.len() {
+        if verdicts[i] == Verdict::Dropped {
+            let run = verdicts[i..].iter().take_while(|v| **v == Verdict::Dropped).count();
+            assert!(run >= 4 || i + run == verdicts.len(), "short drop run {run} at {i}");
+            i += run;
+        } else {
+            i += 1;
+        }
+    }
+    assert!(net.fault_stats().dropped >= 4, "burst never triggered");
+}
+
+#[test]
+fn link_down_window_drops_everything_inside_it() {
+    let net = Network::new(TimeScale::off());
+    let a = net.add_host("a");
+    let b = net.add_host("b");
+    // 1 s per frame, so frame k completes at virtual second k+1.
+    net.connect(a, b, Link::new(1.0, 1.0e9, 0.0));
+    net.set_fault_plan(Some(FaultPlan::new(0).with_down_window(2.5, 5.5)));
+    let verdicts: Vec<Verdict> = (0..8).map(|_| net.deliver(a, b, 0)).collect();
+    // Completion times 1..=8; those in [2.5, 5.5) — seconds 3, 4, 5 — die.
+    let expected: Vec<Verdict> = (1..=8)
+        .map(|s| {
+            if (2.5..5.5).contains(&(s as f64)) { Verdict::Dropped } else { Verdict::Delivered }
+        })
+        .collect();
+    assert_eq!(verdicts, expected);
+}
+
+#[test]
+fn duplication_charges_and_counts_twice() {
+    let net = Network::new(TimeScale::off());
+    let a = net.add_host("a");
+    let b = net.add_host("b");
+    net.connect(a, b, Link::new(1.0, 1.0e9, 0.0));
+    net.set_fault_plan(Some(FaultPlan::new(0).with_dup(1.0)));
+    assert_eq!(net.deliver(a, b, 0), Verdict::Duplicated);
+    assert_eq!(net.fault_stats().duplicated, 1);
+    // Both copies traversed the wire: two latencies on the clock.
+    assert!((net.clock().now() - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn per_link_override_and_loopback_exemption() {
+    let net = Network::new(TimeScale::off());
+    let a = net.add_host("a");
+    let b = net.add_host("b");
+    let c = net.add_host("c");
+    net.set_default_link(Link::free());
+    net.set_fault_plan(Some(FaultPlan::new(1).with_drop(1.0)));
+    // Exempt a<->b explicitly; a<->c stays under the global plan; loopback
+    // is exempt by construction.
+    net.set_link_fault_plan(a, b, None);
+    for _ in 0..50 {
+        assert_eq!(net.deliver(a, b, 8), Verdict::Delivered);
+        assert_eq!(net.deliver(b, a, 8), Verdict::Delivered);
+        assert_eq!(net.deliver(a, a, 8), Verdict::Delivered);
+        assert_eq!(net.deliver(a, c, 8), Verdict::Dropped);
+    }
+    // Clearing the global plan turns the layer off for a<->c too.
+    net.set_fault_plan(None);
+    net.set_link_fault_plan(a, b, None);
+    assert_eq!(net.deliver(a, c, 8), Verdict::Delivered);
+}
+
+#[test]
+fn fault_plan_encoding_round_trips() {
+    let plan = FaultPlan::new(0xDEAD_BEEF)
+        .with_drop(0.2)
+        .with_dup(0.05)
+        .with_burst(4)
+        .with_down_window(1.0, 2.5)
+        .with_down_window(10.0, 11.0);
+    let decoded = FaultPlan::decode(&plan.encode()).unwrap();
+    assert_eq!(plan, decoded);
+}
+
+#[test]
+fn fault_plan_decode_rejects_garbage() {
+    assert!(FaultPlan::decode(b"").is_err());
+    assert!(FaultPlan::decode(b"NOPE").is_err());
+    let mut enc = FaultPlan::new(1).with_drop(0.5).encode();
+    enc[4] = 99; // bad version
+    assert!(FaultPlan::decode(&enc).is_err());
+    let mut enc = FaultPlan::new(1).encode();
+    enc.push(0); // trailing byte
+    assert!(FaultPlan::decode(&enc).is_err());
+    let enc = FaultPlan::new(1).with_drop(0.5).encode();
+    assert!(FaultPlan::decode(&enc[..enc.len() - 1]).is_err());
+}
+
 mod property {
     use super::*;
     use proptest::prelude::*;
@@ -243,6 +413,30 @@ mod property {
             let whole = l.transfer_seconds(n);
             let half = l.transfer_seconds(n / 2) + l.transfer_seconds(n - n / 2);
             prop_assert!(half >= whole - 1e-12);
+        }
+
+        #[test]
+        fn fault_plan_round_trips(
+            seed in any::<u64>(),
+            drop_p in 0.0f64..=1.0,
+            dup_p in 0.0f64..=1.0,
+            burst in 0u32..100,
+            windows in proptest::collection::vec((0.0f64..1e6, 1e-6f64..1e3), 0..8),
+        ) {
+            let mut plan = FaultPlan::new(seed)
+                .with_drop(drop_p)
+                .with_dup(dup_p)
+                .with_burst(burst);
+            for (start, len) in windows {
+                plan = plan.with_down_window(start, start + len);
+            }
+            let decoded = FaultPlan::decode(&plan.encode()).unwrap();
+            prop_assert_eq!(plan, decoded);
+        }
+
+        #[test]
+        fn fault_plan_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = FaultPlan::decode(&data);
         }
 
         #[test]

@@ -1,0 +1,302 @@
+//! Chaos suite: the fault-injected network against the reliable-invocation
+//! layer. Every test seeds a [`FaultPlan`], so a failure is replayable by
+//! rerunning with the same seed.
+
+use pardis::core::{
+    ClientGroup, DSequence, Distribution, Orb, Servant, ServerGroup, ServerReply, ServerRequest,
+};
+use pardis::generated::dna::{DnaDbProxy, ListServerProxy, Status};
+use pardis::generated::solvers::{DirectProxy, IterativeProxy};
+use pardis::netsim::{FaultPlan, FaultStats, Link, Network, TimeScale};
+use pardis::rts::{MpiRts, Rts, World};
+use pardis_apps::dna::{
+    classify, derivatives, gen_database, spawn_dna_server, DnaServerConfig, Placement, LIST_NAMES,
+};
+use pardis_apps::pipeline::{
+    diffusion_checksum_seq, run_diffusion, spawn_gradient_server, spawn_visualizer, PipelineConfig,
+};
+use pardis_apps::solvers::{
+    compute_difference, gen_system, solve_seq, spawn_direct_server, spawn_iterative_server,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A servant whose side effect is observable: `bump(x)` increments a shared
+/// counter and returns `2 * x`. At-most-once delivery means the counter ends
+/// exactly at the number of distinct invocations, no matter how many times
+/// the chaos layer duplicated requests or provoked retransmissions.
+struct Bumper {
+    hits: Arc<AtomicU64>,
+}
+
+impl Servant for Bumper {
+    fn interface(&self) -> &str {
+        "bumper"
+    }
+    fn dispatch(&self, req: ServerRequest<'_>) -> Result<ServerReply, String> {
+        self.hits.fetch_add(1, Ordering::SeqCst);
+        let x: i64 = req.scalar(0).map_err(|e| e.to_string())?;
+        let mut rep = ServerReply::new();
+        rep.push_scalar(&(2 * x));
+        Ok(rep)
+    }
+}
+
+/// Run `calls` blocking invocations against a counting servant across a
+/// lossy two-host link (20% drop, 5% duplication) and report everything a
+/// determinism check needs: the replies, the servant's effect count, the
+/// network's fault counters, and the client's retransmission count.
+fn counting_workload(seed: u64, calls: i64) -> (Vec<i64>, u64, FaultStats, u64) {
+    let net = Network::new(TimeScale::off());
+    let ch = net.add_host("client");
+    let sh = net.add_host("server");
+    net.connect(ch, sh, Link::free());
+    net.set_fault_plan(Some(FaultPlan::new(seed).with_drop(0.2).with_dup(0.05)));
+    let orb = Orb::new(net);
+    orb.set_retry_limit(20);
+    // Far above the (unscaled) channel round-trip, so a retransmission fires
+    // only when a frame was actually lost — that keeps the retransmit count
+    // a function of the fault schedule alone.
+    orb.set_retry_base(Duration::from_millis(100));
+    orb.set_retry_seed(seed);
+
+    let hits = Arc::new(AtomicU64::new(0));
+    let group = ServerGroup::create(&orb, "counter", sh, 1);
+    let g = group.clone();
+    let h = hits.clone();
+    let server = std::thread::spawn(move || {
+        let mut poa = g.attach(0, None);
+        poa.activate_single("bump1", Arc::new(Bumper { hits: h }));
+        poa.impl_is_ready();
+    });
+
+    let client = ClientGroup::create(&orb, ch, 1).attach(0, None);
+    let proxy = client.bind("bump1").unwrap();
+    let mut results = Vec::new();
+    for i in 0..calls {
+        let reply = proxy.call("bump").arg(&i).invoke().unwrap();
+        results.push(reply.scalar::<i64>(0).unwrap());
+    }
+    let stats = orb.network().fault_stats();
+    let retransmits = orb.retransmits();
+    // Lift the faults before shutdown so the Close frame cannot be lost.
+    orb.network().set_fault_plan(None);
+    group.shutdown();
+    server.join().unwrap();
+    (results, hits.load(Ordering::SeqCst), stats, retransmits)
+}
+
+#[test]
+fn counting_servant_sees_each_effect_exactly_once() {
+    let calls = 24;
+    let (results, hits, stats, retransmits) = counting_workload(0xC7A0_5EED, calls);
+    // Results identical to a fault-free run.
+    assert_eq!(results, (0..calls).map(|i| 2 * i).collect::<Vec<_>>());
+    // The effect landed exactly once per invocation (duplicate suppression).
+    assert_eq!(hits, calls as u64);
+    // And the chaos actually bit.
+    assert!(stats.dropped > 0, "plan injected no drops: {stats:?}");
+    assert!(retransmits > 0, "drops must have provoked retransmissions");
+}
+
+#[test]
+fn chaos_schedule_and_retransmits_replay_deterministically() {
+    let first = counting_workload(0xD15EA5E, 16);
+    let second = counting_workload(0xD15EA5E, 16);
+    // Same seed: same replies, same effect count, same drop/duplicate
+    // schedule, and the same number of retransmissions.
+    assert_eq!(first, second);
+}
+
+#[test]
+fn solvers_metaapplication_survives_chaos() {
+    let net = Network::paper_atm_testbed(TimeScale::off());
+    let h1 = net.host_by_name("HOST_1").unwrap();
+    let h2 = net.host_by_name("HOST_2").unwrap();
+    net.set_fault_plan(Some(FaultPlan::new(0x501_13B5).with_drop(0.2).with_dup(0.05)));
+    let orb = Orb::new(net);
+    orb.set_retry_limit(20);
+    orb.set_retry_base(Duration::from_millis(5));
+    orb.set_retry_seed(0x501_13B5);
+
+    let direct = spawn_direct_server(&orb, h1, "direct_chaos", 2);
+    let iterative = spawn_iterative_server(&orb, h2, "itrt_chaos", 3);
+
+    let n = 48;
+    let (a, b) = gen_system(n, 11);
+    let expect = solve_seq(&a, &b);
+
+    let client = ClientGroup::create(&orb, h1, 2);
+    let out = World::run(2, |rank| {
+        let t = rank.rank();
+        let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+        let ct = client.attach(t, Some(rts.clone()));
+        let d_solver = DirectProxy::spmd_bind(&ct, "direct_chaos").unwrap();
+        let i_solver = IterativeProxy::spmd_bind(&ct, "itrt_chaos").unwrap();
+        let a_ds = DSequence::distribute(&a, Distribution::Block, 2, t);
+        let b_ds = DSequence::distribute(&b, Distribution::Block, 2, t);
+        let x1_fut = i_solver.solve_nb(&0.000_001, &a_ds, &b_ds, Distribution::Block).unwrap();
+        let (x2_real,) = d_solver.solve(&a_ds, &b_ds, Distribution::Block).unwrap();
+        let x1_real = x1_fut.x.get().unwrap();
+        let difference = compute_difference(&x1_real, &x2_real, Some(rts.as_ref()));
+        (difference, x2_real.local().to_vec())
+    });
+
+    // Results identical to the fault-free run of solvers_e2e.
+    let mut got = Vec::new();
+    for (difference, local) in out {
+        assert!(difference < 1e-5, "methods disagree by {difference}");
+        got.extend(local);
+    }
+    for (g, w) in got.iter().zip(expect.iter()) {
+        assert!((g - w).abs() < 1e-7, "direct solution wrong under chaos: {g} vs {w}");
+    }
+    let stats = orb.network().fault_stats();
+    assert!(stats.dropped > 0, "the inter-host link injected no drops: {stats:?}");
+
+    orb.network().set_fault_plan(None);
+    direct.shutdown();
+    iterative.shutdown();
+}
+
+#[test]
+fn dna_metaapplication_survives_chaos() {
+    let net = Network::new(TimeScale::off());
+    let ch = net.add_host("workstation");
+    let sh = net.add_host("dna_engine");
+    net.connect(ch, sh, Link::free());
+    net.set_fault_plan(Some(FaultPlan::new(0xD4A_CA05).with_drop(0.2).with_dup(0.05)));
+    let orb = Orb::new(net);
+    orb.set_retry_limit(20);
+    orb.set_retry_base(Duration::from_millis(5));
+    orb.set_retry_seed(0xD4A_CA05);
+
+    let cfg = DnaServerConfig {
+        nthreads: 3,
+        db_size: 300,
+        len_range: (20, 40),
+        seed: 7,
+        placement: Placement::Distributed,
+        chunk: 32,
+        weights: [2, 1, 1, 1, 1],
+        scan_cost_us: 0,
+    };
+    // Fault-free expectation, computed sequentially.
+    let query = "ACGT";
+    let db = gen_database(cfg.db_size, cfg.len_range.0, cfg.len_range.1, cfg.seed);
+    let deriv = derivatives(query);
+    let mut expect = [0usize; 5];
+    for s in &db {
+        if let Some(c) = classify(s, query, &deriv) {
+            expect[c] += 1;
+        }
+    }
+    assert!(expect.iter().sum::<usize>() > 0, "query must hit something");
+
+    let server = spawn_dna_server(&orb, sh, cfg);
+    let client = ClientGroup::create(&orb, ch, 1).attach(0, None);
+    let dbp = DnaDbProxy::spmd_bind(&client, "dna_db").unwrap();
+    let (status,) = dbp.search(&query.to_string()).unwrap();
+    assert_eq!(status, Status::Done);
+    for (l, name) in LIST_NAMES.iter().enumerate() {
+        let proxy = ListServerProxy::bind(&client, name).unwrap();
+        let (hits,) = proxy.match_(&String::new()).unwrap();
+        assert_eq!(hits.len(), expect[l], "list {name} is wrong under chaos");
+    }
+    let stats = orb.network().fault_stats();
+    assert!(stats.dropped > 0, "the client-server link injected no drops: {stats:?}");
+
+    orb.network().set_fault_plan(None);
+    server.shutdown();
+}
+
+#[test]
+fn pipeline_metaapplication_survives_chaos() {
+    let net = Network::paper_ethernet_testbed(TimeScale::off());
+    let pc = net.host_by_name("SGI_PC").unwrap();
+    let sp2 = net.host_by_name("SP2").unwrap();
+    let indy = net.host_by_name("INDY").unwrap();
+    net.set_fault_plan(Some(FaultPlan::new(0x919_E11E).with_drop(0.2).with_dup(0.05)));
+    let orb = Orb::new(net);
+    orb.set_retry_limit(20);
+    orb.set_retry_base(Duration::from_millis(5));
+    orb.set_retry_seed(0x919_E11E);
+
+    let cfg = PipelineConfig {
+        nx: 32,
+        ny: 32,
+        steps: 6,
+        gradient_every: 2,
+        alpha: 0.05,
+        threads: 2,
+        show_every_step: true,
+    };
+    // Both visualizers off-host, so every show crosses a lossy Ethernet.
+    let (vis_d, stats_d) = spawn_visualizer(&orb, indy, "vis_chaos_d");
+    let (vis_g, stats_g) = spawn_visualizer(&orb, indy, "vis_chaos_g");
+    let grad =
+        spawn_gradient_server(&orb, sp2, "fops_chaos", 2, Some("vis_chaos_g"), cfg.nx, cfg.ny);
+
+    let (_elapsed, checksum) =
+        run_diffusion(&orb, pc, "vis_chaos_d", Some("fops_chaos"), &cfg).unwrap();
+
+    // The lossy pipeline must not change the numerics.
+    let expect = diffusion_checksum_seq(&cfg);
+    assert!((checksum - expect).abs() < 1e-9, "checksum {checksum} vs sequential {expect}");
+    // Exactly-once frame accounting: every show landed, none twice.
+    assert_eq!(stats_d.lock().frames, cfg.steps);
+    assert_eq!(stats_g.lock().frames, cfg.steps / cfg.gradient_every);
+    let stats = orb.network().fault_stats();
+    assert!(stats.dropped > 0, "the Ethernet injected no drops: {stats:?}");
+
+    orb.network().set_fault_plan(None);
+    grad.shutdown();
+    vis_d.shutdown();
+    vis_g.shutdown();
+}
+
+#[test]
+fn link_down_window_recovers_after_reconnect() {
+    let net = Network::new(TimeScale::off());
+    let ch = net.add_host("client");
+    let sh = net.add_host("server");
+    // 5 ms of modelled latency per frame: even dropped frames advance the
+    // virtual clock, so retransmissions walk it out of the down window.
+    net.connect(ch, sh, Link::new(0.005, 1.0e9, 0.0));
+    net.set_fault_plan(Some(FaultPlan::new(7).with_down_window(0.0, 0.04)));
+    let orb = Orb::new(net);
+    orb.set_retry_limit(50);
+    orb.set_retry_base(Duration::from_millis(1));
+
+    let hits = Arc::new(AtomicU64::new(0));
+    let group = ServerGroup::create(&orb, "counter", sh, 1);
+    let g = group.clone();
+    let h = hits.clone();
+    let server = std::thread::spawn(move || {
+        let mut poa = g.attach(0, None);
+        poa.activate_single("bump_dw", Arc::new(Bumper { hits: h }));
+        poa.impl_is_ready();
+    });
+
+    let client = ClientGroup::create(&orb, ch, 1).attach(0, None);
+    let proxy = client.bind("bump_dw").unwrap();
+
+    // Invoked while the link is down: retried until the window passes.
+    let reply = proxy.call("bump").arg(&1i64).invoke().unwrap();
+    assert_eq!(reply.scalar::<i64>(0).unwrap(), 2);
+    assert!(orb.retransmits() >= 1, "the partition must have forced retries");
+    assert!(orb.network().fault_stats().dropped >= 1);
+
+    // After the window the link is clean again: no further retransmissions.
+    orb.set_retry_base(Duration::from_millis(250));
+    let before = orb.retransmits();
+    let reply = proxy.call("bump").arg(&2i64).invoke().unwrap();
+    assert_eq!(reply.scalar::<i64>(0).unwrap(), 4);
+    assert_eq!(orb.retransmits(), before);
+    assert_eq!(hits.load(Ordering::SeqCst), 2);
+
+    orb.network().set_fault_plan(None);
+    group.shutdown();
+    server.join().unwrap();
+}

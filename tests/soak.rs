@@ -7,9 +7,11 @@ use pardis::core::{
     ClientGroup, DSequence, DistPolicy, Distribution, Orb, Servant, ServerGroup, ServerReply,
     ServerRequest, TransferStrategy,
 };
+use pardis::netsim::{FaultPlan, Link, Network, TimeScale};
 use pardis::rts::{MpiRts, Rts, World};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 struct Scaler;
@@ -122,9 +124,112 @@ fn soak(rounds: usize, seed: u64) {
     }
 }
 
+/// A [`Scaler`] that counts its dispatches, to prove at-most-once delivery.
+struct CountingScaler {
+    hits: Arc<AtomicU64>,
+}
+
+impl Servant for CountingScaler {
+    fn interface(&self) -> &str {
+        "scaler"
+    }
+    fn dispatch(&self, req: ServerRequest<'_>) -> Result<ServerReply, String> {
+        self.hits.fetch_add(1, Ordering::SeqCst);
+        Scaler.dispatch(req)
+    }
+}
+
 #[test]
 fn soak_quick() {
     soak(12, 0xC0FFEE);
+}
+
+#[test]
+fn soak_chaos_round() {
+    // One seeded lossy round: 20% drop + 5% duplication between the client
+    // host and a 2-thread server. Every result must match the fault-free
+    // expectation (what `soak_quick` asserts on a clean network) and every
+    // servant effect must land exactly once per computing thread.
+    let server_n = 2usize;
+    let calls = 4usize;
+    let len = 60usize;
+    let factor = 1.5f64;
+    let net = Network::new(TimeScale::off());
+    let ch = net.add_host("client");
+    let sh = net.add_host("server");
+    net.connect(ch, sh, Link::free());
+    net.set_fault_plan(Some(FaultPlan::new(0x50AC_CA05).with_drop(0.2).with_dup(0.05)));
+    let orb = Orb::new(net);
+    orb.set_retry_limit(20);
+    orb.set_retry_base(std::time::Duration::from_millis(5));
+    orb.set_retry_seed(0x50AC_CA05);
+
+    let hits = Arc::new(AtomicU64::new(0));
+    let policy = DistPolicy::new().with("scale", 1, Distribution::Block);
+    let group = ServerGroup::create(&orb, "scaler", sh, server_n);
+    let g = group.clone();
+    let h = hits.clone();
+    let server = std::thread::spawn(move || {
+        World::run(server_n, |rank| {
+            let t = rank.rank();
+            let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+            let mut poa = g.attach(t, Some(rts));
+            poa.activate_spmd("s1", Arc::new(CountingScaler { hits: h.clone() }), policy.clone());
+            poa.impl_is_ready();
+        });
+    });
+
+    let full: Vec<f64> = (0..len).map(|i| i as f64).collect();
+    let expect: Vec<f64> = full.iter().map(|x| x * factor).collect();
+
+    let client = ClientGroup::create(&orb, ch, 1);
+    let out = World::run(1, |rank| {
+        let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+        let ct = client.attach(0, Some(rts));
+        let proxy = ct.spmd_bind("s1").unwrap();
+        let v = DSequence::distribute(&full, Distribution::Block, 1, 0);
+        let mut locals = Vec::new();
+        let mut pending = Vec::new();
+        for k in 0..calls {
+            let call = proxy
+                .call("scale")
+                .arg(&factor)
+                .dseq_in(&v)
+                .dseq_out(Distribution::Block);
+            if k % 2 == 0 {
+                locals.push(call.invoke().unwrap().dseq::<f64>(0).unwrap());
+            } else {
+                pending.push(call.invoke_nb().unwrap());
+            }
+        }
+        for inv in pending {
+            locals.push(inv.dseq_future::<f64>(0).get().unwrap());
+        }
+        locals
+            .into_iter()
+            .map(|r| r.local_iter().map(|(g, v)| (g, *v)).collect::<Vec<_>>())
+            .collect::<Vec<_>>()
+    });
+
+    for per_thread in out {
+        for result in per_thread {
+            for (g, v) in result {
+                assert!(
+                    (v - expect[g as usize]).abs() < 1e-9,
+                    "chaos round: element {g} = {v}, expected {}",
+                    expect[g as usize]
+                );
+            }
+        }
+    }
+    // Exactly once per invocation per computing thread, despite drops,
+    // duplicates, and retransmissions.
+    assert_eq!(hits.load(Ordering::SeqCst), (calls * server_n) as u64);
+    let stats = orb.network().fault_stats();
+    assert!(stats.dropped > 0, "the chaos plan injected no drops: {stats:?}");
+    orb.network().set_fault_plan(None);
+    group.shutdown();
+    server.join().unwrap();
 }
 
 #[test]

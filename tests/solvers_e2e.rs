@@ -65,6 +65,11 @@ fn paper_client_program_distributed_servers() {
         assert!((g - w).abs() < 1e-7, "direct solution wrong: {g} vs {w}");
     }
 
+    // The reliability layer is pay-nothing when no fault plan is installed:
+    // nothing was retransmitted and the fault layer touched no frame.
+    assert_eq!(orb.retransmits(), 0, "fault-free run must not retransmit");
+    assert_eq!(orb.network().fault_stats(), pardis::netsim::FaultStats::default());
+
     direct.shutdown();
     iterative.shutdown();
 }
