@@ -21,8 +21,8 @@ fn main() {
     ];
 
     for (input, opts) in jobs {
-        let source = std::fs::read_to_string(input)
-            .unwrap_or_else(|e| panic!("cannot read {input}: {e}"));
+        let source =
+            std::fs::read_to_string(input).unwrap_or_else(|e| panic!("cannot read {input}: {e}"));
         let rust = match compile_idl(&source, &opts) {
             Ok(rust) => rust,
             Err(diags) => {
@@ -32,10 +32,8 @@ fn main() {
                 panic!("IDL compilation of {input} failed");
             }
         };
-        let stem = Path::new(input)
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .expect("idl file has a stem");
+        let stem =
+            Path::new(input).file_stem().and_then(|s| s.to_str()).expect("idl file has a stem");
         let out = Path::new(&out_dir).join(format!("{stem}_gen.rs"));
         std::fs::write(&out, rust).unwrap_or_else(|e| panic!("cannot write {out:?}: {e}"));
     }

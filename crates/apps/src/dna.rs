@@ -25,8 +25,7 @@
 use crate::ServerHandle;
 use bytes::Bytes;
 use pardis::core::{
-    DispatchResult, DistPolicy, Orb, ServantCtx, Servant, ServerGroup, ServerReply,
-    ServerRequest,
+    DispatchResult, DistPolicy, Orb, Servant, ServantCtx, ServerGroup, ServerReply, ServerRequest,
 };
 use pardis::generated::dna::{ListServerImpl, ListServerSkel, Status};
 use pardis::netsim::HostId;
@@ -367,9 +366,7 @@ pub fn spawn_dna_server(orb: &Orb, host: HostId, cfg: DnaServerConfig) -> Server
                             }
                             let owner = cfg.placement.owner(l, p);
                             if owner == t {
-                                if let Some((_, entries)) =
-                                    my_lists.iter().find(|(i, _)| *i == l)
-                                {
+                                if let Some((_, entries)) = my_lists.iter().find(|(i, _)| *i == l) {
                                     entries.lock().extend(items);
                                 }
                             } else {
@@ -403,8 +400,7 @@ pub fn spawn_dna_server(orb: &Orb, host: HostId, cfg: DnaServerConfig) -> Server
                 if rts.try_recv(None, ALL_DONE_TAG).is_some() {
                     while let Some(msg) = rts.try_recv(None, RESULT_TAG) {
                         let (l, items) = decode_results(&msg.data);
-                        if let Some((_, entries)) =
-                            my_lists.iter().find(|(i, _)| *i == l as usize)
+                        if let Some((_, entries)) = my_lists.iter().find(|(i, _)| *i == l as usize)
                         {
                             entries.lock().extend(items);
                         }
@@ -461,10 +457,8 @@ pub fn run_fig4_client(
     use pardis::generated::dna::{DnaDbProxy, ListServerProxy};
 
     let db = DnaDbProxy::spmd_bind(client, "dna_db")?;
-    let lists: Vec<ListServerProxy> = LIST_NAMES
-        .iter()
-        .map(|n| ListServerProxy::bind(client, n))
-        .collect::<Result<_, _>>()?;
+    let lists: Vec<ListServerProxy> =
+        LIST_NAMES.iter().map(|n| ListServerProxy::bind(client, n)).collect::<Result<_, _>>()?;
 
     let start = std::time::Instant::now();
     let search = db.search_nb(&search_sub.to_string())?;
@@ -475,10 +469,7 @@ pub fn run_fig4_client(
         // One round of non-blocking queries over all five lists.
         let sub = query_subs[qi % query_subs.len()].to_string();
         qi += 1;
-        let pending: Vec<_> = lists
-            .iter()
-            .map(|l| l.match_nb(&sub))
-            .collect::<Result<_, _>>()?;
+        let pending: Vec<_> = lists.iter().map(|l| l.match_nb(&sub)).collect::<Result<_, _>>()?;
         for fut in pending {
             let (found,) = (fut.l.get()?,);
             hits += found.len();

@@ -21,9 +21,7 @@
 
 use crate::solvers::ComputePace;
 use crate::ServerHandle;
-use pardis::core::{
-    ClientGroup, DSequence, DistPolicy, Orb, OrbResult, ServantCtx, ServerGroup,
-};
+use pardis::core::{ClientGroup, DSequence, DistPolicy, Orb, OrbResult, ServantCtx, ServerGroup};
 use pardis::generated::pipeline::{
     FieldOperationsImpl, FieldOperationsProxy, FieldOperationsSkel, VisualizerImpl,
     VisualizerProxy, VisualizerSkel,
@@ -75,7 +73,11 @@ pub fn spawn_visualizer(
         let mut poa = g.attach(0, None);
         // SPMD with one computing thread: `show` takes a distributed
         // argument, which single objects may not (§3.1).
-        poa.activate_spmd(&name, Arc::new(VisualizerSkel(VisualizerServant { stats: s })), DistPolicy::new());
+        poa.activate_spmd(
+            &name,
+            Arc::new(VisualizerSkel(VisualizerServant { stats: s })),
+            DistPolicy::new(),
+        );
         poa.impl_is_ready();
     });
     (ServerHandle::new(group, join), stats)
@@ -108,8 +110,7 @@ impl FieldOperationsImpl for GradientServant {
             magnitude_gradient(&v, self.nx, self.ny, ctx.rts().as_ref())
         };
         if let Some(pace) = &self.pace {
-            let flops =
-                (self.nx * self.ny) as f64 * GRADIENT_FLOPS_PER_CELL / ctx.nthreads as f64;
+            let flops = (self.nx * self.ny) as f64 * GRADIENT_FLOPS_PER_CELL / ctx.nthreads as f64;
             pace.charge(flops, start.elapsed());
         }
         if let Some(vis) = &self.vis {
@@ -159,8 +160,7 @@ pub fn spawn_gradient_server_paced(
             let t = rank.rank();
             let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
             let vis = vis_name.as_ref().map(|vn| {
-                let ct = client_group
-                    .attach(t, (nthreads > 1).then(|| rts.clone()));
+                let ct = client_group.attach(t, (nthreads > 1).then(|| rts.clone()));
                 VisualizerProxy::spmd_bind(&ct, vn).expect("gradient server binds visualizer")
             });
             let mut poa = g.attach(t, Some(rts));

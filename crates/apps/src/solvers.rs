@@ -9,12 +9,12 @@
 //! message-passing code would be: broadcast of the pivot row, all-gather of
 //! the iterate.
 
+use crate::ServerHandle;
+use bytes::Bytes;
 use pardis::core::{DSequence, DistPolicy, Distribution, Orb, ServantCtx};
 use pardis::generated::solvers::{DirectImpl, DirectSkel, IterativeImpl, IterativeSkel};
 use pardis::netsim::HostId;
 use pardis::rts::{tags, MpiRts, ReduceOp, Rts, World};
-use crate::ServerHandle;
-use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -302,11 +302,7 @@ impl IterativeImpl for IterativeSolver {
             return Err(format!("matrix is {n} rows but vector has {} entries", b.len()));
         }
         let start = std::time::Instant::now();
-        let first_row = a
-            .my_runs()
-            .first()
-            .map(|r| r.start as usize)
-            .unwrap_or(0);
+        let first_row = a.my_runs().first().map(|r| r.start as usize).unwrap_or(0);
         let my_rows: Vec<Vec<f64>> = a.local().to_vec();
         let my_b: Vec<f64> = b.local().to_vec();
         let (x, iters) = if ctx.nthreads == 1 {
@@ -335,18 +331,14 @@ impl IterativeImpl for IterativeSolver {
 /// Distribution policy the direct server publishes: row-cyclic matrix and
 /// vector (what elimination wants delivered).
 pub fn direct_policy() -> DistPolicy {
-    DistPolicy::new()
-        .with("solve", 0, Distribution::Cyclic)
-        .with("solve", 1, Distribution::Cyclic)
+    DistPolicy::new().with("solve", 0, Distribution::Cyclic).with("solve", 1, Distribution::Cyclic)
 }
 
 /// Distribution policy the iterative server publishes: row-block (what
 /// Jacobi wants delivered). Block is the default, so this is explicit
 /// documentation more than configuration.
 pub fn iterative_policy() -> DistPolicy {
-    DistPolicy::new()
-        .with("solve", 1, Distribution::Block)
-        .with("solve", 2, Distribution::Block)
+    DistPolicy::new().with("solve", 1, Distribution::Block).with("solve", 2, Distribution::Block)
 }
 
 /// Launch a direct-solver server with `nthreads` computing threads on
@@ -461,18 +453,10 @@ pub fn spawn_combined_server_paced(
 /// Max-norm distance between two distributed vectors sharing a
 /// distribution (collective when `rts` spans several threads) — the
 /// client-side `compute_difference` of §4.1.
-pub fn compute_difference(
-    x1: &DSequence<f64>,
-    x2: &DSequence<f64>,
-    rts: Option<&dyn Rts>,
-) -> f64 {
+pub fn compute_difference(x1: &DSequence<f64>, x2: &DSequence<f64>, rts: Option<&dyn Rts>) -> f64 {
     assert_eq!(x1.len(), x2.len(), "vectors differ in length");
-    let local = x1
-        .local()
-        .iter()
-        .zip(x2.local().iter())
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let local =
+        x1.local().iter().zip(x2.local().iter()).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     match rts {
         Some(rts) if rts.size() > 1 => rts.all_reduce_f64(local, ReduceOp::Max),
         _ => local,
@@ -529,7 +513,8 @@ mod tests {
         assert_eq!(a, a2);
         assert_eq!(b, b2);
         for (i, row) in a.iter().enumerate() {
-            let off: f64 = row.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, v)| v.abs()).sum();
+            let off: f64 =
+                row.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, v)| v.abs()).sum();
             assert!(row[i].abs() > off, "row {i} not dominant");
         }
     }
@@ -553,8 +538,12 @@ mod tests {
             let out = World::run(p, move |rank| {
                 let me = rank.rank();
                 let rts = MpiRts::new(rank);
-                let mut my_rows: Vec<Vec<f64>> =
-                    a.iter().enumerate().filter(|(i, _)| i % p == me).map(|(_, r)| r.clone()).collect();
+                let mut my_rows: Vec<Vec<f64>> = a
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % p == me)
+                    .map(|(_, r)| r.clone())
+                    .collect();
                 let mut my_b: Vec<f64> =
                     b.iter().enumerate().filter(|(i, _)| i % p == me).map(|(_, v)| *v).collect();
                 ge_solve_cyclic(&rts, a.len(), &mut my_rows, &mut my_b)
@@ -579,7 +568,11 @@ mod tests {
                 let n = a.len();
                 let base = n / p;
                 let extra = n % p;
-                let first = if me < extra { me * (base + 1) } else { extra * (base + 1) + (me - extra) * base };
+                let first = if me < extra {
+                    me * (base + 1)
+                } else {
+                    extra * (base + 1) + (me - extra) * base
+                };
                 let count = base + usize::from(me < extra);
                 let my_rows: Vec<Vec<f64>> = a[first..first + count].to_vec();
                 let my_b: Vec<f64> = b[first..first + count].to_vec();

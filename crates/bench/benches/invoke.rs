@@ -3,9 +3,7 @@
 //! network transport") against the full wire path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pardis::core::{
-    ClientGroup, Orb, Proxy, Servant, ServerGroup, ServerReply, ServerRequest,
-};
+use pardis::core::{ClientGroup, Orb, Proxy, Servant, ServerGroup, ServerReply, ServerRequest};
 use std::hint::black_box;
 use std::sync::Arc;
 

@@ -59,12 +59,8 @@ fn transfer(c: &mut Criterion) {
                             let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
                             let ct = client.attach(t, Some(rts));
                             let proxy = ct.spmd_bind("sink1").unwrap();
-                            let ds = DSequence::distribute(
-                                full,
-                                Distribution::Block,
-                                CLIENT_THREADS,
-                                t,
-                            );
+                            let ds =
+                                DSequence::distribute(full, Distribution::Block, CLIENT_THREADS, t);
                             proxy.call("push").dseq_in(&ds).invoke().unwrap();
                         });
                         out.len()

@@ -22,7 +22,7 @@ use pardis_apps::solvers::{
     compute_difference, gen_system, spawn_combined_server_paced, spawn_direct_server_paced,
     spawn_iterative_server_paced, ComputePace,
 };
-use pardis_bench::util::{env_f64, quick, row};
+use pardis_bench::util::{env_f64, quick, row, BenchJson};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -77,11 +77,8 @@ fn main() {
     // Modelled per-processor speed: HOST_1's R4400s at 40 MFLOP/s, HOST_2's
     // R8000s 1.8x faster — the figure-2 testbed asymmetry.
     let mflops = env_f64("PARDIS_MFLOPS", 40.0) * 1e6;
-    let sizes: Vec<usize> = if quick() {
-        vec![100, 200]
-    } else {
-        vec![200, 400, 600, 800, 1000, 1200]
-    };
+    let sizes: Vec<usize> =
+        if quick() { vec![100, 200] } else { vec![200, 400, 600, 800, 1000, 1200] };
     println!("# Figure 2 — distributed vs local performance");
     println!(
         "# client: {CLIENT_THREADS} threads on HOST_1; direct: {DIRECT_THREADS} threads on HOST_1; \
@@ -106,6 +103,7 @@ fn main() {
         // Distributed-servers configuration (also yields the two
         // single-method baselines).
         let orb = Orb::new(net.clone());
+        let trace = pardis::core::trace_from_env(&orb);
         let direct = spawn_direct_server_paced(&orb, h1, "direct_solver", DIRECT_THREADS, pace_h1);
         let iterative =
             spawn_iterative_server_paced(&orb, h2, "itrt_solver", ITER_THREADS, pace_h2);
@@ -114,6 +112,12 @@ fn main() {
         diff_series.push(run_case(&orb, h1, &a, &b, Case { direct: true, iterative: true }));
         direct.shutdown();
         iterative.shutdown();
+        if let Some(session) = trace {
+            match pardis::core::finish_env_trace(session) {
+                Ok(path) => eprintln!("  trace written to {}", path.display()),
+                Err(e) => eprintln!("  trace write failed: {e}"),
+            }
+        }
 
         // Same-server configuration.
         let orb = Orb::new(net);
@@ -134,6 +138,23 @@ fn main() {
     println!("{}", row("iterative (HOST_2)", &iter_series));
     println!("{}", row("different servers", &diff_series));
     println!("{}", row("same server (HOST_1)", &same_series));
+
+    let mut report = BenchJson::new("fig2", "distributed vs local performance");
+    report.param_f64("time_scale", scale);
+    report.param_f64("mflops", mflops);
+    report.param_usize("client_threads", CLIENT_THREADS);
+    report.param_usize("direct_threads", DIRECT_THREADS);
+    report.param_usize("iter_threads", ITER_THREADS);
+    report.columns(&sizes.iter().map(|n| *n as f64).collect::<Vec<_>>());
+    report.series("direct (HOST_1)", &direct_series);
+    report.series("iterative (HOST_2)", &iter_series);
+    report.series("different servers", &diff_series);
+    report.series("same server (HOST_1)", &same_series);
+    match report.write() {
+        Ok(path) => eprintln!("  wrote {}", path.display()),
+        Err(e) => eprintln!("  JSON write failed: {e}"),
+    }
+
     println!("#");
     println!("# expected shape (paper): different ≈ t_o + max(direct, iterative);");
     println!("#                         same     ≈ direct + iterative (serialised).");

@@ -19,7 +19,7 @@ use pardis::core::{ClientGroup, Orb};
 use pardis::generated::dna::{DnaDbProxy, ListServerProxy};
 use pardis::netsim::{Network, TimeScale};
 use pardis_apps::dna::{spawn_dna_server, DnaServerConfig, Placement, LIST_NAMES};
-use pardis_bench::util::{env_usize, quick, row};
+use pardis_bench::util::{env_usize, quick, row, BenchJson};
 use std::time::Instant;
 
 /// Per-list modelled query cost in microseconds: unequal, as in the paper
@@ -37,6 +37,7 @@ fn run_once(p: usize, placement: Placement, rounds: usize) -> f64 {
     let client_host = net.host_by_name("HOST_1").unwrap();
     let host = net.host_by_name("HOST_2").unwrap();
     let orb = Orb::new(net);
+    let trace = pardis::core::trace_from_env(&orb);
     let cfg = DnaServerConfig {
         nthreads: p,
         db_size: 4_000, // fixed database: the search itself scales with P
@@ -51,10 +52,8 @@ fn run_once(p: usize, placement: Placement, rounds: usize) -> f64 {
 
     let client = ClientGroup::create(&orb, client_host, 1).attach(0, None);
     let db = DnaDbProxy::spmd_bind(&client, "dna_db").expect("bind dna_db");
-    let lists: Vec<ListServerProxy> = LIST_NAMES
-        .iter()
-        .map(|n| ListServerProxy::bind(&client, n).expect("bind list"))
-        .collect();
+    let lists: Vec<ListServerProxy> =
+        LIST_NAMES.iter().map(|n| ListServerProxy::bind(&client, n).expect("bind list")).collect();
 
     let start = Instant::now();
     let search = db.search_nb(&"ACGTA".to_string()).expect("search_nb");
@@ -62,8 +61,7 @@ fn run_once(p: usize, placement: Placement, rounds: usize) -> f64 {
     // lists each round.
     for round in 0..rounds {
         let sub = ["GAT", "TTA", "CGC"][round % 3].to_string();
-        let pending: Vec<_> =
-            lists.iter().map(|l| l.match_nb(&sub).expect("match_nb")).collect();
+        let pending: Vec<_> = lists.iter().map(|l| l.match_nb(&sub).expect("match_nb")).collect();
         for fut in pending {
             let _ = fut.l.get().expect("query result");
         }
@@ -71,6 +69,12 @@ fn run_once(p: usize, placement: Placement, rounds: usize) -> f64 {
     let _ = search.ret.get().expect("search completes");
     let elapsed = start.elapsed().as_secs_f64();
     server.shutdown();
+    if let Some(session) = trace {
+        match pardis::core::finish_env_trace(session) {
+            Ok(path) => eprintln!("  trace written to {}", path.display()),
+            Err(e) => eprintln!("  trace write failed: {e}"),
+        }
+    }
     elapsed
 }
 
@@ -88,12 +92,24 @@ fn main() {
         distributed.push(run_once(p, Placement::Distributed, rounds));
         eprintln!("  done P = {p}");
     }
-    let difference: Vec<f64> =
-        central.iter().zip(&distributed).map(|(c, d)| c - d).collect();
+    let difference: Vec<f64> = central.iter().zip(&distributed).map(|(c, d)| c - d).collect();
 
     println!("{}", row("centralized", &central));
     println!("{}", row("distributed", &distributed));
     println!("{}", row("difference", &difference));
+
+    let mut report =
+        BenchJson::new("fig4", "centralized vs distributed single objects on a parallel server");
+    report.param_usize("rounds", rounds);
+    report.columns(&procs.iter().map(|p| *p as f64).collect::<Vec<_>>());
+    report.series("centralized", &central);
+    report.series("distributed", &distributed);
+    report.series("difference", &difference);
+    match report.write() {
+        Ok(path) => eprintln!("  wrote {}", path.display()),
+        Err(e) => eprintln!("  JSON write failed: {e}"),
+    }
+
     println!("#");
     println!("# expected shape (paper, fig 4): distributed below centralized for P >= 2;");
     println!("# the difference dips where count-based balancing misplaces the heavy lists");

@@ -23,15 +23,12 @@ use pardis_apps::pipeline::{
     PipelineConfig,
 };
 use pardis_apps::solvers::ComputePace;
-use pardis_bench::util::{env_f64, quick, row};
+use pardis_bench::util::{env_f64, quick, row, BenchJson};
 
 fn main() {
     let scale = env_f64("PARDIS_TIME_SCALE", 0.2);
     let procs: Vec<usize> = if quick() { vec![1, 2] } else { vec![1, 2, 4, 8] };
-    let base = PipelineConfig {
-        steps: if quick() { 20 } else { 100 },
-        ..Default::default()
-    };
+    let base = PipelineConfig { steps: if quick() { 20 } else { 100 }, ..Default::default() };
     println!("# Figure 5 — overall performance vs performance of components");
     println!(
         "# {}x{} grid, {} steps, gradient every {}th step, Ethernet at time scale {scale}",
@@ -50,6 +47,7 @@ fn main() {
         let sp2 = net.host_by_name("SP2").unwrap();
         let indy = net.host_by_name("INDY").unwrap();
         let orb = Orb::new(net);
+        let trace = pardis::core::trace_from_env(&orb);
 
         let (vis_d, _sd) = spawn_visualizer(&orb, pc, "vis_diffusion");
         let (vis_g, _sg) = spawn_visualizer(&orb, indy, "vis_gradient");
@@ -71,16 +69,9 @@ fn main() {
             run_diffusion(&orb, pc, "vis_diffusion", Some("fops"), &cfg).expect("overall run");
         let (t_diffusion, _) =
             run_diffusion(&orb, pc, "vis_diffusion", None, &cfg).expect("diffusion alone");
-        let t_gradient = run_gradient_alone(
-            &orb,
-            pc,
-            "fops",
-            p,
-            cfg.nx,
-            cfg.ny,
-            cfg.steps / cfg.gradient_every,
-        )
-        .expect("gradient alone");
+        let t_gradient =
+            run_gradient_alone(&orb, pc, "fops", p, cfg.nx, cfg.ny, cfg.steps / cfg.gradient_every)
+                .expect("gradient alone");
 
         overall.push(t_overall);
         diffusion.push(t_diffusion);
@@ -89,12 +80,31 @@ fn main() {
         grad.shutdown();
         vis_d.shutdown();
         vis_g.shutdown();
+        if let Some(session) = trace {
+            match pardis::core::finish_env_trace(session) {
+                Ok(path) => eprintln!("  trace written to {}", path.display()),
+                Err(e) => eprintln!("  trace write failed: {e}"),
+            }
+        }
         eprintln!("  done P = {p}");
     }
 
     println!("{}", row("overall", &overall));
     println!("{}", row("diffusion (SGI_PC)", &diffusion));
     println!("{}", row("gradient (SP2)", &gradient));
+
+    let mut report = BenchJson::new("fig5", "overall performance vs performance of components");
+    report.param_f64("time_scale", scale);
+    report.param_usize("steps", base.steps);
+    report.columns(&procs.iter().map(|p| *p as f64).collect::<Vec<_>>());
+    report.series("overall", &overall);
+    report.series("diffusion (SGI_PC)", &diffusion);
+    report.series("gradient (SP2)", &gradient);
+    match report.write() {
+        Ok(path) => eprintln!("  wrote {}", path.display()),
+        Err(e) => eprintln!("  JSON write failed: {e}"),
+    }
+
     println!("#");
     println!("# expected shape (paper, fig 5): overall sits above both components and the");
     println!("# advantage of adding processors does not scale — the non-oneway sends and");

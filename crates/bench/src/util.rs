@@ -1,5 +1,8 @@
 //! Shared harness utilities.
 
+use std::io;
+use std::path::PathBuf;
+
 /// Read a scale/size knob from the environment with a default, so sweeps
 /// can be shrunk for smoke runs (`PARDIS_TIME_SCALE=0 PARDIS_QUICK=1 ...`).
 pub fn env_f64(name: &str, default: f64) -> f64 {
@@ -24,4 +27,115 @@ pub fn row(label: &str, values: &[f64]) -> String {
         out.push_str(&format!(" {v:>9.3}"));
     }
     out
+}
+
+/// Machine-readable companion to the figure harnesses' text tables: one
+/// `results/BENCH_<id>.json` file per harness, with the swept column values
+/// and every series, in insertion order so reruns diff cleanly.
+pub struct BenchJson {
+    id: String,
+    title: String,
+    params: Vec<(String, String)>,
+    columns: Vec<f64>,
+    series: Vec<(String, Vec<f64>)>,
+}
+
+impl BenchJson {
+    /// New report; `id` names the output file (`results/BENCH_<id>.json`).
+    pub fn new(id: &str, title: &str) -> BenchJson {
+        let mut b = BenchJson {
+            id: id.to_string(),
+            title: title.to_string(),
+            params: Vec::new(),
+            columns: Vec::new(),
+            series: Vec::new(),
+        };
+        b.param_bool("quick", quick());
+        b
+    }
+
+    pub fn param_f64(&mut self, name: &str, v: f64) {
+        self.params.push((name.to_string(), json_num(v)));
+    }
+
+    pub fn param_usize(&mut self, name: &str, v: usize) {
+        self.params.push((name.to_string(), v.to_string()));
+    }
+
+    pub fn param_bool(&mut self, name: &str, v: bool) {
+        self.params.push((name.to_string(), v.to_string()));
+    }
+
+    /// The swept axis (problem sizes, processor counts, ...).
+    pub fn columns(&mut self, values: &[f64]) {
+        self.columns = values.to_vec();
+    }
+
+    /// One measured series, same length as the columns.
+    pub fn series(&mut self, name: &str, values: &[f64]) {
+        self.series.push((name.to_string(), values.to_vec()));
+    }
+
+    /// Render the report as JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"bench\": {},\n", json_str(&self.id)));
+        s.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        s.push_str("  \"params\": {");
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    {}: {v}", json_str(k)));
+        }
+        s.push_str("\n  },\n");
+        s.push_str(&format!("  \"columns\": {},\n", json_nums(&self.columns)));
+        s.push_str("  \"series\": {");
+        for (i, (k, v)) in self.series.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    {}: {}", json_str(k), json_nums(v)));
+        }
+        s.push_str("\n  }\n}\n");
+        s
+    }
+
+    /// Write to `results/BENCH_<id>.json` (creating `results/`), returning
+    /// the path.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        let dir = PathBuf::from("results");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.id));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_nums(vs: &[f64]) -> String {
+    let body: Vec<String> = vs.iter().map(|v| json_num(*v)).collect();
+    format!("[{}]", body.join(", "))
 }

@@ -234,10 +234,7 @@ fn decode_value(tc: &TypeCode, d: &mut Decoder) -> Result<Value, CdrError> {
         TypeCode::Enum { name, variants } => {
             let disc = d.read_u32()?;
             if (disc as usize) >= variants.len() {
-                return Err(CdrError::InvalidEnumDiscriminant {
-                    name: name.clone(),
-                    value: disc,
-                });
+                return Err(CdrError::InvalidEnumDiscriminant { name: name.clone(), value: disc });
             }
             Value::Enum(disc)
         }

@@ -221,10 +221,8 @@ fn any_roundtrip_through_typecode() {
             ("b".into(), TypeCode::sequence(TypeCode::String)),
         ]),
     };
-    let v = Value::Struct(vec![
-        Value::Double(2.5),
-        Value::Sequence(vec![Value::String("q".into())]),
-    ]);
+    let v =
+        Value::Struct(vec![Value::Double(2.5), Value::Sequence(vec![Value::String("q".into())])]);
     let any = Any::new(tc.clone(), v).unwrap();
     let mut e = Encoder::new(ByteOrder::Big);
     any.encode_value(&mut e);

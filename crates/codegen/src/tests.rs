@@ -108,13 +108,11 @@ fn oneway_ops_have_no_reply_handling() {
 
 #[test]
 fn enums_and_structs_get_codecs() {
-    let rust = gen(
-        r#"
+    let rust = gen(r#"
         enum status { done, working };
         struct point { double x; double y; };
         interface q { status poll(in point p); };
-        "#,
-    );
+        "#);
     for needle in [
         "pub enum Status {",
         "Done,",
@@ -130,8 +128,7 @@ fn enums_and_structs_get_codecs() {
 
 #[test]
 fn modules_nest_and_cross_reference() {
-    let rust = gen(
-        r#"
+    let rust = gen(r#"
         module math {
             typedef dsequence<double> vec;
             interface adder { void add(in vec a, out vec c); };
@@ -139,8 +136,7 @@ fn modules_nest_and_cross_reference() {
         module user {
             interface consumer { void eat(in math::vec v); };
         };
-        "#,
-    );
+        "#);
     assert!(rust.contains("pub mod math {"), "{rust}");
     assert!(rust.contains("pub mod user {"), "{rust}");
     assert!(rust.contains("pub struct AdderProxy"), "{rust}");
@@ -148,12 +144,10 @@ fn modules_nest_and_cross_reference() {
 
 #[test]
 fn default_policy_reflects_idl_server_dists() {
-    let rust = gen(
-        r#"
+    let rust = gen(r#"
         typedef dsequence<double, 1024, BLOCK, CONCENTRATED> v;
         interface s { void f(in v data); };
-        "#,
-    );
+        "#);
     assert!(rust.contains("pub fn s_default_policy()"), "{rust}");
     assert!(
         rust.contains("policy.set(\"f\", 0u32, ::pardis_core::Distribution::Concentrated(0));"),
@@ -170,12 +164,10 @@ fn keyword_identifiers_are_escaped() {
 
 #[test]
 fn inherited_ops_appear_in_derived_proxy() {
-    let rust = gen(
-        r#"
+    let rust = gen(r#"
         interface base { void ping(); };
         interface derived : base { void pong(); };
-        "#,
-    );
+        "#);
     // DerivedProxy must offer both ping and pong.
     let derived_start = rust.find("pub struct DerivedProxy").expect("derived proxy");
     let tail = &rust[derived_start..];
@@ -194,25 +186,21 @@ fn inout_params_are_both_in_and_out() {
 
 #[test]
 fn arrays_map_to_rust_arrays() {
-    let rust = gen(
-        r#"
+    let rust = gen(r#"
         typedef double triple[3];
         struct probe { double position[3]; };
         interface sensor { void report(in triple t, in probe p); };
-        "#,
-    );
+        "#);
     assert!(rust.contains("pub type Triple = [f64; 3usize];"), "{rust}");
     assert!(rust.contains("pub position: [f64; 3usize],"), "{rust}");
 }
 
 #[test]
 fn exceptions_generate_typed_errors() {
-    let rust = gen(
-        r#"
+    let rust = gen(r#"
         exception overflow { long max; };
         interface counter { void bump(in long by) raises(overflow); };
-        "#,
-    );
+        "#);
     for needle in [
         "pub struct Overflow {",
         "impl ::pardis_cdr::CdrCodec for Overflow",
@@ -232,14 +220,12 @@ fn exceptions_generate_typed_errors() {
 
 #[test]
 fn attributes_generate_accessor_stubs() {
-    let rust = gen(
-        r#"
+    let rust = gen(r#"
         interface thermostat {
             attribute double target;
             readonly attribute double current;
         };
-        "#,
-    );
+        "#);
     assert!(rust.contains("pub fn get_target(&self)"), "{rust}");
     assert!(rust.contains("pub fn set_target(&self, value: &f64)"), "{rust}");
     assert!(rust.contains("pub fn get_current(&self)"), "{rust}");

@@ -90,6 +90,7 @@ impl ClientGroup {
         let rx = self.reply_rxs.lock()[thread]
             .take()
             .unwrap_or_else(|| panic!("thread {thread} already attached"));
+        pardis_obs::set_thread_label(&format!("client{}/{}", self.id.0, thread));
         ClientThread {
             core: Arc::new(PumpCore {
                 orb: self.orb.clone(),
@@ -161,7 +162,14 @@ impl PumpCore {
     }
 
     fn unregister(&self, key: (BindingId, u64)) {
-        self.router.lock().remove(&key);
+        let state = self.router.lock().remove(&key);
+        if let Some(state) = state {
+            // Close the invoke span opened at launch (exactly once, even if
+            // tracing was toggled in between).
+            if state.span_open.swap(false, Ordering::Relaxed) {
+                pardis_obs::span_end("client", "invoke", Some((key.0 .0, key.1)), vec![]);
+            }
+        }
         self.orphans.lock().remove(&key);
         let mut done = self.done.lock();
         if done.set.insert(key) {
@@ -256,9 +264,13 @@ impl PumpCore {
             }
             None => {
                 // A reply for a finished invocation is a retransmission
-                // by-product; drop it. Unknown keys are stashed (bounded)
-                // for a registration racing the reply.
+                // by-product; drop it (counter only — see `absorb` for why
+                // this never becomes a trace event). Unknown keys are
+                // stashed (bounded) for a registration racing the reply.
                 if self.done.lock().set.contains(&key) {
+                    if pardis_obs::enabled() {
+                        pardis_obs::counter("client.dup_replies").inc();
+                    }
                     return;
                 }
                 let mut orphans = self.orphans.lock();
@@ -287,6 +299,9 @@ pub struct InvocationState {
     /// pre-encoded with their destination endpoints. Empty for oneways and
     /// collocated bypass calls (nothing to retry).
     replay: Mutex<Vec<(EndpointId, Bytes)>>,
+    /// An `invoke` trace span was opened for this invocation and must be
+    /// closed exactly once (at unregistration).
+    span_open: std::sync::atomic::AtomicBool,
 }
 
 #[derive(Default)]
@@ -302,14 +317,25 @@ impl InvocationState {
     fn absorb(&self, msg: Message) {
         let mut inner = self.inner.lock();
         match msg {
-            Message::Reply(r) => inner.reply = Some(r),
+            Message::Reply(r) => {
+                // A second reply copy for a still-registered invocation is
+                // the same retransmission by-product the done-set catches
+                // after unregistration; count it in the same place. Counter
+                // only, no event: whether the pump sees the copy in this
+                // drain or a later one is a scheduling race, and a trace
+                // event would make the export non-reproducible.
+                if inner.reply.is_some() && pardis_obs::enabled() {
+                    pardis_obs::counter("client.dup_replies").inc();
+                }
+                inner.reply = Some(r);
+            }
             Message::Fragment(f) => {
                 if inner.frag_seen.insert((f.arg, f.start, f.count, f.src_thread)) {
-                    inner
-                        .frags
-                        .entry(f.arg)
-                        .or_default()
-                        .push((f.start, f.count, Bytes::from(f.data)));
+                    inner.frags.entry(f.arg).or_default().push((
+                        f.start,
+                        f.count,
+                        Bytes::from(f.data),
+                    ));
                 }
             }
             _ => {}
@@ -328,11 +354,8 @@ impl InvocationState {
             let Some(len) = reply.dout_lens.get(ordinal) else { return false };
             let expected =
                 self.out_dists[ordinal].local_len(*len, self.client_threads, self.thread);
-            let arrived: u64 = inner
-                .frags
-                .get(wire_idx)
-                .map(|fs| fs.iter().map(|(_, c, _)| c).sum())
-                .unwrap_or(0);
+            let arrived: u64 =
+                inner.frags.get(wire_idx).map(|fs| fs.iter().map(|(_, c, _)| c).sum()).unwrap_or(0);
             if arrived < expected {
                 return false;
             }
@@ -438,6 +461,15 @@ impl ClientThread {
         self.core.thread
     }
 
+    /// Ingest every message already delivered to this client's endpoint,
+    /// without waiting for more. Between invocations nothing pumps the
+    /// endpoint, so retransmission by-products (late duplicate replies) can
+    /// sit in the channel indefinitely; call this before snapshotting
+    /// observability counters so they get counted instead of lingering.
+    pub fn drain_pending(&self) {
+        self.core.pump_step(None);
+    }
+
     /// The client's computing-thread count.
     pub fn nthreads(&self) -> usize {
         self.core.nthreads
@@ -482,10 +514,7 @@ impl ClientThread {
         let policy = self.core.orb.dist_policy(obj.key)?;
         let seq = self.single_bind_seq.fetch_add(1, Ordering::Relaxed);
         let binding = BindingId(
-            (self.core.client.0 << 24)
-                | (1 << 23)
-                | ((self.core.thread as u64 & 0x7f) << 16)
-                | seq,
+            (self.core.client.0 << 24) | (1 << 23) | ((self.core.thread as u64 & 0x7f) << 16) | seq,
         );
         Ok(Proxy {
             core: self.core.clone(),
@@ -532,14 +561,8 @@ impl Proxy {
 }
 
 enum DArgEntry {
-    In {
-        len: u64,
-        client_dist: Distribution,
-        encode: Box<dyn Fn(u64, u64) -> Bytes + Send>,
-    },
-    Out {
-        expected_dist: Distribution,
-    },
+    In { len: u64, client_dist: Distribution, encode: Box<dyn Fn(u64, u64) -> Bytes + Send> },
+    Out { expected_dist: Distribution },
 }
 
 /// Builder for one invocation: scalar arguments, distributed arguments,
@@ -588,10 +611,7 @@ impl<'p> CallBuilder<'p> {
     /// Append a whole (non-distributed) sequence as a distributed
     /// in-argument — the stub variant generated "with corresponding
     /// non-distributed arguments to support single invocations" (§3.1).
-    pub fn dseq_in_full<T: CdrCodec + Clone + Send + Sync + 'static>(
-        self,
-        elems: Vec<T>,
-    ) -> Self {
+    pub fn dseq_in_full<T: CdrCodec + Clone + Send + Sync + 'static>(self, elems: Vec<T>) -> Self {
         let ds = DSequence::concentrated(elems);
         self.dseq_in(&ds)
     }
@@ -683,10 +703,12 @@ impl<'p> CallBuilder<'p> {
         for (i, entry) in self.dargs.iter().enumerate() {
             match entry {
                 DArgEntry::In { len, client_dist, .. } => {
-                    client_dist
-                        .validate(*len, cthreads)
-                        .map_err(OrbError::Protocol)?;
-                    descs.push(DArgDesc { dir: ArgDir::In, len: *len, client_dist: client_dist.clone() });
+                    client_dist.validate(*len, cthreads).map_err(OrbError::Protocol)?;
+                    descs.push(DArgDesc {
+                        dir: ArgDir::In,
+                        len: *len,
+                        client_dist: client_dist.clone(),
+                    });
                 }
                 DArgEntry::Out { expected_dist } => {
                     out_wire_idx.push(i as u32);
@@ -700,6 +722,21 @@ impl<'p> CallBuilder<'p> {
             }
         }
 
+        // The invoke span opens here (closed when the invocation is
+        // unregistered) and covers marshal, transfer, dispatch, and reply.
+        let trace_on = pardis_obs::enabled();
+        if trace_on && !oneway {
+            pardis_obs::span_begin(
+                "client",
+                "invoke",
+                Some((key.0 .0, key.1)),
+                vec![
+                    ("op", self.op.clone().into()),
+                    ("entity", entity.into()),
+                    ("client_seq", client_seq.into()),
+                ],
+            );
+        }
         let state = Arc::new(InvocationState {
             funneled,
             client_threads: cthreads,
@@ -710,6 +747,7 @@ impl<'p> CallBuilder<'p> {
             out_dists,
             inner: Mutex::new(InvInner::default()),
             replay: Mutex::new(Vec::new()),
+            span_open: std::sync::atomic::AtomicBool::new(trace_on && !oneway),
         });
         if !oneway {
             core.register(key, state.clone());
@@ -718,11 +756,7 @@ impl<'p> CallBuilder<'p> {
         // Collocated direct call: a single object on the same host becomes a
         // direct call to the servant, bypassing the network transport
         // (§4.1).
-        if cfg.local_bypass
-            && proxy.obj.host == core.host
-            && self.dargs.is_empty()
-            && !oneway
-        {
+        if cfg.local_bypass && proxy.obj.host == core.host && self.dargs.is_empty() && !oneway {
             if let ObjectKind::Single { thread } = proxy.obj.kind {
                 if let Some(servant) =
                     core.orb.collocated_servant(proxy.obj.server, thread, proxy.obj.key)
@@ -733,8 +767,7 @@ impl<'p> CallBuilder<'p> {
                         client_threads: cthreads,
                         rts: None,
                     };
-                    let sreq =
-                        ServerRequest { op: &self.op, ins: &self.ins, dins: &[], ctx: &ctx };
+                    let sreq = ServerRequest { op: &self.op, ins: &self.ins, dins: &[], ctx: &ctx };
                     let reply = match servant.dispatch(sreq) {
                         Ok(rep) => match rep.raised {
                             Some(raised) => ReplyMsg {
@@ -771,6 +804,17 @@ impl<'p> CallBuilder<'p> {
 
         let endpoints = core.orb.server_endpoints(proxy.obj.server)?;
 
+        // Marshal-and-send phase of the invoke span: control encode, fragment
+        // cutting, wire sends (and the funneled gather when in play).
+        let _marshal_span = trace_on.then(|| {
+            pardis_obs::Span::open(
+                "client",
+                "client.marshal_send",
+                Some((key.0 .0, key.1)),
+                vec![("dargs", self.dargs.len().into())],
+            )
+        });
+
         // Control message — sent by the lead thread of the call.
         let control = Message::Request(RequestMsg {
             req_id,
@@ -796,6 +840,17 @@ impl<'p> CallBuilder<'p> {
         };
         let lead = !proxy.collective || core.thread == 0;
         if lead {
+            if trace_on {
+                pardis_obs::instant(
+                    "client",
+                    "client.send_control",
+                    Some((key.0 .0, key.1)),
+                    vec![
+                        ("endpoints", control_eps.len().into()),
+                        ("bytes", control_wire.len().into()),
+                    ],
+                );
+            }
             for ep in &control_eps {
                 core.orb.send_wire(core.host, *ep, control_wire.clone())?;
             }
@@ -815,8 +870,7 @@ impl<'p> CallBuilder<'p> {
         for (i, entry) in self.dargs.iter().enumerate() {
             let DArgEntry::In { len, client_dist, encode } = entry else { continue };
             let server_dist = proxy.policy.get(&self.op, i as u32);
-            let plan =
-                plan_transfer(*len, client_dist, cthreads, &server_dist, proxy.obj.nthreads);
+            let plan = plan_transfer(*len, client_dist, cthreads, &server_dist, proxy.obj.nthreads);
             for piece in plan.iter().filter(|p| p.src == cthread) {
                 let data = encode(piece.start, piece.count);
                 let frag = Message::Fragment(FragmentMsg {
@@ -830,6 +884,19 @@ impl<'p> CallBuilder<'p> {
                     src_thread: cthread as u32,
                     data: data.to_vec(),
                 });
+                if trace_on {
+                    pardis_obs::instant(
+                        "client",
+                        "client.fragment",
+                        Some((key.0 .0, key.1)),
+                        vec![
+                            ("arg", (i as u32).into()),
+                            ("start", piece.start.into()),
+                            ("count", piece.count.into()),
+                            ("dst", piece.dst.into()),
+                        ],
+                    );
+                }
                 if funneled {
                     my_frames.push(frag.encode());
                 } else {
@@ -891,7 +958,11 @@ fn mix64(mut x: u64) -> u64 {
 fn backoff_delay(cfg: &OrbConfig, key: (BindingId, u64), attempt: u32) -> Duration {
     let delay = cfg.retry_base.max(Duration::from_micros(50)) * (1u32 << attempt.min(6));
     let h = mix64(cfg.retry_seed ^ mix64(key.0 .0) ^ mix64(key.1) ^ u64::from(attempt));
-    delay + delay.mul_f64((h >> 11) as f64 / (1u64 << 53) as f64 * 0.5)
+    let jittered = delay + delay.mul_f64((h >> 11) as f64 / (1u64 << 53) as f64 * 0.5);
+    if pardis_obs::enabled() {
+        pardis_obs::histogram("client.backoff_us").observe(jittered.as_micros() as u64);
+    }
+    jittered
 }
 
 /// Re-send the recorded frames (control plus this thread's fragments) of
@@ -911,8 +982,20 @@ fn retransmit(core: &Arc<PumpCore>, state: &Arc<InvocationState>) -> OrbResult<(
         return Ok(());
     }
     core.orb.note_retransmit();
+    if pardis_obs::enabled() {
+        pardis_obs::counter("client.retransmit_rounds").inc();
+    }
     for target in targets {
         let frames = target.replay.lock().clone();
+        if pardis_obs::enabled() {
+            pardis_obs::counter("client.frames_retransmitted").add(frames.len() as u64);
+            pardis_obs::instant(
+                "client",
+                "client.retransmit",
+                Some((target.key.0 .0, target.key.1)),
+                vec![("frames", frames.len().into())],
+            );
+        }
         for (ep, wire) in frames {
             core.orb.send_wire(core.host, ep, wire)?;
         }
@@ -937,6 +1020,14 @@ fn wait_complete(
     let mut attempt: u32 = 0;
     loop {
         if state.is_complete() {
+            if pardis_obs::enabled() {
+                pardis_obs::instant(
+                    "client",
+                    "future.fulfilled",
+                    Some((state.key.0 .0, state.key.1)),
+                    vec![],
+                );
+            }
             return Ok(());
         }
         if Instant::now() >= deadline {
@@ -995,10 +1086,7 @@ impl InvocationHandle {
     }
 
     /// Mint a future for distributed out-argument `ordinal`.
-    pub fn dseq_future<T: CdrCodec + Clone>(
-        &self,
-        ordinal: usize,
-    ) -> crate::future::DSeqFuture<T> {
+    pub fn dseq_future<T: CdrCodec + Clone>(&self, ordinal: usize) -> crate::future::DSeqFuture<T> {
         crate::future::DSeqFuture::new(self.core.clone(), self.state.clone(), ordinal)
     }
 

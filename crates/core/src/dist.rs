@@ -12,8 +12,7 @@ use pardis_cdr::{CdrCodec, CdrError, Decoder, Encoder, TypeCode};
 
 /// How a distributed sequence's elements are mapped onto the computing
 /// threads of one side of an invocation.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Distribution {
     /// Contiguous blocks, as equal as possible; the first `len % n` threads
     /// get one extra element. The paper's default (`BLOCK`).
@@ -34,7 +33,6 @@ pub enum Distribution {
     /// future-work section calls for; `BlockCyclic(1)` is `Cyclic`.
     BlockCyclic(u64),
 }
-
 
 /// A maximal run of consecutive global indices owned by one thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,8 +145,7 @@ impl Distribution {
                     return 0;
                 }
                 // Full blocks owned by t, plus the (possibly short) last block.
-                let owned_full = (nblocks / n64) * b
-                    + if nblocks % n64 > t64 { *b } else { 0 };
+                let owned_full = (nblocks / n64) * b + if nblocks % n64 > t64 { *b } else { 0 };
                 let last_block = nblocks - 1;
                 if last_block % n64 == t64 {
                     let last_size = len - last_block * b;
@@ -289,9 +286,7 @@ impl Distribution {
                 }
                 Ok(())
             }
-            Distribution::BlockCyclic(0) => {
-                Err("block-cyclic block size must be positive".into())
-            }
+            Distribution::BlockCyclic(0) => Err("block-cyclic block size must be positive".into()),
             _ => Ok(()),
         }
     }
@@ -323,7 +318,12 @@ pub fn plan_transfer(
         let s = src_dist.owner(len, src_n, idx);
         let d = dst_dist.owner(len, dst_n, idx);
         if s != cur_src || d != cur_dst {
-            pieces.push(PlanPiece { src: cur_src, dst: cur_dst, start: run_start, count: idx - run_start });
+            pieces.push(PlanPiece {
+                src: cur_src,
+                dst: cur_dst,
+                start: run_start,
+                count: idx - run_start,
+            });
             cur_src = s;
             cur_dst = d;
             run_start = idx;

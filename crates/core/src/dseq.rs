@@ -50,14 +50,7 @@ impl<T: CdrCodec + Clone> DSequence<T> {
             .iter()
             .flat_map(|r| full[r.start as usize..(r.start + r.count) as usize].iter().cloned())
             .collect();
-        DSequence {
-            global_len: len,
-            bound: None,
-            dist,
-            nthreads,
-            thread,
-            local: Arc::new(local),
-        }
+        DSequence { global_len: len, bound: None, dist, nthreads, thread, local: Arc::new(local) }
     }
 
     /// Wrap this thread's already-local elements (`local.len()` must equal
@@ -206,8 +199,7 @@ impl<T: CdrCodec + Clone> DSequence<T> {
     pub fn encode_range(&self, start: u64, count: u64) -> Bytes {
         let mut e = Encoder::with_capacity(ByteOrder::native(), (count as usize) * 8);
         for idx in start..start + count {
-            let (owner, local) =
-                self.dist.global_to_local(self.global_len, self.nthreads, idx);
+            let (owner, local) = self.dist.global_to_local(self.global_len, self.nthreads, idx);
             assert_eq!(
                 owner, self.thread,
                 "encode_range asked for global index {idx} owned by thread {owner}, not {}",
@@ -237,9 +229,7 @@ impl<T: CdrCodec + Clone> DSequence<T> {
                 }
             }
         }
-        full.into_iter()
-            .map(|t| t.expect("distribution covers every index"))
-            .collect()
+        full.into_iter().map(|t| t.expect("distribution covers every index")).collect()
     }
 
     fn encode_range_list(&self) -> Bytes {
@@ -250,8 +240,7 @@ impl<T: CdrCodec + Clone> DSequence<T> {
             e.write_u64(run.start);
             e.write_u64(run.count);
             for idx in run.start..run.start + run.count {
-                let (_, local) =
-                    self.dist.global_to_local(self.global_len, self.nthreads, idx);
+                let (_, local) = self.dist.global_to_local(self.global_len, self.nthreads, idx);
                 self.local[local as usize].encode(&mut e);
             }
         }
@@ -267,10 +256,9 @@ impl<T: CdrCodec + Clone> DSequence<T> {
     pub fn redistribute(&mut self, rts: &dyn Rts, new_dist: Distribution) {
         assert_eq!(rts.size(), self.nthreads, "redistribute over a mismatched RTS world");
         assert_eq!(rts.rank(), self.thread, "redistribute called from the wrong thread");
-        new_dist
-            .validate(self.global_len, self.nthreads)
-            .expect("invalid target distribution");
-        let plan = plan_transfer(self.global_len, &self.dist, self.nthreads, &new_dist, self.nthreads);
+        new_dist.validate(self.global_len, self.nthreads).expect("invalid target distribution");
+        let plan =
+            plan_transfer(self.global_len, &self.dist, self.nthreads, &new_dist, self.nthreads);
         const REDIST_TAG: u64 = tags::PARDIS_BASE | 0x5344; // 'SD'
 
         // Send away the pieces we own that move to another thread.
@@ -280,16 +268,15 @@ impl<T: CdrCodec + Clone> DSequence<T> {
         }
 
         // Build the new local vector in new-template local order.
-        let new_local_len = new_dist.local_len(self.global_len, self.nthreads, self.thread) as usize;
+        let new_local_len =
+            new_dist.local_len(self.global_len, self.nthreads, self.thread) as usize;
         let mut staged: Vec<Option<T>> = (0..new_local_len).map(|_| None).collect();
 
         // Local moves first.
         for piece in plan.iter().filter(|p| p.src == self.thread && p.dst == self.thread) {
             for idx in piece.start..piece.start + piece.count {
-                let (_, old_local) =
-                    self.dist.global_to_local(self.global_len, self.nthreads, idx);
-                let (_, new_local) =
-                    new_dist.global_to_local(self.global_len, self.nthreads, idx);
+                let (_, old_local) = self.dist.global_to_local(self.global_len, self.nthreads, idx);
+                let (_, new_local) = new_dist.global_to_local(self.global_len, self.nthreads, idx);
                 staged[new_local as usize] = Some(self.local[old_local as usize].clone());
             }
         }
@@ -301,17 +288,14 @@ impl<T: CdrCodec + Clone> DSequence<T> {
             let msg = rts.recv(Some(piece.src), REDIST_TAG);
             let mut d = Decoder::new(msg.data, ByteOrder::native());
             for idx in piece.start..piece.start + piece.count {
-                let (_, new_local) =
-                    new_dist.global_to_local(self.global_len, self.nthreads, idx);
+                let (_, new_local) = new_dist.global_to_local(self.global_len, self.nthreads, idx);
                 staged[new_local as usize] =
                     Some(T::decode(&mut d).expect("redistribution element"));
             }
         }
 
-        let local: Vec<T> = staged
-            .into_iter()
-            .map(|t| t.expect("plan covers every local index"))
-            .collect();
+        let local: Vec<T> =
+            staged.into_iter().map(|t| t.expect("plan covers every local index")).collect();
         self.local = Arc::new(local);
         self.dist = new_dist;
     }

@@ -101,11 +101,6 @@ impl<T: CdrCodec + Clone> DSeqFuture<T> {
 
 impl<T> std::fmt::Debug for DSeqFuture<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "DSeqFuture(out {}, resolved: {})",
-            self.ordinal,
-            internal::complete(&self.state)
-        )
+        write!(f, "DSeqFuture(out {}, resolved: {})", self.ordinal, internal::complete(&self.state))
     }
 }

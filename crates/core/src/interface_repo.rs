@@ -9,8 +9,8 @@
 //! Definitions are usually loaded from a compiled IDL model (the `pardis`
 //! facade's `ifr::load_model`), but can be registered by hand.
 
-use parking_lot::RwLock;
 use pardis_cdr::TypeCode;
+use parking_lot::RwLock;
 use std::collections::HashMap;
 
 /// Parameter passing mode.
@@ -123,12 +123,7 @@ impl InterfaceRepository {
     /// Check a dynamic invocation's in-arguments against the signature:
     /// right operation, right arity, right scalar [`TypeCode`]s. Returns the
     /// signature on success so the caller can decode the outs.
-    pub fn check_call(
-        &self,
-        id: &str,
-        op: &str,
-        in_args: &[TypeCode],
-    ) -> Result<OpSig, String> {
+    pub fn check_call(&self, id: &str, op: &str, in_args: &[TypeCode]) -> Result<OpSig, String> {
         let sig = self
             .find_op(id, op)
             .ok_or_else(|| format!("interface {id:?} has no operation {op:?}"))?;
@@ -147,9 +142,7 @@ impl InterfaceRepository {
         }
         for (i, (want, got)) in expected.iter().zip(in_args).enumerate() {
             if *want != got {
-                return Err(format!(
-                    "argument {i} of {op:?} has type {got}, expected {want}"
-                ));
+                return Err(format!("argument {i} of {op:?} has type {got}, expected {want}"));
             }
         }
         Ok(sig)
@@ -214,8 +207,7 @@ mod tests {
         assert!(repo.check_call("calc", "add", &[TypeCode::Long, TypeCode::Long]).is_ok());
         let err = repo.check_call("calc", "add", &[TypeCode::Long]).unwrap_err();
         assert!(err.contains("takes 2"), "{err}");
-        let err =
-            repo.check_call("calc", "add", &[TypeCode::Long, TypeCode::Double]).unwrap_err();
+        let err = repo.check_call("calc", "add", &[TypeCode::Long, TypeCode::Double]).unwrap_err();
         assert!(err.contains("argument 1"), "{err}");
         let err = repo.check_call("calc", "nope", &[]).unwrap_err();
         assert!(err.contains("no operation"), "{err}");

@@ -67,6 +67,7 @@ pub mod error;
 pub mod future;
 pub mod interface_repo;
 pub mod object;
+pub mod obs;
 pub mod orb;
 pub mod poa;
 pub mod protocol;
@@ -86,13 +87,14 @@ pub use interface_repo::{InterfaceDef, InterfaceRepository, OpSig, ParamMode, Pa
 pub use object::{
     BindingId, ClientId, DistPolicy, EndpointId, ObjectKey, ObjectKind, ObjectRef, ServerId,
 };
+pub use obs::{finish_env_trace, trace_from_env, TraceReport, TraceSession};
 pub use orb::{Orb, OrbConfig, TransferStrategy};
 pub use poa::{DeferredCall, Poa, ServerGroup};
 pub use repository::{
     ActivationMode, ImplementationRepository, Launcher, ObjectRepository, DEFAULT_REPOSITORY,
 };
 pub use servant::{
-    DInLocal, DOutArg, DispatchResult, Raised, ServantCtx, Servant, ServerReply, ServerRequest,
+    DInLocal, DOutArg, DispatchResult, Raised, Servant, ServantCtx, ServerReply, ServerRequest,
 };
 
 #[cfg(test)]

@@ -1,0 +1,144 @@
+//! ORB-level observability: trace sessions and the `PARDIS_TRACE` hook.
+//!
+//! [`pardis_obs`] owns the raw machinery (event rings, metrics registry,
+//! exporters); this module ties it to an [`Orb`]: a [`TraceSession`] installs
+//! the netsim *virtual* clock as the timestamp source (so a deterministic
+//! workload exports a byte-identical trace for the same fault seed), and on
+//! finish folds the ORB's and the network's accumulated statistics into the
+//! metrics snapshot.
+//!
+//! The figure harnesses and the chaos suite use the environment hook: set
+//! `PARDIS_TRACE=out.json` and the first traced workload of the process
+//! writes a Chrome trace-event file there (load it in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev)).
+
+use crate::orb::Orb;
+use pardis_obs::{MetricSnapshot, ThreadTrace};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// An active tracing window over one ORB's workload.
+///
+/// Starting a session resets all previously recorded events and metrics,
+/// installs the ORB's virtual clock as the (deterministic) timestamp
+/// source, and enables recording. [`TraceSession::finish`] disables
+/// recording and returns the collected [`TraceReport`].
+pub struct TraceSession {
+    orb: Orb,
+}
+
+impl TraceSession {
+    /// Begin tracing `orb`'s activity.
+    pub fn start(orb: &Orb) -> TraceSession {
+        pardis_obs::reset();
+        let clock = orb.network().clock().clone();
+        pardis_obs::set_clock_micros(Arc::new(move || (clock.now() * 1e6) as u64));
+        pardis_obs::enable();
+        TraceSession { orb: orb.clone() }
+    }
+
+    /// Stop recording and collect everything: per-thread events plus a
+    /// metrics snapshot that folds in the ORB's traffic/retransmission
+    /// counters and the network's fault statistics (network-wide and per
+    /// directed link).
+    pub fn finish(self) -> TraceReport {
+        pardis_obs::disable();
+        feed_orb_metrics(&self.orb);
+        TraceReport { threads: pardis_obs::drain(), metrics: pardis_obs::metrics_snapshot() }
+    }
+}
+
+/// Mirror externally-accumulated ORB and network statistics into the
+/// metrics registry (pull model, at export time).
+fn feed_orb_metrics(orb: &Orb) {
+    use pardis_obs::set_counter;
+    let (frames, bytes) = orb.traffic();
+    set_counter("orb.frames_sent", frames);
+    set_counter("orb.bytes_sent", bytes);
+    set_counter("orb.retransmits", orb.retransmits());
+    let net = orb.network();
+    let fs = net.fault_stats();
+    set_counter("net.fault.delivered", fs.delivered);
+    set_counter("net.fault.dropped", fs.dropped);
+    set_counter("net.fault.duplicated", fs.duplicated);
+    set_counter("net.fault.burst_dropped", fs.burst_dropped);
+    set_counter("net.fault.down_dropped", fs.down_dropped);
+    for ((from, to), s) in net.per_link_fault_stats() {
+        let link = format!("net.link.{}-{}", from.raw(), to.raw());
+        set_counter(&format!("{link}.delivered"), s.delivered);
+        set_counter(&format!("{link}.dropped"), s.dropped);
+        set_counter(&format!("{link}.duplicated"), s.duplicated);
+        set_counter(&format!("{link}.burst_dropped"), s.burst_dropped);
+        set_counter(&format!("{link}.down_dropped"), s.down_dropped);
+    }
+}
+
+/// A finished tracing window: everything needed to export or inspect.
+pub struct TraceReport {
+    /// Drained per-thread event sequences, sorted by thread label.
+    pub threads: Vec<ThreadTrace>,
+    /// Metrics snapshot, sorted by name.
+    pub metrics: Vec<(String, MetricSnapshot)>,
+}
+
+impl TraceReport {
+    /// The Chrome trace-event JSON export.
+    pub fn chrome_json(&self) -> String {
+        pardis_obs::chrome_trace_json(&self.threads, &self.metrics)
+    }
+
+    /// The human summary table.
+    pub fn summary(&self) -> String {
+        pardis_obs::summary_table(&self.threads, &self.metrics)
+    }
+
+    /// Write the Chrome trace to `path`.
+    pub fn write_chrome(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.chrome_json())
+    }
+
+    /// Look a counter metric up by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.metrics.iter().find_map(|(n, s)| match s {
+            MetricSnapshot::Counter(v) if n == name => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Total events recorded across all threads.
+    pub fn event_count(&self) -> usize {
+        self.threads.iter().map(|t| t.events.len()).sum()
+    }
+}
+
+/// First-trace-wins guard for the `PARDIS_TRACE` environment hook: a process
+/// that runs many workload configurations traces the first one only.
+static ENV_TRACE_TAKEN: AtomicBool = AtomicBool::new(false);
+
+/// If `PARDIS_TRACE` is set (to the output path) and no other workload in
+/// this process claimed it yet, start a trace session over `orb`. Callers
+/// pass the returned session back to [`finish_env_trace`] when the workload
+/// completes; with the variable unset this is a no-op returning `None`.
+pub fn trace_from_env(orb: &Orb) -> Option<TraceSession> {
+    let path = std::env::var("PARDIS_TRACE").ok()?;
+    if path.is_empty() || ENV_TRACE_TAKEN.swap(true, Ordering::SeqCst) {
+        return None;
+    }
+    Some(TraceSession::start(orb))
+}
+
+/// Finish an environment-hook session and write the Chrome trace to the
+/// `PARDIS_TRACE` path. Returns the written path.
+pub fn finish_env_trace(session: TraceSession) -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(
+        std::env::var("PARDIS_TRACE").unwrap_or_else(|_| "pardis_trace.json".to_string()),
+    );
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    session.finish().write_chrome(&path)?;
+    Ok(path)
+}

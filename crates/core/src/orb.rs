@@ -7,9 +7,9 @@
 //! (transfer strategy, local bypass, timeouts).
 
 use crate::error::{OrbError, OrbResult};
+use crate::interface_repo::InterfaceRepository;
 use crate::object::{ClientId, DistPolicy, EndpointId, ObjectKey, ObjectRef, ServerId};
 use crate::protocol::Message;
-use crate::interface_repo::InterfaceRepository;
 use crate::repository::{ActivationMode, ImplementationRepository, ObjectRepository};
 use crate::servant::Servant;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -55,6 +55,10 @@ pub struct OrbConfig {
     pub retry_base: Duration,
     /// Seed of the deterministic retransmit jitter.
     pub retry_seed: u64,
+    /// Bound on each POA's at-most-once reply cache (entries). Oldest
+    /// entries are evicted FIFO; an evicted invocation that is retransmitted
+    /// re-executes (the at-most-once guarantee is bounded by this window).
+    pub reply_cache_cap: usize,
 }
 
 impl Default for OrbConfig {
@@ -67,6 +71,7 @@ impl Default for OrbConfig {
             retry_limit: 0,
             retry_base: Duration::from_millis(10),
             retry_seed: 0,
+            reply_cache_cap: 1024,
         }
     }
 }
@@ -214,6 +219,16 @@ impl Orb {
     /// Set the seed of the deterministic retransmit jitter.
     pub fn set_retry_seed(&self, seed: u64) {
         self.inner.config.write().retry_seed = seed;
+    }
+
+    /// Bound each POA's at-most-once reply cache. Takes effect for POAs
+    /// attached after the call.
+    ///
+    /// # Panics
+    /// Panics if `cap` is 0 (a cacheless POA cannot suppress duplicates).
+    pub fn set_reply_cache_cap(&self, cap: usize) {
+        assert!(cap > 0, "reply cache cap must be positive");
+        self.inner.config.write().reply_cache_cap = cap;
     }
 
     /// Retransmission rounds performed so far (0 on a lossless network).

@@ -9,10 +9,12 @@
 
 use crate::dist::plan_transfer;
 use crate::error::OrbResult;
-use crate::object::{BindingId, DistPolicy, EndpointId, ObjectKey, ObjectKind, ObjectRef, ServerId};
+use crate::object::{
+    BindingId, DistPolicy, EndpointId, ObjectKey, ObjectKind, ObjectRef, ServerId,
+};
 use crate::orb::{Envelope, ObjectMeta, Orb, ServerRecord};
 use crate::protocol::{ArgDir, DArgDesc, FragmentMsg, Message, ReplyMsg, ReplyStatus, RequestMsg};
-use crate::servant::{DInLocal, ServantCtx, Servant, ServerReply, ServerRequest};
+use crate::servant::{DInLocal, Servant, ServantCtx, ServerReply, ServerRequest};
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
 use pardis_netsim::HostId;
@@ -106,6 +108,7 @@ impl ServerGroup {
         let inbox = self.inboxes.lock()[thread]
             .take()
             .unwrap_or_else(|| panic!("thread {thread} already attached"));
+        pardis_obs::set_thread_label(&format!("poa{}/{}", self.id.0, thread));
         Poa {
             orb: self.orb.clone(),
             server: self.id,
@@ -117,7 +120,7 @@ impl ServerGroup {
             inbox,
             servants: HashMap::new(),
             pending: HashMap::new(),
-            recent: Mutex::new(RecentInvocations::default()),
+            recent: Mutex::new(RecentInvocations::new(self.orb.config().reply_cache_cap)),
             deferred: Vec::new(),
             closed: false,
         }
@@ -151,23 +154,28 @@ impl PendingReq {
     }
 }
 
-/// Bound on the at-most-once memory per adapter thread (entries, FIFO
-/// evicted). A client retransmits only while its invocation is in flight,
-/// so only the most recent keys ever need suppressing.
-const RECENT_CAP: usize = 1024;
-
 /// At-most-once memory: which invocations this thread has accepted for
 /// dispatch, and the reply frames it sent for them. A retransmitted request
 /// for a known key never reaches the servant again — it either replays the
 /// cached reply frames verbatim or (while the original is still executing)
 /// is silently dropped, leaving the client to retry into the cache later.
-#[derive(Default)]
+///
+/// Bounded to `cap` entries ([`crate::OrbConfig::reply_cache_cap`]), FIFO
+/// evicted. A client retransmits only while its invocation is in flight, so
+/// only the most recent keys ever need suppressing.
 struct RecentInvocations {
     /// `None` while the original dispatch is still executing (or deferred);
     /// `Some(frames)` once the reply left, recording every (endpoint,
     /// frame) this thread sent for it.
     seen: HashMap<(BindingId, u64), Option<Vec<(EndpointId, Bytes)>>>,
     order: VecDeque<(BindingId, u64)>,
+    cap: usize,
+}
+
+impl RecentInvocations {
+    fn new(cap: usize) -> Self {
+        RecentInvocations { seen: HashMap::new(), order: VecDeque::new(), cap }
+    }
 }
 
 /// One computing thread's object adapter.
@@ -263,7 +271,11 @@ impl Poa {
             kind: ObjectKind::Spmd,
         };
         if self.thread == 0 {
-            self.orb.register_object(&self.namespace, name, ObjectMeta { oref: oref.clone(), policy });
+            self.orb.register_object(
+                &self.namespace,
+                name,
+                ObjectMeta { oref: oref.clone(), policy },
+            );
         }
         self.orb.register_servant(self.server, self.thread, key, servant.clone());
         self.servants.insert(key, servant);
@@ -401,6 +413,9 @@ impl Poa {
                     // Funneled data: forward to the true owner over the RTS.
                     let rts = self.rts.as_ref().expect("parallel server has an RTS");
                     rts.send(frag.dst_thread as usize, FORWARD_TAG, wire.clone());
+                    if pardis_obs::enabled() {
+                        pardis_obs::counter("poa.fragments_forwarded").inc();
+                    }
                     if !accepted {
                         // Count the forward toward dispatch readiness
                         // (idempotently — a retransmitted fragment must not
@@ -425,8 +440,23 @@ impl Poa {
                 // Idempotent reassembly: a duplicated or retransmitted
                 // fragment range must not double-count toward completion.
                 if !slot.iter().any(|f| {
-                    f.start == frag.start && f.count == frag.count && f.src_thread == frag.src_thread
+                    f.start == frag.start
+                        && f.count == frag.count
+                        && f.src_thread == frag.src_thread
                 }) {
+                    if pardis_obs::enabled() {
+                        pardis_obs::counter("poa.fragments_reassembled").inc();
+                        pardis_obs::instant(
+                            "poa",
+                            "poa.fragment",
+                            Some((frag.binding.0, frag.req_id)),
+                            vec![
+                                ("arg", frag.arg.into()),
+                                ("start", frag.start.into()),
+                                ("count", frag.count.into()),
+                            ],
+                        );
+                    }
                     slot.push(frag);
                 }
             }
@@ -448,10 +478,7 @@ impl Poa {
         if self.thread != 0 || self.nthreads == 1 || !req.funneled {
             return false;
         }
-        matches!(
-            self.orb.object_meta(req.object).map(|m| m.oref.kind),
-            Some(ObjectKind::Spmd)
-        )
+        matches!(self.orb.object_meta(req.object).map(|m| m.oref.kind), Some(ObjectKind::Spmd))
     }
 
     /// Dispatch every pending request that is complete and next in its
@@ -487,8 +514,7 @@ impl Poa {
         // For each client entity, only its lowest-sequence pending request
         // is eligible; dispatch the eligible request with the globally
         // lowest (entity, seq) key.
-        let mut heads: HashMap<u64, (&RequestMsg, &PendingReq, (BindingId, u64))> =
-            HashMap::new();
+        let mut heads: HashMap<u64, (&RequestMsg, &PendingReq, (BindingId, u64))> = HashMap::new();
         for (key, pending) in &self.pending {
             let Some(req) = &pending.control else { continue };
             match heads.entry(req.entity) {
@@ -561,10 +587,30 @@ impl Poa {
                 None => return false,
                 // Original still executing (or deferred): drop the
                 // duplicate; the client will retry into the cache later.
-                Some(None) => return true,
+                Some(None) => {
+                    if pardis_obs::enabled() {
+                        pardis_obs::counter("poa.dup_suppressed").inc();
+                        pardis_obs::instant(
+                            "poa",
+                            "poa.dup_suppressed",
+                            Some((key.0 .0, key.1)),
+                            vec![("state", "executing".into())],
+                        );
+                    }
+                    return true;
+                }
                 Some(Some(frames)) => frames.clone(),
             }
         };
+        if pardis_obs::enabled() {
+            pardis_obs::counter("poa.reply_cache_hits").inc();
+            pardis_obs::instant(
+                "poa",
+                "poa.replay",
+                Some((key.0 .0, key.1)),
+                vec![("frames", frames.len().into())],
+            );
+        }
         for (ep, wire) in frames {
             let _ = self.orb.send_wire(self.host, ep, wire);
         }
@@ -576,10 +622,23 @@ impl Poa {
     fn mark_accepted(&self, key: (BindingId, u64)) {
         let mut recent = self.recent.lock();
         if recent.seen.insert(key, None).is_none() {
+            if pardis_obs::enabled() {
+                pardis_obs::counter("poa.reply_cache_misses").inc();
+            }
             recent.order.push_back(key);
-            while recent.order.len() > RECENT_CAP {
+            let cap = recent.cap;
+            while recent.order.len() > cap {
                 if let Some(old) = recent.order.pop_front() {
                     recent.seen.remove(&old);
+                    if pardis_obs::enabled() {
+                        pardis_obs::counter("poa.reply_cache_evictions").inc();
+                        pardis_obs::instant(
+                            "poa",
+                            "poa.reply_cache_evict",
+                            Some((old.0 .0, old.1)),
+                            vec![],
+                        );
+                    }
                 }
             }
         }
@@ -595,6 +654,16 @@ impl Poa {
 
     fn dispatch(&mut self, req: RequestMsg, mut frags: HashMap<u32, Vec<FragmentMsg>>) {
         self.mark_accepted((req.binding, req.req_id));
+        // Gated construction: the span's op-name clone must not run when
+        // tracing is off.
+        let _span = pardis_obs::enabled().then(|| {
+            pardis_obs::Span::open(
+                "poa",
+                "poa.dispatch",
+                Some((req.binding.0, req.req_id)),
+                vec![("op", req.op.clone().into()), ("thread", self.thread.into())],
+            )
+        });
         let servant = self.servants.get(&req.object).cloned();
         let meta = self.orb.object_meta(req.object);
         let result = match (servant, meta) {
@@ -641,6 +710,10 @@ impl Poa {
             }
             _ => Err(format!("object key {} not active on this server", req.object.0)),
         };
+        // Close the span before the reply leaves: the moment the reply is on
+        // the wire the client can complete and a tracer may drain the rings,
+        // so nothing for this invocation may be recorded after the send.
+        drop(_span);
         if req.oneway {
             // No reply to cache; the accepted mark alone suppresses
             // duplicates.
@@ -679,12 +752,8 @@ impl Poa {
             Some(ObjectKind::Spmd)
         );
 
-        let out_descs: Vec<(usize, &DArgDesc)> = req
-            .dargs
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.dir == ArgDir::Out)
-            .collect();
+        let out_descs: Vec<(usize, &DArgDesc)> =
+            req.dargs.iter().enumerate().filter(|(_, d)| d.dir == ArgDir::Out).collect();
 
         // Every frame this thread ships is also recorded so a retransmitted
         // request can be answered from the cache without re-execution.
@@ -694,10 +763,7 @@ impl Poa {
             Ok(reply) if reply.raised.is_some() => {
                 let raised = reply.raised.as_ref().expect("checked");
                 (
-                    ReplyStatus::UserException {
-                        id: raised.id.clone(),
-                        data: raised.data.clone(),
-                    },
+                    ReplyStatus::UserException { id: raised.id.clone(), data: raised.data.clone() },
                     Vec::new(),
                     Vec::new(),
                 )
@@ -714,13 +780,8 @@ impl Poa {
                 let mut my_frames: Vec<Bytes> = Vec::new();
                 for (ordinal, dout) in reply.douts.iter().enumerate() {
                     let (wire_idx, desc) = out_descs[ordinal];
-                    let plan = plan_transfer(
-                        dout.len,
-                        &dout.dist,
-                        self.nthreads,
-                        &desc.client_dist,
-                        m,
-                    );
+                    let plan =
+                        plan_transfer(dout.len, &dout.dist, self.nthreads, &desc.client_dist, m);
                     for piece in plan.iter().filter(|p| p.src == self.thread) {
                         let data = dout.encode_range(piece.start, piece.count);
                         let frag = Message::Fragment(FragmentMsg {
@@ -747,12 +808,11 @@ impl Poa {
                     // Collective: funnel everyone's fragments through thread
                     // 0's wire connection.
                     let rts = self.rts.as_ref().expect("parallel server has an RTS");
-                    let gathered =
-                        rts.gather(0, crate::protocol::frame_list(&my_frames));
+                    let gathered = rts.gather(0, crate::protocol::frame_list(&my_frames));
                     if let Some(lists) = gathered {
                         for list in lists {
-                            for frame in crate::protocol::unframe_list(&list)
-                                .expect("self-framed list")
+                            for frame in
+                                crate::protocol::unframe_list(&list).expect("self-framed list")
                             {
                                 let _ = self.send_raw(req.reply_to[0], frame.clone());
                                 sent.push((req.reply_to[0], frame));
@@ -777,6 +837,14 @@ impl Poa {
             _ => self.thread == 0,
         };
         if am_responsible {
+            if pardis_obs::enabled() {
+                pardis_obs::instant(
+                    "poa",
+                    "poa.reply",
+                    Some((req.binding.0, req.req_id)),
+                    vec![("op", req.op.clone().into())],
+                );
+            }
             let reply = Message::Reply(ReplyMsg {
                 req_id: req.req_id,
                 binding: req.binding,

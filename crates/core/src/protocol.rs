@@ -172,6 +172,17 @@ impl Message {
         }
     }
 
+    /// Stable human label of the frame type (trace events, diagnostics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Request(_) => "request",
+            Message::Reply(_) => "reply",
+            Message::Fragment(_) => "fragment",
+            Message::Cancel { .. } => "cancel",
+            Message::Close => "close",
+        }
+    }
+
     /// Frame this message for the wire.
     pub fn encode(&self) -> Bytes {
         let order = ByteOrder::native();
@@ -256,7 +267,11 @@ fn encode_darg(a: &DArgDesc, e: &mut Encoder) {
 }
 
 fn decode_darg(d: &mut Decoder) -> Result<DArgDesc, CdrError> {
-    Ok(DArgDesc { dir: ArgDir::decode(d)?, len: d.read_u64()?, client_dist: Distribution::decode(d)? })
+    Ok(DArgDesc {
+        dir: ArgDir::decode(d)?,
+        len: d.read_u64()?,
+        client_dist: Distribution::decode(d)?,
+    })
 }
 
 fn encode_request(r: &RequestMsg, e: &mut Encoder) {

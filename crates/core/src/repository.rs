@@ -29,11 +29,7 @@ impl ObjectRepository {
 
     /// Register `name` in `namespace`, returning any displaced key.
     pub fn register(&self, namespace: &str, name: &str, key: ObjectKey) -> Option<ObjectKey> {
-        self.spaces
-            .write()
-            .entry(namespace.to_string())
-            .or_default()
-            .insert(name.to_string(), key)
+        self.spaces.write().entry(namespace.to_string()).or_default().insert(name.to_string(), key)
     }
 
     /// Look a name up.
@@ -131,8 +127,7 @@ impl ImplementationRepository {
 
     /// Forget launch state (lets a test or a restart re-activate).
     pub fn reset_launch_state(&self, namespace: &str, name: &str) {
-        if let Some(rec) =
-            self.records.write().get_mut(&(namespace.to_string(), name.to_string()))
+        if let Some(rec) = self.records.write().get_mut(&(namespace.to_string(), name.to_string()))
         {
             rec.launched = false;
         }

@@ -34,9 +34,7 @@ impl ServantCtx {
     /// The RTS endpoint, panicking with a helpful message when the server
     /// is not parallel.
     pub fn rts(&self) -> &Arc<dyn Rts> {
-        self.rts
-            .as_ref()
-            .expect("servant needs an RTS endpoint but the server is single-threaded")
+        self.rts.as_ref().expect("servant needs an RTS endpoint but the server is single-threaded")
     }
 }
 
@@ -114,7 +112,9 @@ impl ServerRequest<'_> {
         let mut local = Vec::with_capacity(local_len);
         for (i, v) in staged.into_iter().enumerate() {
             local.push(v.ok_or_else(|| {
-                OrbError::Protocol(format!("distributed in-arg {ordinal} missing local element {i}"))
+                OrbError::Protocol(format!(
+                    "distributed in-arg {ordinal} missing local element {i}"
+                ))
             })?);
         }
         Ok(DSequence::from_local(local, len, din.server_dist.clone(), n, t))

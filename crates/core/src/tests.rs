@@ -6,5 +6,6 @@ mod dist_tests;
 mod dseq_tests;
 mod orb_tests;
 mod protocol_tests;
+mod reply_cache_tests;
 mod repository_tests;
 mod spmd_tests;

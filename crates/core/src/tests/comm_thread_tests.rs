@@ -18,7 +18,11 @@ impl Servant for Doubler {
     }
 }
 
-fn serve(orb: &Orb, host: pardis_netsim::HostId, name: &str) -> (ServerGroup, std::thread::JoinHandle<()>) {
+fn serve(
+    orb: &Orb,
+    host: pardis_netsim::HostId,
+    name: &str,
+) -> (ServerGroup, std::thread::JoinHandle<()>) {
     let group = ServerGroup::create(orb, "doubler", host, 1);
     let g = group.clone();
     let name = name.to_string();

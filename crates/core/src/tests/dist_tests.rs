@@ -80,10 +80,7 @@ fn block_cyclic_owner_and_locals() {
     assert_eq!(d.owner(11, 2, 10), 1);
     assert_eq!(d.local_len(11, 2, 0), 6);
     assert_eq!(d.local_len(11, 2, 1), 5);
-    assert_eq!(
-        d.runs(11, 2, 1),
-        vec![Run { start: 3, count: 3 }, Run { start: 9, count: 2 }]
-    );
+    assert_eq!(d.runs(11, 2, 1), vec![Run { start: 3, count: 3 }, Run { start: 9, count: 2 }]);
     assert_eq!(d.global_to_local(11, 2, 7), (0, 4));
     assert_eq!(d.local_to_global(11, 2, 0, 4), 7);
 }

@@ -230,7 +230,10 @@ fn activation_agent_launches_server_on_bind() {
             let g = group.clone();
             std::thread::spawn(move || {
                 let mut poa = g.attach(0, None);
-                poa.activate_single("ondemand", Arc::new(Calc { calls: Arc::new(AtomicUsize::new(0)) }));
+                poa.activate_single(
+                    "ondemand",
+                    Arc::new(Calc { calls: Arc::new(AtomicUsize::new(0)) }),
+                );
                 poa.impl_is_ready();
             });
         }),

@@ -142,11 +142,7 @@ fn sample_messages() -> Vec<Message> {
 
 #[test]
 fn frame_list_roundtrip() {
-    let frames = vec![
-        Bytes::from_static(b"alpha"),
-        Bytes::new(),
-        Bytes::from(vec![0u8; 100]),
-    ];
+    let frames = vec![Bytes::from_static(b"alpha"), Bytes::new(), Bytes::from(vec![0u8; 100])];
     let framed = frame_list(&frames);
     assert_eq!(unframe_list(&framed).unwrap(), frames);
     assert_eq!(unframe_list(&frame_list(&[])).unwrap(), Vec::<Bytes>::new());

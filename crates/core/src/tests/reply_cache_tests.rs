@@ -1,0 +1,177 @@
+//! The bounded reply cache: replay while cached, FIFO eviction at the cap,
+//! and — once evicted — exactly one re-execution of a duplicate request.
+//!
+//! These tests drive the POA with handcrafted wire frames, because a real
+//! client never *voluntarily* resends: duplicates only arise from timeouts
+//! or network duplication, neither of which can target a specific cache
+//! state.
+
+use crate::object::{BindingId, ClientId};
+use crate::protocol::{Message, ReplyStatus, RequestMsg};
+use crate::repository::DEFAULT_REPOSITORY;
+use crate::servant::{Servant, ServerReply, ServerRequest};
+use crate::{ClientGroup, Orb, ServerGroup};
+use pardis_cdr::{ByteOrder, CdrCodec, Encoder};
+use pardis_netsim::{Link, Network, TimeScale};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Bumper {
+    hits: Arc<AtomicU64>,
+}
+
+impl Servant for Bumper {
+    fn interface(&self) -> &str {
+        "bumper"
+    }
+    fn dispatch(&self, req: ServerRequest<'_>) -> Result<ServerReply, String> {
+        self.hits.fetch_add(1, Ordering::SeqCst);
+        let x: i64 = req.scalar(0).map_err(|e| e.to_string())?;
+        let mut rep = ServerReply::new();
+        rep.push_scalar(&(2 * x));
+        Ok(rep)
+    }
+}
+
+fn encode_i64(v: i64) -> Vec<u8> {
+    let mut e = Encoder::new(ByteOrder::native());
+    v.encode(&mut e);
+    e.finish().to_vec()
+}
+
+#[test]
+fn evicted_reply_cache_entry_forces_one_reexecution() {
+    let net = Network::new(TimeScale::off());
+    let ch = net.add_host("client");
+    let sh = net.add_host("server");
+    net.connect(ch, sh, Link::free());
+    let orb = Orb::new(net);
+    let cap = 3;
+    orb.set_reply_cache_cap(cap);
+
+    let hits = Arc::new(AtomicU64::new(0));
+    let group = ServerGroup::create(&orb, "counter", sh, 1);
+    let g = group.clone();
+    let h = hits.clone();
+    let server = std::thread::spawn(move || {
+        let mut poa = g.attach(0, None);
+        poa.activate_single("bump_rc", Arc::new(Bumper { hits: h }));
+        poa.impl_is_ready();
+    });
+
+    // Resolve waits for activation; then address frames straight at the
+    // server's (single) request endpoint, with our own reply endpoint.
+    let obj = orb.resolve(DEFAULT_REPOSITORY, "bump_rc").unwrap();
+    let server_ep = orb.server_endpoints(group.id()).unwrap()[0];
+    let (reply_ep, reply_rx) = orb.register_endpoint(ch);
+
+    // Distinct entities so sequencing never holds a request back; req_id is
+    // only unique per binding, so distinct bindings keep cache keys apart.
+    let mk_req = |binding: u64, x: i64| {
+        Message::Request(RequestMsg {
+            req_id: 1,
+            binding: BindingId(binding),
+            entity: binding,
+            client_seq: 0,
+            client: ClientId(9000),
+            object: obj.key,
+            op: "bump".into(),
+            oneway: false,
+            funneled: false,
+            reply_to: vec![reply_ep],
+            client_threads: 1,
+            client_host: ch.raw(),
+            ins: vec![encode_i64(x)],
+            dargs: vec![],
+        })
+        .encode()
+    };
+    let send = |wire: &bytes::Bytes| orb.send_wire(ch, server_ep, wire.clone()).unwrap();
+    let recv_reply = || {
+        let env = reply_rx.recv_timeout(Duration::from_secs(10)).expect("reply arrives");
+        match Message::decode(&env.wire).unwrap() {
+            Message::Reply(rep) => rep,
+            other => panic!("expected a reply, got {other:?}"),
+        }
+    };
+
+    // First delivery executes the servant.
+    let original = mk_req(500, 7);
+    send(&original);
+    let rep = recv_reply();
+    assert_eq!(rep.status, ReplyStatus::Ok);
+    assert_eq!(hits.load(Ordering::SeqCst), 1);
+
+    // A duplicate while cached replays the recorded reply: no re-execution.
+    send(&original);
+    let rep = recv_reply();
+    assert_eq!(rep.status, ReplyStatus::Ok);
+    assert_eq!(hits.load(Ordering::SeqCst), 1, "cached duplicate must not re-execute");
+
+    // `cap` newer invocations push the original out (FIFO at the limit).
+    for i in 0..cap as u64 {
+        send(&mk_req(600 + i, i as i64));
+        recv_reply();
+    }
+    assert_eq!(hits.load(Ordering::SeqCst), 1 + cap as u64);
+
+    // Evicted: the duplicate is indistinguishable from a new request and
+    // re-executes — exactly once.
+    send(&original);
+    let rep = recv_reply();
+    assert_eq!(rep.status, ReplyStatus::Ok);
+    assert_eq!(
+        hits.load(Ordering::SeqCst),
+        2 + cap as u64,
+        "an evicted entry must re-execute exactly once"
+    );
+
+    // And the re-execution re-entered the cache: one more duplicate replays.
+    send(&original);
+    recv_reply();
+    assert_eq!(hits.load(Ordering::SeqCst), 2 + cap as u64);
+
+    group.shutdown();
+    server.join().unwrap();
+}
+
+#[test]
+fn reply_cache_cap_applies_to_later_poas() {
+    // The knob rejects zero and is picked up by POAs attached afterwards.
+    let net = Network::new(TimeScale::off());
+    let host = net.add_host("solo");
+    let orb = Orb::new(net);
+    orb.set_reply_cache_cap(2);
+    assert_eq!(orb.config().reply_cache_cap, 2);
+
+    // End-to-end sanity with a tiny cache: a real client's lockstep calls
+    // never need more than one live entry, so nothing breaks.
+    let hits = Arc::new(AtomicU64::new(0));
+    let group = ServerGroup::create(&orb, "tiny", host, 1);
+    let g = group.clone();
+    let h = hits.clone();
+    let server = std::thread::spawn(move || {
+        let mut poa = g.attach(0, None);
+        poa.activate_single("bump_tiny", Arc::new(Bumper { hits: h }));
+        poa.impl_is_ready();
+    });
+    let client = ClientGroup::create(&orb, host, 1).attach(0, None);
+    let proxy = client.bind("bump_tiny").unwrap();
+    for i in 0..8i64 {
+        let reply = proxy.call("bump").arg(&i).invoke().unwrap();
+        assert_eq!(reply.scalar::<i64>(0).unwrap(), 2 * i);
+    }
+    assert_eq!(hits.load(Ordering::SeqCst), 8);
+    group.shutdown();
+    server.join().unwrap();
+}
+
+#[test]
+#[should_panic(expected = "reply cache cap must be positive")]
+fn zero_reply_cache_cap_is_rejected() {
+    let net = Network::new(TimeScale::off());
+    net.add_host("solo");
+    let orb = Orb::new(net);
+    orb.set_reply_cache_cap(0);
+}

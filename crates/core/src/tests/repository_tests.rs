@@ -40,9 +40,13 @@ fn impl_repo_launches_once() {
     let launches = Arc::new(AtomicUsize::new(0));
     let repo = ImplementationRepository::new();
     let l = launches.clone();
-    repo.register("default", "srv", Arc::new(move || {
-        l.fetch_add(1, Ordering::SeqCst);
-    }));
+    repo.register(
+        "default",
+        "srv",
+        Arc::new(move || {
+            l.fetch_add(1, Ordering::SeqCst);
+        }),
+    );
     assert!(repo.has("default", "srv"));
     assert!(!repo.has("default", "other"));
     assert!(repo.launch_once("default", "srv"));

@@ -44,11 +44,8 @@ impl Servant for VecOps {
             "rev_rows" => {
                 // Nested dynamic elements (the paper's `matrix`).
                 let m: DSequence<Vec<f64>> = req.dseq(0).map_err(|e| e.to_string())?;
-                let rev: Vec<Vec<f64>> = m
-                    .local()
-                    .iter()
-                    .map(|row| row.iter().rev().copied().collect())
-                    .collect();
+                let rev: Vec<Vec<f64>> =
+                    m.local().iter().map(|row| row.iter().rev().copied().collect()).collect();
                 let out =
                     DSequence::from_local(rev, m.len(), m.dist().clone(), m.nthreads(), m.thread());
                 rep.push_dseq(out);
@@ -183,7 +180,8 @@ fn nested_matrix_rows_roundtrip() {
     let out = run_client(&orb, host, 2, |ct| {
         let proxy = ct.spmd_bind("vec4").unwrap();
         let m = DSequence::distribute(&rows, Distribution::Block, 2, ct.thread());
-        let reply = proxy.call("rev_rows").dseq_in(&m).dseq_out(Distribution::Block).invoke().unwrap();
+        let reply =
+            proxy.call("rev_rows").dseq_in(&m).dseq_out(Distribution::Block).invoke().unwrap();
         let r: DSequence<Vec<f64>> = reply.dseq(0).unwrap();
         r.local_iter().map(|(g, row)| (g, row.clone())).collect::<Vec<_>>()
     });

@@ -43,8 +43,12 @@ impl Diagnostic {
         let (line, col) = line_col(source, self.span.start);
         let line_text = source.lines().nth(line - 1).unwrap_or("");
         let width = (self.span.end.saturating_sub(self.span.start)).max(1);
-        let marker = " ".repeat(col - 1) + &"^".repeat(width.min(line_text.len() + 1 - (col - 1)).max(1));
-        format!("error: {}\n --> line {line}, column {col}\n  | {line_text}\n  | {marker}", self.message)
+        let marker =
+            " ".repeat(col - 1) + &"^".repeat(width.min(line_text.len() + 1 - (col - 1)).max(1));
+        format!(
+            "error: {}\n --> line {line}, column {col}\n  | {line_text}\n  | {marker}",
+            self.message
+        )
     }
 }
 

@@ -155,13 +155,13 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
                 });
             }
             c if c.is_ascii_digit() => {
-                while i < n
-                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'.')
-                {
+                while i < n && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'.') {
                     i += 1;
                 }
                 let text = &source[start..i];
-                let tok = if text.contains('.') || (text.contains(['e', 'E']) && !text.starts_with("0x")) {
+                let tok = if text.contains('.')
+                    || (text.contains(['e', 'E']) && !text.starts_with("0x"))
+                {
                     Tok::Float(text.parse().map_err(|_| {
                         Diagnostic::new(format!("bad float literal {text:?}"), Span::new(start, i))
                     })?)
@@ -175,7 +175,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
                     })?)
                 } else {
                     Tok::Int(text.parse().map_err(|_| {
-                        Diagnostic::new(format!("bad integer literal {text:?}"), Span::new(start, i))
+                        Diagnostic::new(
+                            format!("bad integer literal {text:?}"),
+                            Span::new(start, i),
+                        )
                     })?)
                 };
                 tokens.push(Token { tok, span: Span::new(start, i) });

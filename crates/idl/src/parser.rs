@@ -19,10 +19,7 @@ pub fn parse(tokens: &[Token]) -> Result<Spec, Diagnostic> {
         defs.push(p.definition()?);
     }
     if let Some(stray) = p.pending_pragmas.first() {
-        return Err(Diagnostic::new(
-            "pragma mapping is not followed by a typedef",
-            stray.span,
-        ));
+        return Err(Diagnostic::new("pragma mapping is not followed by a typedef", stray.span));
     }
     Ok(Spec { defs })
 }
@@ -72,10 +69,7 @@ impl<'a> Parser<'a> {
         if self.peek() == &tok {
             Ok(self.bump().span)
         } else {
-            Err(Diagnostic::new(
-                format!("expected {what}, found {:?}", self.peek()),
-                self.span(),
-            ))
+            Err(Diagnostic::new(format!("expected {what}, found {:?}", self.peek()), self.span()))
         }
     }
 
@@ -86,9 +80,7 @@ impl<'a> Parser<'a> {
                 self.bump();
                 Ok((name, span))
             }
-            other => {
-                Err(Diagnostic::new(format!("expected {what}, found {other:?}"), self.span()))
-            }
+            other => Err(Diagnostic::new(format!("expected {what}, found {other:?}"), self.span())),
         }
     }
 
@@ -422,11 +414,7 @@ impl<'a> Parser<'a> {
                 return Ok(TypeSpec::UShort);
             }
             if self.eat_kw("long") {
-                return Ok(if self.eat_kw("long") {
-                    TypeSpec::ULongLong
-                } else {
-                    TypeSpec::ULong
-                });
+                return Ok(if self.eat_kw("long") { TypeSpec::ULongLong } else { TypeSpec::ULong });
             }
             return Err(Diagnostic::new(
                 "`unsigned` must be followed by `short` or `long`",
@@ -511,10 +499,7 @@ impl<'a> Parser<'a> {
             };
             return Ok(DistSpec::Concentrated(arg));
         }
-        Err(Diagnostic::new(
-            "expected BLOCK, CYCLIC, CONCENTRATED or BLOCK_CYCLIC",
-            self.span(),
-        ))
+        Err(Diagnostic::new("expected BLOCK, CYCLIC, CONCENTRATED or BLOCK_CYCLIC", self.span()))
     }
 
     /// `expr := term (('+'|'-') term)*`, `term := factor (('*'|'/') factor)*`

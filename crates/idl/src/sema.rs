@@ -184,9 +184,7 @@ impl Analyzer {
         for base in &iface.bases {
             match self.lookup(&base.parts, path) {
                 Some((key, Sym::Interface(_))) => bases.push(key),
-                Some((key, _)) => {
-                    self.err(format!("{key:?} is not an interface"), base.span)
-                }
+                Some((key, _)) => self.err(format!("{key:?} is not an interface"), base.span),
                 None => self.err(format!("unknown interface {:?}", base.dotted()), base.span),
             }
         }
@@ -222,10 +220,7 @@ impl Analyzer {
                     Direction::InOut => RDir::InOut,
                 };
                 if dir == RDir::InOut && ty.is_distributed() {
-                    self.err(
-                        "distributed sequences may be `in` or `out`, not `inout`",
-                        p.span,
-                    );
+                    self.err("distributed sequences may be `in` or `out`, not `inout`", p.span);
                 }
                 params.push(RParam { dir, name: p.name.clone(), ty });
             }
@@ -244,12 +239,8 @@ impl Analyzer {
             for name in &op.raises {
                 match self.lookup(&name.parts, &iface_scope) {
                     Some((key, Sym::Exception(_))) => raises.push(key),
-                    Some((key, _)) => {
-                        self.err(format!("{key:?} is not an exception"), name.span)
-                    }
-                    None => {
-                        self.err(format!("unknown exception {:?}", name.dotted()), name.span)
-                    }
+                    Some((key, _)) => self.err(format!("{key:?} is not an exception"), name.span),
+                    None => self.err(format!("unknown exception {:?}", name.dotted()), name.span),
                 }
             }
             ops.push(ROp { name: op.name.clone(), oneway: op.oneway, ret, params, raises });
@@ -468,9 +459,7 @@ impl Analyzer {
                 TypePos::Return => {
                     self.err("operations may not return dsequence; use an out parameter", span)
                 }
-                TypePos::StructField => {
-                    self.err("struct fields may not be distributed", span)
-                }
+                TypePos::StructField => self.err("struct fields may not be distributed", span),
                 TypePos::ConstType => self.err("constants may not be distributed", span),
                 TypePos::InOutParam => {
                     self.err("distributed sequences may be `in` or `out`, not `inout`", span)

@@ -35,8 +35,8 @@ interface field_operations {
 
 #[test]
 fn lexes_tokens_and_pragmas() {
-    let toks = lex("typedef dsequence<double, 0x10> v; // comment\n#pragma POOMA:field\n")
-        .expect("lex");
+    let toks =
+        lex("typedef dsequence<double, 0x10> v; // comment\n#pragma POOMA:field\n").expect("lex");
     let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
     assert!(matches!(kinds[0], Tok::Ident(s) if s == "typedef"));
     assert!(matches!(kinds[2], Tok::Lt));
@@ -107,8 +107,10 @@ fn parses_pipeline_idl_with_pragmas() {
             assert_eq!(bound, Some(128 * 128));
             assert_eq!(client_dist, Some(RDist::Block));
             assert_eq!(server_dist, Some(RDist::Block));
-            let systems: Vec<(&str, &str)> =
-                pragmas.iter().map(|p: &PragmaMap| (p.system.as_str(), p.native.as_str())).collect();
+            let systems: Vec<(&str, &str)> = pragmas
+                .iter()
+                .map(|p: &PragmaMap| (p.system.as_str(), p.native.as_str()))
+                .collect();
             assert!(systems.contains(&("HPC++", "vector")));
             assert!(systems.contains(&("POOMA", "field")));
         }
@@ -239,8 +241,7 @@ fn duplicate_definitions_rejected() {
     assert!(errs.iter().any(|e| e.message.contains("duplicate definition")));
     let errs = compile("interface i { void f(); void f(); };").unwrap_err();
     assert!(errs.iter().any(|e| e.message.contains("no overloading")));
-    let errs =
-        compile("interface a { void f(); }; interface b : a { void f(); };").unwrap_err();
+    let errs = compile("interface a { void f(); }; interface b : a { void f(); };").unwrap_err();
     assert!(errs.iter().any(|e| e.message.contains("more than once")));
 }
 
@@ -334,19 +335,15 @@ fn exceptions_and_raises_resolve() {
     let errs = compile("interface c { void f() raises(nope); };").unwrap_err();
     assert!(errs.iter().any(|e| e.message.contains("unknown exception")));
 
-    let errs =
-        compile("struct s { long x; }; interface c { void f() raises(s); };").unwrap_err();
+    let errs = compile("struct s { long x; }; interface c { void f() raises(s); };").unwrap_err();
     assert!(errs.iter().any(|e| e.message.contains("is not an exception")));
 
-    let errs = compile(
-        "exception e { long x; }; interface c { oneway void f() raises(e); };",
-    )
-    .unwrap_err();
+    let errs = compile("exception e { long x; }; interface c { oneway void f() raises(e); };")
+        .unwrap_err();
     assert!(errs.iter().any(|e| e.message.contains("cannot raise")));
 
     // Exceptions are not types.
-    let errs =
-        compile("exception e { long x; }; interface c { void f(in e arg); };").unwrap_err();
+    let errs = compile("exception e { long x; }; interface c { void f(in e arg); };").unwrap_err();
     assert!(errs.iter().any(|e| e.message.contains("raises clause")));
 }
 
@@ -399,10 +396,9 @@ fn diagnostics_render_with_location() {
 
 #[test]
 fn unsigned_variants_parse() {
-    let model = compile(
-        "interface i { unsigned long long f(in unsigned short a, in unsigned long b); };",
-    )
-    .expect("compile");
+    let model =
+        compile("interface i { unsigned long long f(in unsigned short a, in unsigned long b); };")
+            .expect("compile");
     let op = &model.interface("i").unwrap().ops[0];
     assert_eq!(op.ret, RType::ULongLong);
     assert_eq!(op.params[0].ty, RType::UShort);

@@ -25,15 +25,45 @@ pub enum Verdict {
     Duplicated,
 }
 
-/// Counters of fault-layer activity, network-wide.
+/// Counters of fault-layer activity (network-wide from
+/// [`crate::Network::fault_stats`], per directed link from
+/// [`crate::Network::link_fault_stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {
     /// Frames that arrived exactly once.
     pub delivered: u64,
-    /// Frames lost (including burst and link-down losses).
+    /// Frames lost for any reason (random + burst + link-down).
     pub dropped: u64,
     /// Frames that arrived twice.
     pub duplicated: u64,
+    /// Of `dropped`: losses from the burst tail following a triggered drop
+    /// (the triggering drop itself counts as a random loss).
+    pub burst_dropped: u64,
+    /// Of `dropped`: frames suppressed inside a link-down window.
+    pub down_dropped: u64,
+}
+
+impl FaultStats {
+    /// Of `dropped`: independent per-frame (hash-triggered) losses.
+    pub fn random_dropped(&self) -> u64 {
+        self.dropped - self.burst_dropped - self.down_dropped
+    }
+
+    pub(crate) fn account(&mut self, fate: FrameFate) {
+        match fate {
+            FrameFate::Delivered => self.delivered += 1,
+            FrameFate::Duplicated => self.duplicated += 1,
+            FrameFate::DroppedRandom => self.dropped += 1,
+            FrameFate::DroppedBurst => {
+                self.dropped += 1;
+                self.burst_dropped += 1;
+            }
+            FrameFate::DroppedDown => {
+                self.dropped += 1;
+                self.down_dropped += 1;
+            }
+        }
+    }
 }
 
 /// A seeded fault schedule, attachable to one link or network-wide.
@@ -191,41 +221,93 @@ pub(crate) fn unit(x: u64) -> f64 {
     (x >> 11) as f64 / (1u64 << 53) as f64
 }
 
-/// Mutable per-directed-link schedule state: frame ordinal and burst
-/// countdown.
+/// A [`Verdict`] together with *why* a frame was lost — the per-cause
+/// resolution behind [`FaultStats`]' breakdown fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FrameFate {
+    Delivered,
+    Duplicated,
+    /// Independent hash-triggered loss.
+    DroppedRandom,
+    /// Loss from the burst tail of a preceding triggered drop.
+    DroppedBurst,
+    /// Loss inside a link-down window.
+    DroppedDown,
+}
+
+impl FrameFate {
+    pub(crate) fn verdict(self) -> Verdict {
+        match self {
+            FrameFate::Delivered => Verdict::Delivered,
+            FrameFate::Duplicated => Verdict::Duplicated,
+            _ => Verdict::Dropped,
+        }
+    }
+
+    /// Stable label for trace events.
+    pub(crate) fn label(self) -> &'static str {
+        match self {
+            FrameFate::Delivered => "delivered",
+            FrameFate::Duplicated => "duplicated",
+            FrameFate::DroppedRandom => "dropped",
+            FrameFate::DroppedBurst => "dropped_burst",
+            FrameFate::DroppedDown => "dropped_down",
+        }
+    }
+}
+
+/// Mutable per-directed-link schedule state: frame ordinal, burst countdown,
+/// and this link's own fault counters.
 #[derive(Debug)]
 pub(crate) struct FaultState {
     plan: FaultPlan,
     seq: u64,
     burst_left: u32,
+    stats: FaultStats,
 }
 
 impl FaultState {
     pub(crate) fn new(plan: FaultPlan) -> FaultState {
-        FaultState { plan, seq: 0, burst_left: 0 }
+        FaultState { plan, seq: 0, burst_left: 0, stats: FaultStats::default() }
+    }
+
+    /// This directed link's counters since its plan was installed (or since
+    /// the last [`FaultState::reset_stats`]).
+    pub(crate) fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    pub(crate) fn reset_stats(&mut self) {
+        self.stats = FaultStats::default();
     }
 
     /// Decide the fate of the next frame on this directed link. `now_s` is
     /// the virtual-clock reading at the frame's arrival.
-    pub(crate) fn verdict(&mut self, from: u32, to: u32, now_s: f64) -> Verdict {
+    pub(crate) fn verdict(&mut self, from: u32, to: u32, now_s: f64) -> FrameFate {
+        let fate = self.decide(from, to, now_s);
+        self.stats.account(fate);
+        fate
+    }
+
+    fn decide(&mut self, from: u32, to: u32, now_s: f64) -> FrameFate {
         if self.plan.down.iter().any(|(a, b)| now_s >= *a && now_s < *b) {
-            return Verdict::Dropped;
+            return FrameFate::DroppedDown;
         }
         let n = self.seq;
         self.seq += 1;
         if self.burst_left > 0 {
             self.burst_left -= 1;
-            return Verdict::Dropped;
+            return FrameFate::DroppedBurst;
         }
         let link = ((from as u64) << 32) | to as u64;
         let h = splitmix64(self.plan.seed ^ splitmix64(link) ^ splitmix64(n));
         if unit(h) < self.plan.drop_p {
             self.burst_left = self.plan.burst_len;
-            return Verdict::Dropped;
+            return FrameFate::DroppedRandom;
         }
         if unit(splitmix64(h)) < self.plan.dup_p {
-            return Verdict::Duplicated;
+            return FrameFate::Duplicated;
         }
-        Verdict::Delivered
+        FrameFate::Delivered
     }
 }

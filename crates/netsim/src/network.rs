@@ -1,6 +1,6 @@
 //! Host registry and delay injection.
 
-use crate::fault::FaultState;
+use crate::fault::{FaultState, FrameFate};
 use crate::{FaultPlan, FaultStats, Link, LinkPreset, TimeScale, Verdict, VirtualClock};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -77,6 +77,8 @@ pub struct Network {
     dropped: Arc<AtomicU64>,
     duplicated: Arc<AtomicU64>,
     delivered: Arc<AtomicU64>,
+    burst_dropped: Arc<AtomicU64>,
+    down_dropped: Arc<AtomicU64>,
 }
 
 impl Default for Network {
@@ -103,6 +105,8 @@ impl Network {
             dropped: Arc::new(AtomicU64::new(0)),
             duplicated: Arc::new(AtomicU64::new(0)),
             delivered: Arc::new(AtomicU64::new(0)),
+            burst_dropped: Arc::new(AtomicU64::new(0)),
+            down_dropped: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -145,10 +149,7 @@ impl Network {
     pub fn add_host_with_speed(&self, name: &str, speed: f64) -> HostId {
         assert!(speed.is_finite() && speed > 0.0, "host speed must be positive");
         let mut inner = self.inner.write();
-        assert!(
-            !inner.by_name.contains_key(name),
-            "host {name:?} already registered"
-        );
+        assert!(!inner.by_name.contains_key(name), "host {name:?} already registered");
         let id = HostId(inner.hosts.len() as u32);
         inner.hosts.push(Host {
             id,
@@ -248,12 +249,16 @@ impl Network {
     /// resets all per-link schedule state and the fault counters, so two
     /// runs installing the same plan see the same schedule.
     pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
-        let mut f = self.faults.lock();
-        f.global = plan;
-        f.states.clear();
+        {
+            let mut f = self.faults.lock();
+            f.global = plan;
+            f.states.clear();
+            self.faults_on.store(
+                f.global.is_some() || f.per_link.values().any(Option::is_some),
+                Ordering::Release,
+            );
+        }
         self.reset_fault_stats();
-        self.faults_on
-            .store(f.global.is_some() || f.per_link.values().any(Option::is_some), Ordering::Release);
     }
 
     /// Install (or clear) a fault plan on the (bidirectional) link between
@@ -265,8 +270,10 @@ impl Network {
         f.per_link.insert((b, a), plan);
         f.states.remove(&(a, b));
         f.states.remove(&(b, a));
-        self.faults_on
-            .store(f.global.is_some() || f.per_link.values().any(Option::is_some), Ordering::Release);
+        self.faults_on.store(
+            f.global.is_some() || f.per_link.values().any(Option::is_some),
+            Ordering::Release,
+        );
     }
 
     /// Counters of fault-layer activity since the last plan install.
@@ -275,14 +282,37 @@ impl Network {
             delivered: self.delivered.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
             duplicated: self.duplicated.load(Ordering::Relaxed),
+            burst_dropped: self.burst_dropped.load(Ordering::Relaxed),
+            down_dropped: self.down_dropped.load(Ordering::Relaxed),
         }
     }
 
-    /// Zero the fault counters (schedule state is kept).
+    /// Counters for one *directed* link since its plan was installed. Zero
+    /// until a frame has been offered to that link under a plan.
+    pub fn link_fault_stats(&self, from: HostId, to: HostId) -> FaultStats {
+        self.faults.lock().states.get(&(from, to)).map(FaultState::stats).unwrap_or_default()
+    }
+
+    /// Per-directed-link counters for every link that has seen fault-layer
+    /// traffic, sorted by `(from, to)` so the snapshot is deterministic.
+    pub fn per_link_fault_stats(&self) -> Vec<((HostId, HostId), FaultStats)> {
+        let f = self.faults.lock();
+        let mut out: Vec<_> = f.states.iter().map(|(k, s)| (*k, s.stats())).collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Zero the fault counters, network-wide and per-link (schedule state is
+    /// kept).
     pub fn reset_fault_stats(&self) {
         self.delivered.store(0, Ordering::Relaxed);
         self.dropped.store(0, Ordering::Relaxed);
         self.duplicated.store(0, Ordering::Relaxed);
+        self.burst_dropped.store(0, Ordering::Relaxed);
+        self.down_dropped.store(0, Ordering::Relaxed);
+        for state in self.faults.lock().states.values_mut() {
+            state.reset_stats();
+        }
     }
 
     /// Charge a transfer and decide its fate under the installed fault
@@ -296,9 +326,12 @@ impl Network {
     pub fn deliver(&self, from: HostId, to: HostId, bytes: usize) -> Verdict {
         self.charge(from, to, bytes);
         if !self.faults_on.load(Ordering::Acquire) {
+            if pardis_obs::enabled() {
+                self.trace_transit(from, to, bytes, "delivered");
+            }
             return Verdict::Delivered;
         }
-        let verdict = {
+        let fate = {
             let mut f = self.faults.lock();
             let plan = match f.per_link.get(&(from, to)) {
                 Some(per_link) => per_link.clone(),
@@ -306,7 +339,7 @@ impl Network {
                 None => None,
             };
             match plan {
-                None => Verdict::Delivered,
+                None => FrameFate::Delivered,
                 Some(plan) => {
                     let now = self.clock.now();
                     f.states
@@ -316,16 +349,42 @@ impl Network {
                 }
             }
         };
-        match verdict {
-            Verdict::Delivered => self.delivered.fetch_add(1, Ordering::Relaxed),
-            Verdict::Dropped => self.dropped.fetch_add(1, Ordering::Relaxed),
-            Verdict::Duplicated => {
+        match fate {
+            FrameFate::Delivered => self.delivered.fetch_add(1, Ordering::Relaxed),
+            FrameFate::DroppedRandom => self.dropped.fetch_add(1, Ordering::Relaxed),
+            FrameFate::DroppedBurst => {
+                self.burst_dropped.fetch_add(1, Ordering::Relaxed);
+                self.dropped.fetch_add(1, Ordering::Relaxed)
+            }
+            FrameFate::DroppedDown => {
+                self.down_dropped.fetch_add(1, Ordering::Relaxed);
+                self.dropped.fetch_add(1, Ordering::Relaxed)
+            }
+            FrameFate::Duplicated => {
                 // The duplicate copy also traverses the wire.
                 self.charge(from, to, bytes);
                 self.duplicated.fetch_add(1, Ordering::Relaxed)
             }
         };
-        verdict
+        if pardis_obs::enabled() {
+            self.trace_transit(from, to, bytes, fate.label());
+        }
+        fate.verdict()
+    }
+
+    /// Record a `net.transit` trace instant (tracing already known enabled).
+    fn trace_transit(&self, from: HostId, to: HostId, bytes: usize, fate: &'static str) {
+        pardis_obs::instant(
+            "net",
+            "net.transit",
+            None,
+            vec![
+                ("from", pardis_obs::ArgVal::U64(from.0 as u64)),
+                ("to", pardis_obs::ArgVal::U64(to.0 as u64)),
+                ("bytes", pardis_obs::ArgVal::U64(bytes as u64)),
+                ("fate", pardis_obs::ArgVal::Str(fate.into())),
+            ],
+        );
     }
 
     /// Charge a transfer in virtual time only (no sleeping).

@@ -256,8 +256,7 @@ fn fault_schedule_is_deterministic() {
         let b = net.add_host("b");
         net.connect(a, b, Link::free());
         net.set_fault_plan(Some(FaultPlan::new(7).with_drop(0.3).with_dup(0.1)));
-        let verdicts: Vec<Verdict> =
-            (0..500).map(|i| net.deliver(a, b, 64 + (i % 7))).collect();
+        let verdicts: Vec<Verdict> = (0..500).map(|i| net.deliver(a, b, 64 + (i % 7))).collect();
         (verdicts, net.fault_stats())
     };
     let (v1, s1) = run();
@@ -313,11 +312,16 @@ fn link_down_window_drops_everything_inside_it() {
     net.set_fault_plan(Some(FaultPlan::new(0).with_down_window(2.5, 5.5)));
     let verdicts: Vec<Verdict> = (0..8).map(|_| net.deliver(a, b, 0)).collect();
     // Completion times 1..=8; those in [2.5, 5.5) — seconds 3, 4, 5 — die.
-    let expected: Vec<Verdict> = (1..=8)
-        .map(|s| {
-            if (2.5..5.5).contains(&(s as f64)) { Verdict::Dropped } else { Verdict::Delivered }
-        })
-        .collect();
+    let expected: Vec<Verdict> =
+        (1..=8)
+            .map(|s| {
+                if (2.5..5.5).contains(&(s as f64)) {
+                    Verdict::Dropped
+                } else {
+                    Verdict::Delivered
+                }
+            })
+            .collect();
     assert_eq!(verdicts, expected);
 }
 
@@ -332,6 +336,57 @@ fn duplication_charges_and_counts_twice() {
     assert_eq!(net.fault_stats().duplicated, 1);
     // Both copies traversed the wire: two latencies on the clock.
     assert!((net.clock().now() - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn fault_stats_break_down_loss_causes() {
+    let net = Network::new(TimeScale::off());
+    let a = net.add_host("a");
+    let b = net.add_host("b");
+    // 1 s per frame so frame k completes at virtual second k+1.
+    net.connect(a, b, Link::new(1.0, 1.0e9, 0.0));
+    // Down for seconds [2.5, 4.5): frames completing at 3 and 4 die there.
+    net.set_fault_plan(Some(
+        FaultPlan::new(5).with_drop(0.3).with_burst(2).with_down_window(2.5, 4.5),
+    ));
+    for _ in 0..500 {
+        net.deliver(a, b, 0);
+    }
+    let s = net.fault_stats();
+    assert_eq!(s.down_dropped, 2, "stats {s:?}");
+    assert!(s.burst_dropped > 0, "burst tail never hit: {s:?}");
+    assert!(s.random_dropped() > 0, "no random drops: {s:?}");
+    assert_eq!(s.dropped, s.random_dropped() + s.burst_dropped + s.down_dropped);
+    assert_eq!(s.delivered + s.dropped + s.duplicated, 500);
+}
+
+#[test]
+fn per_link_stats_snapshot_is_directed_and_sorted() {
+    let net = Network::new(TimeScale::off());
+    let a = net.add_host("a");
+    let b = net.add_host("b");
+    let c = net.add_host("c");
+    net.set_default_link(Link::free());
+    net.set_fault_plan(Some(FaultPlan::new(9).with_drop(0.5)));
+    for _ in 0..200 {
+        net.deliver(a, b, 8);
+        net.deliver(b, a, 8);
+    }
+    net.deliver(a, c, 8);
+    let per_link = net.per_link_fault_stats();
+    let keys: Vec<_> = per_link.iter().map(|(k, _)| *k).collect();
+    assert_eq!(keys, vec![(a, b), (a, c), (b, a)], "sorted directed keys");
+    // Directed totals add up to the network-wide counters.
+    let total: u64 = per_link.iter().map(|(_, s)| s.delivered + s.dropped + s.duplicated).sum();
+    assert_eq!(total, 401);
+    let ab = net.link_fault_stats(a, b);
+    assert_eq!(ab.delivered + ab.dropped + ab.duplicated, 200);
+    // An untouched direction reports zeros.
+    assert_eq!(net.link_fault_stats(c, a), FaultStats::default());
+    // Resetting zeroes per-link counters too.
+    net.reset_fault_stats();
+    assert_eq!(net.link_fault_stats(a, b), FaultStats::default());
+    assert_eq!(net.fault_stats(), FaultStats::default());
 }
 
 #[test]

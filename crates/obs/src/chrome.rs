@@ -1,0 +1,361 @@
+//! Exporters: Chrome trace-event JSON and a human summary table.
+//!
+//! The JSON is hand-rolled (the build carries no serialization dependency)
+//! and fully deterministic: threads are pre-sorted by [`crate::drain`],
+//! metrics arrive in name order, and every map is emitted in a fixed key
+//! order — so byte-identical inputs yield byte-identical output.
+
+use crate::metrics::MetricSnapshot;
+use crate::{ArgVal, Event, Phase, ThreadTrace};
+use std::fmt::Write as _;
+
+fn esc(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    esc(out, s);
+    out.push('"');
+}
+
+fn json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn json_arg(out: &mut String, v: &ArgVal) {
+    match v {
+        ArgVal::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        ArgVal::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        ArgVal::F64(f) => json_f64(out, *f),
+        ArgVal::Str(s) => json_str(out, s),
+    }
+}
+
+fn push_event(out: &mut String, ev: &Event, tid: usize) {
+    out.push_str("{\"name\":");
+    json_str(out, &ev.name);
+    out.push_str(",\"cat\":");
+    json_str(out, ev.cat);
+    let ph = match ev.phase {
+        Phase::Begin => "B",
+        Phase::End => "E",
+        Phase::Instant => "i",
+    };
+    let _ = write!(out, ",\"ph\":\"{ph}\",\"ts\":{},\"pid\":1,\"tid\":{tid}", ev.ts_us);
+    if ev.phase == Phase::Instant {
+        out.push_str(",\"s\":\"t\"");
+    }
+    if ev.key.is_some() || !ev.args.is_empty() {
+        out.push_str(",\"args\":{");
+        let mut first = true;
+        if let Some((binding, req)) = ev.key {
+            let _ = write!(out, "\"binding\":{binding},\"req\":{req}");
+            first = false;
+        }
+        for (k, v) in &ev.args {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            json_str(out, k);
+            out.push(':');
+            json_arg(out, v);
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Render drained thread traces plus a metrics snapshot as a Chrome
+/// trace-event JSON object (loadable in `chrome://tracing` / Perfetto).
+///
+/// Layout: one fake process (`pid` 1); each [`ThreadTrace`] becomes a `tid`
+/// (1-based, in the given order) introduced by a `thread_name` metadata
+/// event. Counters are emitted as `"C"` counter samples on `tid` 0;
+/// histograms go into `otherData` (the trace format has no native
+/// histogram event).
+pub fn chrome_trace_json(threads: &[ThreadTrace], metrics: &[(String, MetricSnapshot)]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+    };
+    for (i, t) in threads.iter().enumerate() {
+        let tid = i + 1;
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":"
+        );
+        json_str(&mut out, &t.label);
+        out.push_str("}}");
+    }
+    for (i, t) in threads.iter().enumerate() {
+        let tid = i + 1;
+        for ev in &t.events {
+            sep(&mut out);
+            push_event(&mut out, ev, tid);
+        }
+    }
+    for (name, snap) in metrics {
+        if let MetricSnapshot::Counter(v) = snap {
+            sep(&mut out);
+            out.push_str("{\"name\":");
+            json_str(&mut out, name);
+            let _ = write!(
+                out,
+                ",\"ph\":\"C\",\"ts\":0,\"pid\":1,\"tid\":0,\"args\":{{\"value\":{v}}}}}"
+            );
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"histograms\":{");
+    let mut first_h = true;
+    for (name, snap) in metrics {
+        if let MetricSnapshot::Histogram { count, sum, buckets } = snap {
+            if !first_h {
+                out.push(',');
+            }
+            first_h = false;
+            json_str(&mut out, name);
+            let _ = write!(out, ":{{\"count\":{count},\"sum\":{sum},\"buckets\":[");
+            for (i, (le, n)) in buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{{\"le\":{le},\"count\":{n}}}");
+            }
+            out.push_str("]}");
+        }
+    }
+    out.push_str("}}}");
+    out
+}
+
+/// Render a fixed-width human summary: per-thread event counts and every
+/// metric's value. Deterministic for deterministic input.
+pub fn summary_table(threads: &[ThreadTrace], metrics: &[(String, MetricSnapshot)]) -> String {
+    let mut out = String::new();
+    out.push_str("== threads ==\n");
+    let wide = threads.iter().map(|t| t.label.len()).max().unwrap_or(0).max("thread".len());
+    let _ = writeln!(out, "{:<wide$}  {:>8}  {:>8}", "thread", "events", "dropped");
+    for t in threads {
+        let _ = writeln!(out, "{:<wide$}  {:>8}  {:>8}", t.label, t.events.len(), t.dropped);
+    }
+    out.push_str("== metrics ==\n");
+    let mwide = metrics.iter().map(|(n, _)| n.len()).max().unwrap_or(0).max("metric".len());
+    for (name, snap) in metrics {
+        match snap {
+            MetricSnapshot::Counter(v) => {
+                let _ = writeln!(out, "{name:<mwide$}  {v}");
+            }
+            MetricSnapshot::Histogram { count, sum, .. } => {
+                let mean = if *count > 0 { *sum as f64 / *count as f64 } else { 0.0 };
+                let _ = writeln!(out, "{name:<mwide$}  count={count} sum={sum} mean={mean:.1}");
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSON validation
+// ---------------------------------------------------------------------------
+
+struct P<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> P<'a> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn lit(&mut self, s: &[u8]) -> bool {
+        if self.b[self.i..].starts_with(s) {
+            self.i += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> bool {
+        if !self.eat(b'"') {
+            return false;
+        }
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'"' => {
+                    self.i += 1;
+                    return true;
+                }
+                b'\\' => {
+                    self.i += 1;
+                    if self.i >= self.b.len() {
+                        return false;
+                    }
+                    match self.b[self.i] {
+                        b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => self.i += 1,
+                        b'u' => {
+                            if self.b.len() < self.i + 5
+                                || !self.b[self.i + 1..self.i + 5].iter().all(u8::is_ascii_hexdigit)
+                            {
+                                return false;
+                            }
+                            self.i += 5;
+                        }
+                        _ => return false,
+                    }
+                }
+                0x00..=0x1f => return false,
+                _ => self.i += 1,
+            }
+        }
+        false
+    }
+
+    fn number(&mut self) -> bool {
+        let start = self.i;
+        let _ = self.eat(b'-');
+        let first_digit = self.i;
+        let mut digits = 0;
+        while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+            self.i += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            self.i = start;
+            return false;
+        }
+        if digits > 1 && self.b[first_digit] == b'0' {
+            return false; // leading zeros are not JSON
+        }
+        if self.eat(b'.') {
+            let mut frac = 0;
+            while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+                self.i += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return false;
+            }
+        }
+        if self.i < self.b.len() && matches!(self.b[self.i], b'e' | b'E') {
+            self.i += 1;
+            if self.i < self.b.len() && matches!(self.b[self.i], b'+' | b'-') {
+                self.i += 1;
+            }
+            let mut exp = 0;
+            while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+                self.i += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn value(&mut self) -> bool {
+        self.ws();
+        if self.i >= self.b.len() {
+            return false;
+        }
+        match self.b[self.i] {
+            b'{' => {
+                self.i += 1;
+                self.ws();
+                if self.eat(b'}') {
+                    return true;
+                }
+                loop {
+                    self.ws();
+                    if !self.string() {
+                        return false;
+                    }
+                    self.ws();
+                    if !self.eat(b':') || !self.value() {
+                        return false;
+                    }
+                    self.ws();
+                    if self.eat(b',') {
+                        continue;
+                    }
+                    return self.eat(b'}');
+                }
+            }
+            b'[' => {
+                self.i += 1;
+                self.ws();
+                if self.eat(b']') {
+                    return true;
+                }
+                loop {
+                    if !self.value() {
+                        return false;
+                    }
+                    self.ws();
+                    if self.eat(b',') {
+                        continue;
+                    }
+                    return self.eat(b']');
+                }
+            }
+            b'"' => self.string(),
+            b't' => self.lit(b"true"),
+            b'f' => self.lit(b"false"),
+            b'n' => self.lit(b"null"),
+            _ => self.number(),
+        }
+    }
+}
+
+/// Strict JSON well-formedness check (full grammar, no extensions). Used by
+/// tests to assert exported traces are loadable without shipping a JSON
+/// dependency.
+pub fn is_valid_json(s: &str) -> bool {
+    let mut p = P { b: s.as_bytes(), i: 0 };
+    if !p.value() {
+        return false;
+    }
+    p.ws();
+    p.i == p.b.len()
+}

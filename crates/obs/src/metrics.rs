@@ -1,0 +1,167 @@
+//! The metrics registry: named counters and histograms.
+//!
+//! Registration is get-or-create by name; handles are cheap clones around
+//! shared atomics, so hot paths can cache them. Snapshots iterate in sorted
+//! name order, which keeps every export deterministic.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of power-of-two histogram buckets (covers the full `u64` range).
+pub const HIST_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct HistInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `buckets[i]` counts observations with `floor(log2(v)) == i - 1`
+    /// (bucket 0 holds zeros).
+    buckets: Vec<AtomicU64>,
+}
+
+/// A histogram of `u64` observations in power-of-two buckets — enough
+/// resolution for latency/backoff distributions without configuration.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let inner = &self.0;
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        let idx = if v == 0 { 0 } else { 64 - (v.leading_zeros() as usize) };
+        inner.buckets[idx.min(HIST_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Histogram(Histogram),
+}
+
+static REGISTRY: Mutex<BTreeMap<String, Metric>> = Mutex::new(BTreeMap::new());
+
+/// Get or create the counter named `name`.
+///
+/// # Panics
+/// Panics if `name` is already registered as a histogram.
+pub fn counter(name: &str) -> Counter {
+    let mut reg = REGISTRY.lock();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+    {
+        Metric::Counter(c) => c.clone(),
+        Metric::Histogram(_) => panic!("metric {name:?} is a histogram, not a counter"),
+    }
+}
+
+/// Set the counter named `name` to an absolute value — the pull-model entry
+/// point used to mirror externally-accumulated statistics (fault counters,
+/// ORB traffic) into the registry at export time.
+pub fn set_counter(name: &str, value: u64) {
+    counter(name).0.store(value, Ordering::Relaxed);
+}
+
+/// Get or create the histogram named `name`.
+///
+/// # Panics
+/// Panics if `name` is already registered as a counter.
+pub fn histogram(name: &str) -> Histogram {
+    let mut reg = REGISTRY.lock();
+    match reg.entry(name.to_string()).or_insert_with(|| {
+        Metric::Histogram(Histogram(Arc::new(HistInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        })))
+    }) {
+        Metric::Histogram(h) => h.clone(),
+        Metric::Counter(_) => panic!("metric {name:?} is a counter, not a histogram"),
+    }
+}
+
+/// A point-in-time reading of one metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricSnapshot {
+    /// Counter value.
+    Counter(u64),
+    /// Histogram: observation count, sum, and the non-empty `(upper_bound,
+    /// count)` buckets.
+    Histogram {
+        /// Number of observations.
+        count: u64,
+        /// Sum of observations.
+        sum: u64,
+        /// Non-empty buckets as `(inclusive upper bound, count)`.
+        buckets: Vec<(u64, u64)>,
+    },
+}
+
+/// Snapshot every registered metric, sorted by name.
+pub fn metrics_snapshot() -> Vec<(String, MetricSnapshot)> {
+    let reg = REGISTRY.lock();
+    reg.iter()
+        .map(|(name, metric)| {
+            let snap = match metric {
+                Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                Metric::Histogram(h) => MetricSnapshot::Histogram {
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets: h
+                        .0
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, b)| {
+                            let n = b.load(Ordering::Relaxed);
+                            (n > 0).then(|| {
+                                let le = if i == 0 { 0 } else { (1u128 << i) - 1 };
+                                (le.min(u64::MAX as u128) as u64, n)
+                            })
+                        })
+                        .collect(),
+                },
+            };
+            (name.clone(), snap)
+        })
+        .collect()
+}
+
+/// Drop every registered metric.
+pub fn metrics_reset() {
+    REGISTRY.lock().clear();
+}

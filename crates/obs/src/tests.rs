@@ -1,0 +1,204 @@
+use super::*;
+use parking_lot::Mutex as PlMutex;
+
+/// The crate's state (gate, rings, metrics, clock) is process-global, so
+/// tests that exercise it must not interleave.
+static SERIAL: PlMutex<()> = PlMutex::new(());
+
+fn with_clean_state<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = SERIAL.lock();
+    reset();
+    let r = f();
+    reset();
+    r
+}
+
+#[test]
+fn disabled_records_nothing() {
+    with_clean_state(|| {
+        instant("test", "never", None, vec![]);
+        span_begin("test", "never", None, vec![]);
+        span_end("test", "never", None, vec![]);
+        enable();
+        let threads = drain();
+        assert!(threads.iter().all(|t| t.events.is_empty()));
+    });
+}
+
+#[test]
+fn events_round_trip_in_order() {
+    with_clean_state(|| {
+        enable();
+        set_thread_label("unit");
+        instant("test", "a", Some((7, 1)), vec![("n", 3u64.into())]);
+        span_begin("test", "b", None, vec![]);
+        span_end("test", "b", None, vec![]);
+        let threads = drain();
+        let t = threads.iter().find(|t| t.label == "unit").expect("labelled ring");
+        let shape: Vec<(Phase, &str)> =
+            t.events.iter().map(|e| (e.phase, e.name.as_ref())).collect();
+        assert_eq!(shape, vec![(Phase::Instant, "a"), (Phase::Begin, "b"), (Phase::End, "b")]);
+        assert_eq!(t.events[0].key, Some((7, 1)));
+        // Drain removed them.
+        assert!(drain().iter().all(|t| t.events.is_empty()));
+    });
+}
+
+#[test]
+fn ring_drops_oldest_when_full() {
+    with_clean_state(|| {
+        enable();
+        set_thread_label("full");
+        for i in 0..(RING_CAP as u64 + 10) {
+            instant("test", "tick", None, vec![("i", i.into())]);
+        }
+        let threads = drain();
+        let t = threads.iter().find(|t| t.label == "full").unwrap();
+        assert_eq!(t.events.len(), RING_CAP);
+        assert_eq!(t.dropped, 10);
+        // The *oldest* events were discarded: the first survivor is i == 10.
+        assert_eq!(t.events[0].args[0].1, ArgVal::U64(10));
+    });
+}
+
+#[test]
+fn span_guard_balances_across_disable() {
+    with_clean_state(|| {
+        enable();
+        set_thread_label("guard");
+        {
+            let _s = Span::open("test", "work", Some((1, 2)), vec![]);
+        }
+        // Opened while disabled: must emit nothing, even though tracing is
+        // re-enabled before the guard drops.
+        disable();
+        let s = Span::open("test", "ghost", None, vec![]);
+        enable();
+        drop(s);
+        let threads = drain();
+        let t = threads.iter().find(|t| t.label == "guard").unwrap();
+        let names: Vec<&str> = t.events.iter().map(|e| e.name.as_ref()).collect();
+        assert_eq!(names, vec!["work", "work"]);
+        assert_eq!(t.events[0].phase, Phase::Begin);
+        assert_eq!(t.events[1].phase, Phase::End);
+    });
+}
+
+#[test]
+fn clock_injection_and_default_zero() {
+    with_clean_state(|| {
+        enable();
+        set_thread_label("clock");
+        instant("test", "untimed", None, vec![]);
+        set_clock_micros(Arc::new(|| 42));
+        instant("test", "timed", None, vec![]);
+        let threads = drain();
+        let t = threads.iter().find(|t| t.label == "clock").unwrap();
+        assert_eq!(t.events[0].ts_us, 0);
+        assert_eq!(t.events[1].ts_us, 42);
+    });
+}
+
+#[test]
+fn metrics_counter_and_histogram() {
+    with_clean_state(|| {
+        let c = counter("test.count");
+        c.inc();
+        c.add(4);
+        counter("test.count").inc(); // same underlying counter
+        let h = histogram("test.hist");
+        h.observe(0);
+        h.observe(3);
+        h.observe(1000);
+        set_counter("test.gauge", 99);
+        let snap = metrics_snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["test.count", "test.gauge", "test.hist"]); // sorted
+        assert_eq!(snap[0].1, MetricSnapshot::Counter(6));
+        assert_eq!(snap[1].1, MetricSnapshot::Counter(99));
+        match &snap[2].1 {
+            MetricSnapshot::Histogram { count, sum, buckets } => {
+                assert_eq!(*count, 3);
+                assert_eq!(*sum, 1003);
+                assert_eq!(buckets.as_slice(), &[(0, 1), (3, 1), (1023, 1)]);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn export_is_valid_and_deterministic() {
+    with_clean_state(|| {
+        let run = || {
+            reset();
+            enable();
+            set_thread_label("exporter");
+            set_clock_micros(Arc::new(|| 5));
+            span_begin("test", "op", Some((1, 1)), vec![("len", 16u64.into())]);
+            instant("test", "odd \"name\"\n", None, vec![("s", "tab\there".into())]);
+            span_end("test", "op", Some((1, 1)), vec![]);
+            counter("x.count").add(2);
+            histogram("x.hist").observe(7);
+            chrome_trace_json(&drain(), &metrics_snapshot())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same inputs must export byte-identical JSON");
+        assert!(is_valid_json(&a), "exported trace must be valid JSON: {a}");
+        assert!(a.contains("\"ph\":\"B\""));
+        assert!(a.contains("\"ph\":\"E\""));
+        assert!(a.contains("\"ph\":\"i\""));
+        assert!(a.contains("\"ph\":\"M\""));
+        assert!(a.contains("\"ph\":\"C\""));
+        assert!(a.contains("\"binding\":1"));
+        assert!(a.contains("x.hist"));
+    });
+}
+
+#[test]
+fn summary_table_lists_threads_and_metrics() {
+    with_clean_state(|| {
+        enable();
+        set_thread_label("summary");
+        instant("test", "e", None, vec![]);
+        counter("s.count").inc();
+        histogram("s.hist").observe(10);
+        let table = summary_table(&drain(), &metrics_snapshot());
+        assert!(table.contains("summary"));
+        assert!(table.contains("s.count"));
+        assert!(table.contains("count=1 sum=10 mean=10.0"));
+    });
+}
+
+#[test]
+fn json_validator_accepts_and_rejects() {
+    assert!(is_valid_json("{}"));
+    assert!(is_valid_json("[1,2.5,-3e2,\"a\\n\",true,false,null,{\"k\":[]}]"));
+    assert!(is_valid_json("  {\"a\": {\"b\": [1, 2]}}  "));
+    assert!(!is_valid_json(""));
+    assert!(!is_valid_json("{"));
+    assert!(!is_valid_json("[1,]"));
+    assert!(!is_valid_json("{\"a\":}"));
+    assert!(!is_valid_json("{'a':1}"));
+    assert!(!is_valid_json("01"));
+    assert!(!is_valid_json("1 2"));
+    assert!(!is_valid_json("\"unterminated"));
+    assert!(!is_valid_json("nul"));
+}
+
+#[test]
+fn reset_invalidates_old_rings() {
+    with_clean_state(|| {
+        enable();
+        set_thread_label("gen");
+        instant("test", "before", None, vec![]);
+        reset();
+        enable();
+        instant("test", "after", None, vec![]);
+        let threads = drain();
+        let t = threads.iter().find(|t| t.label == "gen").unwrap();
+        let names: Vec<&str> = t.events.iter().map(|e| e.name.as_ref()).collect();
+        assert_eq!(names, vec!["after"], "reset must discard pre-reset events");
+    });
+}

@@ -24,10 +24,7 @@ impl Layout2D {
     pub fn new(nx: usize, ny: usize, nthreads: usize) -> Self {
         assert!(nx > 0 && ny > 0, "mesh must be non-degenerate");
         assert!(nthreads > 0, "layout over zero threads");
-        assert!(
-            nthreads <= ny,
-            "cannot give {nthreads} threads at least one row of {ny}"
-        );
+        assert!(nthreads <= ny, "cannot give {nthreads} threads at least one row of {ny}");
         Layout2D { nx, ny, nthreads }
     }
 

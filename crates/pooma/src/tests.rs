@@ -74,13 +74,7 @@ fn stencil_preserves_total_mass_in_interior_regime() {
         let t = rank.rank();
         let rts = MpiRts::new(rank);
         let l = Layout2D::new(n, n, 4);
-        let mut f = Field2D::from_fn(l, t, |i, j| {
-            if i == n / 2 && j == n / 2 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let mut f = Field2D::from_fn(l, t, |i, j| if i == n / 2 && j == n / 2 { 1.0 } else { 0.0 });
         for _ in 0..2 {
             f.stencil9(0.05, &rts);
         }

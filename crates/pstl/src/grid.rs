@@ -130,8 +130,5 @@ fn rowvec(row: &[f64]) -> Vec<u8> {
 }
 
 fn unrow(bytes: &[u8]) -> Vec<f64> {
-    bytes
-        .chunks_exact(8)
-        .map(|c| f64::from_be_bytes(c.try_into().expect("8-byte chunk")))
-        .collect()
+    bytes.chunks_exact(8).map(|c| f64::from_be_bytes(c.try_into().expect("8-byte chunk"))).collect()
 }

@@ -118,8 +118,7 @@ impl DistVector<f64> {
     pub fn par_dot(&self, other: &DistVector<f64>, rts: &dyn Rts) -> f64 {
         assert_eq!(self.global_len, other.global_len, "dot of different lengths");
         assert_eq!(self.thread, other.thread, "dot across different threads");
-        let local: f64 =
-            self.local.iter().zip(other.local.iter()).map(|(a, b)| a * b).sum();
+        let local: f64 = self.local.iter().zip(other.local.iter()).map(|(a, b)| a * b).sum();
         if self.nthreads == 1 {
             local
         } else {

@@ -130,8 +130,8 @@ fn gather_collects_in_rank_order() {
 #[test]
 fn scatter_routes_per_rank() {
     let out = World::run(3, |rank| {
-        let parts = (rank.rank() == 0)
-            .then(|| (0..3).map(|i| Bytes::from(vec![i as u8 * 10])).collect());
+        let parts =
+            (rank.rank() == 0).then(|| (0..3).map(|i| Bytes::from(vec![i as u8 * 10])).collect());
         rank.scatter(0, parts)
     });
     for (i, p) in out.iter().enumerate() {

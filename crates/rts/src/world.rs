@@ -102,14 +102,9 @@ impl World {
         let (_world, ranks) = World::new(size);
         let f = &f;
         std::thread::scope(|scope| {
-            let handles: Vec<_> = ranks
-                .into_iter()
-                .map(|rank| scope.spawn(move || f(rank)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("computing thread panicked"))
-                .collect()
+            let handles: Vec<_> =
+                ranks.into_iter().map(|rank| scope.spawn(move || f(rank))).collect();
+            handles.into_iter().map(|h| h.join().expect("computing thread panicked")).collect()
         })
     }
 
@@ -149,6 +144,10 @@ impl Rank {
     /// Panics if `to` is out of range.
     pub fn send(&self, to: usize, tag: u64, data: Bytes) {
         assert!(to < self.world.size, "send to rank {to} out of range");
+        if pardis_obs::enabled() {
+            pardis_obs::counter("rts.sends").inc();
+            pardis_obs::counter("rts.bytes").add(data.len() as u64);
+        }
         self.world.mailboxes[to].push(Msg::new(self.rank, tag, data));
     }
 
@@ -172,11 +171,7 @@ impl Rank {
 
     /// Is a matching message waiting? (MPI_Probe without dequeuing.)
     pub fn probe(&self, from: Option<usize>, tag: u64) -> bool {
-        self.world.mailboxes[self.rank]
-            .queue
-            .lock()
-            .iter()
-            .any(|m| m.matches(from, tag))
+        self.world.mailboxes[self.rank].queue.lock().iter().any(|m| m.matches(from, tag))
     }
 
     /// Number of queued (unreceived) messages, any tag.

@@ -48,19 +48,20 @@ fn main() {
     let db = client.spmd_bind("dna_db").expect("bind dna_db");
     let reply = db.call("search").arg(&"ACGT".to_string()).invoke().expect("search");
     let status = reply
-        .any(0, &TypeCode::Enum {
-            name: "status".into(),
-            variants: std::sync::Arc::new(vec!["done".into(), "working".into()]),
-        })
+        .any(
+            0,
+            &TypeCode::Enum {
+                name: "status".into(),
+                variants: std::sync::Arc::new(vec!["done".into(), "working".into()]),
+            },
+        )
         .expect("status");
     println!("search returned {status}");
 
     // Type-check a dynamic call against the repository, then make it.
     let arg_tc = TypeCode::String;
-    let sig = orb
-        .interfaces()
-        .check_call("list_server", "match", &[arg_tc])
-        .expect("signature check");
+    let sig =
+        orb.interfaces().check_call("list_server", "match", &[arg_tc]).expect("signature check");
     let out_tc = sig.params.iter().find(|p| p.name == "l").expect("out param `l`").tc.clone();
 
     let exact = client.bind("exact").expect("bind exact list");
@@ -80,10 +81,7 @@ fn main() {
     }
 
     // The repository also rejects bad calls before they touch the wire.
-    let err = orb
-        .interfaces()
-        .check_call("list_server", "match", &[TypeCode::Double])
-        .unwrap_err();
+    let err = orb.interfaces().check_call("list_server", "match", &[TypeCode::Double]).unwrap_err();
     println!("repository rejected a mistyped call: {err}");
 
     server.shutdown();

@@ -41,9 +41,8 @@ fn run_client(orb: &Orb, host: pardis::netsim::HostId, a: &[Vec<f64>], b: &[f64]
         let start = Instant::now();
         let tolerance = 0.000_001;
         // Non-blocking request to the (remote) iterative solver...
-        let x1 = i_solver
-            .solve_nb(&tolerance, &a_ds, &b_ds, Distribution::Block)
-            .expect("solve_nb");
+        let x1 =
+            i_solver.solve_nb(&tolerance, &a_ds, &b_ds, Distribution::Block).expect("solve_nb");
         // ...own computation proceeds: blocking solve on the direct solver.
         let (x2_real,) = d_solver.solve(&a_ds, &b_ds, Distribution::Block).expect("solve");
         // Reading the future blocks until the result is delivered.

@@ -49,11 +49,7 @@ fn main() {
         let (x_ref,) = d_solver.solve(&a_ds, &b_ds, Distribution::Block).expect("direct");
         let sweep: Vec<_> = tolerances
             .iter()
-            .map(|tol| {
-                i_solver
-                    .solve_nb(tol, &a_ds, &b_ds, Distribution::Block)
-                    .expect("solve_nb")
-            })
+            .map(|tol| i_solver.solve_nb(tol, &a_ds, &b_ds, Distribution::Block).expect("solve_nb"))
             .collect();
 
         sweep

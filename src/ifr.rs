@@ -34,10 +34,9 @@ pub fn type_code(model: &Model, ty: &RType) -> TypeCode {
             elem: Arc::new(type_code(model, elem)),
             bound: bound.map(|b| b as u32),
         },
-        RType::Array { elem, len } => TypeCode::Sequence {
-            elem: Arc::new(type_code(model, elem)),
-            bound: Some(*len as u32),
-        },
+        RType::Array { elem, len } => {
+            TypeCode::Sequence { elem: Arc::new(type_code(model, elem)), bound: Some(*len as u32) }
+        }
         RType::StructRef(key) => {
             for t in &model.types {
                 if let NamedType::Struct { name, fields, .. } = t {
@@ -47,9 +46,7 @@ pub fn type_code(model: &Model, ty: &RType) -> TypeCode {
                             fields: Arc::new(
                                 fields
                                     .iter()
-                                    .map(|(fname, fty)| {
-                                        (fname.clone(), type_code(model, fty))
-                                    })
+                                    .map(|(fname, fty)| (fname.clone(), type_code(model, fty)))
                                     .collect(),
                             ),
                         };

@@ -19,6 +19,7 @@
 //! | [`cdr`] | `pardis-cdr` | CDR marshaling, TypeCode, Any |
 //! | [`rts`] | `pardis-rts` | the run-time-system substrate (MPI-like world, Tulip one-sided) |
 //! | [`netsim`] | `pardis-netsim` | the simulated testbed (hosts, ATM/Ethernet links) |
+//! | [`obs`] | `pardis-obs` | tracing + metrics: per-thread event rings, Chrome-trace export |
 //! | [`pooma`] | `pooma-rs` | POOMA-like fields, guard cells, 9-point stencils |
 //! | [`pstl`] | `pstl-rs` | HPC++-PSTL-like distributed vectors and algorithms |
 //! | (dev) | `pardis-apps` | the paper's evaluation workloads (solvers, DNA search, pipeline) |
@@ -40,6 +41,7 @@ pub use pardis_codegen as codegen;
 pub use pardis_core as core;
 pub use pardis_idl as idl;
 pub use pardis_netsim as netsim;
+pub use pardis_obs as obs;
 pub use pardis_rts as rts;
 pub use pooma_rs as pooma;
 pub use pstl_rs as pstl;
@@ -78,9 +80,9 @@ pub mod generated {
 /// Everything a typical metaapplication needs, in one import.
 pub mod prelude {
     pub use pardis_core::{
-        ActivationMode, ClientGroup, ClientThread, DSeqFuture, DSequence, DistPolicy,
-        Distribution, ObjectKind, ObjectRef, Orb, OrbError, OrbResult, PFuture, Poa, Proxy,
-        ServantCtx, Servant, ServerGroup, ServerReply, ServerRequest, TransferStrategy,
+        ActivationMode, ClientGroup, ClientThread, DSeqFuture, DSequence, DistPolicy, Distribution,
+        ObjectKind, ObjectRef, Orb, OrbError, OrbResult, PFuture, Poa, Proxy, Servant, ServantCtx,
+        ServerGroup, ServerReply, ServerRequest, TransferStrategy,
     };
     pub use pardis_netsim::{Host, HostId, Link, LinkPreset, Network, TimeScale};
     pub use pardis_rts::{MpiRts, Rank, ReduceOp, Rts, World};

@@ -3,8 +3,8 @@
 
 use pardis::core::{ClientGroup, Orb, OrbError, Raised, ServantCtx};
 use pardis::generated::bank::{AccountImpl, AccountProxy, AccountSkel, InsufficientFunds};
-use std::sync::Mutex;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 struct Account {
     balance: Mutex<f64>,
@@ -36,10 +36,7 @@ fn start_bank(orb: &Orb, host: pardis::netsim::HostId) -> pardis_apps::ServerHan
     let g = group.clone();
     let join = std::thread::spawn(move || {
         let mut poa = g.attach(0, None);
-        poa.activate_single(
-            "acct1",
-            Arc::new(AccountSkel(Account { balance: Mutex::new(100.0) })),
-        );
+        poa.activate_single("acct1", Arc::new(AccountSkel(Account { balance: Mutex::new(100.0) })));
         poa.impl_is_ready();
     });
     pardis_apps::ServerHandle::new(group, join)

@@ -54,6 +54,8 @@ fn counting_workload(seed: u64, calls: i64) -> (Vec<i64>, u64, FaultStats, u64) 
     net.connect(ch, sh, Link::free());
     net.set_fault_plan(Some(FaultPlan::new(seed).with_drop(0.2).with_dup(0.05)));
     let orb = Orb::new(net);
+    // Opt-in: PARDIS_TRACE=out.json exports this workload as a Chrome trace.
+    let trace = pardis::core::trace_from_env(&orb);
     orb.set_retry_limit(20);
     // Far above the (unscaled) channel round-trip, so a retransmission fires
     // only when a frame was actually lost — that keeps the retransmit count
@@ -84,6 +86,12 @@ fn counting_workload(seed: u64, calls: i64) -> (Vec<i64>, u64, FaultStats, u64) 
     orb.network().set_fault_plan(None);
     group.shutdown();
     server.join().unwrap();
+    if let Some(session) = trace {
+        match pardis::core::finish_env_trace(session) {
+            Ok(path) => eprintln!("chaos trace written to {}", path.display()),
+            Err(e) => eprintln!("chaos trace write failed: {e}"),
+        }
+    }
     (results, hits.load(Ordering::SeqCst), stats, retransmits)
 }
 

@@ -39,11 +39,8 @@ fn fresh_codegen_matches_what_this_test_links_against() {
 fn pipeline_constants_and_bounds_survive() {
     use pardis::generated::pipeline::N;
     assert_eq!(N, 128);
-    let rust = compile_idl(
-        &read("idl/pipeline.idl"),
-        &CodegenOptions { pooma: true, hpcxx: true },
-    )
-    .unwrap();
+    let rust = compile_idl(&read("idl/pipeline.idl"), &CodegenOptions { pooma: true, hpcxx: true })
+        .unwrap();
     assert!(rust.contains("pub const N: i32 = 128;"));
     assert!(rust.contains("show_pooma"), "POOMA mapping stubs emitted");
     assert!(rust.contains("gradient_hpcxx"), "HPC++ mapping stubs emitted");

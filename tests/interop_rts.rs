@@ -62,7 +62,11 @@ fn direct_server_over_pooma_comm() {
             let t = rank.rank();
             let rts: Arc<dyn Rts> = Arc::new(PoomaComm::new(rank));
             let mut poa = g.attach(t, Some(rts));
-            poa.activate_spmd("direct_rts", Arc::new(DirectSkel(DirectSolver::default())), direct_policy());
+            poa.activate_spmd(
+                "direct_rts",
+                Arc::new(DirectSkel(DirectSolver::default())),
+                direct_policy(),
+            );
             poa.impl_is_ready();
         });
     });

@@ -87,11 +87,8 @@ fn soak(rounds: usize, seed: u64) {
             let mut locals = Vec::new();
             let mut pending = Vec::new();
             for k in 0..calls {
-                let call = proxy
-                    .call("scale")
-                    .arg(&factor)
-                    .dseq_in(&v)
-                    .dseq_out(client_dist.clone());
+                let call =
+                    proxy.call("scale").arg(&factor).dseq_in(&v).dseq_out(client_dist.clone());
                 if k % 2 == 0 {
                     let reply = call.invoke().unwrap();
                     locals.push(reply.dseq::<f64>(0).unwrap());
@@ -191,11 +188,7 @@ fn soak_chaos_round() {
         let mut locals = Vec::new();
         let mut pending = Vec::new();
         for k in 0..calls {
-            let call = proxy
-                .call("scale")
-                .arg(&factor)
-                .dseq_in(&v)
-                .dseq_out(Distribution::Block);
+            let call = proxy.call("scale").arg(&factor).dseq_in(&v).dseq_out(Distribution::Block);
             if k % 2 == 0 {
                 locals.push(call.invoke().unwrap().dseq::<f64>(0).unwrap());
             } else {

@@ -1,6 +1,6 @@
 //! End-to-end §4.1: the solver metaapplication through generated stubs.
 
-use pardis::core::{ClientGroup, Distribution, DSequence, Orb, OrbError};
+use pardis::core::{ClientGroup, DSequence, Distribution, Orb, OrbError};
 use pardis::generated::solvers::{DirectProxy, IterativeProxy};
 use pardis::netsim::{Network, TimeScale};
 use pardis::rts::{MpiRts, Rts, World};
@@ -44,8 +44,7 @@ fn paper_client_program_distributed_servers() {
         let b_ds = DSequence::distribute(&b, Distribution::Block, 2, t);
         // 05-08: non-blocking invocation on the iterative solver.
         let tolerance = 0.000_001;
-        let x1_fut =
-            i_solver.solve_nb(&tolerance, &a_ds, &b_ds, Distribution::Block).unwrap();
+        let x1_fut = i_solver.solve_nb(&tolerance, &a_ds, &b_ds, Distribution::Block).unwrap();
         // 09: blocking invocation on the direct solver (own computation).
         let (x2_real,) = d_solver.solve(&a_ds, &b_ds, Distribution::Block).unwrap();
         // 10: reading the future blocks until resolved.
@@ -103,13 +102,14 @@ fn combined_server_serialises_the_two_solves() {
     let d = DirectProxy::spmd_bind(&client, "d").unwrap();
     let i = IterativeProxy::spmd_bind(&client, "i").unwrap();
 
-    let fut = i.solve_nb(
-        &1e-8,
-        &DSequence::concentrated(a.clone()),
-        &DSequence::concentrated(b.clone()),
-        Distribution::Concentrated(0),
-    )
-    .unwrap();
+    let fut = i
+        .solve_nb(
+            &1e-8,
+            &DSequence::concentrated(a.clone()),
+            &DSequence::concentrated(b.clone()),
+            Distribution::Concentrated(0),
+        )
+        .unwrap();
     let (x2,) = d.solve_single(a, b).unwrap();
     let x1 = fut.x.get().unwrap();
     let diff = compute_difference(&x1, &DSequence::concentrated(x2), None);

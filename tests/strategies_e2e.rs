@@ -99,9 +99,11 @@ fn concentrated_server_policy_under_both_strategies() {
     for strategy in [TransferStrategy::Parallel, TransferStrategy::Funneled] {
         let (orb, host) = Orb::single_host();
         orb.set_transfer_strategy(strategy);
-        let policy = DistPolicy::new()
-            .with("solve", 0, Distribution::Concentrated(1))
-            .with("solve", 1, Distribution::Concentrated(1));
+        let policy = DistPolicy::new().with("solve", 0, Distribution::Concentrated(1)).with(
+            "solve",
+            1,
+            Distribution::Concentrated(1),
+        );
         let group = ServerGroup::create(&orb, "conc", host, 3);
         let g = group.clone();
         let server = std::thread::spawn(move || {
