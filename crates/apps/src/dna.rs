@@ -29,7 +29,7 @@ use pardis::core::{
 };
 use pardis::generated::dna::{ListServerImpl, ListServerSkel, Status};
 use pardis::netsim::HostId;
-use pardis::rts::{tags, MpiRts, Rts, World};
+use pardis::rts::{tags, MpiRts, World};
 use pardis_cdr::{ByteOrder, CdrCodec, Decoder, Encoder};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -275,10 +275,11 @@ pub fn spawn_dna_server(orb: &Orb, host: HostId, cfg: DnaServerConfig) -> Server
     let p = cfg.nthreads;
     let group = ServerGroup::create(orb, "dna-server", host, p);
     let g = group.clone();
+    let chk = pardis::check::for_world(p);
     let join = std::thread::spawn(move || {
         World::run(p, |rank| {
             let t = rank.rank();
-            let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+            let rts = pardis::check::wrap_if(&chk, Arc::new(MpiRts::new(rank)));
             let mut poa = g.attach(t, Some(rts.clone()));
 
             // The SPMD database object (collective activation).
@@ -441,6 +442,7 @@ pub fn spawn_dna_server(orb: &Orb, host: HostId, cfg: DnaServerConfig) -> Server
                 }
             }
         });
+        pardis::check::enforce(&chk);
     });
     ServerHandle::new(group, join)
 }

@@ -29,7 +29,7 @@ use pardis::generated::pipeline::{
 use pardis::netsim::HostId;
 use pardis::pooma::{Field2D, Layout2D};
 use pardis::pstl::{grid::magnitude_gradient, DistVector};
-use pardis::rts::{MpiRts, Rts, World};
+use pardis::rts::{MpiRts, World};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
@@ -152,13 +152,14 @@ pub fn spawn_gradient_server_paced(
     let orb = orb.clone();
     let name = name.to_string();
     let vis_name = vis_name.map(|s| s.to_string());
+    let chk = pardis::check::for_world(nthreads);
     let join = std::thread::spawn(move || {
         // The gradient unit is also a *client* (of its visualizer): a
         // parallel client group spanning the same computing threads.
         let client_group = ClientGroup::create(&orb, host, nthreads);
         World::run(nthreads, |rank| {
             let t = rank.rank();
-            let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+            let rts = pardis::check::wrap_if(&chk, Arc::new(MpiRts::new(rank)));
             let vis = vis_name.as_ref().map(|vn| {
                 let ct = client_group.attach(t, (nthreads > 1).then(|| rts.clone()));
                 VisualizerProxy::spmd_bind(&ct, vn).expect("gradient server binds visualizer")
@@ -171,6 +172,7 @@ pub fn spawn_gradient_server_paced(
             );
             poa.impl_is_ready();
         });
+        pardis::check::enforce(&chk);
     });
     ServerHandle::new(group, join)
 }
@@ -225,9 +227,11 @@ pub fn run_diffusion(
     let fops_name = fops_name.map(|s| s.to_string());
     let vis_name = vis_name.to_string();
     let cfg = cfg.clone();
+    let chk = pardis::check::for_world(p);
+    let chk_run = chk.clone();
     let results = World::run(p, move |rank| -> OrbResult<(f64, f64)> {
         let t = rank.rank();
-        let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+        let rts = pardis::check::wrap_if(&chk_run, Arc::new(MpiRts::new(rank)));
         let ct = group.attach(t, (p > 1).then(|| rts.clone()));
         let vis = VisualizerProxy::spmd_bind(&ct, &vis_name)?;
         let fops = match &fops_name {
@@ -276,6 +280,7 @@ pub fn run_diffusion(
         let checksum = rts.all_reduce_f64(field.local_sum(), pardis::rts::ReduceOp::Sum);
         Ok((elapsed, checksum))
     });
+    pardis::check::enforce(&chk);
     let mut worst = 0.0f64;
     let mut checksum = 0.0;
     for r in results {
@@ -300,9 +305,11 @@ pub fn run_gradient_alone(
 ) -> OrbResult<f64> {
     let group = ClientGroup::create(orb, host, threads);
     let fops_name = fops_name.to_string();
+    let chk = pardis::check::for_world(threads);
+    let chk_run = chk.clone();
     let results = World::run(threads, move |rank| -> OrbResult<f64> {
         let t = rank.rank();
-        let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+        let rts = pardis::check::wrap_if(&chk_run, Arc::new(MpiRts::new(rank)));
         let ct = group.attach(t, (threads > 1).then(|| rts.clone()));
         let fops = FieldOperationsProxy::spmd_bind(&ct, &fops_name)?;
         let layout = Layout2D::new(nx, ny, threads);
@@ -313,6 +320,7 @@ pub fn run_gradient_alone(
         }
         Ok(start.elapsed().as_secs_f64())
     });
+    pardis::check::enforce(&chk);
     let mut worst = 0.0f64;
     for r in results {
         worst = worst.max(r?);

@@ -358,14 +358,16 @@ pub fn spawn_direct_server_paced(
     let group = pardis::core::ServerGroup::create(orb, "direct-server", host, nthreads);
     let g = group.clone();
     let name = name.to_string();
+    let chk = pardis::check::for_world(nthreads);
     let join = std::thread::spawn(move || {
         World::run(nthreads, |rank| {
             let t = rank.rank();
-            let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+            let rts = pardis::check::wrap_if(&chk, Arc::new(MpiRts::new(rank)));
             let mut poa = g.attach(t, Some(rts));
             poa.activate_spmd(&name, Arc::new(DirectSkel(DirectSolver { pace })), direct_policy());
             poa.impl_is_ready();
         });
+        pardis::check::enforce(&chk);
     });
     ServerHandle::new(group, join)
 }
@@ -391,10 +393,11 @@ pub fn spawn_iterative_server_paced(
     let group = pardis::core::ServerGroup::create(orb, "iterative-server", host, nthreads);
     let g = group.clone();
     let name = name.to_string();
+    let chk = pardis::check::for_world(nthreads);
     let join = std::thread::spawn(move || {
         World::run(nthreads, |rank| {
             let t = rank.rank();
-            let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+            let rts = pardis::check::wrap_if(&chk, Arc::new(MpiRts::new(rank)));
             let mut poa = g.attach(t, Some(rts));
             poa.activate_spmd(
                 &name,
@@ -403,6 +406,7 @@ pub fn spawn_iterative_server_paced(
             );
             poa.impl_is_ready();
         });
+        pardis::check::enforce(&chk);
     });
     ServerHandle::new(group, join)
 }
@@ -433,10 +437,11 @@ pub fn spawn_combined_server_paced(
     let g = group.clone();
     let dn = direct_name.to_string();
     let itn = iterative_name.to_string();
+    let chk = pardis::check::for_world(nthreads);
     let join = std::thread::spawn(move || {
         World::run(nthreads, |rank| {
             let t = rank.rank();
-            let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+            let rts = pardis::check::wrap_if(&chk, Arc::new(MpiRts::new(rank)));
             let mut poa = g.attach(t, Some(rts));
             poa.activate_spmd(&dn, Arc::new(DirectSkel(DirectSolver { pace })), direct_policy());
             poa.activate_spmd(
@@ -446,6 +451,7 @@ pub fn spawn_combined_server_paced(
             );
             poa.impl_is_ready();
         });
+        pardis::check::enforce(&chk);
     });
     ServerHandle::new(group, join)
 }

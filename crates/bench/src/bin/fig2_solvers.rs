@@ -39,9 +39,10 @@ struct Case {
 /// Run the client once; returns elapsed seconds (max over client threads).
 fn run_case(orb: &Orb, host: pardis::netsim::HostId, a: &[Vec<f64>], b: &[f64], case: Case) -> f64 {
     let client = ClientGroup::create(orb, host, CLIENT_THREADS);
+    let chk = pardis::check::for_world(CLIENT_THREADS);
     let out = World::run(CLIENT_THREADS, |rank| {
         let t = rank.rank();
-        let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+        let rts: Arc<dyn Rts> = pardis::check::wrap_if(&chk, Arc::new(MpiRts::new(rank)));
         let ct = client.attach(t, Some(rts.clone()));
         let d_solver = case.direct.then(|| DirectProxy::spmd_bind(&ct, "direct_solver").unwrap());
         let i_solver =
@@ -69,6 +70,7 @@ fn run_case(orb: &Orb, host: pardis::netsim::HostId, a: &[Vec<f64>], b: &[f64], 
         }
         start.elapsed().as_secs_f64()
     });
+    pardis::check::enforce(&chk);
     out.into_iter().fold(0.0, f64::max)
 }
 
@@ -145,6 +147,7 @@ fn main() {
     report.param_usize("client_threads", CLIENT_THREADS);
     report.param_usize("direct_threads", DIRECT_THREADS);
     report.param_usize("iter_threads", ITER_THREADS);
+    report.param_bool("protocol_check", pardis::check::env_requested());
     report.columns(&sizes.iter().map(|n| *n as f64).collect::<Vec<_>>());
     report.series("direct (HOST_1)", &direct_series);
     report.series("iterative (HOST_2)", &iter_series);

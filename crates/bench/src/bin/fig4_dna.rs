@@ -101,6 +101,7 @@ fn main() {
     let mut report =
         BenchJson::new("fig4", "centralized vs distributed single objects on a parallel server");
     report.param_usize("rounds", rounds);
+    report.param_bool("protocol_check", pardis::check::env_requested());
     report.columns(&procs.iter().map(|p| *p as f64).collect::<Vec<_>>());
     report.series("centralized", &central);
     report.series("distributed", &distributed);

@@ -96,6 +96,7 @@ fn main() {
     let mut report = BenchJson::new("fig5", "overall performance vs performance of components");
     report.param_f64("time_scale", scale);
     report.param_usize("steps", base.steps);
+    report.param_bool("protocol_check", pardis::check::env_requested());
     report.columns(&procs.iter().map(|p| *p as f64).collect::<Vec<_>>());
     report.series("overall", &overall);
     report.series("diffusion (SGI_PC)", &diffusion);

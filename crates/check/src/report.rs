@@ -1,0 +1,169 @@
+//! Findings and the [`CheckReport`] they are collected into.
+
+use std::fmt;
+
+/// How bad a finding is. Ordering is by increasing badness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: a hazard or oddity worth knowing about, never a
+    /// failure (wildcard-recv nondeterminism, rendezvous watchdog expiry).
+    Advice,
+    /// Probably a bug (a message sent but never received).
+    Warning,
+    /// A protocol violation (reserved tag misuse, collective mismatch,
+    /// deadlock).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Advice => "advice",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The class of protocol defect a finding reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Application traffic on a tag inside the ORB's reserved band.
+    ReservedTag,
+    /// Ranks entered different collectives (or the same collective with
+    /// different roots) at the same epoch.
+    CollectiveMismatch,
+    /// The collective rendezvous watchdog expired before every rank showed
+    /// up; the checker stood aside and let the collective run unverified.
+    CollectiveStall,
+    /// A cycle in the wait-for graph of blocked receives.
+    Deadlock,
+    /// Messages still in flight at teardown (sent, never received).
+    MessageLeak,
+    /// A wildcard (`from = None`) blocking receive with two or more
+    /// eligible senders: which message wins is nondeterministic.
+    WildcardRecv,
+}
+
+impl Kind {
+    /// Stable machine-readable code, also used in the JSON rendering.
+    pub fn code(self) -> &'static str {
+        match self {
+            Kind::ReservedTag => "reserved-tag",
+            Kind::CollectiveMismatch => "collective-mismatch",
+            Kind::CollectiveStall => "collective-stall",
+            Kind::Deadlock => "deadlock",
+            Kind::MessageLeak => "message-leak",
+            Kind::WildcardRecv => "wildcard-recv",
+        }
+    }
+}
+
+/// One defect the checker observed, attributed to the rank that triggered
+/// it (`rank = None` for world-global findings such as the leak audit).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Severity tier.
+    pub severity: Severity,
+    /// Defect class.
+    pub kind: Kind,
+    /// The rank the defect is attributed to, if any.
+    pub rank: Option<usize>,
+    /// Human-readable detail (tags, peers, epochs, pending-op stacks).
+    pub detail: String,
+}
+
+/// Everything the checker found over one world's lifetime.
+///
+/// Render with [`CheckReport::render_table`] for humans or
+/// [`CheckReport::render_json`] for tooling; gate CI on
+/// [`CheckReport::is_clean`] (advice does not fail a run).
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// World size the checker observed.
+    pub world_size: usize,
+    /// All findings, in the order they were recorded.
+    pub findings: Vec<Finding>,
+}
+
+impl CheckReport {
+    /// True when no finding is a warning or an error (advice is allowed).
+    pub fn is_clean(&self) -> bool {
+        self.findings.iter().all(|f| f.severity < Severity::Warning)
+    }
+
+    /// Findings at warning severity or above.
+    pub fn failures(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.severity >= Severity::Warning)
+    }
+
+    /// Count findings of one class.
+    pub fn count(&self, kind: Kind) -> usize {
+        self.findings.iter().filter(|f| f.kind == kind).count()
+    }
+
+    /// Human-readable fixed-width table, one row per finding.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "pardis-check report — world of {} rank(s), {} finding(s)\n",
+            self.world_size,
+            self.findings.len()
+        ));
+        if self.findings.is_empty() {
+            out.push_str("  protocol clean: no findings\n");
+            return out;
+        }
+        out.push_str(&format!(
+            "  {:<8} {:<20} {:<6} detail\n  {:-<8} {:-<20} {:-<6} {:-<40}\n",
+            "severity", "kind", "rank", "", "", "", ""
+        ));
+        for f in &self.findings {
+            let rank = f.rank.map_or_else(|| "-".to_string(), |r| r.to_string());
+            out.push_str(&format!(
+                "  {:<8} {:<20} {:<6} {}\n",
+                f.severity.to_string(),
+                f.kind.code(),
+                rank,
+                f.detail
+            ));
+        }
+        out
+    }
+
+    /// Machine-readable JSON rendering (no external deps; strings escaped).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"world_size\":{},\"findings\":[", self.world_size));
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"severity\":\"{}\",\"kind\":\"{}\",\"rank\":{},\"detail\":\"{}\"}}",
+                f.severity,
+                f.kind.code(),
+                f.rank.map_or_else(|| "null".to_string(), |r| r.to_string()),
+                escape_json(&f.detail)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

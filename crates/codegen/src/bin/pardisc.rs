@@ -1,0 +1,96 @@
+//! pardisc — the PARDIS protocol-checking tool chain driver.
+//!
+//! ```text
+//! pardisc lint INPUT.idl [INPUT.idl ...]
+//! ```
+//!
+//! `lint` runs the static half of pardis-check over each IDL file:
+//!
+//! * the `PCKnnn` protocol lints (`pardis_idl::lint`) — oneway misuse,
+//!   unknown or mistyped pragma mappings, reserved operation names,
+//!   constants in the reserved ORB tag band;
+//! * a generated-code audit: the file is compiled with every stub variant
+//!   enabled (`-pooma -hpcxx`) and the emitted Rust is scanned for literal
+//!   tags inside the reserved band (`lint_generated_tags`).
+//!
+//! Exit status: 0 clean, 1 lint findings, 2 usage or front-end errors —
+//! so CI can gate on "no findings" while still distinguishing broken IDL.
+
+use pardis_codegen::{compile_idl, lint_generated_tags, CodegenOptions};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: pardisc lint INPUT.idl [INPUT.idl ...]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint_files(&args[1..]),
+        Some("-h") | Some("--help") => {
+            println!("usage: pardisc lint INPUT.idl [INPUT.idl ...]");
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn lint_files(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        return usage();
+    }
+    let mut findings = 0usize;
+    let mut broken = false;
+    for path in files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("pardisc: cannot read {path:?}: {e}");
+                broken = true;
+                continue;
+            }
+        };
+        match pardis_idl::lint::lint(&source) {
+            Ok(warnings) => {
+                for w in &warnings {
+                    eprintln!("{path}: {}", w.render(&source));
+                }
+                findings += warnings.len();
+            }
+            Err(diags) => {
+                for d in diags {
+                    eprintln!("{path}: {}", d.render(&source));
+                }
+                broken = true;
+                continue;
+            }
+        }
+        // Audit the generated stubs with every variant enabled, so pragma
+        // stubs are scanned too. Front-end errors were caught above; sema
+        // errors surface here.
+        let opts = CodegenOptions { pooma: true, hpcxx: true };
+        match compile_idl(&source, &opts) {
+            Ok(rust) => {
+                for f in lint_generated_tags(&rust) {
+                    eprintln!("{path}: generated code: {f}");
+                    findings += 1;
+                }
+            }
+            Err(diags) => {
+                for d in diags {
+                    eprintln!("{path}: {}", d.render(&source));
+                }
+                broken = true;
+            }
+        }
+    }
+    if broken {
+        ExitCode::from(2)
+    } else if findings > 0 {
+        eprintln!("pardisc: {findings} lint finding(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -48,5 +48,56 @@ pub fn compile_idl(source: &str, opts: &CodegenOptions) -> Result<String, Vec<Di
     Ok(generate(&model, opts))
 }
 
+/// Audit generated Rust source for integer literals inside the reserved
+/// ORB tag band (`pardis_rts::tags::RESERVED_TAG_RANGE`).
+///
+/// Stubs must obtain reserved tags through the `tags::` registry, never as
+/// literals — a literal in that band is how a tag-discipline regression
+/// slips past review. Returns one description per offending literal;
+/// empty means clean. Part of the `pardisc lint` gate.
+pub fn lint_generated_tags(rust_src: &str) -> Vec<String> {
+    let mut findings = Vec::new();
+    for (lineno, line) in rust_src.lines().enumerate() {
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if !bytes[i].is_ascii_digit()
+                || (i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_'))
+            {
+                i += 1;
+                continue;
+            }
+            // A maximal numeric-literal-shaped run: digits, hex digits,
+            // `_` separators, and a possible 0x/0b/0o prefix.
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let token = &line[start..i];
+            // Drop separators, then read digits up to any type suffix
+            // (u64, i64, usize, …).
+            let no_sep: String = token.chars().filter(|c| *c != '_').collect();
+            let parsed = if let Some(hex) = no_sep.strip_prefix("0x") {
+                let digits: String = hex.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+                u64::from_str_radix(&digits, 16).ok()
+            } else {
+                let digits: String = no_sep.chars().take_while(|c| c.is_ascii_digit()).collect();
+                digits.parse::<u64>().ok()
+            };
+            if let Some(v) = parsed {
+                if pardis_rts::tags::is_reserved(v) {
+                    findings.push(format!(
+                        "line {}: literal {token} lies in the reserved ORB tag band \
+                         ({:#x}..) — use the `tags::` registry instead",
+                        lineno + 1,
+                        pardis_rts::tags::PARDIS_BASE,
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
 #[cfg(test)]
 mod tests;

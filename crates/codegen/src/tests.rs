@@ -262,6 +262,37 @@ fn generated_code_is_balanced() {
 }
 
 #[test]
+fn generated_stubs_carry_no_reserved_tag_literals() {
+    // The repo-level tag-discipline audit: stubs emitted from every shipped
+    // IDL file (all variants on) must obtain ORB tags only through the
+    // `tags::` registry, never as literals in the reserved band.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../idl");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(dir).expect("idl/ directory exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "idl") {
+            let src = std::fs::read_to_string(&path).unwrap();
+            let rust = compile_idl(&src, &CodegenOptions { pooma: true, hpcxx: true }).unwrap();
+            let hits = crate::lint_generated_tags(&rust);
+            assert!(hits.is_empty(), "{path:?} generated reserved-band literals: {hits:?}");
+            checked += 1;
+        }
+    }
+    assert!(checked >= 4, "expected the four shipped IDL files, found {checked}");
+}
+
+#[test]
+fn tag_lint_flags_reserved_band_literals() {
+    let dirty = "let t: u64 = 0x4000_0000_0000_00F0;\nsend(to, 4611686018427387911u64, m);\n";
+    let hits = crate::lint_generated_tags(dirty);
+    assert_eq!(hits.len(), 2, "{hits:?}");
+    assert!(hits[0].contains("line 1"));
+    assert!(hits[1].contains("line 2"));
+    // Tags below the band and ordinary numbers pass.
+    assert!(crate::lint_generated_tags("let x = 1024; let y = 0xFFFF;").is_empty());
+}
+
+#[test]
 fn errors_propagate_from_front_end() {
     let errs = compile_idl("interface i { void f(in nosuch x); };", &CodegenOptions::default())
         .unwrap_err();

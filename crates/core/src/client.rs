@@ -329,14 +329,10 @@ impl InvocationState {
                 }
                 inner.reply = Some(r);
             }
-            Message::Fragment(f) => {
-                if inner.frag_seen.insert((f.arg, f.start, f.count, f.src_thread)) {
-                    inner.frags.entry(f.arg).or_default().push((
-                        f.start,
-                        f.count,
-                        Bytes::from(f.data),
-                    ));
-                }
+            Message::Fragment(f)
+                if inner.frag_seen.insert((f.arg, f.start, f.count, f.src_thread)) =>
+            {
+                inner.frags.entry(f.arg).or_default().push((f.start, f.count, Bytes::from(f.data)));
             }
             _ => {}
         }

@@ -259,7 +259,7 @@ impl<T: CdrCodec + Clone> DSequence<T> {
         new_dist.validate(self.global_len, self.nthreads).expect("invalid target distribution");
         let plan =
             plan_transfer(self.global_len, &self.dist, self.nthreads, &new_dist, self.nthreads);
-        const REDIST_TAG: u64 = tags::PARDIS_BASE | 0x5344; // 'SD'
+        const REDIST_TAG: u64 = tags::ORB_REDIST; // 'SD', from the shared registry
 
         // Send away the pieces we own that move to another thread.
         for piece in plan.iter().filter(|p| p.src == self.thread && p.dst != self.thread) {

@@ -25,8 +25,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// RTS tag used to forward ORB frames between sibling computing threads
-/// (the funneled path and collective control distribution).
-pub(crate) const FORWARD_TAG: u64 = tags::PARDIS_BASE | 0xF0;
+/// (the funneled path and collective control distribution). Aliased from the
+/// shared reserved-band registry in `pardis_rts::tags`.
+pub(crate) const FORWARD_TAG: u64 = tags::ORB_FORWARD;
 
 /// A parallel server registered with the ORB: a set of computing-thread
 /// endpoints plus shared identity. Clone the group into each computing
@@ -154,6 +155,9 @@ impl PendingReq {
     }
 }
 
+/// Every `(endpoint, frame)` one thread sent in reply to one invocation.
+type ReplyFrames = Vec<(EndpointId, Bytes)>;
+
 /// At-most-once memory: which invocations this thread has accepted for
 /// dispatch, and the reply frames it sent for them. A retransmitted request
 /// for a known key never reaches the servant again — it either replays the
@@ -167,7 +171,7 @@ struct RecentInvocations {
     /// `None` while the original dispatch is still executing (or deferred);
     /// `Some(frames)` once the reply left, recording every (endpoint,
     /// frame) this thread sent for it.
-    seen: HashMap<(BindingId, u64), Option<Vec<(EndpointId, Bytes)>>>,
+    seen: HashMap<(BindingId, u64), Option<ReplyFrames>>,
     order: VecDeque<(BindingId, u64)>,
     cap: usize,
 }

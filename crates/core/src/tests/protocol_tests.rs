@@ -218,3 +218,17 @@ mod property {
         }
     }
 }
+
+#[test]
+fn orb_message_tags_are_inside_the_reserved_range() {
+    // The constants the ORB actually sends with (poa FORWARD_TAG, dseq
+    // REDIST_TAG) are re-exported here from pardis-rts; assert the re-export
+    // is live and each falls inside the shared reserved band.
+    assert_eq!(RESERVED_TAG_RANGE, pardis_rts::tags::RESERVED_TAG_RANGE);
+    for tag in ORB_TAGS {
+        assert!(RESERVED_TAG_RANGE.contains(&tag), "{tag:#x} escaped the reserved band");
+        assert!(is_reserved_tag(tag));
+    }
+    assert_eq!(ORB_FORWARD, pardis_rts::tags::PARDIS_BASE | 0xF0);
+    assert_eq!(ORB_REDIST, pardis_rts::tags::PARDIS_BASE | 0x5344);
+}

@@ -67,6 +67,10 @@ pub struct OpDecl {
     pub params: Vec<Param>,
     /// Exceptions this operation may raise (`raises(a, b)`).
     pub raises: Vec<ScopedName>,
+    /// True for the `_get_`/`_set_` pair desugared from an `attribute`
+    /// declaration — those underscore names are legitimate; explicit ones
+    /// are not (lint `PCK005`).
+    pub from_attr: bool,
     /// Source span of the name.
     pub span: Span,
 }

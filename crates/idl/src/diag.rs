@@ -24,18 +24,38 @@ impl Span {
 }
 
 /// A compiler diagnostic with source location.
+///
+/// Hard front-end errors have no [`code`](Diagnostic::code); protocol lints
+/// (`pardisc lint`, [`crate::lint`]) carry a stable `PCKnnn` code and render
+/// as warnings so tooling can match on them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// What went wrong.
     pub message: String,
     /// Where.
     pub span: Span,
+    /// Stable lint code (`"PCK001"`…); `None` for hard errors.
+    pub code: Option<&'static str>,
 }
 
 impl Diagnostic {
     /// Construct a diagnostic.
     pub fn new(message: impl Into<String>, span: Span) -> Diagnostic {
-        Diagnostic { message: message.into(), span }
+        Diagnostic { message: message.into(), span, code: None }
+    }
+
+    /// Attach a stable lint code, turning this into a warning.
+    pub fn with_code(mut self, code: &'static str) -> Diagnostic {
+        self.code = Some(code);
+        self
+    }
+
+    /// `error` for hard diagnostics, `warning[PCKnnn]` for coded lints.
+    pub fn label(&self) -> String {
+        match self.code {
+            Some(code) => format!("warning[{code}]"),
+            None => "error".to_string(),
+        }
     }
 
     /// Render with line/column and a source excerpt, `rustc`-style.
@@ -46,7 +66,8 @@ impl Diagnostic {
         let marker =
             " ".repeat(col - 1) + &"^".repeat(width.min(line_text.len() + 1 - (col - 1)).max(1));
         format!(
-            "error: {}\n --> line {line}, column {col}\n  | {line_text}\n  | {marker}",
+            "{}: {}\n --> line {line}, column {col}\n  | {line_text}\n  | {marker}",
+            self.label(),
             self.message
         )
     }
@@ -54,7 +75,14 @@ impl Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "error at bytes {}..{}: {}", self.span.start, self.span.end, self.message)
+        write!(
+            f,
+            "{} at bytes {}..{}: {}",
+            self.label(),
+            self.span.start,
+            self.span.end,
+            self.message
+        )
     }
 }
 

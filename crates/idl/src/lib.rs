@@ -33,6 +33,7 @@
 pub mod ast;
 pub mod diag;
 pub mod lexer;
+pub mod lint;
 pub mod model;
 pub mod parser;
 pub mod sema;

@@ -1,0 +1,295 @@
+//! Protocol lints over the parsed IDL — the static half of `pardis-check`.
+//!
+//! These are warnings, not errors: each carries a stable `PCKnnn` code so
+//! `pardisc lint` (and CI) can gate on them, and each points at the source
+//! span that triggered it. They run on the AST, before semantic analysis,
+//! so a file that sema would reject still gets its lint codes reported.
+//!
+//! | code | finding |
+//! |------|---------|
+//! | `PCK001` | `oneway` operation declares an `out`/`inout` parameter |
+//! | `PCK002` | `oneway` operation has a non-`void` result or `raises` |
+//! | `PCK003` | pragma names an unknown package or native container |
+//! | `PCK004` | pragma-mapped container element type is not `double` |
+//! | `PCK005` | operation name is reserved (leading `_`, or collides with a generated stub variant of a sibling operation) |
+//! | `PCK006` | constant evaluates into the reserved ORB tag range |
+
+use crate::ast::{ConstExpr, Def, Direction, Interface, Spec, TypeSpec, Typedef};
+use crate::diag::Diagnostic;
+use std::collections::HashMap;
+
+/// The pragma mappings the compiler understands (§3.4): package name to the
+/// native container after the colon.
+pub const KNOWN_PRAGMAS: [(&str, &str); 2] = [("POOMA", "field"), ("HPC++", "vector")];
+
+/// Suffixes the code generator appends to an operation name for its stub
+/// variants; a sibling operation whose name equals `op + suffix` collides
+/// with the generated method.
+pub const STUB_SUFFIXES: [&str; 6] =
+    ["_nb", "_single", "_pooma", "_hpcxx", "_pooma_nb", "_hpcxx_nb"];
+
+/// Lex + parse + lint. `Err` carries the front-end failure; `Ok` the lint
+/// findings (possibly empty).
+pub fn lint(source: &str) -> Result<Vec<Diagnostic>, Vec<Diagnostic>> {
+    let tokens = crate::lexer::lex(source).map_err(|d| vec![d])?;
+    let spec = crate::parser::parse(&tokens).map_err(|d| vec![d])?;
+    Ok(lint_spec(&spec))
+}
+
+/// Run every lint over a parsed [`Spec`]. Findings come back in source
+/// order, each with a `PCKnnn` code attached.
+pub fn lint_spec(spec: &Spec) -> Vec<Diagnostic> {
+    let mut l = Linter { out: Vec::new(), typedefs: HashMap::new(), consts: HashMap::new() };
+    l.index_defs(&spec.defs);
+    l.walk_defs(&spec.defs);
+    l.out.sort_by_key(|d| (d.span.start, d.span.end));
+    l.out
+}
+
+struct Linter {
+    out: Vec<Diagnostic>,
+    /// Typedef name (last segment) → aliased type, for element resolution.
+    typedefs: HashMap<String, TypeSpec>,
+    /// Const name (last segment) → evaluated value, best effort.
+    consts: HashMap<String, i128>,
+}
+
+impl Linter {
+    /// First pass: collect typedefs and const values so later lints can
+    /// resolve through them. Name resolution is deliberately flat (last
+    /// segment only) — good enough for lints, which must never hard-fail.
+    fn index_defs(&mut self, defs: &[Def]) {
+        for def in defs {
+            match def {
+                Def::Module(m) => self.index_defs(&m.defs),
+                Def::Interface(i) => self.index_defs(&i.defs),
+                Def::Typedef(td) => {
+                    self.typedefs.insert(td.name.clone(), td.ty.clone());
+                }
+                Def::Const(cd) => {
+                    if let Some(v) = self.eval(&cd.value) {
+                        self.consts.insert(cd.name.clone(), v);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn walk_defs(&mut self, defs: &[Def]) {
+        for def in defs {
+            match def {
+                Def::Module(m) => self.walk_defs(&m.defs),
+                Def::Interface(i) => self.lint_interface(i),
+                Def::Typedef(td) => self.lint_typedef(td),
+                Def::Const(cd) => self.lint_const(cd),
+                _ => {}
+            }
+        }
+    }
+
+    /// PCK001 + PCK002: `oneway` means "no reply at all" — nothing can flow
+    /// back, so out-params, results and exceptions are all unsendable.
+    fn lint_interface(&mut self, iface: &Interface) {
+        self.walk_defs(&iface.defs);
+        for op in &iface.ops {
+            if op.oneway {
+                for p in &op.params {
+                    if p.dir != Direction::In {
+                        let dir = if p.dir == Direction::Out { "out" } else { "inout" };
+                        self.out.push(
+                            Diagnostic::new(
+                                format!(
+                                    "oneway operation {:?} declares `{dir}` parameter {:?} — \
+                                     nothing flows back on a oneway invocation",
+                                    op.name, p.name
+                                ),
+                                p.span,
+                            )
+                            .with_code("PCK001"),
+                        );
+                    }
+                }
+                if op.ret != TypeSpec::Void {
+                    self.out.push(
+                        Diagnostic::new(
+                            format!(
+                                "oneway operation {:?} has a non-void result — \
+                                 the caller never receives it",
+                                op.name
+                            ),
+                            op.span,
+                        )
+                        .with_code("PCK002"),
+                    );
+                }
+                if !op.raises.is_empty() {
+                    self.out.push(
+                        Diagnostic::new(
+                            format!(
+                                "oneway operation {:?} has a raises clause — \
+                                 exceptions cannot reach a oneway caller",
+                                op.name
+                            ),
+                            op.span,
+                        )
+                        .with_code("PCK002"),
+                    );
+                }
+            }
+            // PCK005a: explicit leading-underscore names are reserved for
+            // the attribute accessors the parser itself generates.
+            if !op.from_attr && op.name.starts_with('_') {
+                self.out.push(
+                    Diagnostic::new(
+                        format!(
+                            "operation name {:?} is reserved — names beginning with `_` \
+                             are generated for attribute accessors",
+                            op.name
+                        ),
+                        op.span,
+                    )
+                    .with_code("PCK005"),
+                );
+            }
+        }
+        // PCK005b: a declared op whose name equals a sibling op plus a stub
+        // suffix collides with the generated method of that sibling.
+        for op in &iface.ops {
+            for other in &iface.ops {
+                if std::ptr::eq(op, other) {
+                    continue;
+                }
+                for suffix in STUB_SUFFIXES {
+                    if op.name == format!("{}{suffix}", other.name) {
+                        self.out.push(
+                            Diagnostic::new(
+                                format!(
+                                    "operation name {:?} collides with the generated \
+                                     `{suffix}` stub variant of operation {:?}",
+                                    op.name, other.name
+                                ),
+                                op.span,
+                            )
+                            .with_code("PCK005"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// PCK003 + PCK004: a pragma must name a mapping the compiler knows,
+    /// and the mapped containers (POOMA fields, PSTL vectors) hold doubles.
+    fn lint_typedef(&mut self, td: &Typedef) {
+        for pragma in &td.pragmas {
+            let system_known = KNOWN_PRAGMAS.iter().any(|(s, _)| *s == pragma.system);
+            let pair_known =
+                KNOWN_PRAGMAS.iter().any(|(s, n)| *s == pragma.system && *n == pragma.native);
+            if !pair_known {
+                let hint = if system_known {
+                    let native = KNOWN_PRAGMAS
+                        .iter()
+                        .find(|(s, _)| *s == pragma.system)
+                        .map(|(_, n)| *n)
+                        .unwrap_or_default();
+                    format!("package {:?} maps only {native:?}", pragma.system)
+                } else {
+                    let known: Vec<String> =
+                        KNOWN_PRAGMAS.iter().map(|(s, n)| format!("{s}:{n}")).collect();
+                    format!("known mappings: {}", known.join(", "))
+                };
+                self.out.push(
+                    Diagnostic::new(
+                        format!(
+                            "pragma {}:{} names an unknown container mapping — {hint}",
+                            pragma.system, pragma.native
+                        ),
+                        pragma.span,
+                    )
+                    .with_code("PCK003"),
+                );
+                continue;
+            }
+            // The mapping is known: the element type must marshal into the
+            // native container, and both native containers hold f64.
+            if let TypeSpec::DSequence { elem, .. } = &td.ty {
+                let base = self.resolve_elem(elem, 0);
+                if !matches!(base, Some(TypeSpec::Double)) {
+                    self.out.push(
+                        Diagnostic::new(
+                            format!(
+                                "pragma {}:{} requires element type `double`, but typedef \
+                                 {:?} distributes a different element type",
+                                pragma.system, pragma.native, td.name
+                            ),
+                            pragma.span,
+                        )
+                        .with_code("PCK004"),
+                    );
+                }
+            }
+            // Non-dsequence targets are already a sema error; no lint here.
+        }
+    }
+
+    /// PCK006: a constant landing in the reserved ORB band can only be a
+    /// tag destined for `send`/`recv`, where the runtime owns that range.
+    fn lint_const(&mut self, cd: &crate::ast::ConstDef) {
+        if let Some(v) = self.eval(&cd.value) {
+            if v >= pardis_rts::tags::PARDIS_BASE as i128
+                && v < u64::MAX as i128
+                && pardis_rts::tags::is_reserved(v as u64)
+            {
+                self.out.push(
+                    Diagnostic::new(
+                        format!(
+                            "constant {:?} = {v:#x} lies in the reserved ORB tag range \
+                             ({:#x}..) — application tags must stay below it",
+                            cd.name,
+                            pardis_rts::tags::PARDIS_BASE
+                        ),
+                        cd.span,
+                    )
+                    .with_code("PCK006"),
+                );
+            }
+        }
+    }
+
+    /// Chase `Named` references through typedefs to the underlying element
+    /// type; bounded depth so a (sema-rejected) cycle cannot hang the lint.
+    fn resolve_elem(&self, ty: &TypeSpec, depth: usize) -> Option<TypeSpec> {
+        if depth > 16 {
+            return None;
+        }
+        match ty {
+            TypeSpec::Named(name) => {
+                let last = name.parts.last()?;
+                let target = self.typedefs.get(last)?.clone();
+                self.resolve_elem(&target, depth + 1)
+            }
+            other => Some(other.clone()),
+        }
+    }
+
+    /// Best-effort const evaluation (no diagnostics — sema owns those).
+    fn eval(&self, e: &ConstExpr) -> Option<i128> {
+        match e {
+            ConstExpr::Int(v) => Some(*v as i128),
+            ConstExpr::Neg(inner) => Some(-self.eval(inner)?),
+            ConstExpr::Name(name) => self.consts.get(name.parts.last()?).copied(),
+            ConstExpr::Binary { op, lhs, rhs } => {
+                let l = self.eval(lhs)?;
+                let r = self.eval(rhs)?;
+                match op {
+                    '+' => Some(l.wrapping_add(r)),
+                    '-' => Some(l.wrapping_sub(r)),
+                    '*' => Some(l.wrapping_mul(r)),
+                    '/' => (r != 0).then(|| l / r),
+                    _ => None,
+                }
+            }
+        }
+    }
+}

@@ -227,6 +227,7 @@ impl<'a> Parser<'a> {
             name: format!("_get_{name}"),
             params: vec![],
             raises: vec![],
+            from_attr: true,
             span,
         }];
         if !readonly {
@@ -236,6 +237,7 @@ impl<'a> Parser<'a> {
                 name: format!("_set_{name}"),
                 params: vec![Param { dir: Direction::In, ty, name: "value".to_string(), span }],
                 raises: vec![],
+                from_attr: true,
                 span,
             });
         }
@@ -273,7 +275,7 @@ impl<'a> Parser<'a> {
             self.expect(Tok::RParen, "`)`")?;
         }
         self.expect(Tok::Semi, "`;`")?;
-        Ok(OpDecl { oneway, ret, name, params, raises, span })
+        Ok(OpDecl { oneway, ret, name, params, raises, from_attr: false, span })
     }
 
     fn param(&mut self) -> Result<Param, Diagnostic> {

@@ -1,0 +1,68 @@
+//! Golden-file tests for the protocol lints: each fixture under
+//! `tests/fixtures/` pairs an `.idl` input with an `.expected` listing of
+//! the exact lint codes, spans, and messages it must produce. A lint whose
+//! code, position, or wording drifts fails here first.
+
+use pardis_idl::diag::line_col;
+use pardis_idl::lint::lint;
+
+fn render_findings(source: &str) -> String {
+    let findings = lint(source).expect("fixture must lex and parse");
+    findings
+        .iter()
+        .map(|d| {
+            let (line, col) = line_col(source, d.span.start);
+            format!(
+                "{} @ {}..{} (line {line}, col {col}): {}\n",
+                d.code.expect("every lint finding carries a code"),
+                d.span.start,
+                d.span.end,
+                d.message
+            )
+        })
+        .collect()
+}
+
+fn golden(name: &str) {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    let source = std::fs::read_to_string(format!("{dir}/{name}.idl")).unwrap();
+    let expect = std::fs::read_to_string(format!("{dir}/{name}.expected")).unwrap();
+    let got = render_findings(&source);
+    assert_eq!(
+        got, expect,
+        "lint findings for {name}.idl diverged from {name}.expected;\n--- got ---\n{got}"
+    );
+}
+
+#[test]
+fn bad_pragma_findings_match_golden() {
+    golden("bad_pragma");
+}
+
+#[test]
+fn oneway_out_findings_match_golden() {
+    golden("oneway_out");
+}
+
+#[test]
+fn tag_collision_findings_match_golden() {
+    golden("tag_collision");
+}
+
+/// The repository's own IDL files must stay lint-clean — they are what
+/// `pardisc lint` gates in CI.
+#[test]
+fn shipped_idl_files_are_lint_clean() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../idl");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(dir).expect("idl/ directory exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "idl") {
+            let source = std::fs::read_to_string(&path).unwrap();
+            let findings = render_findings(&source);
+            assert!(findings.is_empty(), "{path:?} has lint findings:\n{findings}");
+            checked += 1;
+        }
+    }
+    assert!(checked >= 4, "expected the four shipped IDL files, found {checked}");
+}

@@ -26,6 +26,7 @@ mod rts_trait;
 mod tulip;
 mod world;
 
+pub use bytes::Bytes;
 pub use msg::Msg;
 pub use rts_trait::{MpiRts, ReduceOp, Rts};
 pub use tulip::{Region, RegionId, TulipRts, TulipWorld};
@@ -43,6 +44,20 @@ pub mod tags {
     /// First tag reserved for the runtime's own collectives.
     pub const COLLECTIVE_BASE: u64 = 1 << 63;
 
+    /// The whole reserved band: every tag at or above [`PARDIS_BASE`] belongs
+    /// to the ORB or the runtime, never to user computation. Single source of
+    /// truth for §2.2's "set of reserved message tags"; re-exported by
+    /// `pardis_core::protocol` so ORB code and checkers agree on the range.
+    pub const RESERVED_TAG_RANGE: core::ops::Range<u64> = PARDIS_BASE..u64::MAX;
+
+    /// Tag of the ORB's request-forwarding channel (POA dispatch traffic).
+    pub const ORB_FORWARD: u64 = PARDIS_BASE | 0xF0;
+    /// Tag of the ORB's distributed-sequence redistribution channel.
+    pub const ORB_REDIST: u64 = PARDIS_BASE | 0x5344;
+    /// Every point-to-point tag the ORB itself uses inside the reserved band.
+    /// (Collectives use the separate [`COLLECTIVE_BASE`] band.)
+    pub const ORB_TAGS: [u64; 2] = [ORB_FORWARD, ORB_REDIST];
+
     /// Build a PARDIS-band tag from a small discriminator.
     pub fn pardis(n: u64) -> u64 {
         debug_assert!(n < (1 << 62));
@@ -52,6 +67,16 @@ pub mod tags {
     /// Is this tag available to user computation?
     pub fn is_user(tag: u64) -> bool {
         tag < PARDIS_BASE
+    }
+
+    /// Is this tag inside the reserved (ORB + runtime) band?
+    pub fn is_reserved(tag: u64) -> bool {
+        RESERVED_TAG_RANGE.contains(&tag)
+    }
+
+    /// Is this tag in the runtime's private collective band?
+    pub fn is_collective(tag: u64) -> bool {
+        tag >= COLLECTIVE_BASE
     }
 }
 

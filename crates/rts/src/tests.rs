@@ -218,6 +218,24 @@ fn tags_bands_are_disjoint() {
     assert!(tags::pardis(42) < tags::COLLECTIVE_BASE);
 }
 
+#[test]
+fn orb_tags_fall_inside_the_reserved_range() {
+    // §2.2: every ORB point-to-point tag must live in the reserved band,
+    // below the runtime's private collective band.
+    for &tag in &tags::ORB_TAGS {
+        assert!(tags::RESERVED_TAG_RANGE.contains(&tag), "{tag:#x} outside reserved range");
+        assert!(tags::is_reserved(tag));
+        assert!(!tags::is_user(tag));
+        assert!(!tags::is_collective(tag), "{tag:#x} must not collide with collectives");
+    }
+    // The reserved range starts exactly at the PARDIS band and covers the
+    // collective band too.
+    assert_eq!(tags::RESERVED_TAG_RANGE.start, tags::PARDIS_BASE);
+    assert!(tags::is_reserved(tags::COLLECTIVE_BASE));
+    assert!(tags::is_collective(tags::COLLECTIVE_BASE));
+    assert!(!tags::is_reserved(tags::PARDIS_BASE - 1));
+}
+
 mod rts_trait_tests {
     use super::*;
 

@@ -20,6 +20,7 @@
 //! | [`rts`] | `pardis-rts` | the run-time-system substrate (MPI-like world, Tulip one-sided) |
 //! | [`netsim`] | `pardis-netsim` | the simulated testbed (hosts, ATM/Ethernet links) |
 //! | [`obs`] | `pardis-obs` | tracing + metrics: per-thread event rings, Chrome-trace export |
+//! | [`check`] | `pardis-check` | SPMD protocol analyzer: tag discipline, collective matching, deadlock detection |
 //! | [`pooma`] | `pooma-rs` | POOMA-like fields, guard cells, 9-point stencils |
 //! | [`pstl`] | `pstl-rs` | HPC++-PSTL-like distributed vectors and algorithms |
 //! | (dev) | `pardis-apps` | the paper's evaluation workloads (solvers, DNA search, pipeline) |
@@ -37,6 +38,7 @@
 //!    `_single`).
 
 pub use pardis_cdr as cdr;
+pub use pardis_check as check;
 pub use pardis_codegen as codegen;
 pub use pardis_core as core;
 pub use pardis_idl as idl;

@@ -8,7 +8,7 @@ use pardis::core::{
 use pardis::generated::dna::{DnaDbProxy, ListServerProxy, Status};
 use pardis::generated::solvers::{DirectProxy, IterativeProxy};
 use pardis::netsim::{FaultPlan, FaultStats, Link, Network, TimeScale};
-use pardis::rts::{MpiRts, Rts, World};
+use pardis::rts::{MpiRts, World};
 use pardis_apps::dna::{
     classify, derivatives, gen_database, spawn_dna_server, DnaServerConfig, Placement, LIST_NAMES,
 };
@@ -136,9 +136,10 @@ fn solvers_metaapplication_survives_chaos() {
     let expect = solve_seq(&a, &b);
 
     let client = ClientGroup::create(&orb, h1, 2);
+    let chk = pardis::check::for_world(2);
     let out = World::run(2, |rank| {
         let t = rank.rank();
-        let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+        let rts = pardis::check::wrap_if(&chk, Arc::new(MpiRts::new(rank)));
         let ct = client.attach(t, Some(rts.clone()));
         let d_solver = DirectProxy::spmd_bind(&ct, "direct_chaos").unwrap();
         let i_solver = IterativeProxy::spmd_bind(&ct, "itrt_chaos").unwrap();
@@ -150,6 +151,7 @@ fn solvers_metaapplication_survives_chaos() {
         let difference = compute_difference(&x1_real, &x2_real, Some(rts.as_ref()));
         (difference, x2_real.local().to_vec())
     });
+    pardis::check::enforce(&chk);
 
     // Results identical to the fault-free run of solvers_e2e.
     let mut got = Vec::new();

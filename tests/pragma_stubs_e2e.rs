@@ -7,7 +7,7 @@ use pardis::generated::pipeline::{FieldOperationsProxy, VisualizerProxy};
 use pardis::netsim::{Network, TimeScale};
 use pardis::pooma::{Field2D, Layout2D};
 use pardis::pstl::DistVector;
-use pardis::rts::{MpiRts, Rts, World};
+use pardis::rts::{MpiRts, World};
 use pardis_apps::pipeline::{spawn_gradient_server, spawn_visualizer};
 use std::sync::Arc;
 
@@ -21,9 +21,10 @@ fn pooma_field_stub_blocking_and_nonblocking() {
     // Field shape must match the IDL bound: 128 x 128.
     let (nx, ny) = (128usize, 128usize);
     let client = ClientGroup::create(&orb, pc, 2);
+    let chk = pardis::check::for_world(2);
     World::run(2, |rank| {
         let t = rank.rank();
-        let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+        let rts = pardis::check::wrap_if(&chk, Arc::new(MpiRts::new(rank)));
         let ct = client.attach(t, Some(rts));
         let proxy = VisualizerProxy::spmd_bind(&ct, "v1").unwrap();
         let field = Field2D::from_fn(Layout2D::new(nx, ny, 2), t, |i, j| (i + j) as f64);
@@ -33,6 +34,7 @@ fn pooma_field_stub_blocking_and_nonblocking() {
         let futs = proxy.show_pooma_nb(&field).unwrap();
         futs.handle.wait().unwrap();
     });
+    pardis::check::enforce(&chk);
     assert_eq!(stats.lock().frames, 2);
     let expect: f64 = (0..ny).flat_map(|j| (0..nx).map(move |i| (i + j) as f64)).sum();
     assert!((stats.lock().checksum - 2.0 * expect).abs() < 1e-6);
@@ -48,9 +50,10 @@ fn hpcxx_vector_stub_reaches_the_gradient_server() {
     let grad = spawn_gradient_server(&orb, sp2, "f1", 2, None, 128, 128);
 
     let client = ClientGroup::create(&orb, pc, 2);
+    let chk = pardis::check::for_world(2);
     World::run(2, |rank| {
         let t = rank.rank();
-        let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+        let rts = pardis::check::wrap_if(&chk, Arc::new(MpiRts::new(rank)));
         let ct = client.attach(t, Some(rts));
         let proxy = FieldOperationsProxy::spmd_bind(&ct, "f1").unwrap();
         // The argument is the PSTL container itself (`-hpcxx` mapping).
@@ -59,5 +62,6 @@ fn hpcxx_vector_stub_reaches_the_gradient_server() {
         let futs = proxy.gradient_hpcxx_nb(&v).unwrap();
         futs.handle.wait().unwrap();
     });
+    pardis::check::enforce(&chk);
     grad.shutdown();
 }

@@ -8,7 +8,7 @@ use pardis::core::{
     ServerRequest, TransferStrategy,
 };
 use pardis::netsim::{FaultPlan, Link, Network, TimeScale};
-use pardis::rts::{MpiRts, Rts, World};
+use pardis::rts::{MpiRts, World};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -63,13 +63,15 @@ fn soak(rounds: usize, seed: u64) {
         let group = ServerGroup::create(&orb, "scaler", host, server_n);
         let g = group.clone();
         let server = std::thread::spawn(move || {
+            let chk = pardis::check::for_world(server_n);
             World::run(server_n, |rank| {
                 let t = rank.rank();
-                let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+                let rts = pardis::check::wrap_if(&chk, Arc::new(MpiRts::new(rank)));
                 let mut poa = g.attach(t, Some(rts));
                 poa.activate_spmd("s1", Arc::new(Scaler), policy.clone());
                 poa.impl_is_ready();
             });
+            pardis::check::enforce(&chk);
         });
 
         let full: Vec<f64> = (0..len).map(|i| i as f64 + round as f64).collect();
@@ -77,9 +79,10 @@ fn soak(rounds: usize, seed: u64) {
         let expect: Vec<f64> = full.iter().map(|x| x * factor).collect();
 
         let client = ClientGroup::create(&orb, host, client_n);
+        let chk = pardis::check::for_world(client_n);
         let out = World::run(client_n, |rank| {
             let t = rank.rank();
-            let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+            let rts = pardis::check::wrap_if(&chk, Arc::new(MpiRts::new(rank)));
             let ct = client.attach(t, Some(rts));
             let proxy = ct.spmd_bind("s1").unwrap();
             let v = DSequence::distribute(&full, client_dist.clone(), client_n, t);
@@ -104,6 +107,7 @@ fn soak(rounds: usize, seed: u64) {
                 .map(|r| r.local_iter().map(|(g, v)| (g, *v)).collect::<Vec<_>>())
                 .collect::<Vec<_>>()
         });
+        pardis::check::enforce(&chk);
 
         for per_thread in out {
             for result in per_thread {
@@ -167,21 +171,24 @@ fn soak_chaos_round() {
     let g = group.clone();
     let h = hits.clone();
     let server = std::thread::spawn(move || {
+        let chk = pardis::check::for_world(server_n);
         World::run(server_n, |rank| {
             let t = rank.rank();
-            let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+            let rts = pardis::check::wrap_if(&chk, Arc::new(MpiRts::new(rank)));
             let mut poa = g.attach(t, Some(rts));
             poa.activate_spmd("s1", Arc::new(CountingScaler { hits: h.clone() }), policy.clone());
             poa.impl_is_ready();
         });
+        pardis::check::enforce(&chk);
     });
 
     let full: Vec<f64> = (0..len).map(|i| i as f64).collect();
     let expect: Vec<f64> = full.iter().map(|x| x * factor).collect();
 
     let client = ClientGroup::create(&orb, ch, 1);
+    let chk = pardis::check::for_world(1);
     let out = World::run(1, |rank| {
-        let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+        let rts = pardis::check::wrap_if(&chk, Arc::new(MpiRts::new(rank)));
         let ct = client.attach(0, Some(rts));
         let proxy = ct.spmd_bind("s1").unwrap();
         let v = DSequence::distribute(&full, Distribution::Block, 1, 0);
@@ -203,6 +210,7 @@ fn soak_chaos_round() {
             .map(|r| r.local_iter().map(|(g, v)| (g, *v)).collect::<Vec<_>>())
             .collect::<Vec<_>>()
     });
+    pardis::check::enforce(&chk);
 
     for per_thread in out {
         for result in per_thread {

@@ -3,7 +3,7 @@
 use pardis::core::{ClientGroup, DSequence, Distribution, Orb, OrbError};
 use pardis::generated::solvers::{DirectProxy, IterativeProxy};
 use pardis::netsim::{Network, TimeScale};
-use pardis::rts::{MpiRts, Rts, World};
+use pardis::rts::{MpiRts, World};
 use pardis_apps::solvers::{
     compute_difference, gen_system, solve_seq, spawn_combined_server, spawn_direct_server,
     spawn_iterative_server,
@@ -31,9 +31,10 @@ fn paper_client_program_distributed_servers() {
     let expect = solve_seq(&a, &b);
 
     let client = ClientGroup::create(&orb, h1, 2);
+    let chk = pardis::check::for_world(2);
     let out = World::run(2, |rank| {
         let t = rank.rank();
-        let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+        let rts = pardis::check::wrap_if(&chk, Arc::new(MpiRts::new(rank)));
         let ct = client.attach(t, Some(rts.clone()));
 
         // 00-01: bind.
@@ -54,6 +55,7 @@ fn paper_client_program_distributed_servers() {
         let difference = compute_difference(&x1_real, &x2_real, Some(rts.as_ref()));
         (difference, x2_real.local().to_vec())
     });
+    pardis::check::enforce(&chk);
 
     let mut got = Vec::new();
     for (difference, local) in out {
@@ -140,9 +142,10 @@ fn funneled_transfer_same_answers() {
     let expect = solve_seq(&a, &b);
 
     let client = ClientGroup::create(&orb, h1, 2);
+    let chk = pardis::check::for_world(2);
     let out = World::run(2, |rank| {
         let t = rank.rank();
-        let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+        let rts = pardis::check::wrap_if(&chk, Arc::new(MpiRts::new(rank)));
         let ct = client.attach(t, Some(rts));
         let proxy = IterativeProxy::spmd_bind(&ct, "itrt2").unwrap();
         let a_ds = DSequence::distribute(&a, Distribution::Block, 2, t);
@@ -150,6 +153,7 @@ fn funneled_transfer_same_answers() {
         let (x,) = proxy.solve(&1e-9, &a_ds, &b_ds, Distribution::Block).unwrap();
         x.local().to_vec()
     });
+    pardis::check::enforce(&chk);
     let got: Vec<f64> = out.into_iter().flatten().collect();
     for (g, w) in got.iter().zip(expect.iter()) {
         assert!((g - w).abs() < 1e-5, "{g} vs {w}");

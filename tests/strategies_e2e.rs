@@ -5,7 +5,7 @@
 use pardis::core::{ClientGroup, DSequence, Distribution, Orb, TransferStrategy};
 use pardis::generated::solvers::IterativeProxy;
 use pardis::netsim::{Network, TimeScale};
-use pardis::rts::{MpiRts, Rts, World};
+use pardis::rts::{MpiRts, World};
 use pardis_apps::solvers::{gen_system, solve_seq, spawn_iterative_server};
 use std::sync::Arc;
 
@@ -19,9 +19,10 @@ fn run_strategy(strategy: TransferStrategy) -> (Vec<f64>, u64, u64) {
 
     let (a, b) = gen_system(24, 77);
     let client = ClientGroup::create(&orb, h1, 2);
+    let chk = pardis::check::for_world(2);
     let out = World::run(2, |rank| {
         let t = rank.rank();
-        let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+        let rts = pardis::check::wrap_if(&chk, Arc::new(MpiRts::new(rank)));
         let ct = client.attach(t, Some(rts));
         let proxy = IterativeProxy::spmd_bind(&ct, "it").unwrap();
         let a_ds = DSequence::distribute(&a, Distribution::Block, 2, t);
@@ -29,6 +30,7 @@ fn run_strategy(strategy: TransferStrategy) -> (Vec<f64>, u64, u64) {
         let (x,) = proxy.solve(&1e-9, &a_ds, &b_ds, Distribution::Block).unwrap();
         x.local().to_vec()
     });
+    pardis::check::enforce(&chk);
     let (frames, bytes) = orb.traffic();
     server.shutdown();
     (out.into_iter().flatten().collect(), frames, bytes)
@@ -107,20 +109,23 @@ fn concentrated_server_policy_under_both_strategies() {
         let group = ServerGroup::create(&orb, "conc", host, 3);
         let g = group.clone();
         let server = std::thread::spawn(move || {
+            let chk = pardis::check::for_world(3);
             World::run(3, |rank| {
                 let t = rank.rank();
-                let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+                let rts = pardis::check::wrap_if(&chk, Arc::new(MpiRts::new(rank)));
                 let mut poa = g.attach(t, Some(rts));
                 poa.activate_spmd("conc1", Arc::new(IterativeSkel(WhereIsMyData)), policy.clone());
                 poa.impl_is_ready();
             });
+            pardis::check::enforce(&chk);
         });
 
         let (a, b) = gen_system(12, 5);
         let client = ClientGroup::create(&orb, host, 2);
+        let chk = pardis::check::for_world(2);
         let out = World::run(2, |rank| {
             let t = rank.rank();
-            let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+            let rts = pardis::check::wrap_if(&chk, Arc::new(MpiRts::new(rank)));
             let ct = client.attach(t, Some(rts));
             let proxy = IterativeProxy::spmd_bind(&ct, "conc1").unwrap();
             let a_ds = DSequence::distribute(&a, Distribution::Block, 2, t);
@@ -129,6 +134,7 @@ fn concentrated_server_policy_under_both_strategies() {
             x.local().to_vec()
         });
         let got: Vec<f64> = out.into_iter().flatten().collect();
+        pardis::check::enforce(&chk);
         assert_eq!(got, b, "{strategy:?}: echo through the concentrated servant");
         group.shutdown();
         server.join().unwrap();
