@@ -20,7 +20,24 @@ macro_rules! prim_codec {
 }
 
 prim_codec!(bool, TypeCode::Boolean, write_bool, read_bool);
-prim_codec!(u8, TypeCode::Octet, write_u8, read_u8);
+
+impl CdrCodec for u8 {
+    fn encode(&self, e: &mut Encoder) {
+        e.write_u8(*self);
+    }
+    fn decode(d: &mut Decoder) -> Result<Self, CdrError> {
+        d.read_u8()
+    }
+    fn type_code() -> TypeCode {
+        TypeCode::Octet
+    }
+    fn encode_elems(items: &[Self], e: &mut Encoder) {
+        e.write_raw(items);
+    }
+    fn decode_elems(d: &mut Decoder, n: usize) -> Result<Vec<Self>, CdrError> {
+        d.read_raw(n)
+    }
+}
 prim_codec!(i16, TypeCode::Short, write_i16, read_i16);
 prim_codec!(u16, TypeCode::UShort, write_u16, read_u16);
 prim_codec!(i32, TypeCode::Long, write_i32, read_i32);
@@ -28,8 +45,25 @@ prim_codec!(u32, TypeCode::ULong, write_u32, read_u32);
 prim_codec!(i64, TypeCode::LongLong, write_i64, read_i64);
 prim_codec!(u64, TypeCode::ULongLong, write_u64, read_u64);
 prim_codec!(f32, TypeCode::Float, write_f32, read_f32);
-prim_codec!(f64, TypeCode::Double, write_f64, read_f64);
 prim_codec!(char, TypeCode::Char, write_char, read_char);
+
+impl CdrCodec for f64 {
+    fn encode(&self, e: &mut Encoder) {
+        e.write_f64(*self);
+    }
+    fn decode(d: &mut Decoder) -> Result<Self, CdrError> {
+        d.read_f64()
+    }
+    fn type_code() -> TypeCode {
+        TypeCode::Double
+    }
+    fn encode_elems(items: &[Self], e: &mut Encoder) {
+        e.write_f64_elems(items);
+    }
+    fn decode_elems(d: &mut Decoder, n: usize) -> Result<Vec<Self>, CdrError> {
+        d.read_f64_elems(n)
+    }
+}
 
 impl CdrCodec for String {
     fn encode(&self, e: &mut Encoder) {
@@ -56,17 +90,11 @@ impl CdrCodec for () {
 impl<T: CdrCodec> CdrCodec for Vec<T> {
     fn encode(&self, e: &mut Encoder) {
         e.write_u32(self.len() as u32);
-        for item in self {
-            item.encode(e);
-        }
+        T::encode_elems(self, e);
     }
     fn decode(d: &mut Decoder) -> Result<Self, CdrError> {
         let n = d.read_seq_len(None)?;
-        let mut out = Vec::with_capacity(n.min(1 << 16));
-        for _ in 0..n {
-            out.push(T::decode(d)?);
-        }
-        Ok(out)
+        T::decode_elems(d, n)
     }
     fn type_code() -> TypeCode {
         TypeCode::sequence(T::type_code())

@@ -133,6 +133,17 @@ impl Decoder {
         Ok(self.take(n)?.to_vec())
     }
 
+    /// Read `n` raw bytes as a zero-copy slice of the underlying buffer
+    /// (a refcount bump, no allocation).
+    pub fn read_bytes(&mut self, n: usize) -> Result<Bytes, CdrError> {
+        if self.remaining() < n {
+            return Err(CdrError::Truncated { needed: n, remaining: self.remaining() });
+        }
+        let s = self.buf.slice(self.pos..self.pos + n);
+        self.pos += n;
+        Ok(s)
+    }
+
     /// Read a byte sequence written by [`crate::Encoder::write_byte_seq`].
     pub fn read_byte_seq(&mut self) -> Result<Vec<u8>, CdrError> {
         let n = self.read_u32()? as u64;
@@ -140,6 +151,17 @@ impl Decoder {
             return Err(CdrError::ImplementationLimit(n));
         }
         self.read_raw(n as usize)
+    }
+
+    /// Zero-copy variant of [`Decoder::read_byte_seq`]: the payload is a
+    /// slice of the decoder's buffer, so bulk blobs survive the frame decode
+    /// without being copied.
+    pub fn read_byte_seq_bytes(&mut self) -> Result<Bytes, CdrError> {
+        let n = self.read_u32()? as u64;
+        if n > MAX_ALLOC {
+            return Err(CdrError::ImplementationLimit(n));
+        }
+        self.read_bytes(n as usize)
     }
 
     /// Read an element count for a sequence, enforcing the allocation limit
@@ -158,22 +180,45 @@ impl Decoder {
     }
 
     /// Bulk-read an `f64` slice written by
-    /// [`crate::Encoder::write_f64_slice`].
+    /// [`crate::Encoder::write_f64_slice`]: one `memcpy` in native order
+    /// (the wire source may be unaligned; the destination `Vec<f64>` is
+    /// aligned by construction), per-element byte swap otherwise.
     pub fn read_f64_vec(&mut self) -> Result<Vec<f64>, CdrError> {
         let n = self.read_seq_len(None)?;
+        self.read_f64_elems(n)
+    }
+
+    /// The element part of [`Decoder::read_f64_vec`] (count already read) —
+    /// equivalent to decoding `n` elements with [`Decoder::read_f64`].
+    pub fn read_f64_elems(&mut self, n: usize) -> Result<Vec<f64>, CdrError> {
+        // Mirror of the encoder: an empty sequence carries no alignment
+        // padding after the count.
+        if n == 0 {
+            return Ok(Vec::new());
+        }
         self.align(8);
         let order = self.order;
         let raw = self.take(n * 8)?;
-        let mut out = Vec::with_capacity(n);
-        match order {
-            ByteOrder::Big => {
-                for chunk in raw.chunks_exact(8) {
-                    out.push(f64::from_bits(u64::from_be_bytes(chunk.try_into().unwrap())));
-                }
+        let mut out: Vec<f64> = Vec::with_capacity(n);
+        if order == ByteOrder::native() {
+            // SAFETY: `raw` holds exactly n*8 bytes, the destination has
+            // capacity for n doubles, every bit pattern is a valid f64, and
+            // the byte-wise copy tolerates an unaligned source.
+            unsafe {
+                std::ptr::copy_nonoverlapping(raw.as_ptr(), out.as_mut_ptr().cast::<u8>(), n * 8);
+                out.set_len(n);
             }
-            ByteOrder::Little => {
-                for chunk in raw.chunks_exact(8) {
-                    out.push(f64::from_bits(u64::from_le_bytes(chunk.try_into().unwrap())));
+        } else {
+            match order {
+                ByteOrder::Big => {
+                    for chunk in raw.chunks_exact(8) {
+                        out.push(f64::from_bits(u64::from_be_bytes(chunk.try_into().unwrap())));
+                    }
+                }
+                ByteOrder::Little => {
+                    for chunk in raw.chunks_exact(8) {
+                        out.push(f64::from_bits(u64::from_le_bytes(chunk.try_into().unwrap())));
+                    }
                 }
             }
         }

@@ -1,7 +1,18 @@
 //! The CDR encoder.
 
 use crate::ByteOrder;
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::Bytes;
+use std::cell::RefCell;
+
+/// Buffers kept per thread for [`Encoder::pooled`]; bounded so a burst of
+/// large encodes cannot pin memory forever.
+const POOL_MAX_BUFFERS: usize = 16;
+/// Buffers above this capacity are dropped instead of recycled.
+const POOL_MAX_CAPACITY: usize = 1 << 20;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
 
 /// An append-only CDR stream.
 ///
@@ -10,8 +21,9 @@ use bytes::{BufMut, Bytes, BytesMut};
 /// the same padding without any in-band markers.
 #[derive(Debug)]
 pub struct Encoder {
-    buf: BytesMut,
+    buf: Vec<u8>,
     order: ByteOrder,
+    pooled: bool,
 }
 
 macro_rules! write_prim {
@@ -30,13 +42,33 @@ macro_rules! write_prim {
 impl Encoder {
     /// A fresh stream in the given byte order.
     pub fn new(order: ByteOrder) -> Self {
-        Encoder { buf: BytesMut::with_capacity(64), order }
+        Encoder::with_capacity(order, 64)
     }
 
     /// A fresh stream with preallocated capacity (use when the encoded size
     /// is roughly known; bulk sequence marshaling benefits measurably).
     pub fn with_capacity(order: ByteOrder, cap: usize) -> Self {
-        Encoder { buf: BytesMut::with_capacity(cap), order }
+        Encoder { buf: Vec::with_capacity(cap), order, pooled: false }
+    }
+
+    /// A stream drawing its buffer from a per-thread pool. Dropping the
+    /// encoder without [`Encoder::finish`]ing it returns the (cleared)
+    /// buffer to the pool, so scratch encodes on hot paths reuse warmed-up
+    /// capacity instead of reallocating; [`Encoder::finish`] hands the
+    /// accumulated allocation to the returned [`Bytes`] as usual.
+    pub fn pooled(order: ByteOrder) -> Self {
+        let buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_else(|| Vec::with_capacity(256));
+        debug_assert!(buf.is_empty(), "pooled buffers are cleared before reuse");
+        Encoder { buf, order, pooled: true }
+    }
+
+    /// Explicitly return a pooled scratch buffer (equivalent to dropping).
+    pub fn recycle(self) {}
+
+    /// Reset the stream to empty, keeping the allocation. Lets one scratch
+    /// encoder serve a whole loop of independent encodes.
+    pub fn clear(&mut self) {
+        self.buf.clear();
     }
 
     /// The stream's byte order.
@@ -54,25 +86,31 @@ impl Encoder {
         self.buf.is_empty()
     }
 
+    /// The encoded bytes so far (scratch encoders copy from here before
+    /// being recycled).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
     /// Insert padding so the next write lands on an `n`-byte boundary.
     pub fn align(&mut self, n: usize) {
         debug_assert!(n.is_power_of_two() && n <= 8);
         let misalign = self.buf.len() & (n - 1);
         if misalign != 0 {
             for _ in 0..(n - misalign) {
-                self.buf.put_u8(0);
+                self.buf.push(0);
             }
         }
     }
 
     /// Append a raw octet (no alignment needed).
     pub fn write_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Append a raw signed octet.
     pub fn write_i8(&mut self, v: i8) {
-        self.buf.put_i8(v);
+        self.buf.push(v as u8);
     }
 
     /// Append a boolean as an octet (1/0).
@@ -108,7 +146,7 @@ impl Encoder {
     pub fn write_string(&mut self, s: &str) {
         self.write_u32(s.len() as u32 + 1);
         self.buf.extend_from_slice(s.as_bytes());
-        self.buf.put_u8(0);
+        self.buf.push(0);
     }
 
     /// Append raw bytes verbatim (caller controls framing and alignment).
@@ -123,28 +161,68 @@ impl Encoder {
     }
 
     /// Bulk-append a `f64` slice: ULong count then aligned doubles. This is
-    /// the hot path for distributed-sequence fragments, so it avoids
-    /// per-element call overhead.
+    /// the hot path for distributed-sequence fragments: in native order the
+    /// payload is one `memcpy`; only the foreign order pays the per-element
+    /// byte swap.
     pub fn write_f64_slice(&mut self, values: &[f64]) {
         self.write_u32(values.len() as u32);
+        self.write_f64_elems(values);
+    }
+
+    /// The element part of [`Encoder::write_f64_slice`] (no count prefix) —
+    /// byte-for-byte identical to encoding each element with
+    /// [`Encoder::write_f64`].
+    pub fn write_f64_elems(&mut self, values: &[f64]) {
+        // Zero elements append zero bytes: per-element encoding never
+        // aligns, so the bulk path must not either.
+        if values.is_empty() {
+            return;
+        }
         self.align(8);
-        self.buf.reserve(values.len() * 8);
-        match self.order {
-            ByteOrder::Big => {
-                for v in values {
-                    self.buf.extend_from_slice(&v.to_bits().to_be_bytes());
+        if self.order == ByteOrder::native() {
+            // SAFETY: f64 has no padding and size_of::<f64>() == 8, so the
+            // value slice is readable as exactly `len * 8` initialized bytes.
+            let raw = unsafe {
+                std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), values.len() * 8)
+            };
+            self.buf.extend_from_slice(raw);
+        } else {
+            self.buf.reserve(values.len() * 8);
+            match self.order {
+                ByteOrder::Big => {
+                    for v in values {
+                        self.buf.extend_from_slice(&v.to_bits().to_be_bytes());
+                    }
                 }
-            }
-            ByteOrder::Little => {
-                for v in values {
-                    self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+                ByteOrder::Little => {
+                    for v in values {
+                        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+                    }
                 }
             }
         }
     }
 
     /// Finish the stream and take the buffer.
-    pub fn finish(self) -> Bytes {
-        self.buf.freeze()
+    pub fn finish(mut self) -> Bytes {
+        Bytes::from(std::mem::take(&mut self.buf))
+    }
+}
+
+impl Drop for Encoder {
+    fn drop(&mut self) {
+        // Finished encoders gave their buffer away (capacity 0): nothing to
+        // recycle. Unfinished pooled scratch buffers go back, cleared so the
+        // next user can never observe prior contents.
+        if self.pooled && self.buf.capacity() > 0 && self.buf.capacity() <= POOL_MAX_CAPACITY {
+            let mut buf = std::mem::take(&mut self.buf);
+            buf.clear();
+            POOL.with(|p| {
+                let mut pool = p.borrow_mut();
+                if pool.len() < POOL_MAX_BUFFERS {
+                    pool.push(buf);
+                }
+            });
+        }
     }
 }

@@ -82,6 +82,26 @@ pub trait CdrCodec: Sized {
     fn decode(d: &mut Decoder) -> Result<Self, CdrError>;
     /// The runtime type description of this type.
     fn type_code() -> TypeCode;
+
+    /// Append `items` back-to-back with no count prefix. Sequence encoding
+    /// funnels through this hook so primitive element types can override the
+    /// per-element loop with a bulk copy; overrides must stay byte-identical
+    /// to the default.
+    fn encode_elems(items: &[Self], e: &mut Encoder) {
+        for item in items {
+            item.encode(e);
+        }
+    }
+
+    /// Read `n` elements back-to-back (count already consumed) — the decode
+    /// half of the [`CdrCodec::encode_elems`] bulk hook.
+    fn decode_elems(d: &mut Decoder, n: usize) -> Result<Vec<Self>, CdrError> {
+        let mut out = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            out.push(Self::decode(d)?);
+        }
+        Ok(out)
+    }
 }
 
 /// Encode a single value into a fresh native-endian buffer.

@@ -356,3 +356,166 @@ mod property {
         }
     }
 }
+
+/// The bulk fast paths (`write_f64_elems` / `read_f64_elems`, raw `u8` memcpy)
+/// must be byte-identical to the per-element reference encoding in every byte
+/// order and at every stream alignment — the wire format is the contract.
+mod bulk {
+    use super::*;
+
+    fn per_element_f64(v: &[f64], order: ByteOrder) -> Bytes {
+        let mut e = Encoder::new(order);
+        e.write_u32(v.len() as u32);
+        for x in v {
+            e.write_f64(*x);
+        }
+        e.finish()
+    }
+
+    #[test]
+    fn f64_bulk_encoding_matches_per_element_in_both_orders() {
+        // 257 elements: large enough to exercise the memcpy path, odd enough
+        // to catch length-dependent bugs.
+        let v: Vec<f64> = (0..257).map(|i| i as f64 * 0.5 - 3.0).collect();
+        for order in [ByteOrder::Big, ByteOrder::Little] {
+            let mut e = Encoder::new(order);
+            v.encode(&mut e);
+            let bulk = e.finish();
+            assert_eq!(&bulk[..], &per_element_f64(&v, order)[..], "order {order:?}");
+            let mut d = Decoder::new(bulk, order);
+            assert_eq!(Vec::<f64>::decode(&mut d).unwrap(), v);
+            assert_eq!(d.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn foreign_order_bulk_roundtrips_through_the_swap_loop() {
+        let v: Vec<f64> = (0..64).map(|i| (i as f64).exp()).collect();
+        let foreign = match ByteOrder::native() {
+            ByteOrder::Big => ByteOrder::Little,
+            ByteOrder::Little => ByteOrder::Big,
+        };
+        let mut e = Encoder::new(foreign);
+        v.encode(&mut e);
+        let mut d = Decoder::new(e.finish(), foreign);
+        assert_eq!(Vec::<f64>::decode(&mut d).unwrap(), v);
+    }
+
+    #[test]
+    fn unaligned_stream_start_pads_identically() {
+        // Leading bytes misalign the stream; the bulk path must insert the
+        // same CDR padding as the per-element reference.
+        let v: Vec<f64> = vec![1.25, -2.5, 3.75];
+        for lead in 1..8usize {
+            for order in [ByteOrder::Big, ByteOrder::Little] {
+                let mut bulk = Encoder::new(order);
+                let mut reference = Encoder::new(order);
+                for _ in 0..lead {
+                    bulk.write_u8(0xab);
+                    reference.write_u8(0xab);
+                }
+                v.encode(&mut bulk);
+                reference.write_u32(v.len() as u32);
+                for x in &v {
+                    reference.write_f64(*x);
+                }
+                let wire = bulk.finish();
+                assert_eq!(&wire[..], &reference.finish()[..], "lead {lead}, order {order:?}");
+                let mut d = Decoder::new(wire, order);
+                for _ in 0..lead {
+                    d.read_u8().unwrap();
+                }
+                assert_eq!(Vec::<f64>::decode(&mut d).unwrap(), v, "lead {lead}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_element_sequences() {
+        for v in [Vec::<f64>::new(), vec![42.0]] {
+            for order in [ByteOrder::Big, ByteOrder::Little] {
+                let mut e = Encoder::new(order);
+                v.encode(&mut e);
+                let wire = e.finish();
+                assert_eq!(&wire[..], &per_element_f64(&v, order)[..]);
+                let mut d = Decoder::new(wire, order);
+                assert_eq!(Vec::<f64>::decode(&mut d).unwrap(), v);
+            }
+        }
+        for v in [Vec::<u8>::new(), vec![7u8]] {
+            let wire = to_bytes(&v);
+            assert_eq!(from_bytes::<Vec<u8>>(&wire).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn u8_bulk_matches_per_element() {
+        let v: Vec<u8> = (0..=255).collect();
+        for order in [ByteOrder::Big, ByteOrder::Little] {
+            let mut bulk = Encoder::new(order);
+            v.encode(&mut bulk);
+            let mut reference = Encoder::new(order);
+            reference.write_u32(v.len() as u32);
+            for x in &v {
+                reference.write_u8(*x);
+            }
+            assert_eq!(&bulk.finish()[..], &reference.finish()[..]);
+        }
+    }
+
+    #[test]
+    fn decoded_byte_slices_borrow_the_wire() {
+        // `read_bytes` must alias the decoder's backing buffer, not copy.
+        let mut e = Encoder::new(ByteOrder::native());
+        e.write_byte_seq(&[9u8; 64]);
+        let wire = e.finish();
+        let lo = wire.as_ptr() as usize;
+        let hi = lo + wire.len();
+        let mut d = Decoder::new(wire.clone(), ByteOrder::native());
+        let seq = d.read_byte_seq_bytes().unwrap();
+        let p = seq.as_ptr() as usize;
+        assert!(p >= lo && p + seq.len() <= hi, "decoded slice copied instead of borrowed");
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// A recycled pool buffer must never leak a previous encoding
+            /// into a later one: encode `a`, recycle, encode `b`, and the
+            /// result is exactly what a fresh encoder produces for `b`.
+            #[test]
+            fn pooled_buffer_reuse_never_leaks(
+                a in proptest::collection::vec(any::<u8>(), 0..128),
+                b in proptest::collection::vec(any::<u8>(), 0..128),
+            ) {
+                let mut e1 = Encoder::pooled(ByteOrder::native());
+                a.encode(&mut e1);
+                e1.recycle();
+                let mut e2 = Encoder::pooled(ByteOrder::native());
+                b.encode(&mut e2);
+                let out = e2.finish();
+                let mut reference = Encoder::new(ByteOrder::native());
+                b.encode(&mut reference);
+                prop_assert_eq!(&out[..], &reference.finish()[..]);
+            }
+
+            /// `clear()` reuse inside a loop is equally hermetic.
+            #[test]
+            fn cleared_encoder_reuse_matches_fresh(
+                a in proptest::collection::vec(any::<f64>(), 0..32),
+                b in proptest::collection::vec(any::<f64>(), 0..32),
+            ) {
+                let mut e = Encoder::pooled(ByteOrder::native());
+                a.encode(&mut e);
+                e.clear();
+                b.encode(&mut e);
+                let mut reference = Encoder::new(ByteOrder::native());
+                b.encode(&mut reference);
+                prop_assert_eq!(e.as_slice(), &reference.finish()[..]);
+                e.recycle();
+            }
+        }
+    }
+}

@@ -9,17 +9,17 @@
 //! futures ([`CallBuilder::invoke_nb`]) or oneway
 //! ([`CallBuilder::invoke_oneway`]).
 
-use crate::dist::{plan_transfer, Distribution};
+use crate::dist::{plan_transfer_cached, Distribution};
 use crate::dseq::DSequence;
 use crate::error::{OrbError, OrbResult};
 use crate::object::{BindingId, ClientId, DistPolicy, EndpointId, ObjectKind, ObjectRef};
 use crate::orb::{Envelope, Orb, OrbConfig, TransferStrategy};
 use crate::poa::FORWARD_TAG;
 use crate::protocol::{
-    frame_list, unframe_list, ArgDir, DArgDesc, FragmentMsg, Message, ReplyMsg, ReplyStatus,
-    RequestMsg,
+    encode_fragment_frame, frame_list, unframe_list, ArgDir, DArgDesc, FragmentMsg, Message,
+    ReplyMsg, ReplyStatus, RequestMsg,
 };
-use crate::servant::{ServantCtx, ServerRequest};
+use crate::servant::{stage_piece, RangeEncodeFn, ServantCtx, ServerRequest};
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
 use pardis_cdr::{Any, ByteOrder, CdrCodec, Decoder, Encoder, TypeCode};
@@ -332,7 +332,9 @@ impl InvocationState {
             Message::Fragment(f)
                 if inner.frag_seen.insert((f.arg, f.start, f.count, f.src_thread)) =>
             {
-                inner.frags.entry(f.arg).or_default().push((f.start, f.count, Bytes::from(f.data)));
+                // f.data is a zero-copy slice of the wire frame; stashing it
+                // keeps the frame alive instead of copying the payload.
+                inner.frags.entry(f.arg).or_default().push((f.start, f.count, f.data));
             }
             _ => {}
         }
@@ -381,7 +383,7 @@ impl InvocationState {
             .outs
             .get(slot)
             .ok_or_else(|| OrbError::Protocol(format!("no scalar out slot {slot}")))?;
-        let mut d = Decoder::new(Bytes::copy_from_slice(blob), ByteOrder::native());
+        let mut d = Decoder::new(blob.clone(), ByteOrder::native());
         Ok(T::decode(&mut d)?)
     }
 
@@ -393,7 +395,7 @@ impl InvocationState {
             .outs
             .get(slot)
             .ok_or_else(|| OrbError::Protocol(format!("no scalar out slot {slot}")))?;
-        let mut d = Decoder::new(Bytes::copy_from_slice(blob), ByteOrder::native());
+        let mut d = Decoder::new(blob.clone(), ByteOrder::native());
         Ok(Any::decode_value(tc, &mut d)?)
     }
 
@@ -417,15 +419,7 @@ impl InvocationState {
         if let Some(pieces) = inner.frags.get(&wire_idx) {
             for (start, count, data) in pieces {
                 let mut d = Decoder::new(data.clone(), ByteOrder::native());
-                for idx in *start..*start + *count {
-                    let (owner, local) = dist.global_to_local(len, n, idx);
-                    if owner != t {
-                        return Err(OrbError::Protocol(format!(
-                            "out fragment element {idx} belongs to thread {owner}, got thread {t}"
-                        )));
-                    }
-                    staged[local as usize] = Some(T::decode(&mut d)?);
-                }
+                stage_piece(&mut staged, &mut d, &dist, len, n, t, *start, *count)?;
             }
         }
         let mut local = Vec::with_capacity(local_len);
@@ -557,7 +551,7 @@ impl Proxy {
 }
 
 enum DArgEntry {
-    In { len: u64, client_dist: Distribution, encode: Box<dyn Fn(u64, u64) -> Bytes + Send> },
+    In { len: u64, client_dist: Distribution, encode: RangeEncodeFn },
     Out { expected_dist: Distribution },
 }
 
@@ -567,7 +561,7 @@ enum DArgEntry {
 pub struct CallBuilder<'p> {
     proxy: &'p Proxy,
     op: String,
-    ins: Vec<Vec<u8>>,
+    ins: Vec<Bytes>,
     dargs: Vec<DArgEntry>,
 }
 
@@ -576,7 +570,7 @@ impl<'p> CallBuilder<'p> {
     pub fn arg<T: CdrCodec>(mut self, v: &T) -> Self {
         let mut e = Encoder::new(ByteOrder::native());
         v.encode(&mut e);
-        self.ins.push(e.finish().to_vec());
+        self.ins.push(e.finish());
         self
     }
 
@@ -585,7 +579,7 @@ impl<'p> CallBuilder<'p> {
     pub fn any_arg(mut self, a: &Any) -> Self {
         let mut e = Encoder::new(ByteOrder::native());
         a.encode_value(&mut e);
-        self.ins.push(e.finish().to_vec());
+        self.ins.push(e.finish());
         self
     }
 
@@ -599,7 +593,7 @@ impl<'p> CallBuilder<'p> {
         self.dargs.push(DArgEntry::In {
             len: ds.len(),
             client_dist: ds.dist().clone(),
-            encode: Box::new(move |s, c| captured.encode_range(s, c)),
+            encode: Box::new(move |s, c, e| captured.encode_range_into(s, c, e)),
         });
         self
     }
@@ -861,15 +855,20 @@ impl<'p> CallBuilder<'p> {
             }
         }
 
-        // Distributed in-argument fragments.
+        // Distributed in-argument fragments. One pooled scratch buffer
+        // stages every piece's elements; the framed wire buffer is the only
+        // per-fragment allocation.
         let mut my_frames: Vec<Bytes> = Vec::new();
+        let mut scratch = Encoder::pooled(ByteOrder::native());
         for (i, entry) in self.dargs.iter().enumerate() {
             let DArgEntry::In { len, client_dist, encode } = entry else { continue };
             let server_dist = proxy.policy.get(&self.op, i as u32);
-            let plan = plan_transfer(*len, client_dist, cthreads, &server_dist, proxy.obj.nthreads);
+            let plan =
+                plan_transfer_cached(*len, client_dist, cthreads, &server_dist, proxy.obj.nthreads);
             for piece in plan.iter().filter(|p| p.src == cthread) {
-                let data = encode(piece.start, piece.count);
-                let frag = Message::Fragment(FragmentMsg {
+                scratch.clear();
+                encode(piece.start, piece.count, &mut scratch);
+                let head = FragmentMsg {
                     req_id,
                     binding: proxy.binding,
                     arg: i as u32,
@@ -878,8 +877,9 @@ impl<'p> CallBuilder<'p> {
                     count: piece.count,
                     dst_thread: piece.dst as u32,
                     src_thread: cthread as u32,
-                    data: data.to_vec(),
-                });
+                    data: Bytes::new(),
+                };
+                let wire = encode_fragment_frame(&head, scratch.as_slice());
                 if trace_on {
                     pardis_obs::instant(
                         "client",
@@ -894,9 +894,8 @@ impl<'p> CallBuilder<'p> {
                     );
                 }
                 if funneled {
-                    my_frames.push(frag.encode());
+                    my_frames.push(wire);
                 } else {
-                    let wire = frag.encode();
                     core.orb.send_wire(core.host, endpoints[piece.dst], wire.clone())?;
                     if !oneway {
                         replay.push((endpoints[piece.dst], wire));
@@ -904,6 +903,7 @@ impl<'p> CallBuilder<'p> {
                 }
             }
         }
+        scratch.recycle();
         if funneled {
             if proxy.collective && cthreads > 1 {
                 // Funnel all threads' fragments through thread 0's wire

@@ -9,10 +9,13 @@
 //! funneling everything through thread 0.
 
 use pardis_cdr::{CdrCodec, CdrError, Decoder, Encoder, TypeCode};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// How a distributed sequence's elements are mapped onto the computing
 /// threads of one side of an invocation.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub enum Distribution {
     /// Contiguous blocks, as equal as possible; the first `len % n` threads
     /// get one extra element. The paper's default (`BLOCK`).
@@ -332,6 +335,70 @@ pub fn plan_transfer(
     }
     pieces.push(PlanPiece { src: cur_src, dst: cur_dst, start: run_start, count: len - run_start });
     pieces
+}
+
+/// Cache key of one planned transfer shape.
+#[derive(PartialEq, Eq, Hash, Clone)]
+struct PlanKey {
+    len: u64,
+    src_dist: Distribution,
+    dst_dist: Distribution,
+    src_n: usize,
+    dst_n: usize,
+}
+
+/// Bound on the plan cache: an application cycles through a handful of
+/// transfer shapes, so a small FIFO window catches the steady state while a
+/// hostile stream of distinct shapes stays bounded.
+const PLAN_CACHE_CAP: usize = 64;
+
+struct PlanCache {
+    plans: HashMap<PlanKey, Arc<Vec<PlanPiece>>>,
+    order: VecDeque<PlanKey>,
+}
+
+static PLAN_CACHE: Mutex<Option<PlanCache>> = Mutex::new(None);
+
+/// [`plan_transfer`] behind a keyed, bounded, process-wide cache. Invocation
+/// paths recompute the same plan for every call of a repeated operation; the
+/// plan depends only on `(len, src_dist, dst_dist, src_n, dst_n)`, so a
+/// cache hit replaces the O(len) walk with a refcounted handle.
+pub fn plan_transfer_cached(
+    len: u64,
+    src_dist: &Distribution,
+    src_n: usize,
+    dst_dist: &Distribution,
+    dst_n: usize,
+) -> Arc<Vec<PlanPiece>> {
+    let key = PlanKey { len, src_dist: src_dist.clone(), dst_dist: dst_dist.clone(), src_n, dst_n };
+    {
+        let mut guard = PLAN_CACHE.lock();
+        let cache = guard
+            .get_or_insert_with(|| PlanCache { plans: HashMap::new(), order: VecDeque::new() });
+        if let Some(plan) = cache.plans.get(&key) {
+            return plan.clone();
+        }
+    }
+    // Compute outside the lock: plans are deterministic, so a racing
+    // duplicate computation inserts an identical value.
+    let plan = Arc::new(plan_transfer(len, src_dist, src_n, dst_dist, dst_n));
+    let mut guard = PLAN_CACHE.lock();
+    let cache = guard.as_mut().expect("initialised above");
+    if !cache.plans.contains_key(&key) {
+        cache.plans.insert(key.clone(), plan.clone());
+        cache.order.push_back(key);
+        while cache.order.len() > PLAN_CACHE_CAP {
+            if let Some(old) = cache.order.pop_front() {
+                cache.plans.remove(&old);
+            }
+        }
+    }
+    plan
+}
+
+/// Number of plans currently cached (test hook for the eviction bound).
+pub fn plan_cache_len() -> usize {
+    PLAN_CACHE.lock().as_ref().map(|c| c.plans.len()).unwrap_or(0)
 }
 
 impl CdrCodec for Distribution {

@@ -20,10 +20,11 @@
 //! * [`DSequence::redistribute`] applies a new template, exchanging elements
 //!   through the run-time system interface.
 
-use crate::dist::{plan_transfer, Distribution, Run};
+use crate::dist::{plan_transfer_cached, Distribution, Run};
 use bytes::Bytes;
 use pardis_cdr::{ByteOrder, CdrCodec, Decoder, Encoder};
 use pardis_rts::{tags, Rts};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A distributed sequence: one computing thread's view of a globally
@@ -155,8 +156,15 @@ impl<T: CdrCodec + Clone> DSequence<T> {
     }
 
     /// Take the local elements out (clones only if the storage is shared).
-    pub fn take_local(self) -> Vec<T> {
-        Arc::try_unwrap(self.local).unwrap_or_else(|arc| (*arc).clone())
+    pub fn take_local(mut self) -> Vec<T> {
+        if Arc::get_mut(&mut self.local).is_some() {
+            // Sole owner: guaranteed move of the storage, never a copy. (We
+            // hold the only handle, so nothing can clone it from under us
+            // between the check and the unwrap.)
+            Arc::into_inner(self.local).expect("sole ownership just verified")
+        } else {
+            (*self.local).clone()
+        }
     }
 
     /// Mutable access to the local elements (copy-on-write if shared).
@@ -198,6 +206,23 @@ impl<T: CdrCodec + Clone> DSequence<T> {
     /// Panics if any element of the range is not local.
     pub fn encode_range(&self, start: u64, count: u64) -> Bytes {
         let mut e = Encoder::with_capacity(ByteOrder::native(), (count as usize) * 8);
+        self.encode_range_into(start, count, &mut e);
+        e.finish()
+    }
+
+    /// Streaming form of [`DSequence::encode_range`]: append the range's
+    /// elements to an existing encoder. When the global range maps onto one
+    /// contiguous run of locals — true for every piece a transfer plan emits
+    /// — the elements go through the bulk [`CdrCodec::encode_elems`] hook
+    /// (a single `memcpy` for native-order primitives).
+    pub fn encode_range_into(&self, start: u64, count: u64, e: &mut Encoder) {
+        if count == 0 {
+            return;
+        }
+        if let Some(lo) = self.contiguous_local(start, count) {
+            T::encode_elems(&self.local[lo..lo + count as usize], e);
+            return;
+        }
         for idx in start..start + count {
             let (owner, local) = self.dist.global_to_local(self.global_len, self.nthreads, idx);
             assert_eq!(
@@ -205,9 +230,19 @@ impl<T: CdrCodec + Clone> DSequence<T> {
                 "encode_range asked for global index {idx} owned by thread {owner}, not {}",
                 self.thread
             );
-            self.local[local as usize].encode(&mut e);
+            self.local[local as usize].encode(e);
         }
-        e.finish()
+    }
+
+    /// If global range `[start, start+count)` is entirely this thread's and
+    /// its local offsets are dense, return the first local offset. Local
+    /// offsets are monotone in global index, so checking the endpoints'
+    /// owners plus span density proves the whole range is local-contiguous.
+    fn contiguous_local(&self, start: u64, count: u64) -> Option<usize> {
+        debug_assert!(count > 0);
+        let (o1, l1) = self.dist.global_to_local(self.global_len, self.nthreads, start);
+        let (o2, l2) = self.dist.global_to_local(self.global_len, self.nthreads, start + count - 1);
+        (o1 == self.thread && o2 == self.thread && l2 - l1 == count - 1).then_some(l1 as usize)
     }
 
     /// Collective: materialise the whole sequence on every thread, using the
@@ -224,8 +259,9 @@ impl<T: CdrCodec + Clone> DSequence<T> {
             for _ in 0..nruns {
                 let start = d.read_u64().expect("run start");
                 let count = d.read_u64().expect("run count");
-                for idx in start..start + count {
-                    full[idx as usize] = Some(T::decode(&mut d).expect("element"));
+                let elems = T::decode_elems(&mut d, count as usize).expect("elements");
+                for (k, v) in elems.into_iter().enumerate() {
+                    full[start as usize + k] = Some(v);
                 }
             }
         }
@@ -239,10 +275,7 @@ impl<T: CdrCodec + Clone> DSequence<T> {
         for run in &runs {
             e.write_u64(run.start);
             e.write_u64(run.count);
-            for idx in run.start..run.start + run.count {
-                let (_, local) = self.dist.global_to_local(self.global_len, self.nthreads, idx);
-                self.local[local as usize].encode(&mut e);
-            }
+            self.encode_range_into(run.start, run.count, &mut e);
         }
         e.finish()
     }
@@ -257,46 +290,57 @@ impl<T: CdrCodec + Clone> DSequence<T> {
         assert_eq!(rts.size(), self.nthreads, "redistribute over a mismatched RTS world");
         assert_eq!(rts.rank(), self.thread, "redistribute called from the wrong thread");
         new_dist.validate(self.global_len, self.nthreads).expect("invalid target distribution");
-        let plan =
-            plan_transfer(self.global_len, &self.dist, self.nthreads, &new_dist, self.nthreads);
+        let plan = plan_transfer_cached(
+            self.global_len,
+            &self.dist,
+            self.nthreads,
+            &new_dist,
+            self.nthreads,
+        );
         const REDIST_TAG: u64 = tags::ORB_REDIST; // 'SD', from the shared registry
 
-        // Send away the pieces we own that move to another thread.
+        // Coalesce every outbound piece for one destination into a single
+        // message, in plan order. Both sides compute the identical plan, so
+        // the receiver can split the buffer by piece counts without any
+        // per-piece framing — a BLOCK→CYCLIC exchange costs one message per
+        // peer instead of one per element run.
+        let mut out_bufs: Vec<Option<Encoder>> = (0..self.nthreads).map(|_| None).collect();
         for piece in plan.iter().filter(|p| p.src == self.thread && p.dst != self.thread) {
-            let data = self.encode_range(piece.start, piece.count);
-            rts.send(piece.dst, REDIST_TAG, data);
+            let e = out_bufs[piece.dst].get_or_insert_with(|| Encoder::new(ByteOrder::native()));
+            self.encode_range_into(piece.start, piece.count, e);
+        }
+        for (dst, e) in out_bufs.into_iter().enumerate() {
+            if let Some(e) = e {
+                rts.send(dst, REDIST_TAG, e.finish());
+            }
         }
 
-        // Build the new local vector in new-template local order.
+        // Assemble the new local vector by walking the plan in order: each
+        // piece destined for us covers a dense run of new-local offsets, and
+        // those runs appear in increasing offset order, so appends suffice.
         let new_local_len =
             new_dist.local_len(self.global_len, self.nthreads, self.thread) as usize;
-        let mut staged: Vec<Option<T>> = (0..new_local_len).map(|_| None).collect();
-
-        // Local moves first.
-        for piece in plan.iter().filter(|p| p.src == self.thread && p.dst == self.thread) {
-            for idx in piece.start..piece.start + piece.count {
-                let (_, old_local) = self.dist.global_to_local(self.global_len, self.nthreads, idx);
-                let (_, new_local) = new_dist.global_to_local(self.global_len, self.nthreads, idx);
-                staged[new_local as usize] = Some(self.local[old_local as usize].clone());
+        let mut new_local: Vec<T> = Vec::with_capacity(new_local_len);
+        let mut incoming: HashMap<usize, Decoder> = HashMap::new();
+        for piece in plan.iter().filter(|p| p.dst == self.thread) {
+            if piece.src == self.thread {
+                let (_, lo) =
+                    self.dist.global_to_local(self.global_len, self.nthreads, piece.start);
+                let lo = lo as usize;
+                // A piece has constant (src, dst), so its old locals are as
+                // dense as its new ones: one slice clone moves it.
+                new_local.extend_from_slice(&self.local[lo..lo + piece.count as usize]);
+            } else {
+                let d = incoming.entry(piece.src).or_insert_with(|| {
+                    Decoder::new(rts.recv(Some(piece.src), REDIST_TAG).data, ByteOrder::native())
+                });
+                let elems =
+                    T::decode_elems(d, piece.count as usize).expect("redistribution elements");
+                new_local.extend(elems);
             }
         }
-
-        // Then receive remote pieces destined for us, in plan order per
-        // source (FIFO makes ranges implicit, but we recompute them from the
-        // plan for clarity and assertion).
-        for piece in plan.iter().filter(|p| p.dst == self.thread && p.src != self.thread) {
-            let msg = rts.recv(Some(piece.src), REDIST_TAG);
-            let mut d = Decoder::new(msg.data, ByteOrder::native());
-            for idx in piece.start..piece.start + piece.count {
-                let (_, new_local) = new_dist.global_to_local(self.global_len, self.nthreads, idx);
-                staged[new_local as usize] =
-                    Some(T::decode(&mut d).expect("redistribution element"));
-            }
-        }
-
-        let local: Vec<T> =
-            staged.into_iter().map(|t| t.expect("plan covers every local index")).collect();
-        self.local = Arc::new(local);
+        debug_assert_eq!(new_local.len(), new_local_len, "plan covers every local index");
+        self.local = Arc::new(new_local);
         self.dist = new_dist;
     }
 }

@@ -7,16 +7,20 @@
 //! periodically with [`Poa::process_requests`] from inside its computation —
 //! exactly the programming model of §3.3.
 
-use crate::dist::plan_transfer;
+use crate::dist::plan_transfer_cached;
 use crate::error::OrbResult;
 use crate::object::{
     BindingId, DistPolicy, EndpointId, ObjectKey, ObjectKind, ObjectRef, ServerId,
 };
 use crate::orb::{Envelope, ObjectMeta, Orb, ServerRecord};
-use crate::protocol::{ArgDir, DArgDesc, FragmentMsg, Message, ReplyMsg, ReplyStatus, RequestMsg};
+use crate::protocol::{
+    encode_fragment_frame, ArgDir, DArgDesc, FragmentMsg, Message, ReplyMsg, ReplyStatus,
+    RequestMsg,
+};
 use crate::servant::{DInLocal, Servant, ServantCtx, ServerReply, ServerRequest};
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
+use pardis_cdr::{ByteOrder, Encoder};
 use pardis_netsim::HostId;
 use pardis_rts::{tags, Rts};
 use parking_lot::Mutex;
@@ -689,7 +693,7 @@ impl Poa {
                         .remove(&(i as u32))
                         .unwrap_or_default()
                         .into_iter()
-                        .map(|f| (f.start, f.count, Bytes::from(f.data)))
+                        .map(|f| (f.start, f.count, f.data))
                         .collect();
                     pieces.sort_by_key(|p| p.0);
                     dins.push(DInLocal {
@@ -780,15 +784,24 @@ impl Poa {
                     reply.douts.len(),
                     out_descs.len()
                 );
-                // Cut fragments of each distributed out argument.
+                // Cut fragments of each distributed out argument, staging
+                // elements in one pooled scratch buffer (the framed wire
+                // buffer is the only per-fragment allocation).
                 let mut my_frames: Vec<Bytes> = Vec::new();
+                let mut scratch = Encoder::pooled(ByteOrder::native());
                 for (ordinal, dout) in reply.douts.iter().enumerate() {
                     let (wire_idx, desc) = out_descs[ordinal];
-                    let plan =
-                        plan_transfer(dout.len, &dout.dist, self.nthreads, &desc.client_dist, m);
+                    let plan = plan_transfer_cached(
+                        dout.len,
+                        &dout.dist,
+                        self.nthreads,
+                        &desc.client_dist,
+                        m,
+                    );
                     for piece in plan.iter().filter(|p| p.src == self.thread) {
-                        let data = dout.encode_range(piece.start, piece.count);
-                        let frag = Message::Fragment(FragmentMsg {
+                        scratch.clear();
+                        dout.encode_range_into(piece.start, piece.count, &mut scratch);
+                        let head = FragmentMsg {
                             req_id: req.req_id,
                             binding: req.binding,
                             arg: wire_idx as u32,
@@ -797,17 +810,18 @@ impl Poa {
                             count: piece.count,
                             dst_thread: piece.dst as u32,
                             src_thread: self.thread as u32,
-                            data: data.to_vec(),
-                        });
+                            data: Bytes::new(),
+                        };
+                        let wire = encode_fragment_frame(&head, scratch.as_slice());
                         if funneled {
-                            my_frames.push(frag.encode());
+                            my_frames.push(wire);
                         } else {
-                            let wire = frag.encode();
                             let _ = self.send_raw(req.reply_to[piece.dst], wire.clone());
                             sent.push((req.reply_to[piece.dst], wire));
                         }
                     }
                 }
+                scratch.recycle();
                 if funneled && is_spmd && self.nthreads > 1 {
                     // Collective: funnel everyone's fragments through thread
                     // 0's wire connection.

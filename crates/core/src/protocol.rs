@@ -81,8 +81,10 @@ pub struct RequestMsg {
     pub client_threads: u32,
     /// Raw host id of the client (for reply routing cost).
     pub client_host: u32,
-    /// Scalar (non-distributed) in-arguments, one CDR blob per slot.
-    pub ins: Vec<Vec<u8>>,
+    /// Scalar (non-distributed) in-arguments, one CDR blob per slot. Held as
+    /// refcounted [`Bytes`] so retransmits and collocated dispatch share the
+    /// encoded bytes instead of copying them.
+    pub ins: Vec<Bytes>,
     /// Distributed argument descriptors, in slot order (ins then outs as
     /// declared).
     pub dargs: Vec<DArgDesc>,
@@ -115,8 +117,9 @@ pub struct ReplyMsg {
     /// Status.
     pub status: ReplyStatus,
     /// Return value (slot 0 if the operation is non-void) followed by
-    /// scalar out-arguments, one CDR blob per slot.
-    pub outs: Vec<Vec<u8>>,
+    /// scalar out-arguments, one CDR blob per slot (refcounted, see
+    /// [`RequestMsg::ins`]).
+    pub outs: Vec<Bytes>,
     /// Authoritative descriptors for the distributed out-arguments
     /// (actual lengths, server-side distribution not included — the client
     /// only needs length + its own expected distribution).
@@ -144,8 +147,9 @@ pub struct FragmentMsg {
     pub dst_thread: u32,
     /// Sending thread.
     pub src_thread: u32,
-    /// CDR-encoded elements.
-    pub data: Vec<u8>,
+    /// CDR-encoded elements. On decode this is a zero-copy slice of the
+    /// incoming frame, so bulk data crosses the ORB without being copied.
+    pub data: Bytes,
 }
 
 /// All messages the ORB moves.
@@ -193,7 +197,18 @@ impl Message {
     /// Frame this message for the wire.
     pub fn encode(&self) -> Bytes {
         let order = ByteOrder::native();
-        let mut e = Encoder::with_capacity(order, 64);
+        // Size the frame up front: for bulk-bearing messages the payload
+        // dwarfs the header, and a good hint avoids the doubling reallocs
+        // (and their copies) while the payload streams in.
+        let hint = match self {
+            // Exact for the bulk-bearing frame: slack capacity can cost a
+            // second payload copy when the finished Vec becomes Bytes.
+            Message::Fragment(f) => fragment_frame_overhead() + f.data.len(),
+            Message::Request(r) => 64 + r.ins.iter().map(|b| b.len() + 8).sum::<usize>(),
+            Message::Reply(r) => 64 + r.outs.iter().map(|b| b.len() + 8).sum::<usize>(),
+            _ => 64,
+        };
+        let mut e = Encoder::with_capacity(order, hint);
         e.write_raw(&MAGIC);
         e.write_u8(VERSION);
         e.write_u8(order.flag());
@@ -327,7 +342,7 @@ fn decode_request(d: &mut Decoder) -> Result<RequestMsg, CdrError> {
     let n_ins = d.read_seq_len(None)?;
     let mut ins = Vec::with_capacity(n_ins.min(1 << 12));
     for _ in 0..n_ins {
-        ins.push(d.read_byte_seq()?);
+        ins.push(d.read_byte_seq_bytes()?);
     }
     let n_dargs = d.read_seq_len(None)?;
     let mut dargs = Vec::with_capacity(n_dargs.min(1 << 12));
@@ -391,7 +406,7 @@ fn decode_reply(d: &mut Decoder) -> Result<ReplyMsg, CdrError> {
     let n_outs = d.read_seq_len(None)?;
     let mut outs = Vec::with_capacity(n_outs.min(1 << 12));
     for _ in 0..n_outs {
-        outs.push(d.read_byte_seq()?);
+        outs.push(d.read_byte_seq_bytes()?);
     }
     let dout_lens = Vec::<u64>::decode(d)?;
     Ok(ReplyMsg { req_id, binding, status, outs, dout_lens })
@@ -400,7 +415,8 @@ fn decode_reply(d: &mut Decoder) -> Result<ReplyMsg, CdrError> {
 /// Frame a list of wire messages into one buffer (used when funneling
 /// several frames through a single RTS gather).
 pub fn frame_list(frames: &[Bytes]) -> Bytes {
-    let mut e = Encoder::new(ByteOrder::native());
+    let cap = 8 + frames.iter().map(|f| f.len() + 8).sum::<usize>();
+    let mut e = Encoder::with_capacity(ByteOrder::native(), cap);
     e.write_u32(frames.len() as u32);
     for f in frames {
         e.write_byte_seq(f);
@@ -408,13 +424,14 @@ pub fn frame_list(frames: &[Bytes]) -> Bytes {
     e.finish()
 }
 
-/// Inverse of [`frame_list`].
+/// Inverse of [`frame_list`]. Each returned frame is a zero-copy slice of
+/// `buf`, so unbundling a funneled gather is allocation-free.
 pub fn unframe_list(buf: &Bytes) -> Result<Vec<Bytes>, CdrError> {
     let mut d = Decoder::new(buf.clone(), ByteOrder::native());
     let n = d.read_seq_len(None)?;
     let mut out = Vec::with_capacity(n.min(1 << 12));
     for _ in 0..n {
-        out.push(Bytes::from(d.read_byte_seq()?));
+        out.push(d.read_byte_seq_bytes()?);
     }
     Ok(out)
 }
@@ -431,6 +448,65 @@ fn encode_fragment(f: &FragmentMsg, e: &mut Encoder) {
     e.write_byte_seq(&f.data);
 }
 
+/// Frame one fragment whose payload is supplied separately as
+/// already-encoded element bytes. Byte-identical to
+/// `Message::Fragment(..).encode()` with `data = payload`, but lets hot
+/// paths stage the elements in a pooled scratch buffer instead of
+/// allocating a one-shot owned payload per piece (`head.data` is ignored
+/// and expected to be empty).
+pub fn encode_fragment_frame(head: &FragmentMsg, payload: &[u8]) -> Bytes {
+    debug_assert!(head.data.is_empty(), "payload travels separately");
+    let order = ByteOrder::native();
+    let mut e = Encoder::with_capacity(order, fragment_frame_overhead() + payload.len());
+    e.write_raw(&MAGIC);
+    e.write_u8(VERSION);
+    e.write_u8(order.flag());
+    e.write_u8(2); // Message::Fragment type tag
+    e.write_u8(0); // pad
+    e.write_u64(head.req_id);
+    head.binding.encode(&mut e);
+    e.write_u32(head.arg);
+    head.dir.encode(&mut e);
+    e.write_u64(head.start);
+    e.write_u64(head.count);
+    e.write_u32(head.dst_thread);
+    e.write_u32(head.src_thread);
+    e.write_byte_seq(payload);
+    e.finish()
+}
+
+/// Byte size of a fragment frame ahead of its payload, measured once from
+/// an empty-payload frame. Fragment fields are all fixed-width, so
+/// `overhead + payload.len()` is the *exact* frame size — and an exact
+/// capacity hint matters: `Bytes::from(Vec)` may reallocate (and copy a
+/// bulk payload a second time) when capacity exceeds length.
+fn fragment_frame_overhead() -> usize {
+    static OVERHEAD: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *OVERHEAD.get_or_init(|| {
+        let mut e = Encoder::new(ByteOrder::native());
+        e.write_raw(&MAGIC);
+        e.write_u8(VERSION);
+        e.write_u8(0);
+        e.write_u8(2);
+        e.write_u8(0);
+        encode_fragment(
+            &FragmentMsg {
+                req_id: 0,
+                binding: BindingId(0),
+                arg: 0,
+                dir: ArgDir::In,
+                start: 0,
+                count: 0,
+                dst_thread: 0,
+                src_thread: 0,
+                data: Bytes::new(),
+            },
+            &mut e,
+        );
+        e.len()
+    })
+}
+
 fn decode_fragment(d: &mut Decoder) -> Result<FragmentMsg, CdrError> {
     Ok(FragmentMsg {
         req_id: d.read_u64()?,
@@ -441,6 +517,6 @@ fn decode_fragment(d: &mut Decoder) -> Result<FragmentMsg, CdrError> {
         count: d.read_u64()?,
         dst_thread: d.read_u32()?,
         src_thread: d.read_u32()?,
-        data: d.read_byte_seq()?,
+        data: d.read_byte_seq_bytes()?,
     })
 }

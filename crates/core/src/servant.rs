@@ -65,8 +65,8 @@ pub struct DInLocal {
 pub struct ServerRequest<'a> {
     /// Operation name.
     pub op: &'a str,
-    /// Scalar in-argument slots (CDR blobs).
-    pub ins: &'a [Vec<u8>],
+    /// Scalar in-argument slots (CDR blobs, shared with the wire frame).
+    pub ins: &'a [Bytes],
     /// Assembled distributed in-arguments, in declaration order.
     pub dins: &'a [DInLocal],
     /// Execution context.
@@ -80,7 +80,7 @@ impl ServerRequest<'_> {
             .ins
             .get(slot)
             .ok_or_else(|| OrbError::Protocol(format!("no scalar in-arg slot {slot}")))?;
-        let mut d = Decoder::new(Bytes::copy_from_slice(blob), ByteOrder::native());
+        let mut d = Decoder::new(blob.clone(), ByteOrder::native());
         Ok(T::decode(&mut d)?)
     }
 
@@ -99,15 +99,7 @@ impl ServerRequest<'_> {
         let mut staged: Vec<Option<T>> = (0..local_len).map(|_| None).collect();
         for (start, count, data) in &din.pieces {
             let mut d = Decoder::new(data.clone(), ByteOrder::native());
-            for idx in *start..*start + *count {
-                let (owner, local) = din.server_dist.global_to_local(len, n, idx);
-                if owner != t {
-                    return Err(OrbError::Protocol(format!(
-                        "fragment element {idx} belongs to thread {owner}, delivered to {t}"
-                    )));
-                }
-                staged[local as usize] = Some(T::decode(&mut d)?);
-            }
+            stage_piece(&mut staged, &mut d, &din.server_dist, len, n, t, *start, *count)?;
         }
         let mut local = Vec::with_capacity(local_len);
         for (i, v) in staged.into_iter().enumerate() {
@@ -119,6 +111,48 @@ impl ServerRequest<'_> {
         }
         Ok(DSequence::from_local(local, len, din.server_dist.clone(), n, t))
     }
+}
+
+/// Decode one fragment's elements into the staged local vector. Fast path:
+/// when the whole global range maps onto one contiguous run of this thread's
+/// locals (true for every piece a transfer plan produces), the elements are
+/// bulk-decoded and placed with a single sweep; otherwise each element is
+/// routed — and ownership-checked — individually.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stage_piece<T: CdrCodec>(
+    staged: &mut [Option<T>],
+    d: &mut Decoder,
+    dist: &Distribution,
+    len: u64,
+    n: usize,
+    t: usize,
+    start: u64,
+    count: u64,
+) -> OrbResult<()> {
+    if count == 0 {
+        return Ok(());
+    }
+    let (o1, l1) = dist.global_to_local(len, n, start);
+    let (o2, l2) = dist.global_to_local(len, n, start + count - 1);
+    // Local offsets are monotone in global index, so equal owners plus a
+    // dense local span prove every interior element is ours and contiguous.
+    if o1 == t && o2 == t && l2 - l1 == count - 1 && (l2 as usize) < staged.len() {
+        let elems = T::decode_elems(d, count as usize)?;
+        for (k, v) in elems.into_iter().enumerate() {
+            staged[l1 as usize + k] = Some(v);
+        }
+        return Ok(());
+    }
+    for idx in start..start + count {
+        let (owner, local) = dist.global_to_local(len, n, idx);
+        if owner != t {
+            return Err(OrbError::Protocol(format!(
+                "fragment element {idx} belongs to thread {owner}, delivered to {t}"
+            )));
+        }
+        staged[local as usize] = Some(T::decode(d)?);
+    }
+    Ok(())
 }
 
 /// A distributed `out` argument produced by a servant: this thread's local
@@ -134,13 +168,25 @@ pub struct DOutArg {
     pub thread: usize,
     /// Server thread count.
     pub nthreads: usize,
-    encode: Box<dyn Fn(u64, u64) -> Bytes + Send>,
+    encode: RangeEncodeFn,
 }
+
+/// Encodes the elements of global range `[start, start + count)` into the
+/// given encoder; the capture owns (or borrows into) the sequence storage.
+pub(crate) type RangeEncodeFn = Box<dyn Fn(u64, u64, &mut Encoder) + Send>;
 
 impl DOutArg {
     /// Encode the elements of a global range owned by the producing thread.
     pub fn encode_range(&self, start: u64, count: u64) -> Bytes {
-        (self.encode)(start, count)
+        let mut e = Encoder::new(ByteOrder::native());
+        (self.encode)(start, count, &mut e);
+        e.finish()
+    }
+
+    /// Stream the elements of a global range into an existing encoder (the
+    /// POA's fragment cutter reuses one pooled scratch buffer this way).
+    pub fn encode_range_into(&self, start: u64, count: u64, e: &mut Encoder) {
+        (self.encode)(start, count, e);
     }
 }
 
@@ -155,7 +201,7 @@ impl<T: CdrCodec + Clone + Send + Sync + 'static> From<DSequence<T>> for DOutArg
             dist,
             thread,
             nthreads,
-            encode: Box::new(move |start, count| ds.encode_range(start, count)),
+            encode: Box::new(move |start, count, e| ds.encode_range_into(start, count, e)),
         }
     }
 }
@@ -196,7 +242,7 @@ impl Raised {
 #[derive(Debug, Default)]
 pub struct ServerReply {
     /// Scalar out slots.
-    pub outs: Vec<Vec<u8>>,
+    pub outs: Vec<Bytes>,
     /// Distributed out arguments.
     pub douts: Vec<DOutArg>,
     /// A raised IDL user exception; when set, outs/douts are ignored and
@@ -219,7 +265,7 @@ impl ServerReply {
     pub fn push_scalar<T: CdrCodec>(&mut self, v: &T) -> &mut Self {
         let mut e = Encoder::new(ByteOrder::native());
         v.encode(&mut e);
-        self.outs.push(e.finish().to_vec());
+        self.outs.push(e.finish());
         self
     }
 

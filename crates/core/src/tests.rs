@@ -9,3 +9,4 @@ mod protocol_tests;
 mod reply_cache_tests;
 mod repository_tests;
 mod spmd_tests;
+mod zero_copy_tests;

@@ -17,7 +17,7 @@ fn sample_request() -> RequestMsg {
         reply_to: vec![EndpointId(100), EndpointId(101)],
         client_threads: 2,
         client_host: 1,
-        ins: vec![vec![1, 2, 3], vec![]],
+        ins: vec![Bytes::from(vec![1, 2, 3]), Bytes::new()],
         dargs: vec![
             DArgDesc { dir: ArgDir::In, len: 1024, client_dist: Distribution::Block },
             DArgDesc {
@@ -48,7 +48,7 @@ fn reply_roundtrip_ok_and_exception() {
             req_id: 1,
             binding: BindingId(2),
             status,
-            outs: vec![vec![9, 9]],
+            outs: vec![Bytes::from(vec![9, 9])],
             dout_lens: vec![512],
         });
         let wire = msg.encode();
@@ -67,7 +67,7 @@ fn fragment_roundtrip() {
         count: 64,
         dst_thread: 3,
         src_thread: 1,
-        data: (0..200u8).collect(),
+        data: Bytes::from((0..200u8).collect::<Vec<u8>>()),
     });
     let wire = msg.encode();
     assert_eq!(Message::decode(&wire).unwrap(), msg);
@@ -121,7 +121,7 @@ fn sample_messages() -> Vec<Message> {
             req_id: 1,
             binding: BindingId(2),
             status: ReplyStatus::UserException { id: "overflow".into(), data: vec![1, 2, 3] },
-            outs: vec![vec![9, 9]],
+            outs: vec![Bytes::from(vec![9, 9])],
             dout_lens: vec![512],
         }),
         Message::Fragment(FragmentMsg {
@@ -133,7 +133,7 @@ fn sample_messages() -> Vec<Message> {
             count: 64,
             dst_thread: 3,
             src_thread: 1,
-            data: (0..200u8).collect(),
+            data: Bytes::from((0..200u8).collect::<Vec<u8>>()),
         }),
         Message::Cancel { binding: BindingId(1), req_id: 9 },
         Message::Close,
@@ -172,7 +172,7 @@ mod property {
                 count,
                 dst_thread: 0,
                 src_thread: 0,
-                data,
+                data: Bytes::from(data),
             });
             prop_assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
         }

@@ -34,10 +34,10 @@ impl Servant for Bumper {
     }
 }
 
-fn encode_i64(v: i64) -> Vec<u8> {
+fn encode_i64(v: i64) -> bytes::Bytes {
     let mut e = Encoder::new(ByteOrder::native());
     v.encode(&mut e);
-    e.finish().to_vec()
+    e.finish()
 }
 
 #[test]

@@ -1,0 +1,189 @@
+//! Pins the zero-copy invariants of the marshaling path: decoded fragment
+//! payloads borrow the wire frame, the funneled N-way fan-out delivers one
+//! shared wire allocation (not N copies), `DSequence::take_local` moves the
+//! storage when it is the sole owner, and transfer plans are served from the
+//! bounded cache.
+
+use crate::dist::{plan_cache_len, plan_transfer, plan_transfer_cached, Distribution};
+use crate::object::BindingId;
+use crate::protocol::{ArgDir, FragmentMsg, Message};
+use crate::servant::{Servant, ServerReply, ServerRequest};
+use crate::{ClientGroup, DSequence, DistPolicy, Orb, ServerGroup, TransferStrategy};
+use bytes::Bytes;
+use pardis_rts::{MpiRts, Rts, World};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn alloc_range(b: &Bytes) -> (usize, usize) {
+    let lo = b.as_ptr() as usize;
+    (lo, lo + b.len())
+}
+
+#[test]
+fn fragment_payload_borrows_the_wire_buffer() {
+    // Decoding a Fragment must slice the payload out of the frame by
+    // reference; a copy here would put the funneled path back to O(bytes)
+    // per hop.
+    let msg = Message::Fragment(FragmentMsg {
+        req_id: 1,
+        binding: BindingId(2),
+        arg: 0,
+        dir: ArgDir::In,
+        start: 0,
+        count: 4096,
+        dst_thread: 0,
+        src_thread: 0,
+        data: Bytes::from(vec![0xc3u8; 4096]),
+    });
+    let wire = msg.encode();
+    let (lo, hi) = alloc_range(&wire);
+    let Message::Fragment(f) = Message::decode(&wire).unwrap() else {
+        panic!("fragment expected");
+    };
+    let (plo, phi) = alloc_range(&f.data);
+    assert!(plo >= lo && phi <= hi, "fragment payload was copied out of the wire frame");
+}
+
+#[test]
+fn request_in_args_borrow_the_wire_buffer() {
+    use crate::object::{ClientId, EndpointId, ObjectKey};
+    use crate::protocol::RequestMsg;
+    let msg = Message::Request(RequestMsg {
+        req_id: 9,
+        binding: BindingId(1),
+        entity: 1,
+        client_seq: 0,
+        client: ClientId(1),
+        object: ObjectKey(1),
+        op: "probe".into(),
+        oneway: false,
+        funneled: true,
+        reply_to: vec![EndpointId(1)],
+        client_threads: 1,
+        client_host: 0,
+        ins: vec![Bytes::from(vec![0x5au8; 1024])],
+        dargs: vec![],
+    });
+    let wire = msg.encode();
+    let (lo, hi) = alloc_range(&wire);
+    let Message::Request(req) = Message::decode(&wire).unwrap() else {
+        panic!("request expected");
+    };
+    let (plo, phi) = alloc_range(&req.ins[0]);
+    assert!(plo >= lo && phi <= hi, "scalar in-arg was copied out of the wire frame");
+}
+
+/// Records the backing pointer of the first scalar in-arg blob each time it
+/// is dispatched — one entry per server thread on a funneled fan-out.
+struct PtrProbe {
+    seen: Arc<Mutex<Vec<usize>>>,
+}
+
+impl Servant for PtrProbe {
+    fn interface(&self) -> &str {
+        "ptrprobe"
+    }
+    fn dispatch(&self, req: ServerRequest<'_>) -> Result<ServerReply, String> {
+        self.seen.lock().push(req.ins[0].as_ptr() as usize);
+        let x: i64 = req.scalar(0).map_err(|e| e.to_string())?;
+        let mut rep = ServerReply::new();
+        rep.push_scalar(&x);
+        Ok(rep)
+    }
+}
+
+#[test]
+fn funneled_fan_out_shares_one_wire_allocation() {
+    // A funneled request entering at server thread 0 is forwarded to every
+    // other computing thread. All `n` dispatches must see in-arg blobs
+    // backed by the *same* allocation: the fan-out is a refcount bump per
+    // destination, not a deep copy per destination.
+    let n = 4;
+    let (orb, host) = Orb::single_host();
+    orb.set_transfer_strategy(TransferStrategy::Funneled);
+    let seen = Arc::new(Mutex::new(Vec::new()));
+
+    let group = ServerGroup::create(&orb, "probe-server", host, n);
+    let g = group.clone();
+    let s = seen.clone();
+    let server = std::thread::spawn(move || {
+        World::run(n, |rank| {
+            let t = rank.rank();
+            let rts: Arc<dyn Rts> = Arc::new(MpiRts::new(rank));
+            let mut poa = g.attach(t, Some(rts));
+            poa.activate_spmd("probe", Arc::new(PtrProbe { seen: s.clone() }), DistPolicy::new());
+            poa.impl_is_ready();
+        });
+    });
+
+    let client = ClientGroup::create(&orb, host, 1).attach(0, None);
+    let proxy = client.spmd_bind("probe").unwrap();
+    let reply = proxy.call("echo").arg(&7i64).invoke().unwrap();
+    assert_eq!(reply.scalar::<i64>(0).unwrap(), 7);
+
+    group.shutdown();
+    server.join().unwrap();
+
+    let ptrs = seen.lock().clone();
+    assert_eq!(ptrs.len(), n, "every server thread dispatches the funneled request");
+    assert!(
+        ptrs.iter().all(|p| *p == ptrs[0]),
+        "fan-out deep-copied the wire: in-arg pointers differ across threads {ptrs:?}"
+    );
+}
+
+#[test]
+fn take_local_moves_storage_when_solely_owned() {
+    let full: Vec<f64> = (0..64).map(|i| i as f64).collect();
+    let ds = DSequence::distribute(&full, Distribution::Block, 1, 0);
+    let before = ds.local().as_ptr();
+    let taken = ds.take_local();
+    assert_eq!(taken.as_ptr(), before, "sole-owner take_local must move, not copy");
+    assert_eq!(taken, full);
+}
+
+#[test]
+fn take_local_clones_only_when_shared() {
+    let full: Vec<f64> = (0..32).map(|i| i as f64).collect();
+    let ds = DSequence::distribute(&full, Distribution::Block, 1, 0);
+    let handle = ds.share_local(); // second owner forces the clone path
+    let before = ds.local().as_ptr();
+    let taken = ds.take_local();
+    assert_ne!(taken.as_ptr(), before, "shared storage must be cloned, not stolen");
+    assert_eq!(taken, *handle);
+}
+
+#[test]
+fn cached_plans_match_fresh_computation() {
+    let pairs: Vec<(Distribution, usize, Distribution, usize)> = vec![
+        (Distribution::Block, 3, Distribution::Cyclic, 4),
+        (Distribution::Cyclic, 4, Distribution::Block, 3),
+        (Distribution::Block, 2, Distribution::Concentrated(1), 2),
+        (Distribution::Concentrated(0), 3, Distribution::Irregular(vec![10, 20, 71]), 3),
+        (Distribution::Irregular(vec![50, 51]), 2, Distribution::BlockCyclic(7), 5),
+        (Distribution::BlockCyclic(3), 4, Distribution::Block, 4),
+    ];
+    for (src, src_n, dst, dst_n) in pairs {
+        let len = 101;
+        let fresh = plan_transfer(len, &src, src_n, &dst, dst_n);
+        // Twice: a miss (insert) and a hit must both equal the fresh plan.
+        for _ in 0..2 {
+            let cached = plan_transfer_cached(len, &src, src_n, &dst, dst_n);
+            assert_eq!(*cached, fresh, "{src:?}/{src_n} -> {dst:?}/{dst_n}");
+        }
+    }
+}
+
+#[test]
+fn plan_cache_hits_share_and_eviction_is_bounded() {
+    // A hit returns the same Arc, not a recomputation.
+    let a = plan_transfer_cached(4242, &Distribution::Block, 3, &Distribution::Cyclic, 3);
+    let b = plan_transfer_cached(4242, &Distribution::Block, 3, &Distribution::Cyclic, 3);
+    assert!(Arc::ptr_eq(&a, &b), "cache hit must return the shared plan handle");
+
+    // A hostile stream of distinct shapes stays bounded by the FIFO cap.
+    for len in 1..=300u64 {
+        let _ = plan_transfer_cached(len, &Distribution::Block, 2, &Distribution::Block, 4);
+    }
+    assert!(plan_cache_len() <= 64, "plan cache grew past its cap: {}", plan_cache_len());
+}
