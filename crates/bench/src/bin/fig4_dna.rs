@@ -17,7 +17,7 @@
 
 use pardis::core::{ClientGroup, Orb};
 use pardis::generated::dna::{DnaDbProxy, ListServerProxy};
-use pardis::netsim::{Network, TimeScale};
+use pardis::netsim::{LinkPreset, Network, TimeScale, TransportMode};
 use pardis_apps::dna::{spawn_dna_server, DnaServerConfig, Placement, LIST_NAMES};
 use pardis_bench::util::{env_usize, quick, row, BenchJson};
 use std::time::Instant;
@@ -78,6 +78,35 @@ fn run_once(p: usize, placement: Placement, rounds: usize) -> f64 {
     elapsed
 }
 
+/// Aggregate transfer bandwidth over `streams` concurrent fragment streams,
+/// at the netsim level: one client host per stream, each bursting frames at
+/// the same server. On dedicated per-pair ATM links every stream owns its
+/// wire, so the overlapped engine's aggregate bandwidth scales with the
+/// stream count; on shared 10 Mb/s Ethernet there is one segment and the
+/// curve stays flat. Pure virtual time (`TimeScale::off`), so the numbers
+/// are bit-stable run to run — Mbit/s = total bits / makespan.
+fn aggregate_bandwidth_mbps(streams: usize, shared: bool) -> f64 {
+    const FRAMES: usize = 16;
+    const BYTES: usize = 64 * 1024;
+    let net = Network::with_transport(TimeScale::off(), TransportMode::Overlapped);
+    let server = net.add_host("server");
+    let link = if shared { LinkPreset::Ethernet10.link() } else { LinkPreset::AtmOc3.link() };
+    let clients: Vec<_> = (0..streams)
+        .map(|i| {
+            let h = net.add_host(&format!("client_{i}"));
+            net.connect(h, server, link);
+            h
+        })
+        .collect();
+    for _ in 0..FRAMES {
+        for &c in &clients {
+            net.transmit(c, server, BYTES, || {});
+        }
+    }
+    net.quiesce();
+    (FRAMES * streams * BYTES * 8) as f64 / net.makespan() / 1e6
+}
+
 fn main() {
     let rounds = env_usize("PARDIS_ROUNDS", if quick() { 4 } else { 24 });
     let procs: Vec<usize> = if quick() { vec![1, 2, 3] } else { (1..=8).collect() };
@@ -94,9 +123,18 @@ fn main() {
     }
     let difference: Vec<f64> = central.iter().zip(&distributed).map(|(c, d)| c - d).collect();
 
+    // Aggregate bandwidth vs. concurrent streams, on the same processor
+    // axis: the overlapped engine's scaling signature (and the shared
+    // segment's lack of one).
+    let agg_dedicated: Vec<f64> =
+        procs.iter().map(|&s| aggregate_bandwidth_mbps(s, false)).collect();
+    let agg_shared: Vec<f64> = procs.iter().map(|&s| aggregate_bandwidth_mbps(s, true)).collect();
+
     println!("{}", row("centralized", &central));
     println!("{}", row("distributed", &distributed));
     println!("{}", row("difference", &difference));
+    println!("{}", row("agg bw ded (Mb/s)", &agg_dedicated));
+    println!("{}", row("agg bw shared (Mb/s)", &agg_shared));
 
     let mut report =
         BenchJson::new("fig4", "centralized vs distributed single objects on a parallel server");
@@ -106,10 +144,13 @@ fn main() {
     report.series("centralized", &central);
     report.series("distributed", &distributed);
     report.series("difference", &difference);
+    report.series("agg_bw_dedicated_mbps", &agg_dedicated);
+    report.series("agg_bw_shared_mbps", &agg_shared);
     match report.write() {
         Ok(path) => eprintln!("  wrote {}", path.display()),
         Err(e) => eprintln!("  JSON write failed: {e}"),
     }
+    report.gate_from_args();
 
     println!("#");
     println!("# expected shape (paper, fig 4): distributed below centralized for P >= 2;");

@@ -17,7 +17,7 @@
 //! ```
 
 use pardis::core::Orb;
-use pardis::netsim::{Network, TimeScale};
+use pardis::netsim::{Network, TimeScale, TransportMode};
 use pardis_apps::pipeline::{
     run_diffusion, run_gradient_alone, spawn_gradient_server_paced, spawn_visualizer,
     PipelineConfig,
@@ -37,6 +37,7 @@ fn main() {
     println!("{}", row("processors", &procs.iter().map(|p| *p as f64).collect::<Vec<_>>()));
 
     let mut overall = Vec::new();
+    let mut overall_sync = Vec::new();
     let mut diffusion = Vec::new();
     let mut gradient = Vec::new();
 
@@ -86,10 +87,39 @@ fn main() {
                 Err(e) => eprintln!("  trace write failed: {e}"),
             }
         }
+
+        // The full metaapplication once more on the blocking wire
+        // (`PARDIS_TRANSPORT=sync`): every visualizer/gradient send pays
+        // its transfer on the sender's thread, so the pipeline overlaps
+        // nothing.
+        let net = Network::paper_ethernet_testbed_with(TimeScale::new(scale), TransportMode::Sync);
+        let pc = net.host_by_name("SGI_PC").unwrap();
+        let sp2 = net.host_by_name("SP2").unwrap();
+        let indy = net.host_by_name("INDY").unwrap();
+        let orb = Orb::new(net);
+        let (vis_d, _sd) = spawn_visualizer(&orb, pc, "vis_diffusion");
+        let (vis_g, _sg) = spawn_visualizer(&orb, indy, "vis_gradient");
+        let grad = spawn_gradient_server_paced(
+            &orb,
+            sp2,
+            "fops",
+            p,
+            Some("vis_gradient"),
+            cfg.nx,
+            cfg.ny,
+            pace,
+        );
+        let (t_sync, _) =
+            run_diffusion(&orb, pc, "vis_diffusion", Some("fops"), &cfg).expect("blocking run");
+        overall_sync.push(t_sync);
+        grad.shutdown();
+        vis_d.shutdown();
+        vis_g.shutdown();
         eprintln!("  done P = {p}");
     }
 
     println!("{}", row("overall", &overall));
+    println!("{}", row("overall (blocking)", &overall_sync));
     println!("{}", row("diffusion (SGI_PC)", &diffusion));
     println!("{}", row("gradient (SP2)", &gradient));
 
@@ -99,12 +129,14 @@ fn main() {
     report.param_bool("protocol_check", pardis::check::env_requested());
     report.columns(&procs.iter().map(|p| *p as f64).collect::<Vec<_>>());
     report.series("overall", &overall);
+    report.series("overall (blocking)", &overall_sync);
     report.series("diffusion (SGI_PC)", &diffusion);
     report.series("gradient (SP2)", &gradient);
     match report.write() {
         Ok(path) => eprintln!("  wrote {}", path.display()),
         Err(e) => eprintln!("  JSON write failed: {e}"),
     }
+    report.gate_from_args();
 
     println!("#");
     println!("# expected shape (paper, fig 5): overall sits above both components and the");

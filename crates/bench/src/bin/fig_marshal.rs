@@ -23,7 +23,7 @@ use pardis::cdr::{ByteOrder, CdrCodec, Encoder};
 use pardis::core::protocol::{frame_list, unframe_list, ArgDir, FragmentMsg, Message};
 use pardis::core::{BindingId, DSequence, Distribution};
 use pardis::rts::{MpiRts, Rts, World};
-use pardis_bench::util::{env_f64, env_usize, quick, row, BenchJson};
+use pardis_bench::util::{env_usize, quick, row, BenchJson};
 use std::time::Instant;
 
 const THREADS: usize = 4;
@@ -188,75 +188,7 @@ fn measure() -> Measured {
     }
 }
 
-/// Pull every `"name": [v, v, ...]` array out of a BenchJson file (the
-/// format is line-regular; no JSON dependency needed).
-fn parse_arrays(text: &str) -> Vec<(String, Vec<f64>)> {
-    let mut out = Vec::new();
-    for line in text.lines() {
-        let line = line.trim().trim_end_matches(',');
-        let Some((name, rest)) = line.split_once(':') else { continue };
-        let name = name.trim().trim_matches('"');
-        let rest = rest.trim();
-        if !rest.starts_with('[') || !rest.ends_with(']') {
-            continue;
-        }
-        let vals: Option<Vec<f64>> = rest[1..rest.len() - 1]
-            .split(',')
-            .filter(|s| !s.trim().is_empty())
-            .map(|s| s.trim().parse().ok())
-            .collect();
-        if let Some(vals) = vals {
-            out.push((name.to_string(), vals));
-        }
-    }
-    out
-}
-
-/// True when higher values of the series are better.
-fn higher_is_better(name: &str) -> bool {
-    name.ends_with("_mb_s")
-}
-
-/// Compare `cur` against a baseline file over the shared series/columns;
-/// returns human-readable regression complaints.
-fn compare(cur: &Measured, baseline_text: &str, tol: f64) -> Vec<String> {
-    let arrays = parse_arrays(baseline_text);
-    let Some(base_cols) = arrays.iter().find(|(n, _)| n == "columns").map(|(_, v)| v.clone())
-    else {
-        return vec!["baseline has no columns array".into()];
-    };
-    let mut complaints = Vec::new();
-    for (name, vals) in &cur.series {
-        let Some((_, base_vals)) = arrays.iter().find(|(n, _)| n == name) else { continue };
-        for (ci, col) in cur.columns.iter().enumerate() {
-            let Some(bi) = base_cols.iter().position(|c| c == col) else { continue };
-            let (cur_v, base_v) = (vals[ci], base_vals[bi]);
-            if !cur_v.is_finite() || !base_v.is_finite() || base_v == 0.0 {
-                continue;
-            }
-            let bad = if higher_is_better(name) {
-                cur_v < base_v * (1.0 - tol)
-            } else {
-                cur_v > base_v * (1.0 + tol)
-            };
-            if bad {
-                complaints.push(format!(
-                    "{name} @ {col}: {cur_v:.3} vs baseline {base_v:.3} \
-                     (>{:.0}% regression)",
-                    tol * 100.0
-                ));
-            }
-        }
-    }
-    complaints
-}
-
 fn main() {
-    let baseline = std::env::args()
-        .skip_while(|a| a != "--compare")
-        .nth(1)
-        .map(|p| std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {p}: {e}")));
-
     let m = measure();
 
     println!("{}", row("n elements", &m.columns));
@@ -275,17 +207,5 @@ fn main() {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
     }
-
-    if let Some(text) = baseline {
-        let tol = env_f64("PARDIS_BENCH_TOL", 0.30);
-        let complaints = compare(&m, &text, tol);
-        if complaints.is_empty() {
-            println!("regression gate: ok (tolerance {:.0}%)", tol * 100.0);
-        } else {
-            for c in &complaints {
-                eprintln!("regression: {c}");
-            }
-            std::process::exit(1);
-        }
-    }
+    json.gate_from_args();
 }

@@ -110,6 +110,102 @@ impl BenchJson {
         std::fs::write(&path, self.to_json())?;
         Ok(path)
     }
+
+    /// Compare this report against a baseline `BENCH_*.json` text over the
+    /// shared series/columns; returns human-readable regression complaints.
+    /// Direction comes from the series name ([`higher_is_better`]); columns
+    /// absent from either side are skipped, so a quick run gates cleanly
+    /// against a full-sweep baseline. `slack` is an absolute allowance (in
+    /// the series' own unit) on top of the relative tolerance, so
+    /// millisecond-scale points on noisy CI runners don't gate on
+    /// scheduling jitter.
+    pub fn compare(&self, baseline_text: &str, tol: f64, slack: f64) -> Vec<String> {
+        let arrays = parse_arrays(baseline_text);
+        let Some(base_cols) = arrays.iter().find(|(n, _)| n == "columns").map(|(_, v)| v.clone())
+        else {
+            return vec!["baseline has no columns array".into()];
+        };
+        let mut complaints = Vec::new();
+        for (name, vals) in &self.series {
+            let Some((_, base_vals)) = arrays.iter().find(|(n, _)| n == name) else { continue };
+            for (ci, col) in self.columns.iter().enumerate() {
+                let Some(bi) = base_cols.iter().position(|c| c == col) else { continue };
+                let (Some(&cur_v), Some(&base_v)) = (vals.get(ci), base_vals.get(bi)) else {
+                    continue;
+                };
+                if !cur_v.is_finite() || !base_v.is_finite() || base_v == 0.0 {
+                    continue;
+                }
+                let bad = if higher_is_better(name) {
+                    cur_v < base_v * (1.0 - tol) - slack
+                } else {
+                    cur_v > base_v * (1.0 + tol) + slack
+                };
+                if bad {
+                    complaints.push(format!(
+                        "{name} @ {col}: {cur_v:.3} vs baseline {base_v:.3} \
+                         (>{:.0}% regression)",
+                        tol * 100.0
+                    ));
+                }
+            }
+        }
+        complaints
+    }
+
+    /// The `--compare <baseline>` regression gate every figure bin shares:
+    /// with the flag absent this is a no-op; with it, compare against the
+    /// baseline file under `PARDIS_BENCH_TOL` (default 30%, plus an
+    /// absolute `PARDIS_BENCH_SLACK`, default 0) and exit(1) listing every
+    /// regressed series point.
+    pub fn gate_from_args(&self) {
+        let Some(path) = std::env::args().skip_while(|a| a != "--compare").nth(1) else {
+            return;
+        };
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let tol = env_f64("PARDIS_BENCH_TOL", 0.30);
+        let slack = env_f64("PARDIS_BENCH_SLACK", 0.0);
+        let complaints = self.compare(&text, tol, slack);
+        if complaints.is_empty() {
+            println!("regression gate: ok (tolerance {:.0}%)", tol * 100.0);
+        } else {
+            for c in &complaints {
+                eprintln!("regression: {c}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Pull every `"name": [v, v, ...]` array out of a BenchJson file (the
+/// format is line-regular; no JSON dependency needed).
+pub fn parse_arrays(text: &str) -> Vec<(String, Vec<f64>)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((name, rest)) = line.split_once(':') else { continue };
+        let name = name.trim().trim_matches('"');
+        let rest = rest.trim();
+        if !rest.starts_with('[') || !rest.ends_with(']') {
+            continue;
+        }
+        let vals: Option<Vec<f64>> = rest[1..rest.len() - 1]
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| s.trim().parse().ok())
+            .collect();
+        if let Some(vals) = vals {
+            out.push((name.to_string(), vals));
+        }
+    }
+    out
+}
+
+/// True when higher values of the series are better: throughput
+/// (`*_mb_s`, `*_mbps`), bandwidth scaling, and hidden-fraction series.
+/// Everything else (seconds, milliseconds) regresses upward.
+pub fn higher_is_better(name: &str) -> bool {
+    name.ends_with("_mb_s") || name.ends_with("_mbps") || name.ends_with("_frac")
 }
 
 fn json_str(s: &str) -> String {

@@ -1009,7 +1009,8 @@ fn wait_complete(
     // Retransmissions are armed only when configured and there is something
     // to replay (not a oneway or collocated call).
     let mut next_retry = if cfg.retry_limit > 0 && !state.replay.lock().is_empty() {
-        Some(Instant::now() + backoff_delay(&cfg, state.key, 0))
+        let backoff = backoff_delay(&cfg, state.key, 0);
+        Some((Instant::now() + backoff, backoff))
     } else {
         None
     };
@@ -1029,15 +1030,31 @@ fn wait_complete(
         if Instant::now() >= deadline {
             return Err(OrbError::Timeout { waiting_for: "invocation reply".into() });
         }
-        if let Some(at) = next_retry {
+        if let Some((at, waited)) = next_retry {
             if Instant::now() >= at {
+                // Drain anything already delivered before declaring the
+                // attempt lost: the reply may have been sitting in the
+                // channel since the last pump tick, and retransmitting over
+                // it would send frames the fault schedule never asked for.
+                core.pump_step(None);
+                if state.is_complete() {
+                    continue;
+                }
                 attempt += 1;
+                // The backoff the client just sat out is local time on its
+                // virtual timeline: under the overlapped engine this is what
+                // walks retries out of a timed link-down window (the sync
+                // transport's sum-clock advances on the dropped frames
+                // themselves).
+                core.orb.network().charge_wait(core.host, waited);
                 retransmit(core, state)?;
                 // Once the budget is spent, stop nudging but keep waiting
                 // out the deadline — the last retransmission's reply may
                 // still be in flight.
-                next_retry = (attempt < cfg.retry_limit)
-                    .then(|| Instant::now() + backoff_delay(&cfg, state.key, attempt));
+                next_retry = (attempt < cfg.retry_limit).then(|| {
+                    let backoff = backoff_delay(&cfg, state.key, attempt);
+                    (Instant::now() + backoff, backoff)
+                });
             }
         }
         core.pump_step(Some(Duration::from_micros(200)));

@@ -72,6 +72,26 @@ fn feed_orb_metrics(orb: &Orb) {
         set_counter(&format!("{link}.burst_dropped"), s.burst_dropped);
         set_counter(&format!("{link}.down_dropped"), s.down_dropped);
     }
+    // Engine timelines (virtual seconds → micros; deterministic). Under the
+    // overlapped transport the clock reading is the network makespan, and
+    // each lane that carried traffic exposes its occupancy — `busy_us`
+    // against the makespan is the link's utilization (above 1.0 = overlap).
+    set_counter("net.makespan_us", (net.makespan() * 1e6) as u64);
+    for ((from, to), u) in net.per_link_usage() {
+        let link = format!("net.link.{}-{}", from.raw(), to.raw());
+        set_counter(&format!("{link}.frames"), u.frames);
+        set_counter(&format!("{link}.bytes"), u.bytes);
+        set_counter(&format!("{link}.busy_us"), (u.busy_s * 1e6) as u64);
+        set_counter(&format!("{link}.busy_until_us"), (u.busy_until_s * 1e6) as u64);
+    }
+    // Shared-medium traffic serialises on one segment timeline, whatever
+    // the host pair — report it as its own pseudo-link.
+    if let Some(u) = net.shared_segment_usage() {
+        set_counter("net.link.shared.frames", u.frames);
+        set_counter("net.link.shared.bytes", u.bytes);
+        set_counter("net.link.shared.busy_us", (u.busy_s * 1e6) as u64);
+        set_counter("net.link.shared.busy_until_us", (u.busy_until_s * 1e6) as u64);
+    }
 }
 
 /// A finished tracing window: everything needed to export or inspect.

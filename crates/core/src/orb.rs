@@ -13,8 +13,8 @@ use crate::protocol::Message;
 use crate::repository::{ActivationMode, ImplementationRepository, ObjectRepository};
 use crate::servant::Servant;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use pardis_netsim::{HostId, Network, TimeScale, Verdict};
-use parking_lot::RwLock;
+use pardis_netsim::{HostId, Network, Published, TimeScale, TransportMode, Verdict};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -103,10 +103,19 @@ pub(crate) struct ObjectMeta {
     pub policy: DistPolicy,
 }
 
+/// The ORB's routing table. `EndpointId → (host, delivery channel)`,
+/// published as an immutable snapshot so [`Orb::send_wire`] resolves a
+/// destination without acquiring any lock — together with the network's
+/// lock-free topology snapshot this makes the steady-state send path
+/// zero-lock.
+type EndpointTable = HashMap<EndpointId, (HostId, Sender<Envelope>)>;
+
 pub(crate) struct OrbInner {
     pub network: Network,
     next_id: AtomicU64,
-    endpoints: RwLock<HashMap<EndpointId, (HostId, Sender<Envelope>)>>,
+    endpoints: Published<EndpointTable>,
+    /// Serialises endpoint table read-modify-publish cycles.
+    ep_lock: Mutex<()>,
     pub servers: RwLock<HashMap<ServerId, ServerRecord>>,
     pub objects: RwLock<HashMap<ObjectKey, ObjectMeta>>,
     pub names: ObjectRepository,
@@ -137,7 +146,8 @@ impl Orb {
             inner: Arc::new(OrbInner {
                 network,
                 next_id: AtomicU64::new(1),
-                endpoints: RwLock::new(HashMap::new()),
+                endpoints: Published::new(EndpointTable::new()),
+                ep_lock: Mutex::new(()),
                 servers: RwLock::new(HashMap::new()),
                 objects: RwLock::new(HashMap::new()),
                 names: ObjectRepository::new(),
@@ -257,13 +267,19 @@ impl Orb {
     pub(crate) fn register_endpoint(&self, host: HostId) -> (EndpointId, Receiver<Envelope>) {
         let id = EndpointId(self.alloc_id());
         let (tx, rx) = unbounded();
-        self.inner.endpoints.write().insert(id, (host, tx));
+        let _guard = self.inner.ep_lock.lock();
+        let mut table = (*self.inner.endpoints.load()).clone();
+        table.insert(id, (host, tx));
+        self.inner.endpoints.store(table);
         (id, rx)
     }
 
     #[allow(dead_code)]
     pub(crate) fn unregister_endpoint(&self, id: EndpointId) {
-        self.inner.endpoints.write().remove(&id);
+        let _guard = self.inner.ep_lock.lock();
+        let mut table = (*self.inner.endpoints.load()).clone();
+        table.remove(&id);
+        self.inner.endpoints.store(table);
     }
 
     /// Route a message to an endpoint, charging the network model for the
@@ -275,6 +291,12 @@ impl Orb {
     }
 
     /// Route an already-encoded frame.
+    ///
+    /// Steady-state this acquires no lock: the endpoint table and the
+    /// network topology are both immutable published snapshots, and under
+    /// the overlapped engine the sender pays only the link's software
+    /// overhead before returning — wire time elapses on the link's own
+    /// timeline ([`Network::transmit`]).
     pub(crate) fn send_wire(
         &self,
         from_host: HostId,
@@ -282,26 +304,36 @@ impl Orb {
         wire: bytes::Bytes,
     ) -> OrbResult<()> {
         let (to_host, tx) = {
-            let eps = self.inner.endpoints.read();
+            let eps = self.inner.endpoints.load();
             let (h, tx) = eps.get(&to).ok_or(OrbError::Disconnected)?;
             (*h, tx.clone())
         };
-        let verdict = self.inner.network.deliver(from_host, to_host, wire.len());
         self.inner.frames_sent.fetch_add(1, Ordering::Relaxed);
         self.inner.bytes_sent.fetch_add(wire.len() as u64, Ordering::Relaxed);
-        match verdict {
-            // A drop is invisible to the sender: the send "succeeds" but
-            // the frame never arrives. Recovery is the client pump's job.
-            Verdict::Dropped => Ok(()),
-            Verdict::Delivered => {
-                tx.send(Envelope { from_host, wire }).map_err(|_| OrbError::Disconnected)
-            }
-            Verdict::Duplicated => {
-                tx.send(Envelope { from_host, wire: wire.clone() })
-                    .map_err(|_| OrbError::Disconnected)?;
-                tx.send(Envelope { from_host, wire }).map_err(|_| OrbError::Disconnected)
-            }
+        if self.inner.network.transport_mode() == TransportMode::Sync {
+            let verdict = self.inner.network.deliver(from_host, to_host, wire.len());
+            return match verdict {
+                // A drop is invisible to the sender: the send "succeeds" but
+                // the frame never arrives. Recovery is the client pump's job.
+                Verdict::Dropped => Ok(()),
+                Verdict::Delivered => {
+                    tx.send(Envelope { from_host, wire }).map_err(|_| OrbError::Disconnected)
+                }
+                Verdict::Duplicated => {
+                    tx.send(Envelope { from_host, wire: wire.clone() })
+                        .map_err(|_| OrbError::Disconnected)?;
+                    tx.send(Envelope { from_host, wire }).map_err(|_| OrbError::Disconnected)
+                }
+            };
         }
+        // Overlapped engine: `release` runs once per arriving copy. A send
+        // to an endpoint whose receiver has gone away behaves like a frame
+        // arriving at a dead host — indistinguishable from a drop, so it
+        // does not fail the send.
+        self.inner.network.transmit(from_host, to_host, wire.len(), move || {
+            let _ = tx.send(Envelope { from_host, wire: wire.clone() });
+        });
+        Ok(())
     }
 
     /// Register object metadata + repository name. Returns the reference.
@@ -399,7 +431,7 @@ impl Orb {
 impl std::fmt::Debug for Orb {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Orb")
-            .field("endpoints", &self.inner.endpoints.read().len())
+            .field("endpoints", &self.inner.endpoints.load().len())
             .field("servers", &self.inner.servers.read().len())
             .field("objects", &self.inner.objects.read().len())
             .finish()

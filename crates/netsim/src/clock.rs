@@ -1,9 +1,25 @@
 //! Clock handling: time scaling for real-time injection and a virtual clock
 //! for deterministic tests.
+//!
+//! Both clocks store their `f64` readings as bit patterns in atomics, so the
+//! transport hot path (every frame reads the scale and advances the virtual
+//! clock) acquires no lock.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// CAS-update an `f64` stored as bits; returns the new value.
+fn f64_update(cell: &AtomicU64, f: impl Fn(f64) -> f64) -> f64 {
+    let mut cur = cell.load(Ordering::Acquire);
+    loop {
+        let new = f(f64::from_bits(cur));
+        match cell.compare_exchange_weak(cur, new.to_bits(), Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return new,
+            Err(actual) => cur = actual,
+        }
+    }
+}
 
 /// A global multiplier applied to every modelled delay before sleeping.
 ///
@@ -12,7 +28,7 @@ use std::time::Duration;
 /// depend on; `0.0` disables sleeping entirely (pure virtual accounting).
 #[derive(Debug, Clone)]
 pub struct TimeScale {
-    scale: Arc<Mutex<f64>>,
+    scale: Arc<AtomicU64>,
 }
 
 impl TimeScale {
@@ -22,7 +38,7 @@ impl TimeScale {
     /// Panics if `scale` is negative or non-finite.
     pub fn new(scale: f64) -> Self {
         assert!(scale.is_finite() && scale >= 0.0, "time scale must be finite and >= 0");
-        TimeScale { scale: Arc::new(Mutex::new(scale)) }
+        TimeScale { scale: Arc::new(AtomicU64::new(scale.to_bits())) }
     }
 
     /// Real-time injection at modelled magnitude.
@@ -37,13 +53,13 @@ impl TimeScale {
 
     /// Current multiplier.
     pub fn get(&self) -> f64 {
-        *self.scale.lock()
+        f64::from_bits(self.scale.load(Ordering::Acquire))
     }
 
     /// Change the multiplier (affects all clones).
     pub fn set(&self, scale: f64) {
         assert!(scale.is_finite() && scale >= 0.0, "time scale must be finite and >= 0");
-        *self.scale.lock() = scale;
+        self.scale.store(scale.to_bits(), Ordering::Release);
     }
 
     /// Scale a modelled duration down to the injected duration.
@@ -60,10 +76,15 @@ impl Default for TimeScale {
 
 /// A monotone virtual clock accumulating modelled seconds.
 ///
-/// Thread-safe; cloning shares the underlying counter.
+/// Under the synchronous transport the clock is the *sum* of all modelled
+/// transfer times ([`VirtualClock::advance`] per frame); under the
+/// event-driven engine it is the *makespan* — the latest arrival on any
+/// link timeline ([`VirtualClock::advance_to`] per frame).
+///
+/// Thread-safe and lock-free; cloning shares the underlying counter.
 #[derive(Debug, Clone, Default)]
 pub struct VirtualClock {
-    seconds: Arc<Mutex<f64>>,
+    bits: Arc<AtomicU64>,
 }
 
 impl VirtualClock {
@@ -74,29 +95,23 @@ impl VirtualClock {
 
     /// Advance the clock by a modelled duration and return the new reading.
     pub fn advance(&self, by: Duration) -> f64 {
-        let mut s = self.seconds.lock();
-        *s += by.as_secs_f64();
-        *s
+        f64_update(&self.bits, |s| s + by.as_secs_f64())
     }
 
     /// Advance the clock to at least `to` seconds (used to merge parallel
     /// transfer timelines: the completion time of concurrent transfers is
     /// their max, not their sum).
     pub fn advance_to(&self, to: f64) -> f64 {
-        let mut s = self.seconds.lock();
-        if to > *s {
-            *s = to;
-        }
-        *s
+        f64_update(&self.bits, |s| s.max(to))
     }
 
     /// Current reading in modelled seconds.
     pub fn now(&self) -> f64 {
-        *self.seconds.lock()
+        f64::from_bits(self.bits.load(Ordering::Acquire))
     }
 
     /// Reset to zero.
     pub fn reset(&self) {
-        *self.seconds.lock() = 0.0;
+        self.bits.store(0f64.to_bits(), Ordering::Release);
     }
 }

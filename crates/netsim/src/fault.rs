@@ -257,17 +257,19 @@ impl FrameFate {
 }
 
 /// Mutable per-directed-link schedule state: frame ordinal, burst countdown,
-/// and this link's own fault counters.
+/// and this link's own fault counters. The plan is shared (`Arc`), so
+/// materialising a lane's schedule — and every per-frame verdict — costs no
+/// plan clone or allocation.
 #[derive(Debug)]
 pub(crate) struct FaultState {
-    plan: FaultPlan,
+    plan: std::sync::Arc<FaultPlan>,
     seq: u64,
     burst_left: u32,
     stats: FaultStats,
 }
 
 impl FaultState {
-    pub(crate) fn new(plan: FaultPlan) -> FaultState {
+    pub(crate) fn new(plan: std::sync::Arc<FaultPlan>) -> FaultState {
         FaultState { plan, seq: 0, burst_left: 0, stats: FaultStats::default() }
     }
 

@@ -33,14 +33,18 @@
 //! `deliver` is bit-identical to [`Network::charge`].
 
 mod clock;
+mod engine;
 mod fault;
 mod link;
 mod network;
+mod publish;
 
 pub use clock::{TimeScale, VirtualClock};
+pub use engine::{LinkUsage, TransportMode};
 pub use fault::{FaultPlan, FaultStats, Verdict};
 pub use link::{Link, LinkPreset};
 pub use network::{Host, HostId, Network};
+pub use publish::Published;
 
 #[cfg(test)]
 mod tests;

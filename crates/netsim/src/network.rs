@@ -1,12 +1,14 @@
-//! Host registry and delay injection.
+//! Host registry, delay injection, and the transmit engine front-end.
 
+use crate::engine::{Lane, LinkUsage, LocalClock, Scheduler, Slot, TransportMode};
 use crate::fault::{FaultState, FrameFate};
+use crate::publish::Published;
 use crate::{FaultPlan, FaultStats, Link, LinkPreset, TimeScale, Verdict, VirtualClock};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Opaque identifier of a registered host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -39,27 +41,125 @@ pub struct Host {
     pub speed: f64,
 }
 
-struct Inner {
+/// Immutable routing snapshot: hosts, links, and the per-pair transmit
+/// state. Published through [`Published`], so the per-frame lookup in
+/// [`Network::charge`] / [`Network::transmit`] acquires no lock — mutation
+/// (host/link registration) builds a fresh snapshot and swaps it in.
+struct Topology {
     hosts: Vec<Host>,
     by_name: HashMap<String, HostId>,
     links: HashMap<(HostId, HostId), Link>,
     default_link: Link,
     /// One wire-guard per unordered host pair, taken while a transfer over
-    /// a shared-medium link is in flight.
-    medium_locks: HashMap<(HostId, HostId), Arc<parking_lot::Mutex<()>>>,
+    /// a shared-medium link sleeps in scaled real time. Precomputed here at
+    /// registration, so taking it never touches the registry.
+    media: HashMap<(HostId, HostId), Arc<Mutex<()>>>,
+    /// Per-directed-pair engine lanes (loopback pairs included). Shared
+    /// across snapshot generations so timeline state survives topology
+    /// changes.
+    lanes: HashMap<(HostId, HostId), Arc<Lane>>,
+    /// The one shared-medium transmit timeline: every frame over a
+    /// `shared` link serialises here regardless of host pair, modelling a
+    /// single Ethernet segment (the paper's testbed has exactly one).
+    /// Dedicated links keep their per-pair lanes.
+    segment: Arc<Lane>,
+    /// Per-host local virtual clocks for the engine's causality model,
+    /// likewise shared across generations.
+    locals: HashMap<HostId, Arc<LocalClock>>,
 }
 
-/// Fault-injection state, kept outside `Inner` so the hot lossless path
-/// never takes the registry lock for it.
+impl Topology {
+    fn empty(default_link: Link) -> Topology {
+        Topology {
+            hosts: Vec::new(),
+            by_name: HashMap::new(),
+            links: HashMap::new(),
+            default_link,
+            media: HashMap::new(),
+            lanes: HashMap::new(),
+            segment: Arc::default(),
+            locals: HashMap::new(),
+        }
+    }
+
+    fn clone_shallow(&self) -> Topology {
+        Topology {
+            hosts: self.hosts.clone(),
+            by_name: self.by_name.clone(),
+            links: self.links.clone(),
+            default_link: self.default_link,
+            media: self.media.clone(),
+            lanes: self.lanes.clone(),
+            segment: self.segment.clone(),
+            locals: self.locals.clone(),
+        }
+    }
+
+    /// Ensure every host pair has its medium guard and engine lanes.
+    fn refresh_pairs(&mut self) {
+        for a in 0..self.hosts.len() as u32 {
+            self.locals.entry(HostId(a)).or_default();
+            for b in 0..self.hosts.len() as u32 {
+                self.lanes.entry((HostId(a), HostId(b))).or_default();
+                if a <= b {
+                    self.media.entry((HostId(a), HostId(b))).or_default();
+                }
+            }
+        }
+    }
+
+    fn link_between(&self, from: HostId, to: HostId) -> Link {
+        if from == to {
+            return self.hosts[from.0 as usize].loopback;
+        }
+        self.links.get(&(from, to)).copied().unwrap_or(self.default_link)
+    }
+
+    fn medium(&self, a: HostId, b: HostId) -> Arc<Mutex<()>> {
+        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        self.media[&key].clone()
+    }
+
+    fn lane(&self, from: HostId, to: HostId, link: &Link) -> &Arc<Lane> {
+        if link.shared {
+            &self.segment
+        } else {
+            &self.lanes[&(from, to)]
+        }
+    }
+}
+
+/// Fault-injection state, kept outside the topology so the hot lossless
+/// path never takes a lock for it. Plans are `Arc`-shared: installing,
+/// materialising a lane's schedule, and per-frame evaluation never clone a
+/// plan.
 #[derive(Default)]
 struct Faults {
     /// Network-wide plan (inter-host links only; loopback is exempt).
-    global: Option<FaultPlan>,
+    global: Option<Arc<FaultPlan>>,
     /// Per-link overrides (win over the global plan). `None` exempts the
     /// link explicitly.
-    per_link: HashMap<(HostId, HostId), Option<FaultPlan>>,
+    per_link: HashMap<(HostId, HostId), Option<Arc<FaultPlan>>>,
     /// Lazily materialised per-directed-link schedule state.
     states: HashMap<(HostId, HostId), FaultState>,
+}
+
+impl Faults {
+    /// Decide the fate of the next frame on `(from, to)` at virtual time
+    /// `now_s`. `None` means no plan governs the link (always delivered).
+    fn fate(&mut self, from: HostId, to: HostId, now_s: f64) -> Option<FrameFate> {
+        let plan = match self.per_link.get(&(from, to)) {
+            Some(per_link) => per_link.clone(),
+            None if from != to => self.global.clone(),
+            None => None,
+        }?;
+        Some(
+            self.states
+                .entry((from, to))
+                .or_insert_with(|| FaultState::new(plan))
+                .verdict(from.0, to.0, now_s),
+        )
+    }
 }
 
 /// The simulated testbed: a set of hosts and the links joining them.
@@ -67,7 +167,11 @@ struct Faults {
 /// Cloning a `Network` is cheap and shares all state.
 #[derive(Clone)]
 pub struct Network {
-    inner: Arc<RwLock<Inner>>,
+    topo: Arc<Published<Topology>>,
+    /// Serialises topology mutations (read-modify-publish).
+    mutate: Arc<Mutex<()>>,
+    mode: TransportMode,
+    sched: Arc<Scheduler>,
     scale: TimeScale,
     clock: VirtualClock,
     /// Fast gate: false means no plan anywhere and [`Network::deliver`] is
@@ -88,16 +192,21 @@ impl Default for Network {
 }
 
 impl Network {
-    /// Create an empty network with the given time scale for delay injection.
+    /// Create an empty network with the given time scale for delay
+    /// injection. The transport mode comes from `PARDIS_TRANSPORT`
+    /// (`sync` selects the legacy synchronous accounting; the default is
+    /// the event-driven overlapped engine).
     pub fn new(scale: TimeScale) -> Self {
+        Self::with_transport(scale, TransportMode::from_env())
+    }
+
+    /// Create an empty network with an explicit transport mode.
+    pub fn with_transport(scale: TimeScale, mode: TransportMode) -> Self {
         Network {
-            inner: Arc::new(RwLock::new(Inner {
-                hosts: Vec::new(),
-                by_name: HashMap::new(),
-                links: HashMap::new(),
-                default_link: LinkPreset::Ethernet10.link(),
-                medium_locks: HashMap::new(),
-            })),
+            topo: Arc::new(Published::new(Topology::empty(LinkPreset::Ethernet10.link()))),
+            mutate: Arc::new(Mutex::new(())),
+            mode,
+            sched: Arc::new(Scheduler::default()),
             scale,
             clock: VirtualClock::new(),
             faults_on: Arc::new(AtomicBool::new(false)),
@@ -114,7 +223,12 @@ impl Network {
     /// processors) and `HOST_2` (10-node SGI PowerChallenge, faster
     /// processors) joined by a dedicated ATM OC-3 link.
     pub fn paper_atm_testbed(scale: TimeScale) -> Self {
-        let net = Network::new(scale);
+        Self::paper_atm_testbed_with(scale, TransportMode::from_env())
+    }
+
+    /// [`Network::paper_atm_testbed`] with an explicit transport mode.
+    pub fn paper_atm_testbed_with(scale: TimeScale, mode: TransportMode) -> Self {
+        let net = Network::with_transport(scale, mode);
         net.add_host_with_speed("HOST_1", 1.0);
         net.add_host_with_speed("HOST_2", 1.8);
         net.connect_by_name("HOST_1", "HOST_2", LinkPreset::AtmOc3.link());
@@ -125,7 +239,12 @@ impl Network {
     /// and the IBM SP/2 (gradient), communicating over Ethernet; an SGI Indy
     /// workstation runs the gradient's visualizer.
     pub fn paper_ethernet_testbed(scale: TimeScale) -> Self {
-        let net = Network::new(scale);
+        Self::paper_ethernet_testbed_with(scale, TransportMode::from_env())
+    }
+
+    /// [`Network::paper_ethernet_testbed`] with an explicit transport mode.
+    pub fn paper_ethernet_testbed_with(scale: TimeScale, mode: TransportMode) -> Self {
+        let net = Network::with_transport(scale, mode);
         net.add_host_with_speed("SGI_PC", 1.0);
         net.add_host_with_speed("SP2", 1.1);
         net.add_host_with_speed("INDY", 0.6);
@@ -134,6 +253,11 @@ impl Network {
         net.connect_by_name("SGI_PC", "INDY", eth);
         net.connect_by_name("SP2", "INDY", eth);
         net
+    }
+
+    /// How this network accounts and delivers frames.
+    pub fn transport_mode(&self) -> TransportMode {
+        self.mode
     }
 
     /// Register a host with baseline speed.
@@ -148,24 +272,31 @@ impl Network {
     /// strictly positive.
     pub fn add_host_with_speed(&self, name: &str, speed: f64) -> HostId {
         assert!(speed.is_finite() && speed > 0.0, "host speed must be positive");
-        let mut inner = self.inner.write();
-        assert!(!inner.by_name.contains_key(name), "host {name:?} already registered");
-        let id = HostId(inner.hosts.len() as u32);
-        inner.hosts.push(Host {
+        let _guard = self.mutate.lock();
+        let cur = self.topo.load();
+        assert!(!cur.by_name.contains_key(name), "host {name:?} already registered");
+        let mut next = cur.clone_shallow();
+        let id = HostId(next.hosts.len() as u32);
+        next.hosts.push(Host {
             id,
             name: name.to_string(),
             loopback: LinkPreset::Loopback.link(),
             speed,
         });
-        inner.by_name.insert(name.to_string(), id);
+        next.by_name.insert(name.to_string(), id);
+        next.refresh_pairs();
+        self.topo.store(next);
         id
     }
 
     /// Install a (bidirectional) link between two hosts.
     pub fn connect(&self, a: HostId, b: HostId, link: Link) {
-        let mut inner = self.inner.write();
-        inner.links.insert((a, b), link);
-        inner.links.insert((b, a), link);
+        let _guard = self.mutate.lock();
+        let mut next = self.topo.load().clone_shallow();
+        next.links.insert((a, b), link);
+        next.links.insert((b, a), link);
+        next.refresh_pairs();
+        self.topo.store(next);
     }
 
     /// Install a link looked up by host names.
@@ -174,10 +305,10 @@ impl Network {
     /// Panics if either host is unknown.
     pub fn connect_by_name(&self, a: &str, b: &str, link: Link) {
         let (a, b) = {
-            let inner = self.inner.read();
+            let topo = self.topo.load();
             (
-                *inner.by_name.get(a).unwrap_or_else(|| panic!("unknown host {a:?}")),
-                *inner.by_name.get(b).unwrap_or_else(|| panic!("unknown host {b:?}")),
+                *topo.by_name.get(a).unwrap_or_else(|| panic!("unknown host {a:?}")),
+                *topo.by_name.get(b).unwrap_or_else(|| panic!("unknown host {b:?}")),
             )
         };
         self.connect(a, b, link);
@@ -185,12 +316,15 @@ impl Network {
 
     /// Set the link used between host pairs that have no explicit link.
     pub fn set_default_link(&self, link: Link) {
-        self.inner.write().default_link = link;
+        let _guard = self.mutate.lock();
+        let mut next = self.topo.load().clone_shallow();
+        next.default_link = link;
+        self.topo.store(next);
     }
 
     /// Look a host up by name.
     pub fn host_by_name(&self, name: &str) -> Option<HostId> {
-        self.inner.read().by_name.get(name).copied()
+        self.topo.load().by_name.get(name).copied()
     }
 
     /// Host metadata.
@@ -198,21 +332,17 @@ impl Network {
     /// # Panics
     /// Panics on an id from a different network.
     pub fn host(&self, id: HostId) -> Host {
-        self.inner.read().hosts[id.0 as usize].clone()
+        self.topo.load().hosts[id.0 as usize].clone()
     }
 
     /// Number of registered hosts.
     pub fn host_count(&self) -> usize {
-        self.inner.read().hosts.len()
+        self.topo.load().hosts.len()
     }
 
     /// The link that a message from `from` to `to` traverses.
     pub fn link_between(&self, from: HostId, to: HostId) -> Link {
-        let inner = self.inner.read();
-        if from == to {
-            return inner.hosts[from.0 as usize].loopback;
-        }
-        inner.links.get(&(from, to)).copied().unwrap_or(inner.default_link)
+        self.topo.load().link_between(from, to)
     }
 
     /// Modelled duration of moving `bytes` from `from` to `to`.
@@ -225,23 +355,21 @@ impl Network {
     /// full modelled duration on the virtual clock. On a shared-medium link
     /// (classic Ethernet) concurrent transfers over the same host pair
     /// serialise. Returns the modelled duration.
+    ///
+    /// This is the synchronous accounting path — the sender's thread pays
+    /// everything. [`Network::transmit`] is the overlapped engine.
     pub fn charge(&self, from: HostId, to: HostId, bytes: usize) -> Duration {
-        let link = self.link_between(from, to);
+        let topo = self.topo.load();
+        let link = topo.link_between(from, to);
         let t = link.transfer_time(bytes);
         self.clock.advance(t);
         let injected = self.scale.apply(t);
         if !injected.is_zero() {
-            let guard = link.shared.then(|| self.medium_lock(from, to));
+            let guard = link.shared.then(|| topo.medium(from, to));
             let _held = guard.as_ref().map(|m| m.lock());
             std::thread::sleep(injected);
         }
         t
-    }
-
-    fn medium_lock(&self, a: HostId, b: HostId) -> Arc<parking_lot::Mutex<()>> {
-        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
-        let mut inner = self.inner.write();
-        inner.medium_locks.entry(key).or_default().clone()
     }
 
     /// Install (or clear) a network-wide fault plan. It governs every
@@ -251,7 +379,7 @@ impl Network {
     pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
         {
             let mut f = self.faults.lock();
-            f.global = plan;
+            f.global = plan.map(Arc::new);
             f.states.clear();
             self.faults_on.store(
                 f.global.is_some() || f.per_link.values().any(Option::is_some),
@@ -265,6 +393,7 @@ impl Network {
     /// two hosts. A per-link entry overrides the network-wide plan —
     /// `Some(plan)` injects it, `None` exempts the link entirely.
     pub fn set_link_fault_plan(&self, a: HostId, b: HostId, plan: Option<FaultPlan>) {
+        let plan = plan.map(Arc::new);
         let mut f = self.faults.lock();
         f.per_link.insert((a, b), plan.clone());
         f.per_link.insert((b, a), plan);
@@ -315,6 +444,22 @@ impl Network {
         }
     }
 
+    fn account(&self, fate: FrameFate) {
+        match fate {
+            FrameFate::Delivered => self.delivered.fetch_add(1, Ordering::Relaxed),
+            FrameFate::DroppedRandom => self.dropped.fetch_add(1, Ordering::Relaxed),
+            FrameFate::DroppedBurst => {
+                self.burst_dropped.fetch_add(1, Ordering::Relaxed);
+                self.dropped.fetch_add(1, Ordering::Relaxed)
+            }
+            FrameFate::DroppedDown => {
+                self.down_dropped.fetch_add(1, Ordering::Relaxed);
+                self.dropped.fetch_add(1, Ordering::Relaxed)
+            }
+            FrameFate::Duplicated => self.duplicated.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
     /// Charge a transfer and decide its fate under the installed fault
     /// plans. With no plan installed this is [`Network::charge`] plus one
     /// atomic load — the lossless behaviour (costs, clock, verdicts) is
@@ -331,45 +476,177 @@ impl Network {
             }
             return Verdict::Delivered;
         }
-        let fate = {
-            let mut f = self.faults.lock();
-            let plan = match f.per_link.get(&(from, to)) {
-                Some(per_link) => per_link.clone(),
-                None if from != to => f.global.clone(),
-                None => None,
-            };
-            match plan {
-                None => FrameFate::Delivered,
-                Some(plan) => {
-                    let now = self.clock.now();
-                    f.states
-                        .entry((from, to))
-                        .or_insert_with(|| FaultState::new(plan))
-                        .verdict(from.0, to.0, now)
-                }
-            }
-        };
-        match fate {
-            FrameFate::Delivered => self.delivered.fetch_add(1, Ordering::Relaxed),
-            FrameFate::DroppedRandom => self.dropped.fetch_add(1, Ordering::Relaxed),
-            FrameFate::DroppedBurst => {
-                self.burst_dropped.fetch_add(1, Ordering::Relaxed);
-                self.dropped.fetch_add(1, Ordering::Relaxed)
-            }
-            FrameFate::DroppedDown => {
-                self.down_dropped.fetch_add(1, Ordering::Relaxed);
-                self.dropped.fetch_add(1, Ordering::Relaxed)
-            }
-            FrameFate::Duplicated => {
-                // The duplicate copy also traverses the wire.
-                self.charge(from, to, bytes);
-                self.duplicated.fetch_add(1, Ordering::Relaxed)
-            }
-        };
+        let fate =
+            self.faults.lock().fate(from, to, self.clock.now()).unwrap_or(FrameFate::Delivered);
+        self.account(fate);
+        if fate == FrameFate::Duplicated {
+            // The duplicate copy also traverses the wire.
+            self.charge(from, to, bytes);
+        }
         if pardis_obs::enabled() {
             self.trace_transit(from, to, bytes, fate.label());
         }
         fate.verdict()
+    }
+
+    /// Send a frame through the event-driven transmit engine: the caller
+    /// pays only the link's software overhead `t_o` (in scaled real time);
+    /// wire latency and serialization are accounted on the per-directed-link
+    /// lane (overlapping on dedicated links, queue-ordered on shared media),
+    /// and `release` runs once per arriving copy — inline when no real time
+    /// is injected, from the engine's timer thread otherwise, in
+    /// `(arrival, seq)` order.
+    ///
+    /// The fault verdict is drawn from the same seeded per-link schedule as
+    /// [`Network::deliver`], at enqueue time, so chaos runs replay
+    /// identically in either transport mode. A dropped frame still occupies
+    /// the wire; a duplicated frame occupies it twice and `release` runs
+    /// twice. The virtual clock advances to the frame's arrival (makespan
+    /// semantics).
+    ///
+    /// In [`TransportMode::Sync`] this degrades to [`Network::deliver`] plus
+    /// inline `release` calls — the legacy synchronous accounting,
+    /// bit-for-bit.
+    pub fn transmit(
+        &self,
+        from: HostId,
+        to: HostId,
+        bytes: usize,
+        release: impl Fn() + Send + Sync + 'static,
+    ) -> Verdict {
+        if self.mode == TransportMode::Sync {
+            let verdict = self.deliver(from, to, bytes);
+            match verdict {
+                Verdict::Delivered => release(),
+                Verdict::Duplicated => {
+                    release();
+                    release();
+                }
+                Verdict::Dropped => {}
+            }
+            return verdict;
+        }
+
+        let topo = self.topo.load();
+        let link = topo.link_between(from, to);
+        let lane = topo.lane(from, to, &link);
+        // The sender's local time floors the departure (a reply cannot leave
+        // before its request arrived) and advances by `t_o` — the sender-side
+        // share of the transfer.
+        let base = topo.locals[&from].begin_send(link.overhead_s);
+        let slot = lane.reserve(&link, bytes, base);
+        topo.locals[&to].observe(slot.arrival);
+        self.clock.advance_to(slot.arrival);
+
+        // Enqueue-time verdict: down windows are judged at the frame's
+        // modelled arrival; drop/duplicate come from the per-lane seeded
+        // sequence — identical to the synchronous schedule.
+        let fate = if self.faults_on.load(Ordering::Acquire) {
+            let fate =
+                self.faults.lock().fate(from, to, slot.arrival).unwrap_or(FrameFate::Delivered);
+            self.account(fate);
+            fate
+        } else {
+            FrameFate::Delivered
+        };
+        let dup_slot = (fate == FrameFate::Duplicated).then(|| {
+            // The spurious copy rides the wire right behind the original.
+            let s = lane.reserve(&link, bytes, base);
+            topo.locals[&to].observe(s.arrival);
+            self.clock.advance_to(s.arrival);
+            s
+        });
+        if pardis_obs::enabled() {
+            self.trace_transit(from, to, bytes, fate.label());
+        }
+
+        // The sender's synchronous share: the software overhead only.
+        let overhead = self.scale.apply(Duration::from_secs_f64(link.overhead_s));
+        if !overhead.is_zero() {
+            std::thread::sleep(overhead);
+        }
+        match fate {
+            FrameFate::Delivered => self.dispatch(lane, &link, slot, Arc::new(release)),
+            FrameFate::Duplicated => {
+                let release: Arc<dyn Fn() + Send + Sync> = Arc::new(release);
+                self.dispatch(lane, &link, slot, release.clone());
+                self.dispatch(lane, &link, dup_slot.expect("duplicate slot"), release);
+            }
+            _ => {}
+        }
+        fate.verdict()
+    }
+
+    /// Hand one arriving copy to its release hook: inline under pure
+    /// virtual accounting, through the timer thread when real time is
+    /// injected (the wire share of the transfer, `t - t_o`, elapses off the
+    /// sender's thread — that is the overlap).
+    fn dispatch(
+        &self,
+        lane: &Arc<Lane>,
+        link: &Link,
+        slot: Slot,
+        release: Arc<dyn Fn() + Send + Sync>,
+    ) {
+        let wire = self.scale.apply(Duration::from_secs_f64((slot.t - link.overhead_s).max(0.0)));
+        if wire.is_zero() {
+            release();
+        } else {
+            self.sched.enqueue(lane, Instant::now() + wire, slot.arrival, release);
+        }
+    }
+
+    /// Block until every frame the engine scheduled for timed release has
+    /// been handed over (no-op under pure virtual accounting or in
+    /// [`TransportMode::Sync`]).
+    pub fn quiesce(&self) {
+        self.sched.quiesce();
+    }
+
+    /// Charge local (non-network) time on one host's virtual timeline —
+    /// waiting or computing that delays its next send. The reliability
+    /// layer charges its retransmission backoff here so retries walk the
+    /// virtual clock out of a timed link-down window under the engine, the
+    /// same way the synchronous transport's sum-clock does implicitly.
+    /// No-op in [`TransportMode::Sync`].
+    pub fn charge_wait(&self, host: HostId, d: Duration) {
+        if self.mode == TransportMode::Sync {
+            return;
+        }
+        self.topo.load().locals[&host].advance(d.as_secs_f64());
+    }
+
+    /// Per-directed-link engine usage (frames, bytes, busy time, timeline
+    /// end) for every dedicated lane that carried traffic, sorted by
+    /// `(from, to)`. Shared-medium traffic is reported by
+    /// [`Network::shared_segment_usage`]. Only the overlapped engine feeds
+    /// these.
+    pub fn per_link_usage(&self) -> Vec<((HostId, HostId), LinkUsage)> {
+        let topo = self.topo.load();
+        let mut out: Vec<_> = topo
+            .lanes
+            .iter()
+            .map(|(k, lane)| (*k, lane.usage()))
+            .filter(|(_, u)| u.frames > 0)
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Engine usage of the one shared-medium segment (every `shared` link's
+    /// frames serialise here, whatever their host pair), if it carried any
+    /// traffic.
+    pub fn shared_segment_usage(&self) -> Option<LinkUsage> {
+        let usage = self.topo.load().segment.usage();
+        (usage.frames > 0).then_some(usage)
+    }
+
+    /// The network makespan in modelled seconds: under the overlapped
+    /// engine the virtual clock tracks the latest arrival on any link
+    /// timeline (under [`TransportMode::Sync`] it is the sum of transfers,
+    /// as ever).
+    pub fn makespan(&self) -> f64 {
+        self.clock.now()
     }
 
     /// Record a `net.transit` trace instant (tracing already known enabled).
@@ -394,7 +671,8 @@ impl Network {
         t
     }
 
-    /// The network-wide virtual clock (sum of all modelled transfer times).
+    /// The network-wide virtual clock (sum of transfers under
+    /// [`TransportMode::Sync`], makespan under the engine).
     pub fn clock(&self) -> &VirtualClock {
         &self.clock
     }
@@ -406,16 +684,17 @@ impl Network {
 
     /// Relative compute speed of a host's processors.
     pub fn host_speed(&self, id: HostId) -> f64 {
-        self.inner.read().hosts[id.0 as usize].speed
+        self.topo.load().hosts[id.0 as usize].speed
     }
 }
 
 impl std::fmt::Debug for Network {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.read();
+        let topo = self.topo.load();
         f.debug_struct("Network")
-            .field("hosts", &inner.hosts.iter().map(|h| h.name.clone()).collect::<Vec<_>>())
-            .field("links", &inner.links.len())
+            .field("hosts", &topo.hosts.iter().map(|h| h.name.clone()).collect::<Vec<_>>())
+            .field("links", &topo.links.len())
+            .field("mode", &self.mode)
             .finish()
     }
 }

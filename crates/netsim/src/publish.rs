@@ -1,0 +1,71 @@
+//! Lock-free publication of immutable snapshots.
+//!
+//! [`Published<T>`] holds an `Arc<T>` that readers load with a single atomic
+//! RMW and no lock acquisition — the mechanism behind the steady-state
+//! zero-lock guarantee of frame routing ([`crate::Network`]'s topology
+//! snapshot and the ORB's endpoint table). Writers install a whole new
+//! snapshot; readers that raced keep the old one alive through their own
+//! `Arc`.
+//!
+//! Reclamation is deliberately deferred: every snapshot ever stored stays
+//! alive until the `Published` itself drops, which is what makes the
+//! unsynchronised pointer read safe without epochs or hazard pointers.
+//! Memory therefore grows with the number of *stores*, not loads — fine for
+//! topologies and endpoint tables, which mutate during setup and then go
+//! read-only.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
+
+/// An atomically swappable, lock-free-readable `Arc<T>` slot.
+pub struct Published<T> {
+    /// Raw pointer of the current snapshot. Always points into one of the
+    /// `Arc`s retained in `kept`, so it can never dangle.
+    current: AtomicPtr<T>,
+    /// Every snapshot ever stored (including the current one). Drained only
+    /// when the `Published` drops.
+    kept: Mutex<Vec<Arc<T>>>,
+}
+
+impl<T> Published<T> {
+    /// Publish an initial snapshot.
+    pub fn new(value: T) -> Published<T> {
+        let arc = Arc::new(value);
+        let ptr = Arc::as_ptr(&arc) as *mut T;
+        Published { current: AtomicPtr::new(ptr), kept: Mutex::new(vec![arc]) }
+    }
+
+    /// Load the current snapshot without acquiring any lock.
+    pub fn load(&self) -> Arc<T> {
+        let ptr = self.current.load(Ordering::Acquire);
+        // SAFETY: `ptr` was produced by `Arc::as_ptr` on an `Arc` that `kept`
+        // retains until `self` drops, so the allocation is alive and holds at
+        // least one strong reference for the duration of this call.
+        unsafe {
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr)
+        }
+    }
+
+    /// Install a new snapshot. Readers switch over atomically; in-flight
+    /// loads of the previous snapshot stay valid.
+    pub fn store(&self, value: T) {
+        let arc = Arc::new(value);
+        let ptr = Arc::as_ptr(&arc) as *mut T;
+        let mut kept = self.kept.lock();
+        kept.push(arc);
+        self.current.store(ptr, Ordering::Release);
+    }
+
+    /// Number of snapshots retained (diagnostics; grows by one per store).
+    pub fn generations(&self) -> usize {
+        self.kept.lock().len()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Published<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Published").field("current", &self.load()).finish()
+    }
+}
