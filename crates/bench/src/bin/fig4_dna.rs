@@ -15,11 +15,15 @@
 //! cargo run --release -p pardis-bench --bin fig4_dna
 //! ```
 
-use pardis::core::{ClientGroup, Orb};
+use pardis::core::{
+    ClientGroup, Orb, Servant, ServerGroup, ServerReply, ServerRequest, DEFAULT_REPOSITORY,
+};
 use pardis::generated::dna::{DnaDbProxy, ListServerProxy};
-use pardis::netsim::{LinkPreset, Network, TimeScale, TransportMode};
+use pardis::netsim::{Link, LinkPreset, Network, TimeScale, TransportMode};
+use pardis::registry::{BindingPolicy, GroupProxy, RegistryClient, RegistryServer};
 use pardis_apps::dna::{spawn_dna_server, DnaServerConfig, Placement, LIST_NAMES};
 use pardis_bench::util::{env_usize, quick, row, BenchJson};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Per-list modelled query cost in microseconds: unequal, as in the paper
@@ -107,6 +111,91 @@ fn aggregate_bandwidth_mbps(streams: usize, shared: bool) -> f64 {
     (FRAMES * streams * BYTES * 8) as f64 / net.makespan() / 1e6
 }
 
+/// Per-replica work weight (virtual units per query) in a replicated
+/// list-server fleet: deliberately unequal, echoing the figure's unequal
+/// list weights, so balancing by count and balancing by reported load
+/// separate.
+const FLEET_WEIGHTS: [u64; 4] = [7, 1, 3, 5];
+
+/// A fleet worker that identifies itself: `serve()` returns the replica
+/// index, which is all the client needs to do the load bookkeeping.
+struct FleetWorker {
+    idx: u64,
+}
+
+impl Servant for FleetWorker {
+    fn interface(&self) -> &str {
+        "fleet_worker"
+    }
+    fn dispatch(&self, _req: ServerRequest<'_>) -> Result<ServerReply, String> {
+        let mut rep = ServerReply::new();
+        rep.push_scalar(&self.idx);
+        Ok(rep)
+    }
+}
+
+/// The registry-balanced fleet: `replicas` workers on their own hosts
+/// register under one group, and the client issues `queries` invocations
+/// through a [`GroupProxy`], heartbeating each replica's accumulated
+/// weighted load back to the registry after every call. Returns the
+/// heaviest per-replica accumulated load — the imbalance the binding policy
+/// leaves behind. Pure virtual bookkeeping on free links: the numbers are
+/// bit-stable run to run, so the series gates at the plain tolerance.
+fn fleet_max_load(replicas: usize, queries: usize, policy: BindingPolicy) -> f64 {
+    let net = Network::with_transport(TimeScale::off(), TransportMode::Sync);
+    let ch = net.add_host("client");
+    let hreg = net.add_host("registry");
+    net.connect(ch, hreg, Link::free());
+    let hosts: Vec<_> = (0..replicas)
+        .map(|i| {
+            let h = net.add_host(&format!("w{i}"));
+            net.connect(ch, h, Link::free());
+            h
+        })
+        .collect();
+    let orb = Orb::new(net);
+    let client = ClientGroup::create(&orb, ch, 1).attach(0, None);
+    let registry = RegistryServer::spawn(&orb, hreg, "fleet-registry");
+    orb.resolve(DEFAULT_REPOSITORY, "fleet-registry").expect("registry activates");
+
+    let mut workers = Vec::new();
+    for (i, &host) in hosts.iter().enumerate() {
+        let group = ServerGroup::create(&orb, &format!("w{i}-server"), host, 1);
+        let g = group.clone();
+        let name = format!("fleet-w{i}");
+        let n = name.clone();
+        let thread = std::thread::spawn(move || {
+            let mut poa = g.attach(0, None);
+            poa.activate_single(&n, Arc::new(FleetWorker { idx: i as u64 }));
+            poa.impl_is_ready();
+        });
+        let oref = orb.resolve(DEFAULT_REPOSITORY, &name).expect("worker activates");
+        workers.push((group, thread, oref));
+    }
+
+    let admin = RegistryClient::bind(&client, "fleet-registry").expect("bind registry");
+    for (i, (_, _, oref)) in workers.iter().enumerate() {
+        admin.register_default("fleet", &format!("w{i}"), oref).expect("register worker");
+    }
+
+    let group = GroupProxy::bind(&client, "fleet-registry", "fleet", policy).expect("bind group");
+    let mut loads = vec![0u64; replicas];
+    for _ in 0..queries {
+        let idx: u64 =
+            group.call("serve").invoke().expect("serve").scalar(0).expect("worker index");
+        let idx = idx as usize;
+        loads[idx] += FLEET_WEIGHTS[idx % FLEET_WEIGHTS.len()];
+        admin.heartbeat("fleet", &format!("w{idx}"), loads[idx]).expect("heartbeat");
+    }
+
+    registry.shutdown();
+    for (group, thread, _) in workers {
+        group.shutdown();
+        thread.join().expect("worker thread");
+    }
+    *loads.iter().max().expect("at least one replica") as f64
+}
+
 fn main() {
     let rounds = env_usize("PARDIS_ROUNDS", if quick() { 4 } else { 24 });
     let procs: Vec<usize> = if quick() { vec![1, 2, 3] } else { (1..=8).collect() };
@@ -130,11 +219,27 @@ fn main() {
         procs.iter().map(|&s| aggregate_bandwidth_mbps(s, false)).collect();
     let agg_shared: Vec<f64> = procs.iter().map(|&s| aggregate_bandwidth_mbps(s, true)).collect();
 
+    // The registry-balanced fleet on the same axis: max per-replica weighted
+    // load after a fixed query batch, round-robin (balances by count, like
+    // the figure's distributed placement) vs least-loaded (balances by the
+    // heartbeat-reported weight).
+    let fleet_queries = rounds * 5;
+    let fleet_rr: Vec<f64> = procs
+        .iter()
+        .map(|&p| fleet_max_load(p, fleet_queries, BindingPolicy::RoundRobin))
+        .collect();
+    let fleet_ll: Vec<f64> = procs
+        .iter()
+        .map(|&p| fleet_max_load(p, fleet_queries, BindingPolicy::LeastLoaded))
+        .collect();
+
     println!("{}", row("centralized", &central));
     println!("{}", row("distributed", &distributed));
     println!("{}", row("difference", &difference));
     println!("{}", row("agg bw ded (Mb/s)", &agg_dedicated));
     println!("{}", row("agg bw shared (Mb/s)", &agg_shared));
+    println!("{}", row("fleet RR max load", &fleet_rr));
+    println!("{}", row("fleet LL max load", &fleet_ll));
 
     let mut report =
         BenchJson::new("fig4", "centralized vs distributed single objects on a parallel server");
@@ -146,6 +251,8 @@ fn main() {
     report.series("difference", &difference);
     report.series("agg_bw_dedicated_mbps", &agg_dedicated);
     report.series("agg_bw_shared_mbps", &agg_shared);
+    report.series("fleet_rr_max_load", &fleet_rr);
+    report.series("fleet_ll_max_load", &fleet_ll);
     match report.write() {
         Ok(path) => eprintln!("  wrote {}", path.display()),
         Err(e) => eprintln!("  JSON write failed: {e}"),

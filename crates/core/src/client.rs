@@ -476,6 +476,16 @@ impl ClientThread {
     /// distributed arguments (§3.1).
     pub fn spmd_bind(&self, name: &str) -> OrbResult<Proxy> {
         let obj = self.core.orb.resolve(&self.namespace, name)?;
+        self.spmd_bind_object(&obj)
+    }
+
+    /// Collectively bind straight to an already-resolved object reference —
+    /// what a registry/failover layer does after resolving a logical group
+    /// name out of band. Same collective discipline as [`spmd_bind`].
+    ///
+    /// [`spmd_bind`]: ClientThread::spmd_bind
+    pub fn spmd_bind_object(&self, obj: &ObjectRef) -> OrbResult<Proxy> {
+        let obj = obj.clone();
         let policy = self.core.orb.dist_policy(obj.key)?;
         let seq = self.spmd_bind_seq.fetch_add(1, Ordering::Relaxed);
         let binding = BindingId((self.core.client.0 << 24) | seq);
@@ -501,6 +511,15 @@ impl ClientThread {
     /// stub PARDIS generates for single-client use, §3.1).
     pub fn bind(&self, name: &str) -> OrbResult<Proxy> {
         let obj = self.core.orb.resolve(&self.namespace, name)?;
+        self.bind_object(&obj)
+    }
+
+    /// Bind this thread individually to an already-resolved object
+    /// reference, skipping the repository lookup. The failover layer uses
+    /// this to rebind an invocation to a surviving replica whose reference
+    /// came from the registry.
+    pub fn bind_object(&self, obj: &ObjectRef) -> OrbResult<Proxy> {
+        let obj = obj.clone();
         let policy = self.core.orb.dist_policy(obj.key)?;
         let seq = self.single_bind_seq.fetch_add(1, Ordering::Relaxed);
         let binding = BindingId(
@@ -940,7 +959,7 @@ impl<'p> CallBuilder<'p> {
 }
 
 /// SplitMix64 finaliser — deterministic jitter without an RNG dependency.
-fn mix64(mut x: u64) -> u64 {
+pub(crate) fn mix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -951,7 +970,7 @@ fn mix64(mut x: u64) -> u64 {
 /// waits `retry_base * 2^min(attempt, 6)` plus up to half that again. The
 /// jitter is a pure hash of (retry_seed, invocation key, attempt), so a
 /// replayed chaos run backs off on the same schedule.
-fn backoff_delay(cfg: &OrbConfig, key: (BindingId, u64), attempt: u32) -> Duration {
+pub(crate) fn backoff_delay(cfg: &OrbConfig, key: (BindingId, u64), attempt: u32) -> Duration {
     let delay = cfg.retry_base.max(Duration::from_micros(50)) * (1u32 << attempt.min(6));
     let h = mix64(cfg.retry_seed ^ mix64(key.0 .0) ^ mix64(key.1) ^ u64::from(attempt));
     let jittered = delay + delay.mul_f64((h >> 11) as f64 / (1u64 << 53) as f64 * 0.5);

@@ -11,6 +11,7 @@
 use pardis_cdr::{CdrCodec, CdrError, Decoder, Encoder, TypeCode};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// How a distributed sequence's elements are mapped onto the computing
@@ -347,10 +348,50 @@ struct PlanKey {
     dst_n: usize,
 }
 
-/// Bound on the plan cache: an application cycles through a handful of
-/// transfer shapes, so a small FIFO window catches the steady state while a
-/// hostile stream of distinct shapes stays bounded.
-const PLAN_CACHE_CAP: usize = 64;
+/// Default bound on the plan cache: an application cycles through a handful
+/// of transfer shapes, so a small FIFO window catches the steady state while
+/// a hostile stream of distinct shapes stays bounded.
+const DEFAULT_PLAN_CACHE_CAP: usize = 64;
+
+/// Live bound on the plan cache. 0 means "not yet initialised": the first
+/// reader resolves it from `PARDIS_PLAN_CACHE_CAP` (falling back to the
+/// default) so the env knob works without any API call.
+static PLAN_CACHE_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Current plan-cache capacity, resolving the env override on first use.
+pub fn plan_cache_cap() -> usize {
+    match PLAN_CACHE_CAP.load(Ordering::Relaxed) {
+        0 => {
+            let cap = std::env::var("PARDIS_PLAN_CACHE_CAP")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|&c| c > 0)
+                .unwrap_or(DEFAULT_PLAN_CACHE_CAP);
+            PLAN_CACHE_CAP.store(cap, Ordering::Relaxed);
+            cap
+        }
+        cap => cap,
+    }
+}
+
+/// Re-bound the plan cache, evicting oldest entries immediately when
+/// shrinking. Process-wide: plans depend only on shapes, so the cache is
+/// shared by every ORB in the process.
+///
+/// # Panics
+/// Panics if `cap` is 0.
+pub fn set_plan_cache_cap(cap: usize) {
+    assert!(cap > 0, "plan cache cap must be positive");
+    PLAN_CACHE_CAP.store(cap, Ordering::Relaxed);
+    let mut guard = PLAN_CACHE.lock();
+    if let Some(cache) = guard.as_mut() {
+        while cache.order.len() > cap {
+            if let Some(old) = cache.order.pop_front() {
+                cache.plans.remove(&old);
+            }
+        }
+    }
+}
 
 struct PlanCache {
     plans: HashMap<PlanKey, Arc<Vec<PlanPiece>>>,
@@ -387,7 +428,7 @@ pub fn plan_transfer_cached(
     if !cache.plans.contains_key(&key) {
         cache.plans.insert(key.clone(), plan.clone());
         cache.order.push_back(key);
-        while cache.order.len() > PLAN_CACHE_CAP {
+        while cache.order.len() > plan_cache_cap() {
             if let Some(old) = cache.order.pop_front() {
                 cache.plans.remove(&old);
             }

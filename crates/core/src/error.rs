@@ -40,6 +40,13 @@ pub enum OrbError {
     Disconnected,
     /// A future was consumed twice.
     FutureAlreadyTaken,
+    /// Every replica of a replicated object group is dead or suspect: the
+    /// failover layer re-resolved the group and found no candidate left to
+    /// replay the invocation against.
+    NoReplicaAvailable {
+        /// The logical group name that could not be served.
+        group: String,
+    },
 }
 
 impl fmt::Display for OrbError {
@@ -56,6 +63,9 @@ impl fmt::Display for OrbError {
             OrbError::Protocol(msg) => write!(f, "protocol misuse: {msg}"),
             OrbError::Disconnected => write!(f, "server disconnected"),
             OrbError::FutureAlreadyTaken => write!(f, "future already consumed"),
+            OrbError::NoReplicaAvailable { group } => {
+                write!(f, "no live replica available in group {group:?}")
+            }
         }
     }
 }

@@ -79,7 +79,8 @@ mod client;
 pub use client::{
     CallBuilder, ClientGroup, ClientThread, CommThread, InvocationHandle, Proxy, ReplyData,
 };
-pub use dist::{plan_transfer, Distribution, PlanPiece, Run};
+pub use dist::{plan_cache_cap, plan_cache_len, plan_transfer, set_plan_cache_cap};
+pub use dist::{Distribution, PlanPiece, Run};
 pub use dseq::DSequence;
 pub use error::{OrbError, OrbResult, TransportError};
 pub use future::{DSeqFuture, PFuture};

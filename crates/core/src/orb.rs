@@ -59,6 +59,17 @@ pub struct OrbConfig {
     /// entries are evicted FIFO; an evicted invocation that is retransmitted
     /// re-executes (the at-most-once guarantee is bounded by this window).
     pub reply_cache_cap: usize,
+    /// Bound on the process-wide redistribution plan cache (entries).
+    /// Default 64, overridable with `PARDIS_PLAN_CACHE_CAP`.
+    pub plan_cache_cap: usize,
+    /// How many times a replicated-group invocation may fail over to another
+    /// replica (re-resolve, mark the dead one suspect, replay) before the
+    /// transport error is surfaced to the caller.
+    pub failover_limit: u32,
+    /// Default registration time-to-live handed to registry registrations,
+    /// in virtual milliseconds; an entry whose heartbeats stop lapses after
+    /// this much simulated time.
+    pub registry_ttl_ms: u64,
 }
 
 impl Default for OrbConfig {
@@ -72,6 +83,9 @@ impl Default for OrbConfig {
             retry_base: Duration::from_millis(10),
             retry_seed: 0,
             reply_cache_cap: 1024,
+            plan_cache_cap: crate::dist::plan_cache_cap(),
+            failover_limit: 3,
+            registry_ttl_ms: 5_000,
         }
     }
 }
@@ -239,6 +253,28 @@ impl Orb {
     pub fn set_reply_cache_cap(&self, cap: usize) {
         assert!(cap > 0, "reply cache cap must be positive");
         self.inner.config.write().reply_cache_cap = cap;
+    }
+
+    /// Bound the redistribution plan cache. The cache is process-wide (plans
+    /// depend only on shapes, not on ORB state), so this takes effect for
+    /// every ORB in the process and evicts immediately if shrinking.
+    ///
+    /// # Panics
+    /// Panics if `cap` is 0 (a capless cache cannot hold any plan).
+    pub fn set_plan_cache_cap(&self, cap: usize) {
+        crate::dist::set_plan_cache_cap(cap);
+        self.inner.config.write().plan_cache_cap = cap;
+    }
+
+    /// Set how many times a replicated-group invocation may fail over to
+    /// another replica before surfacing the transport error.
+    pub fn set_failover_limit(&self, n: u32) {
+        self.inner.config.write().failover_limit = n;
+    }
+
+    /// Set the default registry registration time-to-live (virtual ms).
+    pub fn set_registry_ttl_ms(&self, ttl_ms: u64) {
+        self.inner.config.write().registry_ttl_ms = ttl_ms;
     }
 
     /// Retransmission rounds performed so far (0 on a lossless network).

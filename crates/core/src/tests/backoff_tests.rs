@@ -1,0 +1,77 @@
+//! Unit tests of the retransmit backoff schedule: the jitter stays inside
+//! its cap, the exponent saturates (no overflow however many attempts a long
+//! deadline allows), and the schedule is a pure function of the seed.
+
+use crate::client::backoff_delay;
+use crate::object::BindingId;
+use crate::orb::OrbConfig;
+use std::time::Duration;
+
+fn cfg_with(seed: u64, base: Duration) -> OrbConfig {
+    OrbConfig { retry_base: base, retry_seed: seed, ..OrbConfig::default() }
+}
+
+#[test]
+fn jitter_stays_within_half_of_the_capped_exponential() {
+    let cfg = cfg_with(7, Duration::from_millis(10));
+    for key in [(BindingId(1), 0u64), (BindingId(0xdead_beef), 42), (BindingId(3 << 24), 9)] {
+        for attempt in 0..10u32 {
+            let floor = cfg.retry_base * (1u32 << attempt.min(6));
+            let delay = backoff_delay(&cfg, key, attempt);
+            assert!(delay >= floor, "attempt {attempt}: {delay:?} below floor {floor:?}");
+            let cap = floor + floor.mul_f64(0.5);
+            assert!(delay <= cap, "attempt {attempt}: {delay:?} above cap {cap:?}");
+        }
+    }
+}
+
+#[test]
+fn tiny_bases_are_clamped_to_a_working_floor() {
+    // A zero base would retransmit in a busy loop; the schedule clamps to
+    // 50µs so even retry_base = 0 backs off.
+    let cfg = cfg_with(1, Duration::ZERO);
+    let floor = Duration::from_micros(50);
+    let d = backoff_delay(&cfg, (BindingId(5), 1), 0);
+    assert!(d >= floor && d <= floor + floor.mul_f64(0.5), "unexpected {d:?}");
+}
+
+#[test]
+fn exponent_saturates_without_overflow_near_the_deadline() {
+    // An invocation nursing a long deadline can rack up an unbounded attempt
+    // count; the exponent must saturate at 2^6 instead of overflowing.
+    let cfg = cfg_with(3, Duration::from_millis(10));
+    let key = (BindingId(11), 4u64);
+    let saturated = cfg.retry_base * (1 << 6);
+    for attempt in [6, 7, 63, 64, 1_000_000, u32::MAX] {
+        let d = backoff_delay(&cfg, key, attempt);
+        assert!(d >= saturated, "attempt {attempt} fell under the saturated floor");
+        assert!(d <= saturated + saturated.mul_f64(0.5), "attempt {attempt} overflowed the cap");
+    }
+    // A pathologically large base still must not overflow the multiply.
+    let huge = cfg_with(3, Duration::from_secs(3_600));
+    let _ = backoff_delay(&huge, key, u32::MAX);
+}
+
+#[test]
+fn same_seed_yields_identical_schedules() {
+    let a = cfg_with(99, Duration::from_millis(5));
+    let b = cfg_with(99, Duration::from_millis(5));
+    let key = (BindingId((4 << 24) | 2), 17u64);
+    let sched_a: Vec<Duration> = (0..12).map(|k| backoff_delay(&a, key, k)).collect();
+    let sched_b: Vec<Duration> = (0..12).map(|k| backoff_delay(&b, key, k)).collect();
+    assert_eq!(sched_a, sched_b, "same seed must replay the same backoff schedule");
+
+    let c = cfg_with(100, Duration::from_millis(5));
+    let sched_c: Vec<Duration> = (0..12).map(|k| backoff_delay(&c, key, k)).collect();
+    assert_ne!(sched_a, sched_c, "different seeds should de-synchronise the jitter");
+}
+
+#[test]
+fn jitter_differs_across_invocations() {
+    // Jitter decorrelates concurrent invocations of one client: distinct
+    // (binding, request) keys should not back off in lockstep.
+    let cfg = cfg_with(42, Duration::from_millis(5));
+    let d1: Vec<Duration> = (0..8).map(|k| backoff_delay(&cfg, (BindingId(1), 1), k)).collect();
+    let d2: Vec<Duration> = (0..8).map(|k| backoff_delay(&cfg, (BindingId(1), 2), k)).collect();
+    assert_ne!(d1, d2);
+}

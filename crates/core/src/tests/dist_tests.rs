@@ -294,3 +294,21 @@ mod property {
         }
     }
 }
+
+#[test]
+fn plan_cache_eviction_respects_configured_cap() {
+    // Shrink the process-wide cap, stream in far more distinct shapes than
+    // it can hold, and check the FIFO eviction keeps the cache bounded.
+    // Lengths are offset into a range no other test uses so concurrent
+    // suites sharing the process-wide cache cannot mask an eviction bug.
+    set_plan_cache_cap(8);
+    for len in 100_001..=100_050u64 {
+        let _ = plan_transfer_cached(len, &Distribution::Block, 3, &Distribution::Cyclic, 2);
+    }
+    assert!(plan_cache_len() <= 8, "cache holds {} plans, cap is 8", plan_cache_len());
+    // The most recent shape survived the churn.
+    let again = plan_transfer_cached(100_050, &Distribution::Block, 3, &Distribution::Cyclic, 2);
+    assert_eq!(again.iter().map(|p| p.count).sum::<u64>(), 100_050);
+    // Restore the default so other suites keep their expected capacity.
+    set_plan_cache_cap(64);
+}

@@ -178,6 +178,11 @@ pub struct Network {
     /// exactly [`Network::charge`] plus one relaxed load.
     faults_on: Arc<AtomicBool>,
     faults: Arc<Mutex<Faults>>,
+    /// Fast gate for the host-down check, mirroring `faults_on`: false
+    /// means no host is down and the hot path pays one relaxed load.
+    hosts_down_on: Arc<AtomicBool>,
+    /// Hosts currently taken off the network by [`Network::kill_host`].
+    down_hosts: Arc<Mutex<std::collections::HashSet<HostId>>>,
     dropped: Arc<AtomicU64>,
     duplicated: Arc<AtomicU64>,
     delivered: Arc<AtomicU64>,
@@ -211,6 +216,8 @@ impl Network {
             clock: VirtualClock::new(),
             faults_on: Arc::new(AtomicBool::new(false)),
             faults: Arc::new(Mutex::new(Faults::default())),
+            hosts_down_on: Arc::new(AtomicBool::new(false)),
+            down_hosts: Arc::new(Mutex::new(std::collections::HashSet::new())),
             dropped: Arc::new(AtomicU64::new(0)),
             duplicated: Arc::new(AtomicU64::new(0)),
             delivered: Arc::new(AtomicU64::new(0)),
@@ -405,6 +412,39 @@ impl Network {
         );
     }
 
+    /// Take a host off the network: every subsequent frame to or from it
+    /// (loopback included) is dropped and counted as `down_dropped`, until
+    /// [`Network::revive_host`]. Works with or without a fault plan
+    /// installed — a crashed replica needs no loss schedule — and never
+    /// consumes the seeded drop/duplicate sequence, so the surviving links'
+    /// chaos schedule replays identically whether or not a host was killed.
+    pub fn kill_host(&self, host: HostId) {
+        self.down_hosts.lock().insert(host);
+        self.hosts_down_on.store(true, Ordering::Release);
+    }
+
+    /// Bring a killed host back: frames flow again (state the host held in
+    /// higher layers is its own problem — the network forgets nothing).
+    pub fn revive_host(&self, host: HostId) {
+        let mut down = self.down_hosts.lock();
+        down.remove(&host);
+        self.hosts_down_on.store(!down.is_empty(), Ordering::Release);
+    }
+
+    /// Whether `host` is currently killed.
+    pub fn host_is_down(&self, host: HostId) -> bool {
+        self.hosts_down_on.load(Ordering::Acquire) && self.down_hosts.lock().contains(&host)
+    }
+
+    /// True when either end of the frame is a killed host.
+    fn crosses_down_host(&self, from: HostId, to: HostId) -> bool {
+        if !self.hosts_down_on.load(Ordering::Acquire) {
+            return false;
+        }
+        let down = self.down_hosts.lock();
+        down.contains(&from) || down.contains(&to)
+    }
+
     /// Counters of fault-layer activity since the last plan install.
     pub fn fault_stats(&self) -> FaultStats {
         FaultStats {
@@ -470,6 +510,16 @@ impl Network {
     /// twice, once per copy.
     pub fn deliver(&self, from: HostId, to: HostId, bytes: usize) -> Verdict {
         self.charge(from, to, bytes);
+        // A killed host eats the frame before any plan is consulted (and
+        // without consuming the plan's seeded sequence) — the frame paid its
+        // wire cost and died at the dead interface.
+        if self.crosses_down_host(from, to) {
+            self.account(FrameFate::DroppedDown);
+            if pardis_obs::enabled() {
+                self.trace_transit(from, to, bytes, FrameFate::DroppedDown.label());
+            }
+            return Verdict::Dropped;
+        }
         if !self.faults_on.load(Ordering::Acquire) {
             if pardis_obs::enabled() {
                 self.trace_transit(from, to, bytes, "delivered");
@@ -540,8 +590,12 @@ impl Network {
 
         // Enqueue-time verdict: down windows are judged at the frame's
         // modelled arrival; drop/duplicate come from the per-lane seeded
-        // sequence — identical to the synchronous schedule.
-        let fate = if self.faults_on.load(Ordering::Acquire) {
+        // sequence — identical to the synchronous schedule. A killed host
+        // pre-empts both, plan or no plan.
+        let fate = if self.crosses_down_host(from, to) {
+            self.account(FrameFate::DroppedDown);
+            FrameFate::DroppedDown
+        } else if self.faults_on.load(Ordering::Acquire) {
             let fate =
                 self.faults.lock().fate(from, to, slot.arrival).unwrap_or(FrameFate::Delivered);
             self.account(fate);

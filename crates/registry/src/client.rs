@@ -1,0 +1,379 @@
+//! Client side: typed registry access, replicated-group binding policies,
+//! and transparent failover.
+//!
+//! [`RegistryClient`] is a thin typed wrapper over an ordinary [`Proxy`] to
+//! the registry object. [`GroupProxy`] layers replicated object groups on
+//! top: one logical name resolves to N live replicas, a [`BindingPolicy`]
+//! picks which one to bind, and [`GroupCall::invoke`] replays an idempotent
+//! invocation against a survivor when the at-most-once retry layer exhausts
+//! its deadline against a dead replica. [`OrbError::NoReplicaAvailable`]
+//! surfaces only when the registry lists no live member at all.
+
+use crate::wire::split_entries;
+use pardis_cdr::CdrCodec;
+use pardis_core::{
+    CallBuilder, ClientThread, DSequence, Distribution, ObjectRef, OrbError, OrbResult, Proxy,
+    ReplyData,
+};
+use pardis_netsim::HostId;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One live member of a replicated object group, as resolved from the
+/// registry.
+#[derive(Debug, Clone)]
+pub struct Replica {
+    /// Member name within the group (unique, stable).
+    pub member: String,
+    /// The replica's object reference.
+    pub oref: ObjectRef,
+    /// Load the replica reported in its last heartbeat (replicas typically
+    /// feed a `pardis-obs` dispatch counter here).
+    pub load: u64,
+    /// Host the replica lives on (from the reference).
+    pub host: HostId,
+}
+
+/// Typed proxy to a [`RegistryServant`](crate::RegistryServant).
+pub struct RegistryClient {
+    orb: pardis_core::Orb,
+    proxy: Proxy,
+}
+
+impl RegistryClient {
+    /// Bind to the registry object activated under `name`.
+    pub fn bind(ct: &ClientThread, name: &str) -> OrbResult<RegistryClient> {
+        Ok(RegistryClient { orb: ct.orb().clone(), proxy: ct.bind(name)? })
+    }
+
+    /// [`RegistryClient::register`] with the ORB's configured default TTL
+    /// (`OrbConfig::registry_ttl_ms`).
+    pub fn register_default(&self, group: &str, member: &str, oref: &ObjectRef) -> OrbResult<u64> {
+        let ttl = self.orb.config().registry_ttl_ms;
+        self.register(group, member, oref, ttl)
+    }
+
+    /// Register (or refresh) `member` in `group` with a TTL in virtual
+    /// milliseconds. Returns the group's new epoch.
+    pub fn register(
+        &self,
+        group: &str,
+        member: &str,
+        oref: &ObjectRef,
+        ttl_ms: u64,
+    ) -> OrbResult<u64> {
+        self.proxy
+            .call("register")
+            .arg(&group.to_string())
+            .arg(&member.to_string())
+            .arg(&oref.stringify())
+            .arg(&ttl_ms)
+            .invoke()?
+            .scalar(0)
+    }
+
+    /// Renew `member`'s lease and report its current load. Returns false
+    /// when the entry already lapsed — the server must re-register.
+    pub fn heartbeat(&self, group: &str, member: &str, load: u64) -> OrbResult<bool> {
+        self.proxy
+            .call("heartbeat")
+            .arg(&group.to_string())
+            .arg(&member.to_string())
+            .arg(&load)
+            .invoke()?
+            .scalar(0)
+    }
+
+    /// Remove `member` from `group`. Returns whether it was registered.
+    pub fn deregister(&self, group: &str, member: &str) -> OrbResult<bool> {
+        self.proxy
+            .call("deregister")
+            .arg(&group.to_string())
+            .arg(&member.to_string())
+            .invoke()?
+            .scalar(0)
+    }
+
+    /// The live members of `group`, sorted by member name.
+    pub fn resolve(&self, group: &str) -> OrbResult<Vec<Replica>> {
+        let lines: String =
+            self.proxy.call("resolve").arg(&group.to_string()).invoke()?.scalar(0)?;
+        Ok(parse_replicas(&lines))
+    }
+
+    /// Names of groups that currently have live members.
+    pub fn list(&self) -> OrbResult<Vec<String>> {
+        let lines: String = self.proxy.call("list").invoke()?.scalar(0)?;
+        Ok(lines.split('\n').filter(|l| !l.is_empty()).map(str::to_string).collect())
+    }
+
+    /// Non-blocking membership poll: returns `(epoch, members)`; the member
+    /// list is meaningful when `epoch` moved past `since_epoch`.
+    pub fn watch(&self, group: &str, since_epoch: u64) -> OrbResult<(u64, Vec<Replica>)> {
+        let rep = self.proxy.call("watch").arg(&group.to_string()).arg(&since_epoch).invoke()?;
+        let epoch: u64 = rep.scalar(0)?;
+        let _changed: bool = rep.scalar(1)?;
+        let lines: String = rep.scalar(2)?;
+        Ok((epoch, parse_replicas(&lines)))
+    }
+}
+
+fn parse_replicas(lines: &str) -> Vec<Replica> {
+    split_entries(lines)
+        .into_iter()
+        .filter_map(|(member, oref, load)| {
+            let oref = ObjectRef::destringify(&oref)?;
+            Some(Replica { member, host: oref.host, load, oref })
+        })
+        .collect()
+}
+
+/// How a [`GroupProxy`] picks the replica to bind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BindingPolicy {
+    /// Rotate through the live members in name order. The default.
+    #[default]
+    RoundRobin,
+    /// The member with the lowest heartbeat-reported load (ties broken by
+    /// member name).
+    LeastLoaded,
+    /// The member with the cheapest modelled link from the client's host,
+    /// judged by the netsim topology (ties broken by member name).
+    Locality,
+}
+
+/// Frame size used to rank links under [`BindingPolicy::Locality`] — large
+/// enough that bandwidth matters, not just latency.
+const LOCALITY_PROBE_BYTES: usize = 64 * 1024;
+
+/// An argument applier: replays one recorded `CallBuilder` step against a
+/// fresh proxy, so a failed invocation can be rebuilt against a survivor.
+type Applier = Box<dyn for<'p> Fn(CallBuilder<'p>) -> CallBuilder<'p> + Send + Sync>;
+
+/// A proxy to a replicated object group: one logical name, N replicas
+/// registered in the registry, invocations transparently failing over.
+pub struct GroupProxy<'c> {
+    ct: &'c ClientThread,
+    registry: RegistryClient,
+    group: String,
+    policy: BindingPolicy,
+    collective: bool,
+    /// Replicas a failed invocation was observed against. Suspects are
+    /// avoided while any non-suspect member is live; when every live member
+    /// is suspect the set resets and they get another chance (a replica may
+    /// have recovered — only an empty live list is fatal).
+    suspects: Mutex<HashSet<String>>,
+    /// Cached per-member bindings, so steady-state calls reuse a binding
+    /// instead of re-binding every invocation.
+    bound: Mutex<HashMap<String, Arc<Proxy>>>,
+    rr: AtomicU64,
+}
+
+impl<'c> GroupProxy<'c> {
+    /// A per-thread group proxy (single-object semantics, like
+    /// [`ClientThread::bind`]).
+    pub fn bind(
+        ct: &'c ClientThread,
+        registry_name: &str,
+        group: &str,
+        policy: BindingPolicy,
+    ) -> OrbResult<GroupProxy<'c>> {
+        Self::new(ct, registry_name, group, policy, false)
+    }
+
+    /// A collective group proxy (SPMD semantics, like
+    /// [`ClientThread::spmd_bind`]): every computing thread must construct
+    /// it, and invoke through it, in the same order.
+    pub fn bind_collective(
+        ct: &'c ClientThread,
+        registry_name: &str,
+        group: &str,
+        policy: BindingPolicy,
+    ) -> OrbResult<GroupProxy<'c>> {
+        Self::new(ct, registry_name, group, policy, true)
+    }
+
+    fn new(
+        ct: &'c ClientThread,
+        registry_name: &str,
+        group: &str,
+        policy: BindingPolicy,
+        collective: bool,
+    ) -> OrbResult<GroupProxy<'c>> {
+        Ok(GroupProxy {
+            ct,
+            registry: RegistryClient::bind(ct, registry_name)?,
+            group: group.to_string(),
+            policy,
+            collective,
+            suspects: Mutex::new(HashSet::new()),
+            bound: Mutex::new(HashMap::new()),
+            rr: AtomicU64::new(0),
+        })
+    }
+
+    /// The logical group name.
+    pub fn group(&self) -> &str {
+        &self.group
+    }
+
+    /// The registry client this proxy resolves through.
+    pub fn registry(&self) -> &RegistryClient {
+        &self.registry
+    }
+
+    /// Members currently marked suspect (sorted, for deterministic tests).
+    pub fn suspects(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.suspects.lock().iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Forget every suspicion (e.g. after reviving a partition).
+    pub fn clear_suspects(&self) {
+        self.suspects.lock().clear();
+    }
+
+    /// Begin an invocation of `op` on whichever replica the policy picks.
+    pub fn call(&self, op: &str) -> GroupCall<'_, 'c> {
+        GroupCall { gp: self, op: op.to_string(), appliers: Vec::new() }
+    }
+
+    /// Pick a replica out of `candidates` (non-empty) under the policy.
+    fn pick<'r>(&self, candidates: &[&'r Replica]) -> &'r Replica {
+        match self.policy {
+            BindingPolicy::RoundRobin => {
+                let n = self.rr.fetch_add(1, Ordering::Relaxed);
+                candidates[(n % candidates.len() as u64) as usize]
+            }
+            BindingPolicy::LeastLoaded => candidates
+                .iter()
+                .min_by_key(|r| (r.load, r.member.as_str()))
+                .expect("non-empty candidates"),
+            BindingPolicy::Locality => {
+                let net = self.ct.orb().network();
+                let home = self.ct.host();
+                candidates
+                    .iter()
+                    .min_by_key(|r| {
+                        (net.transfer_time(home, r.host, LOCALITY_PROBE_BYTES), r.member.as_str())
+                    })
+                    .expect("non-empty candidates")
+            }
+        }
+    }
+
+    /// Bind (or reuse a cached binding) to one replica.
+    fn proxy_for(&self, replica: &Replica) -> OrbResult<Arc<Proxy>> {
+        if let Some(p) = self.bound.lock().get(&replica.member) {
+            return Ok(p.clone());
+        }
+        let proxy = if self.collective {
+            self.ct.spmd_bind_object(&replica.oref)?
+        } else {
+            self.ct.bind_object(&replica.oref)?
+        };
+        let proxy = Arc::new(proxy);
+        self.bound.lock().insert(replica.member.clone(), proxy.clone());
+        Ok(proxy)
+    }
+
+    /// The failover loop: resolve live members, pick, invoke; on a
+    /// transport-level failure mark the replica suspect, re-resolve, and
+    /// replay against a survivor — up to the ORB's `failover_limit`.
+    fn invoke_failover(&self, op: &str, appliers: &[Applier]) -> OrbResult<ReplyData> {
+        let limit = self.ct.orb().config().failover_limit;
+        let mut rebinds = 0u32;
+        loop {
+            let live = self.registry.resolve(&self.group)?;
+            if live.is_empty() {
+                if pardis_obs::enabled() {
+                    pardis_obs::counter("failover.no_replica").inc();
+                }
+                return Err(OrbError::NoReplicaAvailable { group: self.group.clone() });
+            }
+            let mut candidates: Vec<&Replica> = {
+                let suspects = self.suspects.lock();
+                live.iter().filter(|r| !suspects.contains(&r.member)).collect()
+            };
+            if candidates.is_empty() {
+                // Every live member is suspect: give them another chance
+                // rather than declaring a still-registered group dead.
+                self.suspects.lock().clear();
+                candidates = live.iter().collect();
+            }
+            let pick = self.pick(&candidates);
+            let proxy = self.proxy_for(pick)?;
+            let mut cb = proxy.call(op);
+            for apply in appliers {
+                cb = apply(cb);
+            }
+            match cb.invoke() {
+                Ok(rep) => return Ok(rep),
+                Err(e) if e.is_retryable() && rebinds < limit => {
+                    rebinds += 1;
+                    self.suspects.lock().insert(pick.member.clone());
+                    if pardis_obs::enabled() {
+                        pardis_obs::counter("failover.rebinds").inc();
+                        pardis_obs::counter("failover.suspects").inc();
+                        pardis_obs::instant(
+                            "client",
+                            "failover.rebind",
+                            None,
+                            vec![
+                                ("group", pardis_obs::ArgVal::Str(self.group.clone().into())),
+                                ("suspect", pardis_obs::ArgVal::Str(pick.member.clone().into())),
+                                ("attempt", pardis_obs::ArgVal::U64(u64::from(rebinds))),
+                            ],
+                        );
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Builder for one group invocation. Arguments are recorded (cloned) rather
+/// than encoded once, so the invocation can be replayed verbatim against a
+/// different replica on failover — which also means group operations must be
+/// idempotent, as the original request may have executed on a replica whose
+/// reply was lost.
+pub struct GroupCall<'g, 'c> {
+    gp: &'g GroupProxy<'c>,
+    op: String,
+    appliers: Vec<Applier>,
+}
+
+impl GroupCall<'_, '_> {
+    /// Append a scalar in-argument (cloned for replay).
+    pub fn arg<T: CdrCodec + Clone + Send + Sync + 'static>(mut self, v: &T) -> Self {
+        let v = v.clone();
+        self.appliers.push(Box::new(move |cb| cb.arg(&v)));
+        self
+    }
+
+    /// Append a distributed in-argument (cloned for replay).
+    pub fn dseq_in<T: CdrCodec + Clone + Send + Sync + 'static>(
+        mut self,
+        ds: &DSequence<T>,
+    ) -> Self {
+        let ds = ds.clone();
+        self.appliers.push(Box::new(move |cb| cb.dseq_in(&ds)));
+        self
+    }
+
+    /// Declare a distributed out-argument with its expected distribution.
+    pub fn dseq_out(mut self, expected_dist: Distribution) -> Self {
+        self.appliers.push(Box::new(move |cb| cb.dseq_out(expected_dist.clone())));
+        self
+    }
+
+    /// Invoke with transparent failover (see
+    /// [`GroupProxy::invoke_failover`] semantics on the type docs).
+    pub fn invoke(self) -> OrbResult<ReplyData> {
+        self.gp.invoke_failover(&self.op, &self.appliers)
+    }
+}

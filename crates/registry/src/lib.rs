@@ -1,0 +1,43 @@
+//! # pardis-registry — replicated naming with heartbeat liveness
+//!
+//! A naming/registry service for PARDIS, served through the ordinary
+//! ORB/POA machinery so the registry is itself a PARDIS object:
+//!
+//! * **Registry servant** — [`RegistryServant`] / [`RegistryServer`]:
+//!   servers register `name → binding` entries with a TTL and renew them via
+//!   heartbeat; entries lapse when heartbeats stop. Liveness is judged
+//!   against the simulated network's virtual clock and swept lazily per
+//!   operation, so chaos runs stay deterministic.
+//! * **Replicated object groups** — N servers register under one logical
+//!   group name; [`RegistryClient::resolve`] returns the live members.
+//! * **Binding policies** — [`BindingPolicy`]: round-robin, least-loaded
+//!   (heartbeat-reported load, typically a `pardis-obs` dispatch counter),
+//!   or locality-aware (cheapest modelled link in the netsim topology).
+//! * **Transparent failover** — [`GroupProxy`] / [`GroupCall`]: when the
+//!   at-most-once retry layer exhausts its deadline against a dead replica,
+//!   the client re-resolves the group, marks the replica suspect, and
+//!   replays the idempotent invocation against a survivor.
+//!   [`pardis_core::OrbError::NoReplicaAvailable`] surfaces only when the
+//!   registry lists no live member at all.
+//!
+//! ## A replicated group in six lines
+//!
+//! ```no_run
+//! use pardis_registry::{BindingPolicy, GroupProxy, RegistryClient, RegistryServer};
+//! # fn demo(orb: &pardis_core::Orb, host: pardis_netsim::HostId,
+//! #          ct: &pardis_core::ClientThread, oref: &pardis_core::ObjectRef) {
+//! let registry = RegistryServer::spawn(orb, host, "registry");
+//! let admin = RegistryClient::bind(ct, "registry").unwrap();
+//! admin.register("workers", "r0", oref, 5_000).unwrap();
+//! let group = GroupProxy::bind(ct, "registry", "workers", BindingPolicy::RoundRobin).unwrap();
+//! let reply = group.call("bump").arg(&7i64).invoke().unwrap();
+//! # let _ = (reply, registry);
+//! # }
+//! ```
+
+mod client;
+mod servant;
+mod wire;
+
+pub use client::{BindingPolicy, GroupCall, GroupProxy, RegistryClient, Replica};
+pub use servant::{RegistryServant, RegistryServer, REGISTRY_INTERFACE};

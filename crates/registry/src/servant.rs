@@ -1,0 +1,236 @@
+//! The naming-service servant.
+//!
+//! The registry is itself a PARDIS object: a [`RegistryServant`] activated
+//! as a *single* object through the ordinary POA machinery, so every
+//! register/heartbeat/resolve is a real invocation riding the same
+//! transport, fault injection, and at-most-once layer as application
+//! traffic.
+//!
+//! Entries carry a time-to-live judged against the simulated network's
+//! virtual clock: a server that stops heartbeating lapses after `ttl_ms`
+//! virtual milliseconds and disappears from resolution. Liveness is swept
+//! lazily on every operation — there is no background reaper thread, which
+//! keeps chaos runs deterministic.
+
+use crate::wire::{join_entries, validate_name};
+use pardis_core::{Orb, Poa, Servant, ServerGroup, ServerReply, ServerRequest};
+use pardis_netsim::HostId;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Interface repository id the registry servant answers to.
+pub const REGISTRY_INTERFACE: &str = "pardis::Registry";
+
+/// One live registration: a member of a replicated object group.
+#[derive(Debug, Clone)]
+struct Entry {
+    oref: String,
+    ttl_ms: u64,
+    deadline_ms: u64,
+    load: u64,
+}
+
+/// A replicated object group: N members behind one logical name.
+#[derive(Debug, Default)]
+struct GroupState {
+    /// Bumped on every membership change (register, lapse, deregister) —
+    /// what `watch` compares against.
+    epoch: u64,
+    members: BTreeMap<String, Entry>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    groups: BTreeMap<String, GroupState>,
+}
+
+/// The naming/registry servant. Share one instance per registry server; all
+/// state lives behind a mutex so the servant is `Sync` for the POA.
+pub struct RegistryServant {
+    orb: Orb,
+    state: Mutex<State>,
+}
+
+impl RegistryServant {
+    /// A servant judging TTLs against `orb`'s network virtual clock.
+    pub fn new(orb: Orb) -> RegistryServant {
+        RegistryServant { orb, state: Mutex::new(State::default()) }
+    }
+
+    /// Current virtual time in milliseconds — the liveness timeline.
+    fn now_ms(&self) -> u64 {
+        (self.orb.network().clock().now() * 1e3) as u64
+    }
+
+    /// Drop every entry whose deadline has passed, bumping the owning
+    /// group's epoch per lapse.
+    fn sweep(state: &mut State, now_ms: u64) {
+        for group in state.groups.values_mut() {
+            let before = group.members.len();
+            group.members.retain(|_, e| e.deadline_ms >= now_ms);
+            let lapsed = before - group.members.len();
+            if lapsed > 0 {
+                group.epoch += 1;
+                if pardis_obs::enabled() {
+                    pardis_obs::counter("registry.lapses").add(lapsed as u64);
+                }
+            }
+        }
+    }
+}
+
+impl Servant for RegistryServant {
+    fn interface(&self) -> &str {
+        REGISTRY_INTERFACE
+    }
+
+    fn dispatch(&self, req: ServerRequest<'_>) -> Result<ServerReply, String> {
+        let now = self.now_ms();
+        let mut state = self.state.lock();
+        Self::sweep(&mut state, now);
+        let mut rep = ServerReply::new();
+        match req.op {
+            // register(group, member, oref, ttl_ms) -> epoch
+            "register" => {
+                let group: String = req.scalar(0).map_err(|e| e.to_string())?;
+                let member: String = req.scalar(1).map_err(|e| e.to_string())?;
+                let oref: String = req.scalar(2).map_err(|e| e.to_string())?;
+                let ttl_ms: u64 = req.scalar(3).map_err(|e| e.to_string())?;
+                validate_name(&group)?;
+                validate_name(&member)?;
+                if ttl_ms == 0 {
+                    return Err("registration ttl must be positive".into());
+                }
+                let g = state.groups.entry(group).or_default();
+                g.members
+                    .insert(member, Entry { oref, ttl_ms, deadline_ms: now + ttl_ms, load: 0 });
+                g.epoch += 1;
+                rep.push_scalar(&g.epoch);
+                if pardis_obs::enabled() {
+                    pardis_obs::counter("registry.registers").inc();
+                }
+            }
+            // heartbeat(group, member, load) -> alive
+            "heartbeat" => {
+                let group: String = req.scalar(0).map_err(|e| e.to_string())?;
+                let member: String = req.scalar(1).map_err(|e| e.to_string())?;
+                let load: u64 = req.scalar(2).map_err(|e| e.to_string())?;
+                let alive = state
+                    .groups
+                    .get_mut(&group)
+                    .and_then(|g| g.members.get_mut(&member))
+                    .map(|e| {
+                        e.deadline_ms = now + e.ttl_ms;
+                        e.load = load;
+                    })
+                    .is_some();
+                rep.push_scalar(&alive);
+                if pardis_obs::enabled() {
+                    pardis_obs::counter("registry.heartbeats").inc();
+                }
+            }
+            // deregister(group, member) -> existed
+            "deregister" => {
+                let group: String = req.scalar(0).map_err(|e| e.to_string())?;
+                let member: String = req.scalar(1).map_err(|e| e.to_string())?;
+                let existed = state
+                    .groups
+                    .get_mut(&group)
+                    .map(|g| {
+                        let removed = g.members.remove(&member).is_some();
+                        if removed {
+                            g.epoch += 1;
+                        }
+                        removed
+                    })
+                    .unwrap_or(false);
+                rep.push_scalar(&existed);
+            }
+            // resolve(group) -> "member|oref|load" lines, live members only
+            "resolve" => {
+                let group: String = req.scalar(0).map_err(|e| e.to_string())?;
+                let lines = state
+                    .groups
+                    .get(&group)
+                    .map(|g| {
+                        join_entries(
+                            g.members.iter().map(|(m, e)| (m.as_str(), e.oref.as_str(), e.load)),
+                        )
+                    })
+                    .unwrap_or_default();
+                rep.push_scalar(&lines);
+                if pardis_obs::enabled() {
+                    pardis_obs::counter("registry.resolves").inc();
+                }
+            }
+            // list() -> group names (groups with live members), newline-joined
+            "list" => {
+                let names: Vec<&str> = state
+                    .groups
+                    .iter()
+                    .filter(|(_, g)| !g.members.is_empty())
+                    .map(|(n, _)| n.as_str())
+                    .collect();
+                rep.push_scalar(&names.join("\n"));
+            }
+            // watch(group, since_epoch) -> (epoch, changed, members) — a
+            // non-blocking poll: callers re-resolve when changed is true.
+            "watch" => {
+                let group: String = req.scalar(0).map_err(|e| e.to_string())?;
+                let since: u64 = req.scalar(1).map_err(|e| e.to_string())?;
+                let (epoch, members) = state
+                    .groups
+                    .get(&group)
+                    .map(|g| {
+                        (
+                            g.epoch,
+                            join_entries(
+                                g.members
+                                    .iter()
+                                    .map(|(m, e)| (m.as_str(), e.oref.as_str(), e.load)),
+                            ),
+                        )
+                    })
+                    .unwrap_or((0, String::new()));
+                rep.push_scalar(&epoch);
+                rep.push_scalar(&(epoch > since));
+                rep.push_scalar(&members);
+            }
+            other => return Err(format!("registry has no operation {other:?}")),
+        }
+        Ok(rep)
+    }
+}
+
+/// A running registry server: one single-threaded PARDIS server group
+/// hosting a [`RegistryServant`] under a well-known name.
+pub struct RegistryServer {
+    group: ServerGroup,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RegistryServer {
+    /// Spawn a registry on `host`, activated as single object `name` in the
+    /// default namespace. Clients reach it with an ordinary `bind(name)`.
+    pub fn spawn(orb: &Orb, host: HostId, name: &str) -> RegistryServer {
+        let group = ServerGroup::create(orb, &format!("{name}-server"), host, 1);
+        let g2 = group.clone();
+        let orb2 = orb.clone();
+        let name = name.to_string();
+        let thread = std::thread::spawn(move || {
+            let mut poa: Poa = g2.attach(0, None);
+            poa.activate_single(&name, Arc::new(RegistryServant::new(orb2)));
+            poa.impl_is_ready();
+        });
+        RegistryServer { group, thread: Some(thread) }
+    }
+
+    /// Stop serving and join the server thread.
+    pub fn shutdown(mut self) {
+        self.group.shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}

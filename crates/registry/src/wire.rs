@@ -1,0 +1,62 @@
+//! Wire format of registry membership listings.
+//!
+//! Member listings cross the wire as one string — `member|oref|load` lines —
+//! so the registry interface needs nothing beyond scalar CDR. Stringified
+//! object references contain `:` but never `|` or newlines; group and member
+//! names are validated against both at registration time.
+
+/// Reject names that would corrupt the listing encoding.
+pub(crate) fn validate_name(name: &str) -> Result<(), String> {
+    if name.is_empty() {
+        return Err("registry names must be non-empty".into());
+    }
+    if name.contains('|') || name.contains('\n') {
+        return Err(format!("registry name {name:?} may not contain '|' or newlines"));
+    }
+    Ok(())
+}
+
+/// Encode `(member, oref, load)` tuples as newline-separated lines.
+pub(crate) fn join_entries<'a>(entries: impl Iterator<Item = (&'a str, &'a str, u64)>) -> String {
+    entries.map(|(m, o, l)| format!("{m}|{o}|{l}")).collect::<Vec<_>>().join("\n")
+}
+
+/// Decode a listing back into `(member, oref, load)` tuples, skipping
+/// malformed lines (a registry bug, not a client error).
+pub(crate) fn split_entries(lines: &str) -> Vec<(String, String, u64)> {
+    lines
+        .split('\n')
+        .filter(|l| !l.is_empty())
+        .filter_map(|l| {
+            let mut it = l.splitn(3, '|');
+            let member = it.next()?.to_string();
+            let oref = it.next()?.to_string();
+            let load = it.next()?.parse().ok()?;
+            Some((member, oref, load))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_round_trip() {
+        let entries = vec![
+            ("r0".to_string(), "PARDIS:7:bump:3:0:1:single@0".to_string(), 4u64),
+            ("r1".to_string(), "PARDIS:9:bump:4:1:1:single@0".to_string(), 0u64),
+        ];
+        let joined = join_entries(entries.iter().map(|(m, o, l)| (m.as_str(), o.as_str(), *l)));
+        assert_eq!(split_entries(&joined), entries);
+        assert!(split_entries("").is_empty());
+    }
+
+    #[test]
+    fn names_are_validated() {
+        assert!(validate_name("solver-group").is_ok());
+        assert!(validate_name("").is_err());
+        assert!(validate_name("a|b").is_err());
+        assert!(validate_name("a\nb").is_err());
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`rts`] | `pardis-rts` | the run-time-system substrate (MPI-like world, Tulip one-sided) |
 //! | [`netsim`] | `pardis-netsim` | the simulated testbed (hosts, ATM/Ethernet links) |
 //! | [`obs`] | `pardis-obs` | tracing + metrics: per-thread event rings, Chrome-trace export |
+//! | [`registry`] | `pardis-registry` | replicated naming/registry: TTL heartbeat liveness, object groups, binding policies, client-side failover |
 //! | [`check`] | `pardis-check` | SPMD protocol analyzer: tag discipline, collective matching, deadlock detection |
 //! | [`pooma`] | `pooma-rs` | POOMA-like fields, guard cells, 9-point stencils |
 //! | [`pstl`] | `pstl-rs` | HPC++-PSTL-like distributed vectors and algorithms |
@@ -44,6 +45,7 @@ pub use pardis_core as core;
 pub use pardis_idl as idl;
 pub use pardis_netsim as netsim;
 pub use pardis_obs as obs;
+pub use pardis_registry as registry;
 pub use pardis_rts as rts;
 pub use pooma_rs as pooma;
 pub use pstl_rs as pstl;

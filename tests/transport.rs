@@ -67,10 +67,8 @@ fn serial_workload(mode: TransportMode, calls: i64) -> (Vec<i64>, f64, u64, u64)
 #[test]
 fn serial_workload_overlapped_matches_sync_accounting_exactly() {
     let _guard = SERIAL.lock().unwrap();
-    let (r_sync, clock_sync, frames_sync, bytes_sync) =
-        serial_workload(TransportMode::Sync, 24);
-    let (r_eng, clock_eng, frames_eng, bytes_eng) =
-        serial_workload(TransportMode::Overlapped, 24);
+    let (r_sync, clock_sync, frames_sync, bytes_sync) = serial_workload(TransportMode::Sync, 24);
+    let (r_eng, clock_eng, frames_eng, bytes_eng) = serial_workload(TransportMode::Overlapped, 24);
     assert_eq!(r_sync, r_eng);
     assert_eq!((frames_sync, bytes_sync), (frames_eng, bytes_eng));
     // A blocking client chains every transfer: request arrival gates the
@@ -89,8 +87,7 @@ fn serial_workload_overlapped_matches_sync_accounting_exactly() {
 fn concurrent_workload(mode: TransportMode, clients: usize, calls: i64) -> f64 {
     let net = Network::with_transport(TimeScale::off(), mode);
     let sh = net.add_host("server");
-    let hosts: Vec<_> =
-        (0..clients).map(|c| net.add_host(&format!("client{c}"))).collect();
+    let hosts: Vec<_> = (0..clients).map(|c| net.add_host(&format!("client{c}"))).collect();
     // Latency-dominated dedicated links: the engine can pipeline them.
     for &h in &hosts {
         net.connect(h, sh, Link::new(0.010, 1.0e9, 0.0001));
@@ -140,10 +137,7 @@ fn concurrent_clients_overlap_under_the_engine() {
     let eng = concurrent_workload(TransportMode::Overlapped, clients, calls);
     // Sync sums every client's transfers; the engine only pays the longest
     // chain (plus scheduling noise from the shared server endpoint).
-    assert!(
-        eng < 0.75 * sync,
-        "engine makespan {eng} should be well under the sync sum {sync}"
-    );
+    assert!(eng < 0.75 * sync, "engine makespan {eng} should be well under the sync sum {sync}");
     // But it can never beat a single client's own causal chain.
     assert!(eng > sync / (clients as f64) - 1e-9, "makespan {eng} below a single chain");
 }

@@ -1,0 +1,189 @@
+//! In-tree stand-in for the `criterion` API surface PARDIS uses.
+//!
+//! Provides the group/bench/iter call shape the workspace's micro-benches
+//! are written against, with a lightweight fixed-budget timer instead of
+//! criterion's statistical machinery: each benchmark runs a short warmup,
+//! then samples until a small time budget is spent, and prints mean
+//! time/iter (plus derived throughput when one was declared). Good enough
+//! to smoke-run benches and eyeball numbers; the repo's regression gates
+//! use its own `BenchJson` harness, not this crate.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Declared work per iteration, used to derive a throughput line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark's identity within a group: function name plus parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark by function name and parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Passed to the measured closure; [`Bencher::iter`] runs and times the
+/// routine.
+pub struct Bencher {
+    /// Mean duration of one iteration, filled by `iter`.
+    per_iter: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the mean per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup (also primes caches/lazy state).
+        std::hint::black_box(routine());
+        let budget = Duration::from_millis(25);
+        let start = Instant::now();
+        let mut iters: u32 = 0;
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            if start.elapsed() >= budget || iters >= 10_000 {
+                break;
+            }
+        }
+        self.per_iter = start.elapsed() / iters;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the fixed time budget ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the fixed time budget ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declare per-iteration work so results include a throughput line.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher { per_iter: Duration::ZERO };
+        f(&mut b);
+        self.report(&id.to_string(), b.per_iter);
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { per_iter: Duration::ZERO };
+        f(&mut b, input);
+        self.report(&id.name, b.per_iter);
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, per_iter: Duration) {
+        let mut line = format!("{}/{}: {:>12.1?}/iter", self.name, id, per_iter);
+        if let Some(t) = self.throughput {
+            let secs = per_iter.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  {:>10.1} MB/s", n as f64 / secs / 1e6));
+                }
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  {:>10.1} elem/s", n as f64 / secs));
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// The benchmark harness handle passed to every target function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI filtering/baselines are not
+    /// implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.into(), throughput: None }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// Bundle target functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, target);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,787 @@
+//! In-tree stand-in for the `proptest` API surface PARDIS uses.
+//!
+//! Implements the strategy combinators the workspace's property tests rely
+//! on — `any`, ranges, string patterns, `Just`, `prop_map`, `prop_oneof!`,
+//! `collection::{vec, hash_set}`, tuples — plus the `proptest!` test macro
+//! with `prop_assert*` / `prop_assume!`. Sampling is deterministic (fixed
+//! runner seed, SplitMix64 stream) so failures reproduce across runs.
+//! Unlike the real crate there is no shrinking and no failure persistence:
+//! a failing case panics with the drawn inputs' case number.
+
+pub mod test_runner {
+    /// How many cases each `proptest!` test draws.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` generated inputs per test.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why strategy construction failed (unused by this stand-in's own
+    /// strategies; kept for signature compatibility).
+    pub type Reason = String;
+
+    /// A single case's outcome when it didn't pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed — the test fails.
+        Fail(String),
+        /// The drawn inputs don't satisfy a precondition — skip the case.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// An assertion failure.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A precondition rejection.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+
+        /// Whether this is a rejection (skipped case) rather than a failure.
+        pub fn is_reject(&self) -> bool {
+            matches!(self, TestCaseError::Reject(_))
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Deterministic entropy source strategies sample from.
+    pub struct TestRunner {
+        state: u64,
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Runner with an explicit config (fixed seed — every run draws the
+        /// same cases, so failures always reproduce).
+        pub fn with_config(config: ProptestConfig) -> TestRunner {
+            TestRunner { state: 0x5DEE_CE66_D0C0_FFEE, config }
+        }
+
+        /// Runner with the default config.
+        pub fn new(config: ProptestConfig) -> TestRunner {
+            TestRunner::with_config(config)
+        }
+
+        /// Runner with a fixed seed and default config.
+        pub fn deterministic() -> TestRunner {
+            TestRunner::with_config(ProptestConfig::default())
+        }
+
+        /// The active config.
+        pub fn config(&self) -> &ProptestConfig {
+            &self.config
+        }
+
+        /// Next raw 64-bit word (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, n)`.
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "below(0)");
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::{Reason, TestRunner};
+
+    /// A generated value (no shrinking: `current` is the only state).
+    pub trait ValueTree {
+        /// The value's type.
+        type Value;
+        /// The generated value.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// The single-valued tree every strategy here produces.
+    pub struct Sampled<T>(pub T);
+
+    impl<T: Clone> ValueTree for Sampled<T> {
+        type Value = T;
+        fn current(&self) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value generated.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Draw one value wrapped as a [`ValueTree`] (real-proptest entry
+        /// point; infallible here).
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<Sampled<Self::Value>, Reason>
+        where
+            Self: Sized,
+        {
+            Ok(Sampled(self.sample(runner)))
+        }
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the strategy's concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |r: &mut TestRunner| self.sample(r)))
+        }
+    }
+
+    /// Type-erased strategy (what `prop_oneof!` arms become).
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRunner) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, runner: &mut TestRunner) -> T {
+            (self.0)(runner)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, runner: &mut TestRunner) -> U {
+            (self.f)(self.inner.sample(runner))
+        }
+    }
+
+    /// Uniform choice among same-valued strategies (`prop_oneof!`).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// Build from the already-erased arms.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union(arms)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, runner: &mut TestRunner) -> T {
+            let idx = runner.below(self.0.len());
+            self.0[idx].sample(runner)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, runner: &mut TestRunner) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = ((runner.next_u64() as u128) % span) as i128;
+                    (self.start as i128 + v) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, runner: &mut TestRunner) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = ((runner.next_u64() as u128) % span) as i128;
+                    (lo as i128 + v) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, runner: &mut TestRunner) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (self.end - self.start) * runner.unit_f64() as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, runner: &mut TestRunner) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    lo + (hi - lo) * runner.unit_f64() as $t
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.sample(runner),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+    }
+
+    /// String literals act as generation patterns: a regex-like subset
+    /// covering literal chars, `[...]` classes with ranges, `\PC`
+    /// (printable char), and `*` / `{m}` / `{m,n}` repetition.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, runner: &mut TestRunner) -> String {
+            crate::string::sample_pattern(self, runner)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn sample(&self, runner: &mut TestRunner) -> String {
+            crate::string::sample_pattern(self, runner)
+        }
+    }
+}
+
+pub mod string {
+    use crate::test_runner::TestRunner;
+
+    // Alphabet for `\PC` (printable char): full printable ASCII plus a few
+    // multi-byte code points so UTF-8 handling gets exercised.
+    fn printable_alphabet() -> Vec<char> {
+        let mut a: Vec<char> = (0x20u8..=0x7E).map(|b| b as char).collect();
+        a.extend(['é', 'ß', 'λ', 'Ω', '中', '文', '🦀', '→']);
+        a
+    }
+
+    struct Atom {
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let choices = match chars[i] {
+                '\\' => {
+                    i += 1;
+                    match chars.get(i) {
+                        Some('P') if chars.get(i + 1) == Some(&'C') => {
+                            i += 2;
+                            printable_alphabet()
+                        }
+                        Some(&c) => {
+                            i += 1;
+                            vec![c]
+                        }
+                        None => panic!("dangling escape in pattern {pattern:?}"),
+                    }
+                }
+                '[' => {
+                    i += 1;
+                    let mut set = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        if chars.get(i + 1) == Some(&'-')
+                            && i + 2 < chars.len()
+                            && chars[i + 2] != ']'
+                        {
+                            let (lo, hi) = (chars[i], chars[i + 2]);
+                            assert!(lo <= hi, "bad class range in {pattern:?}");
+                            set.extend(lo..=hi);
+                            i += 3;
+                        } else {
+                            set.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                    i += 1; // skip ']'
+                    set
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            // Repetition suffix.
+            let (min, max) = match chars.get(i) {
+                Some('*') => {
+                    i += 1;
+                    (0, 32)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 32)
+                }
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unterminated repetition in {pattern:?}"));
+                    let spec: String = chars[i + 1..i + close].iter().collect();
+                    i += close + 1;
+                    match spec.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("repetition min"),
+                            n.trim().parse().expect("repetition max"),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().expect("repetition count");
+                            (n, n)
+                        }
+                    }
+                }
+                _ => (1, 1),
+            };
+            atoms.push(Atom { choices, min, max });
+        }
+        atoms
+    }
+
+    /// Draw one string matching `pattern`.
+    pub fn sample_pattern(pattern: &str, runner: &mut TestRunner) -> String {
+        let mut out = String::new();
+        for atom in parse(pattern) {
+            let count = atom.min + runner.below(atom.max - atom.min + 1);
+            for _ in 0..count {
+                out.push(atom.choices[runner.below(atom.choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary_sample(runner: &mut TestRunner) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_sample(runner: &mut TestRunner) -> $t {
+                    runner.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_sample(runner: &mut TestRunner) -> bool {
+            runner.next_u64() & 1 == 1
+        }
+    }
+
+    // Full bit patterns (incl. infinities and NaN): callers comparing
+    // floats do so through to_bits().
+    impl Arbitrary for f64 {
+        fn arbitrary_sample(runner: &mut TestRunner) -> f64 {
+            f64::from_bits(runner.next_u64())
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary_sample(runner: &mut TestRunner) -> f32 {
+            f32::from_bits(runner.next_u64() as u32)
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary_sample(runner: &mut TestRunner) -> char {
+            char::from_u32((runner.next_u64() % 0xD800) as u32).unwrap_or('a')
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary_sample(runner)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Element-count bound for collection strategies (inclusive).
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn draw(&self, runner: &mut TestRunner) -> usize {
+            self.lo + runner.below(self.hi - self.lo + 1)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// [`vec`]'s strategy type.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let n = self.size.draw(runner);
+            (0..n).map(|_| self.element.sample(runner)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<T>` with element strategy `element`.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, size: size.into() }
+    }
+
+    /// [`hash_set`]'s strategy type.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample(&self, runner: &mut TestRunner) -> HashSet<S::Value> {
+            let target = self.size.draw(runner);
+            let mut set = HashSet::with_capacity(target);
+            // Duplicates don't grow the set; bound the attempts so a
+            // low-cardinality element strategy can't spin forever.
+            let mut attempts = 0;
+            while set.len() < target && attempts < target * 20 + 20 {
+                set.insert(self.element.sample(runner));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fail the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skip the current case (not a failure) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __runner = $crate::test_runner::TestRunner::with_config(__config.clone());
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __runner);)+
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __result {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err(e) if e.is_reject() => {}
+                    ::std::result::Result::Err(e) => panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        __case,
+                        __config.cases,
+                        e
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::ValueTree;
+    use crate::test_runner::TestRunner;
+
+    #[test]
+    fn ranges_and_new_tree() {
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..100 {
+            let v = (3usize..7).new_tree(&mut runner).unwrap().current();
+            assert!((3..7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..50 {
+            let s = Strategy::sample(&"[a-z][a-z0-9_]{0,10}", &mut runner);
+            assert!(!s.is_empty() && s.len() <= 11);
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let mut runner = TestRunner::deterministic();
+        let s = prop_oneof![Just(1u8), Just(2u8), (5u8..7).prop_map(|v| v)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(Strategy::sample(&s, &mut runner));
+        }
+        assert!(seen.contains(&1) && seen.contains(&2) && (seen.contains(&5) || seen.contains(&6)));
+    }
+
+    #[test]
+    fn deterministic_runs_repeat() {
+        let draw = || {
+            let mut runner = TestRunner::deterministic();
+            (0..20)
+                .map(|_| Strategy::sample(&crate::collection::vec(any::<u32>(), 0..5), &mut runner))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: bindings, assume, and assertions all wire up.
+        #[test]
+        fn macro_end_to_end(a in 1usize..50, b in 1usize..50) {
+            prop_assume!(a != b);
+            prop_assert!(a + b > 1);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn collections_and_tuples(
+            pairs in crate::collection::vec((0.0f64..1e3, 1u32..9), 0..8),
+            names in crate::collection::hash_set("[a-z]{1,6}", 1..5),
+        ) {
+            for (x, k) in &pairs {
+                prop_assert!((0.0..1e3).contains(x) && (1..9).contains(k));
+            }
+            prop_assert!(!names.is_empty() && names.len() < 5);
+        }
+    }
+}
