@@ -167,7 +167,25 @@ impl PumpCore {
             // Close the invoke span opened at launch (exactly once, even if
             // tracing was toggled in between).
             if state.span_open.swap(false, Ordering::Relaxed) {
-                pardis_obs::span_end("client", "invoke", Some((key.0 .0, key.1)), vec![]);
+                let mut args = Vec::new();
+                if let Some(obs) = &state.obs {
+                    args.push(("trace", obs.ctx.trace_id.into()));
+                    args.push(("span", obs.ctx.span_id.into()));
+                    if pardis_obs::enabled() {
+                        // Completion closes the end-to-end latency window on
+                        // the virtual clock; per-op and per-binding
+                        // histograms feed the p50/p95/p99 exposition.
+                        let lat = pardis_obs::now_micros().saturating_sub(obs.start_us);
+                        pardis_obs::histogram(&format!("orb.invoke_latency_us.op.{}", obs.op))
+                            .observe(lat);
+                        pardis_obs::histogram(&format!(
+                            "orb.invoke_latency_us.binding.{}",
+                            key.0 .0
+                        ))
+                        .observe(lat);
+                    }
+                }
+                pardis_obs::span_end("client", "client.invoke", Some((key.0 .0, key.1)), args);
             }
         }
         self.orphans.lock().remove(&key);
@@ -299,9 +317,20 @@ pub struct InvocationState {
     /// pre-encoded with their destination endpoints. Empty for oneways and
     /// collocated bypass calls (nothing to retry).
     replay: Mutex<Vec<(EndpointId, Bytes)>>,
-    /// An `invoke` trace span was opened for this invocation and must be
-    /// closed exactly once (at unregistration).
+    /// An `client.invoke` trace span was opened for this invocation and
+    /// must be closed exactly once (at unregistration).
     span_open: std::sync::atomic::AtomicBool,
+    /// Tracing sidecar captured at launch (only while tracing): the
+    /// invocation's causal context, operation name, and virtual-clock start
+    /// for the per-op/per-binding latency histograms.
+    obs: Option<InvObs>,
+}
+
+/// Tracing-only per-invocation observability state.
+struct InvObs {
+    ctx: pardis_obs::TraceCtx,
+    op: String,
+    start_us: u64,
 }
 
 #[derive(Default)]
@@ -733,19 +762,35 @@ impl<'p> CallBuilder<'p> {
 
         // The invoke span opens here (closed when the invocation is
         // unregistered) and covers marshal, transfer, dispatch, and reply.
+        // Its causal context is derived from the invocation's stable
+        // (entity, sequence) identity — not from a counter — so same-seed
+        // runs stamp identical ids. Under an ambient parent (the failover
+        // layer's `failover.invoke` root) the span becomes a child of that
+        // trace; retried launches then share the original trace id.
         let trace_on = pardis_obs::enabled();
-        if trace_on && !oneway {
-            pardis_obs::span_begin(
-                "client",
-                "invoke",
-                Some((key.0 .0, key.1)),
-                vec![
-                    ("op", self.op.clone().into()),
-                    ("entity", entity.into()),
-                    ("client_seq", client_seq.into()),
-                ],
-            );
+        let ctx = (trace_on && !oneway).then(|| match pardis_obs::current_ctx() {
+            Some(parent) => parent.child(pardis_obs::mix64(entity) ^ client_seq),
+            None => pardis_obs::TraceCtx::root(pardis_obs::derive_trace_id(entity, client_seq)),
+        });
+        if let Some(ctx) = ctx {
+            let mut args = vec![
+                ("op", self.op.clone().into()),
+                ("entity", entity.into()),
+                ("client_seq", client_seq.into()),
+                ("span", ctx.span_id.into()),
+            ];
+            if ctx.span_id == ctx.trace_id {
+                // Root span: announce the trace id itself (no ambient parent
+                // to auto-stamp it). Nested spans inherit trace/parent from
+                // the ambient context instead.
+                args.push(("trace", ctx.trace_id.into()));
+            }
+            pardis_obs::span_begin("client", "client.invoke", Some((key.0 .0, key.1)), args);
         }
+        // Ambient from here on (after the span-begin event, which must not
+        // parent itself): marshal/fragment instants, frame encodes and the
+        // netsim transit events all stamp this invocation's context.
+        let _ctx_guard = ctx.map(pardis_obs::enter_ctx);
         let state = Arc::new(InvocationState {
             funneled,
             client_threads: cthreads,
@@ -757,6 +802,11 @@ impl<'p> CallBuilder<'p> {
             inner: Mutex::new(InvInner::default()),
             replay: Mutex::new(Vec::new()),
             span_open: std::sync::atomic::AtomicBool::new(trace_on && !oneway),
+            obs: ctx.map(|ctx| InvObs {
+                ctx,
+                op: self.op.clone(),
+                start_us: pardis_obs::now_micros(),
+            }),
         });
         if !oneway {
             core.register(key, state.clone());
@@ -1004,13 +1054,22 @@ fn retransmit(core: &Arc<PumpCore>, state: &Arc<InvocationState>) -> OrbResult<(
         let frames = target.replay.lock().clone();
         if pardis_obs::enabled() {
             pardis_obs::counter("client.frames_retransmitted").add(frames.len() as u64);
+            let mut args = vec![("frames", frames.len().into())];
+            if let Some(obs) = &target.obs {
+                args.push(("trace", obs.ctx.trace_id.into()));
+                args.push(("parent", obs.ctx.span_id.into()));
+            }
             pardis_obs::instant(
                 "client",
                 "client.retransmit",
                 Some((target.key.0 .0, target.key.1)),
-                vec![("frames", frames.len().into())],
+                args,
             );
         }
+        // Re-sends travel under the invocation's own context so their
+        // transit events land in the same causal tree as the first attempt
+        // (the frames themselves are pre-encoded and already carry it).
+        let _ctx_guard = target.obs.as_ref().map(|obs| pardis_obs::enter_ctx(obs.ctx));
         for (ep, wire) in frames {
             core.orb.send_wire(core.host, ep, wire)?;
         }
@@ -1037,11 +1096,16 @@ fn wait_complete(
     loop {
         if state.is_complete() {
             if pardis_obs::enabled() {
+                let mut args = Vec::new();
+                if let Some(obs) = &state.obs {
+                    args.push(("trace", obs.ctx.trace_id.into()));
+                    args.push(("parent", obs.ctx.span_id.into()));
+                }
                 pardis_obs::instant(
                     "client",
-                    "future.fulfilled",
+                    "client.future_fulfilled",
                     Some((state.key.0 .0, state.key.1)),
-                    vec![],
+                    args,
                 );
             }
             return Ok(());
@@ -1065,7 +1129,27 @@ fn wait_complete(
                 // walks retries out of a timed link-down window (the sync
                 // transport's sum-clock advances on the dropped frames
                 // themselves).
+                let wait_t0 = pardis_obs::now_micros();
                 core.orb.network().charge_wait(core.host, waited);
+                if pardis_obs::enabled() {
+                    // Measured on the virtual clock (zero under the sync
+                    // transport, where charge_wait is a no-op): the profiler
+                    // attributes the interval [ts - us, ts] to backoff.
+                    let mut args = vec![
+                        ("us", pardis_obs::now_micros().saturating_sub(wait_t0).into()),
+                        ("attempt", attempt.into()),
+                    ];
+                    if let Some(obs) = &state.obs {
+                        args.push(("trace", obs.ctx.trace_id.into()));
+                        args.push(("parent", obs.ctx.span_id.into()));
+                    }
+                    pardis_obs::instant(
+                        "client",
+                        "client.backoff",
+                        Some((state.key.0 .0, state.key.1)),
+                        args,
+                    );
+                }
                 retransmit(core, state)?;
                 // Once the budget is spent, stop nudging but keep waiting
                 // out the deadline — the last retransmission's reply may

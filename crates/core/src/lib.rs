@@ -88,7 +88,7 @@ pub use interface_repo::{InterfaceDef, InterfaceRepository, OpSig, ParamMode, Pa
 pub use object::{
     BindingId, ClientId, DistPolicy, EndpointId, ObjectKey, ObjectKind, ObjectRef, ServerId,
 };
-pub use obs::{finish_env_trace, trace_from_env, TraceReport, TraceSession};
+pub use obs::{finish_env_trace, quiesce_endpoints, trace_from_env, TraceReport, TraceSession};
 pub use orb::{Orb, OrbConfig, TransferStrategy};
 pub use poa::{DeferredCall, Poa, ServerGroup};
 pub use repository::{

@@ -12,11 +12,18 @@
 //! writes a Chrome trace-event file there (load it in `chrome://tracing` or
 //! [Perfetto](https://ui.perfetto.dev)).
 
+use crate::client::ClientThread;
 use crate::orb::Orb;
 use pardis_obs::{MetricSnapshot, ThreadTrace};
+use parking_lot::Mutex;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// One labelled point-in-time metrics capture: `(label, virtual-clock
+/// micros, snapshot)`.
+pub type MetricsCapture = (String, u64, Vec<(String, MetricSnapshot)>);
 
 /// An active tracing window over one ORB's workload.
 ///
@@ -26,6 +33,7 @@ use std::sync::Arc;
 /// recording and returns the collected [`TraceReport`].
 pub struct TraceSession {
     orb: Orb,
+    snapshots: Mutex<Vec<MetricsCapture>>,
 }
 
 impl TraceSession {
@@ -35,7 +43,27 @@ impl TraceSession {
         let clock = orb.network().clock().clone();
         pardis_obs::set_clock_micros(Arc::new(move || (clock.now() * 1e6) as u64));
         pardis_obs::enable();
-        TraceSession { orb: orb.clone() }
+        TraceSession { orb: orb.clone(), snapshots: Mutex::new(Vec::new()) }
+    }
+
+    /// Settle in-flight traffic before a snapshot or [`finish`]: see
+    /// [`quiesce_endpoints`]. Replaces the hand-rolled quiesce/sleep/drain
+    /// loops the e2e suites used to carry.
+    ///
+    /// [`finish`]: TraceSession::finish
+    pub fn quiesce(&self, clients: &[&ClientThread]) {
+        quiesce_endpoints(&self.orb, clients);
+    }
+
+    /// Capture a labelled metrics snapshot at the current virtual-clock
+    /// reading, folding the ORB's and network's externally-accumulated
+    /// statistics in first. Deterministic for deterministic workloads: the
+    /// label, the timestamp and the snapshot all derive from modelled time.
+    /// The captures ride along in the report's JSON exposition.
+    pub fn snapshot(&self, label: &str) {
+        feed_orb_metrics(&self.orb);
+        let ts_us = pardis_obs::now_micros();
+        self.snapshots.lock().push((label.to_string(), ts_us, pardis_obs::metrics_snapshot()));
     }
 
     /// Stop recording and collect everything: per-thread events plus a
@@ -45,7 +73,25 @@ impl TraceSession {
     pub fn finish(self) -> TraceReport {
         pardis_obs::disable();
         feed_orb_metrics(&self.orb);
-        TraceReport { threads: pardis_obs::drain(), metrics: pardis_obs::metrics_snapshot() }
+        TraceReport {
+            threads: pardis_obs::drain(),
+            metrics: pardis_obs::metrics_snapshot(),
+            snapshots: self.snapshots.into_inner(),
+        }
+    }
+}
+
+/// Settle in-flight traffic: drain the transmit engine's scheduled
+/// releases, give the adapters a moment to flush retransmission
+/// by-products (duplicate replies ride the network after the client has
+/// moved on), then ingest whatever reached the given client threads'
+/// endpoints. Useful with or without an active trace session — fault
+/// counters read after this reflect a settled network.
+pub fn quiesce_endpoints(orb: &Orb, clients: &[&ClientThread]) {
+    orb.network().quiesce();
+    std::thread::sleep(Duration::from_millis(200));
+    for client in clients {
+        client.drain_pending();
     }
 }
 
@@ -100,6 +146,9 @@ pub struct TraceReport {
     pub threads: Vec<ThreadTrace>,
     /// Metrics snapshot, sorted by name.
     pub metrics: Vec<(String, MetricSnapshot)>,
+    /// Periodic labelled captures taken with [`TraceSession::snapshot`], in
+    /// capture order.
+    pub snapshots: Vec<MetricsCapture>,
 }
 
 impl TraceReport {
@@ -113,9 +162,39 @@ impl TraceReport {
         pardis_obs::summary_table(&self.threads, &self.metrics)
     }
 
+    /// The Prometheus text exposition of the final metrics snapshot
+    /// (histogram families with cumulative buckets plus p50/p95/p99 gauges).
+    pub fn prometheus(&self) -> String {
+        pardis_obs::render_prometheus(&self.metrics)
+    }
+
+    /// The JSON metrics exposition: the final snapshot plus any periodic
+    /// captures.
+    pub fn metrics_json(&self) -> String {
+        pardis_obs::metrics_json_with_snapshots(&self.metrics, &self.snapshots)
+    }
+
     /// Write the Chrome trace to `path`.
     pub fn write_chrome(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         std::fs::write(path, self.chrome_json())
+    }
+
+    /// Write the metrics expositions beside a trace file: `<path>.prom`
+    /// (Prometheus text) and `<path>.metrics.json`. Returns both paths.
+    pub fn write_expositions(
+        &self,
+        trace_path: impl AsRef<Path>,
+    ) -> std::io::Result<(PathBuf, PathBuf)> {
+        let trace_path = trace_path.as_ref();
+        let mut prom = trace_path.as_os_str().to_owned();
+        prom.push(".prom");
+        let prom = PathBuf::from(prom);
+        let mut json = trace_path.as_os_str().to_owned();
+        json.push(".metrics.json");
+        let json = PathBuf::from(json);
+        std::fs::write(&prom, self.prometheus())?;
+        std::fs::write(&json, self.metrics_json())?;
+        Ok((prom, json))
     }
 
     /// Look a counter metric up by name.
@@ -149,7 +228,8 @@ pub fn trace_from_env(orb: &Orb) -> Option<TraceSession> {
 }
 
 /// Finish an environment-hook session and write the Chrome trace to the
-/// `PARDIS_TRACE` path. Returns the written path.
+/// `PARDIS_TRACE` path, with the metrics expositions (`<path>.prom`,
+/// `<path>.metrics.json`) beside it. Returns the trace path.
 pub fn finish_env_trace(session: TraceSession) -> std::io::Result<PathBuf> {
     let path = PathBuf::from(
         std::env::var("PARDIS_TRACE").unwrap_or_else(|_| "pardis_trace.json".to_string()),
@@ -159,6 +239,8 @@ pub fn finish_env_trace(session: TraceSession) -> std::io::Result<PathBuf> {
             std::fs::create_dir_all(dir)?;
         }
     }
-    session.finish().write_chrome(&path)?;
+    let report = session.finish();
+    report.write_chrome(&path)?;
+    report.write_expositions(&path)?;
     Ok(path)
 }

@@ -33,6 +33,10 @@ use std::time::Duration;
 /// shared reserved-band registry in `pardis_rts::tags`.
 pub(crate) const FORWARD_TAG: u64 = tags::ORB_FORWARD;
 
+/// Salt deriving a dispatch span's id from its parent invoke span (xor'd
+/// with the shifted thread index so collective dispatches stay distinct).
+const DISPATCH_SALT: u64 = 0x706f_612e_6469_7370; // "poa.disp"
+
 /// A parallel server registered with the ORB: a set of computing-thread
 /// endpoints plus shared identity. Clone the group into each computing
 /// thread and call [`ServerGroup::attach`] there.
@@ -151,11 +155,15 @@ struct PendingReq {
     /// every sibling's fragment has passed through — the siblings would
     /// otherwise wait forever on data stranded in thread 0's inbox.
     fwd: HashMap<u32, Vec<(u64, u64, u32, u32)>>,
+    /// Originating invocation's trace context, lifted from the first traced
+    /// frame of the request (control or fragment): the dispatch span and
+    /// everything under it parents into the client's trace.
+    ctx: Option<pardis_obs::TraceCtx>,
 }
 
 impl PendingReq {
     fn new() -> Self {
-        PendingReq { control: None, frags: HashMap::new(), fwd: HashMap::new() }
+        PendingReq { control: None, frags: HashMap::new(), fwd: HashMap::new(), ctx: None }
     }
 }
 
@@ -209,6 +217,7 @@ pub struct Poa {
 /// [`crate::servant::DispatchResult::Defer`]).
 pub struct DeferredCall {
     req: RequestMsg,
+    ctx: Option<pardis_obs::TraceCtx>,
 }
 
 impl DeferredCall {
@@ -379,8 +388,8 @@ impl Poa {
     }
 
     fn handle_wire(&mut self, wire: &Bytes) {
-        match Message::decode(wire) {
-            Ok(msg) => self.handle(msg, wire),
+        match Message::decode_traced(wire) {
+            Ok((msg, ctx)) => self.handle(msg, wire, ctx),
             Err(e) => {
                 // A malformed frame cannot be answered (no parseable reply
                 // address); drop it loudly in debug builds.
@@ -389,7 +398,11 @@ impl Poa {
         }
     }
 
-    fn handle(&mut self, msg: Message, wire: &Bytes) {
+    fn handle(&mut self, msg: Message, wire: &Bytes, ctx: Option<pardis_obs::TraceCtx>) {
+        // The sender's context is ambient while the frame is handled, so
+        // reassembly/forwarding instants (and any re-sent frames' transit
+        // events) stamp into the originating invocation's trace.
+        let _ctx_guard = ctx.map(pardis_obs::enter_ctx);
         match msg {
             Message::Request(req) => {
                 let key = (req.binding, req.req_id);
@@ -413,6 +426,7 @@ impl Poa {
                 }
                 let entry = self.pending.entry(key).or_insert_with(PendingReq::new);
                 entry.control = Some(req);
+                entry.ctx = entry.ctx.or(ctx);
             }
             Message::Fragment(frag) => {
                 let key = (frag.binding, frag.req_id);
@@ -429,6 +443,7 @@ impl Poa {
                         // (idempotently — a retransmitted fragment must not
                         // double-count).
                         let entry = self.pending.entry(key).or_insert_with(PendingReq::new);
+                        entry.ctx = entry.ctx.or(ctx);
                         let rec = (frag.start, frag.count, frag.src_thread, frag.dst_thread);
                         let slot = entry.fwd.entry(frag.arg).or_default();
                         if !slot.contains(&rec) {
@@ -444,6 +459,7 @@ impl Poa {
                 }
                 let entry =
                     self.pending.entry((frag.binding, frag.req_id)).or_insert_with(PendingReq::new);
+                entry.ctx = entry.ctx.or(ctx);
                 let slot = entry.frags.entry(frag.arg).or_default();
                 // Idempotent reassembly: a duplicated or retransmitted
                 // fragment range must not double-count toward completion.
@@ -510,7 +526,7 @@ impl Poa {
                 Some(key) => {
                     let pending = self.pending.remove(&key).expect("found above");
                     let req = pending.control.expect("complete implies control");
-                    self.dispatch(req, pending.frags);
+                    self.dispatch(req, pending.frags, pending.ctx);
                     dispatched += 1;
                 }
                 None => return dispatched,
@@ -660,18 +676,30 @@ impl Poa {
         }
     }
 
-    fn dispatch(&mut self, req: RequestMsg, mut frags: HashMap<u32, Vec<FragmentMsg>>) {
+    fn dispatch(
+        &mut self,
+        req: RequestMsg,
+        mut frags: HashMap<u32, Vec<FragmentMsg>>,
+        ctx: Option<pardis_obs::TraceCtx>,
+    ) {
         self.mark_accepted((req.binding, req.req_id));
+        // The dispatch span is a child of the client's invoke span: its
+        // begin event parents under the request's wire context (ambient
+        // first), then the child context becomes ambient for the servant and
+        // the reply path. The salt keeps collective SPMD dispatches on
+        // different threads causally distinct.
+        let _parent_guard = ctx.map(pardis_obs::enter_ctx);
+        let dctx = ctx.map(|c| c.child(DISPATCH_SALT ^ ((self.thread as u64) << 1)));
         // Gated construction: the span's op-name clone must not run when
         // tracing is off.
         let _span = pardis_obs::enabled().then(|| {
-            pardis_obs::Span::open(
-                "poa",
-                "poa.dispatch",
-                Some((req.binding.0, req.req_id)),
-                vec![("op", req.op.clone().into()), ("thread", self.thread.into())],
-            )
+            let mut args = vec![("op", req.op.clone().into()), ("thread", self.thread.into())];
+            if let Some(dctx) = dctx {
+                args.push(("span", dctx.span_id.into()));
+            }
+            pardis_obs::Span::open("poa", "poa.dispatch", Some((req.binding.0, req.req_id)), args)
         });
+        let _dispatch_guard = dctx.map(pardis_obs::enter_ctx);
         let servant = self.servants.get(&req.object).cloned();
         let meta = self.orb.object_meta(req.object);
         let result = match (servant, meta) {
@@ -705,7 +733,7 @@ impl Poa {
                 let sreq = ServerRequest { op: &req.op, ins: &req.ins, dins: &dins, ctx: &ctx };
                 match servant.dispatch_deferred(sreq) {
                     Ok(crate::servant::DispatchResult::Defer) if deferrable => {
-                        self.deferred.push(DeferredCall { req });
+                        self.deferred.push(DeferredCall { req, ctx: dctx });
                         return;
                     }
                     Ok(crate::servant::DispatchResult::Defer) => {
@@ -738,8 +766,10 @@ impl Poa {
     }
 
     /// Complete a previously deferred request: ships out-fragments and the
-    /// reply control exactly as an immediate reply would have.
+    /// reply control exactly as an immediate reply would have (including the
+    /// dispatch context the reply travels under).
     pub fn reply_deferred(&self, call: DeferredCall, result: Result<ServerReply, String>) {
+        let _ctx_guard = call.ctx.map(pardis_obs::enter_ctx);
         self.send_reply(&call.req, result);
     }
 

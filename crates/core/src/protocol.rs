@@ -5,8 +5,16 @@
 //! frame layout is
 //!
 //! ```text
-//! 'P' 'R' 'D' 'S'  version  byte-order-flag  msg-type  pad  body...
+//! 'P' 'R' 'D' 'S'  version  byte-order-flag  msg-type  flags  [trace-ctx]  body...
 //! ```
+//!
+//! `flags` bit 0 ([`FLAG_TRACE_CTX`]) marks an optional 16-byte causal
+//! trace context (trace id + parent span id, [`pardis_obs::TraceCtx`])
+//! between header and body. The sender stamps its ambient context
+//! ([`pardis_obs::current_ctx`]) at encode time; contexts are only ambient
+//! while tracing is enabled, so untraced frames are byte-identical to the
+//! pre-v2 layout (the byte was an always-zero pad) and the network cost
+//! model sees unchanged frame sizes whenever tracing is off.
 
 use crate::dist::Distribution;
 use crate::object::{BindingId, ClientId, EndpointId, ObjectKey};
@@ -17,6 +25,38 @@ use pardis_cdr::{ByteOrder, CdrCodec, CdrError, Decoder, Encoder};
 pub const MAGIC: [u8; 4] = *b"PRDS";
 /// Protocol version.
 pub const VERSION: u8 = 1;
+/// Header flag: a 16-byte trace context follows the 8-byte header.
+pub const FLAG_TRACE_CTX: u8 = 1;
+
+/// Write the 8-byte frame header plus the optional trace-context extension.
+fn write_header(
+    e: &mut Encoder,
+    order: ByteOrder,
+    type_tag: u8,
+    ctx: Option<pardis_obs::TraceCtx>,
+) {
+    e.write_raw(&MAGIC);
+    e.write_u8(VERSION);
+    e.write_u8(order.flag());
+    e.write_u8(type_tag);
+    match ctx {
+        Some(ctx) => {
+            e.write_u8(FLAG_TRACE_CTX);
+            e.write_u64(ctx.trace_id);
+            e.write_u64(ctx.span_id);
+        }
+        None => e.write_u8(0),
+    }
+}
+
+/// Extra frame bytes the optional trace context occupies.
+fn ctx_ext_len(ctx: &Option<pardis_obs::TraceCtx>) -> usize {
+    if ctx.is_some() {
+        16
+    } else {
+        0
+    }
+}
 
 /// The reserved-tag band the ORB's RTS traffic lives in, re-exported from
 /// `pardis-rts` (the single source of truth) so protocol-level code can name
@@ -194,26 +234,24 @@ impl Message {
         }
     }
 
-    /// Frame this message for the wire.
+    /// Frame this message for the wire, stamping the calling thread's
+    /// ambient trace context (if any) into the header extension.
     pub fn encode(&self) -> Bytes {
         let order = ByteOrder::native();
+        let ctx = pardis_obs::current_ctx();
         // Size the frame up front: for bulk-bearing messages the payload
         // dwarfs the header, and a good hint avoids the doubling reallocs
         // (and their copies) while the payload streams in.
         let hint = match self {
             // Exact for the bulk-bearing frame: slack capacity can cost a
             // second payload copy when the finished Vec becomes Bytes.
-            Message::Fragment(f) => fragment_frame_overhead() + f.data.len(),
-            Message::Request(r) => 64 + r.ins.iter().map(|b| b.len() + 8).sum::<usize>(),
-            Message::Reply(r) => 64 + r.outs.iter().map(|b| b.len() + 8).sum::<usize>(),
-            _ => 64,
+            Message::Fragment(f) => fragment_frame_overhead() + ctx_ext_len(&ctx) + f.data.len(),
+            Message::Request(r) => 96 + r.ins.iter().map(|b| b.len() + 8).sum::<usize>(),
+            Message::Reply(r) => 96 + r.outs.iter().map(|b| b.len() + 8).sum::<usize>(),
+            _ => 96,
         };
         let mut e = Encoder::with_capacity(order, hint);
-        e.write_raw(&MAGIC);
-        e.write_u8(VERSION);
-        e.write_u8(order.flag());
-        e.write_u8(self.type_tag());
-        e.write_u8(0); // pad
+        write_header(&mut e, order, self.type_tag(), ctx);
         match self {
             Message::Request(r) => encode_request(r, &mut e),
             Message::Reply(r) => encode_reply(r, &mut e),
@@ -227,8 +265,16 @@ impl Message {
         e.finish()
     }
 
-    /// Parse a frame.
+    /// Parse a frame, discarding any header trace context.
     pub fn decode(frame: &Bytes) -> Result<Message, CdrError> {
+        Self::decode_traced(frame).map(|(msg, _)| msg)
+    }
+
+    /// Parse a frame together with the sender's trace context, when the
+    /// header carries one ([`FLAG_TRACE_CTX`]).
+    pub fn decode_traced(
+        frame: &Bytes,
+    ) -> Result<(Message, Option<pardis_obs::TraceCtx>), CdrError> {
         // Peek the header with a throwaway decoder to learn the byte order.
         if frame.len() < 8 {
             return Err(CdrError::Truncated { needed: 8, remaining: frame.len() });
@@ -247,9 +293,15 @@ impl Message {
         }
         let order = ByteOrder::from_flag(frame[5])?;
         let ty = frame[6];
+        let flags = frame[7];
         let mut d = Decoder::new(frame.clone(), order);
         d.read_raw(8)?; // skip header
-        Ok(match ty {
+        let ctx = if flags & FLAG_TRACE_CTX != 0 {
+            Some(pardis_obs::TraceCtx { trace_id: d.read_u64()?, span_id: d.read_u64()? })
+        } else {
+            None
+        };
+        let msg = match ty {
             0 => Message::Request(decode_request(&mut d)?),
             1 => Message::Reply(decode_reply(&mut d)?),
             2 => Message::Fragment(decode_fragment(&mut d)?),
@@ -259,7 +311,8 @@ impl Message {
                 name: "MessageType".into(),
                 value: other as u32,
             })?,
-        })
+        };
+        Ok((msg, ctx))
     }
 }
 
@@ -457,12 +510,10 @@ fn encode_fragment(f: &FragmentMsg, e: &mut Encoder) {
 pub fn encode_fragment_frame(head: &FragmentMsg, payload: &[u8]) -> Bytes {
     debug_assert!(head.data.is_empty(), "payload travels separately");
     let order = ByteOrder::native();
-    let mut e = Encoder::with_capacity(order, fragment_frame_overhead() + payload.len());
-    e.write_raw(&MAGIC);
-    e.write_u8(VERSION);
-    e.write_u8(order.flag());
-    e.write_u8(2); // Message::Fragment type tag
-    e.write_u8(0); // pad
+    let ctx = pardis_obs::current_ctx();
+    let cap = fragment_frame_overhead() + ctx_ext_len(&ctx) + payload.len();
+    let mut e = Encoder::with_capacity(order, cap);
+    write_header(&mut e, order, 2, ctx); // 2 = Message::Fragment type tag
     e.write_u64(head.req_id);
     head.binding.encode(&mut e);
     e.write_u32(head.arg);
@@ -475,11 +526,12 @@ pub fn encode_fragment_frame(head: &FragmentMsg, payload: &[u8]) -> Bytes {
     e.finish()
 }
 
-/// Byte size of a fragment frame ahead of its payload, measured once from
-/// an empty-payload frame. Fragment fields are all fixed-width, so
-/// `overhead + payload.len()` is the *exact* frame size — and an exact
-/// capacity hint matters: `Bytes::from(Vec)` may reallocate (and copy a
-/// bulk payload a second time) when capacity exceeds length.
+/// Byte size of an *untraced* fragment frame ahead of its payload, measured
+/// once from an empty-payload frame. Fragment fields are all fixed-width,
+/// so `overhead + ctx_ext_len(..) + payload.len()` is the *exact* frame
+/// size — and an exact capacity hint matters: `Bytes::from(Vec)` may
+/// reallocate (and copy a bulk payload a second time) when capacity exceeds
+/// length.
 fn fragment_frame_overhead() -> usize {
     static OVERHEAD: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *OVERHEAD.get_or_init(|| {

@@ -110,9 +110,10 @@ impl LocalClock {
 
     /// Charge local (non-network) time the host spent waiting or computing
     /// — e.g. a retransmission backoff, which must move the host's virtual
-    /// time forward or a timed link-down window could never pass.
-    pub(crate) fn advance(&self, by_s: f64) {
-        f64_update(&self.0, |c| c + by_s);
+    /// time forward or a timed link-down window could never pass. Returns
+    /// the host's new local reading.
+    pub(crate) fn advance(&self, by_s: f64) -> f64 {
+        f64_update(&self.0, |c| c + by_s).1
     }
 }
 

@@ -516,25 +516,27 @@ impl Network {
         if self.crosses_down_host(from, to) {
             self.account(FrameFate::DroppedDown);
             if pardis_obs::enabled() {
-                self.trace_transit(from, to, bytes, FrameFate::DroppedDown.label());
+                self.trace_transit_sync(from, to, bytes, FrameFate::DroppedDown.label());
             }
             return Verdict::Dropped;
         }
         if !self.faults_on.load(Ordering::Acquire) {
             if pardis_obs::enabled() {
-                self.trace_transit(from, to, bytes, "delivered");
+                self.trace_transit_sync(from, to, bytes, "delivered");
             }
             return Verdict::Delivered;
         }
         let fate =
             self.faults.lock().fate(from, to, self.clock.now()).unwrap_or(FrameFate::Delivered);
         self.account(fate);
+        if pardis_obs::enabled() {
+            // Traced before the duplicate's extra charge so the timing
+            // describes the original copy.
+            self.trace_transit_sync(from, to, bytes, fate.label());
+        }
         if fate == FrameFate::Duplicated {
             // The duplicate copy also traverses the wire.
             self.charge(from, to, bytes);
-        }
-        if pardis_obs::enabled() {
-            self.trace_transit(from, to, bytes, fate.label());
         }
         fate.verdict()
     }
@@ -611,7 +613,17 @@ impl Network {
             s
         });
         if pardis_obs::enabled() {
-            self.trace_transit(from, to, bytes, fate.label());
+            let depart = slot.arrival - slot.t;
+            self.trace_transit(
+                from,
+                to,
+                bytes,
+                fate.label(),
+                depart,
+                slot.arrival,
+                depart - base,
+                link.overhead_s.min(slot.t),
+            );
         }
 
         // The sender's synchronous share: the software overhead only.
@@ -667,7 +679,12 @@ impl Network {
         if self.mode == TransportMode::Sync {
             return;
         }
-        self.topo.load().locals[&host].advance(d.as_secs_f64());
+        let local_now = self.topo.load().locals[&host].advance(d.as_secs_f64());
+        // Fold the host's new floor into the global reading eagerly. The
+        // engine would do the same fold lazily at the host's next send; doing
+        // it here makes the charge visible to virtual-clock observers (trace
+        // timestamps, the backoff instant's measured wait) right away.
+        self.clock.advance_to(local_now);
     }
 
     /// Per-directed-link engine usage (frames, bytes, busy time, timeline
@@ -703,8 +720,38 @@ impl Network {
         self.clock.now()
     }
 
-    /// Record a `net.transit` trace instant (tracing already known enabled).
-    fn trace_transit(&self, from: HostId, to: HostId, bytes: usize, fate: &'static str) {
+    /// Record a `net.transit` trace instant (tracing already known enabled)
+    /// with the transfer's timing decomposition on the lane timeline, all in
+    /// modelled seconds: `depart_s` (the frame starts occupying the wire),
+    /// `arrive_s` (last byte lands), `queue_s` (lane wait before departure)
+    /// and `t_o_s` (the link's software-overhead share of the transfer). The
+    /// profiler attributes `[depart, depart+t_o]` to `t_o`,
+    /// `[depart+t_o, arrive]` to wire time and `[depart-queue, depart]` to
+    /// queueing. The sender's ambient trace context (if any) is auto-stamped,
+    /// tying the transit to the originating invocation.
+    #[allow(clippy::too_many_arguments)]
+    fn trace_transit(
+        &self,
+        from: HostId,
+        to: HostId,
+        bytes: usize,
+        fate: &'static str,
+        depart_s: f64,
+        arrive_s: f64,
+        queue_s: f64,
+        t_o_s: f64,
+    ) {
+        // Sub-nanosecond readings (a near-infinite-bandwidth free link's
+        // transfer time) are modelling noise: snap them to zero rather than
+        // exporting denormal-length decimals.
+        let us = |s: f64| {
+            let v = s.max(0.0) * 1e6;
+            if v < 1e-3 {
+                0.0
+            } else {
+                v
+            }
+        };
         pardis_obs::instant(
             "net",
             "net.transit",
@@ -714,8 +761,24 @@ impl Network {
                 ("to", pardis_obs::ArgVal::U64(to.0 as u64)),
                 ("bytes", pardis_obs::ArgVal::U64(bytes as u64)),
                 ("fate", pardis_obs::ArgVal::Str(fate.into())),
+                ("depart_us", pardis_obs::ArgVal::F64(us(depart_s))),
+                ("arrive_us", pardis_obs::ArgVal::F64(us(arrive_s))),
+                ("queue_us", pardis_obs::ArgVal::F64(us(queue_s))),
+                ("t_o_us", pardis_obs::ArgVal::F64(us(t_o_s))),
+                ("wire_us", pardis_obs::ArgVal::F64(us(arrive_s - depart_s - t_o_s))),
             ],
         );
+    }
+
+    /// Sync-path variant of [`Network::trace_transit`]: the sender's thread
+    /// just paid the whole transfer `t_s` ending at the clock's current
+    /// reading, so departure is reconstructed backwards and lane queueing is
+    /// zero (the shared-medium wait is real time, not modelled time).
+    fn trace_transit_sync(&self, from: HostId, to: HostId, bytes: usize, fate: &'static str) {
+        let t_s = self.transfer_time(from, to, bytes).as_secs_f64();
+        let arrive = self.clock.now();
+        let t_o = self.link_between(from, to).overhead_s.min(t_s);
+        self.trace_transit(from, to, bytes, fate, arrive - t_s, arrive, 0.0, t_o);
     }
 
     /// Charge a transfer in virtual time only (no sleeping).

@@ -1,0 +1,82 @@
+//! `pardis-profile` — fig2-style latency attribution from an exported trace.
+//!
+//! ```text
+//! pardis-profile <trace.json> [--json <out.json>] [--tol <rel>] [--quiet]
+//! ```
+//!
+//! Reads a `PARDIS_TRACE` Chrome-trace export, reconstructs every traced
+//! invocation's critical path, and prints the per-op overhead table
+//! (marshal / t_o / wire / queue / dispatch / backoff / rebind). With
+//! `--json` the full report is also written as deterministic JSON. Exits
+//! nonzero when segment attribution fails to reconcile end-to-end latency
+//! within the tolerance (default 1%), making it usable as a CI gate.
+
+use pardis_obs::profile::profile_trace;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: pardis-profile <trace.json> [--json <out.json>] [--tol <rel>] [--quiet]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut input: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    let mut tol = 0.01f64;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--tol" => {
+                tol = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            _ if input.is_none() && !arg.starts_with('-') => input = Some(arg),
+            _ => usage(),
+        }
+    }
+    let Some(input) = input else { usage() };
+
+    let trace = match std::fs::read_to_string(&input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("pardis-profile: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match profile_trace(&trace, tol) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pardis-profile: cannot analyze {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !quiet {
+        print!("{}", report.table());
+    }
+    if let Some(path) = &json_out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, report.json()) {
+            eprintln!("pardis-profile: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !quiet {
+            eprintln!("profile json written to {path}");
+        }
+    }
+    if report.invocations.is_empty() {
+        eprintln!("pardis-profile: {input} contains no traced invocations");
+        return ExitCode::FAILURE;
+    }
+    match report.reconcile() {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pardis-profile: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

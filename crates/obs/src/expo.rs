@@ -1,0 +1,212 @@
+//! Metrics exposition: Prometheus text format and a JSON snapshot.
+//!
+//! Both renderers consume the sorted output of [`crate::metrics_snapshot`]
+//! and are fully deterministic — the same snapshot always renders to the
+//! same bytes, so same-seed runs export byte-identical files.
+//!
+//! Per-series metric names follow the registry convention
+//! `family.op.<op>` / `family.binding.<id>`: the Prometheus renderer lifts
+//! those suffixes into `op=`/`binding=` labels so one family (e.g.
+//! `pardis_orb_invoke_latency_us`) carries every series, the way a real
+//! scrape endpoint would.
+
+use crate::metrics::MetricSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A labelled point-in-time metrics capture: `(label, virtual-clock micros,
+/// full registry snapshot)`.
+pub type LabelledSnapshot = (String, u64, Vec<(String, MetricSnapshot)>);
+
+/// One exposition series: the labels lifted off the registry name, plus the
+/// snapshot they describe.
+type Series<'a> = (Vec<(&'static str, String)>, &'a MetricSnapshot);
+
+/// The quantiles every histogram family exposes, as `(q, suffix)`: the
+/// suffix names the companion gauge family (`<family>_p50`) and the JSON
+/// field (`"p50"`).
+pub const EXPORTED_QUANTILES: [(f64, &str); 3] = [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")];
+
+/// Split a registry name into its Prometheus family and labels: the first
+/// `.op.<rest>` or `.binding.<rest>` suffix becomes a label.
+fn family_and_labels(name: &str) -> (String, Vec<(&'static str, String)>) {
+    for (marker, label) in [(".op.", "op"), (".binding.", "binding")] {
+        if let Some(pos) = name.find(marker) {
+            let family = name[..pos].to_string();
+            let value = name[pos + marker.len()..].to_string();
+            return (family, vec![(label, value)]);
+        }
+    }
+    (name.to_string(), Vec::new())
+}
+
+/// `pardis_` + the name with every non-alphanumeric mapped to `_`.
+fn prom_name(family: &str) -> String {
+    let mut out = String::with_capacity(family.len() + 7);
+    out.push_str("pardis_");
+    for c in family.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+fn prom_labels(out: &mut String, labels: &[(&'static str, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+}
+
+/// Render a metrics snapshot in the Prometheus text exposition format.
+///
+/// Counters become `counter` families; histograms become `histogram`
+/// families (cumulative `_bucket{le=...}` + `_sum` + `_count`) plus
+/// companion `gauge` families `<family>_p50` / `_p95` / `_p99` carrying the
+/// estimated quantiles per series.
+pub fn render_prometheus(metrics: &[(String, MetricSnapshot)]) -> String {
+    // Group series under their family so each `# TYPE` header is emitted
+    // exactly once, whatever the registry interleaving.
+    let mut families: BTreeMap<String, Vec<Series<'_>>> = BTreeMap::new();
+    for (name, snap) in metrics {
+        let (family, labels) = family_and_labels(name);
+        families.entry(family).or_default().push((labels, snap));
+    }
+    let mut out = String::with_capacity(4096);
+    for (family, series) in &families {
+        let base = prom_name(family);
+        let kind = match series[0].1 {
+            MetricSnapshot::Counter(_) => "counter",
+            MetricSnapshot::Histogram { .. } => "histogram",
+        };
+        let _ = writeln!(out, "# TYPE {base} {kind}");
+        for (labels, snap) in series {
+            match snap {
+                MetricSnapshot::Counter(v) => {
+                    out.push_str(&base);
+                    prom_labels(&mut out, labels, None);
+                    let _ = writeln!(out, " {v}");
+                }
+                MetricSnapshot::Histogram { count, sum, buckets } => {
+                    let mut cum = 0u64;
+                    for (le, n) in buckets {
+                        cum += n;
+                        let _ = write!(out, "{base}_bucket");
+                        prom_labels(&mut out, labels, Some(("le", &le.to_string())));
+                        let _ = writeln!(out, " {cum}");
+                    }
+                    let _ = write!(out, "{base}_bucket");
+                    prom_labels(&mut out, labels, Some(("le", "+Inf")));
+                    let _ = writeln!(out, " {count}");
+                    let _ = write!(out, "{base}_sum");
+                    prom_labels(&mut out, labels, None);
+                    let _ = writeln!(out, " {sum}");
+                    let _ = write!(out, "{base}_count");
+                    prom_labels(&mut out, labels, None);
+                    let _ = writeln!(out, " {count}");
+                }
+            }
+        }
+        // Companion quantile gauges for histogram families.
+        if matches!(series[0].1, MetricSnapshot::Histogram { .. }) {
+            for (q, suffix) in EXPORTED_QUANTILES {
+                let _ = writeln!(out, "# TYPE {base}_{suffix} gauge");
+                for (labels, snap) in series {
+                    if let Some(v) = snap.quantile(q) {
+                        let _ = write!(out, "{base}_{suffix}");
+                        prom_labels(&mut out, labels, None);
+                        let _ = writeln!(out, " {v}");
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Render a metrics snapshot as a JSON object keyed by full registry name.
+/// Histograms carry count/sum/p50/p95/p99 and their non-empty buckets.
+/// [`metrics_json`] plus a `snapshots` array of labelled point-in-time
+/// captures `(label, virtual-clock micros, metrics)` — the periodic
+/// snapshot series a trace session collected along the way. With no
+/// snapshots the output is identical to [`metrics_json`].
+pub fn metrics_json_with_snapshots(
+    metrics: &[(String, MetricSnapshot)],
+    snapshots: &[LabelledSnapshot],
+) -> String {
+    let mut out = metrics_json(metrics);
+    if snapshots.is_empty() {
+        return out;
+    }
+    // Splice the array into the final object: drop the closing brace, append
+    // each capture re-using the single-snapshot renderer (its leading `{` is
+    // skipped so the `label`/`ts_us` fields share the object).
+    out.pop();
+    out.push_str(",\"snapshots\":[");
+    for (i, (label, ts_us, m)) in snapshots.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let inner = metrics_json(m);
+        let _ = write!(
+            out,
+            "{{\"label\":\"{}\",\"ts_us\":{ts_us},{}",
+            label.replace('\\', "\\\\").replace('"', "\\\""),
+            &inner[1..]
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+pub fn metrics_json(metrics: &[(String, MetricSnapshot)]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"metrics\":{");
+    for (i, (name, snap)) in metrics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":", name.replace('\\', "\\\\").replace('"', "\\\""));
+        match snap {
+            MetricSnapshot::Counter(v) => {
+                let _ = write!(out, "{{\"type\":\"counter\",\"value\":{v}}}");
+            }
+            MetricSnapshot::Histogram { count, sum, buckets } => {
+                let _ = write!(out, "{{\"type\":\"histogram\",\"count\":{count},\"sum\":{sum}");
+                for (q, suffix) in EXPORTED_QUANTILES {
+                    let _ = write!(out, ",\"{suffix}\":");
+                    match snap.quantile(q) {
+                        Some(v) if v.is_finite() => {
+                            let _ = write!(out, "{v}");
+                        }
+                        _ => out.push_str("null"),
+                    }
+                }
+                out.push_str(",\"buckets\":[");
+                for (j, (le, n)) in buckets.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{{\"le\":{le},\"count\":{n}}}");
+                }
+                out.push_str("]}");
+            }
+        }
+    }
+    out.push_str("}}");
+    out
+}

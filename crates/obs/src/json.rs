@@ -1,0 +1,290 @@
+//! A minimal JSON document model and recursive-descent parser.
+//!
+//! The workspace carries no serialization dependency; exporters hand-roll
+//! their JSON and [`crate::is_valid_json`] checks well-formedness. The
+//! trace *analyzer* ([`crate::profile`]) additionally needs to read
+//! exported traces back, so this module parses the same grammar into a
+//! small DOM. Strict JSON only — no comments, trailing commas, or NaN.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON numbers are doubles).
+    Num(f64),
+    /// A string, escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, members in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let mut p = Parser { b: s.as_bytes(), i: 0 };
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing bytes at offset {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// Object member by key (first match), if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fail<T>(&self, what: &str) -> Result<T, String> {
+        Err(format!("{what} at offset {}", self.i))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if !self.eat(b'"') {
+            return self.fail("expected string");
+        }
+        let mut out = String::new();
+        loop {
+            if self.i >= self.b.len() {
+                return self.fail("unterminated string");
+            }
+            match self.b[self.i] {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    if self.i >= self.b.len() {
+                        return self.fail("unterminated escape");
+                    }
+                    let c = self.b[self.i];
+                    self.i += 1;
+                    match c {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.b.len() < self.i + 4 {
+                                return self.fail("truncated \\u escape");
+                            }
+                            let hex = std::str::from_utf8(&self.b[self.i..self.i + 4])
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(code) = hex else {
+                                return self.fail("bad \\u escape");
+                            };
+                            self.i += 4;
+                            // Unpaired surrogates decode to the replacement
+                            // character (our exporters never emit them).
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return self.fail("bad escape"),
+                    }
+                }
+                0x00..=0x1f => return self.fail("raw control character in string"),
+                _ => {
+                    // Copy one UTF-8 scalar (input is a &str, so boundaries
+                    // are valid).
+                    let start = self.i;
+                    self.i += 1;
+                    while self.i < self.b.len() && self.b[self.i] & 0xc0 == 0x80 {
+                        self.i += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.b[start..self.i]).expect("utf8 input"));
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.i;
+        let _ = self.eat(b'-');
+        let first_digit = self.i;
+        while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+            self.i += 1;
+        }
+        let digits = self.i - first_digit;
+        if digits == 0 {
+            return self.fail("expected digits");
+        }
+        if digits > 1 && self.b[first_digit] == b'0' {
+            return self.fail("leading zero");
+        }
+        if self.eat(b'.') {
+            let frac_start = self.i;
+            while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+                self.i += 1;
+            }
+            if self.i == frac_start {
+                return self.fail("expected fraction digits");
+            }
+        }
+        if self.i < self.b.len() && matches!(self.b[self.i], b'e' | b'E') {
+            self.i += 1;
+            if self.i < self.b.len() && matches!(self.b[self.i], b'+' | b'-') {
+                self.i += 1;
+            }
+            let exp_start = self.i;
+            while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+                self.i += 1;
+            }
+            if self.i == exp_start {
+                return self.fail("expected exponent digits");
+            }
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| format!("unparseable number at offset {start}"))
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.ws();
+        if self.i >= self.b.len() {
+            return self.fail("unexpected end of input");
+        }
+        match self.b[self.i] {
+            b'{' => {
+                self.i += 1;
+                self.ws();
+                let mut members = Vec::new();
+                if self.eat(b'}') {
+                    return Ok(Json::Obj(members));
+                }
+                loop {
+                    self.ws();
+                    let key = self.string()?;
+                    self.ws();
+                    if !self.eat(b':') {
+                        return self.fail("expected ':'");
+                    }
+                    let val = self.value()?;
+                    members.push((key, val));
+                    self.ws();
+                    if self.eat(b',') {
+                        continue;
+                    }
+                    if self.eat(b'}') {
+                        return Ok(Json::Obj(members));
+                    }
+                    return self.fail("expected ',' or '}'");
+                }
+            }
+            b'[' => {
+                self.i += 1;
+                self.ws();
+                let mut items = Vec::new();
+                if self.eat(b']') {
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.ws();
+                    if self.eat(b',') {
+                        continue;
+                    }
+                    if self.eat(b']') {
+                        return Ok(Json::Arr(items));
+                    }
+                    return self.fail("expected ',' or ']'");
+                }
+            }
+            b'"' => self.string().map(Json::Str),
+            b't' => {
+                if self.b[self.i..].starts_with(b"true") {
+                    self.i += 4;
+                    Ok(Json::Bool(true))
+                } else {
+                    self.fail("bad literal")
+                }
+            }
+            b'f' => {
+                if self.b[self.i..].starts_with(b"false") {
+                    self.i += 5;
+                    Ok(Json::Bool(false))
+                } else {
+                    self.fail("bad literal")
+                }
+            }
+            b'n' => {
+                if self.b[self.i..].starts_with(b"null") {
+                    self.i += 4;
+                    Ok(Json::Null)
+                } else {
+                    self.fail("bad literal")
+                }
+            }
+            _ => self.number().map(Json::Num),
+        }
+    }
+}

@@ -19,8 +19,21 @@
 //!   (retransmissions, backoff delays, reply-cache hits, fragments
 //!   reassembled, per-link traffic ...), snapshot in deterministic
 //!   (sorted) order.
-//! * **Exporters** ([`chrome`]) — Chrome trace-event JSON (loadable in
-//!   `chrome://tracing` or Perfetto) and a human summary table.
+//! * **Exporters** ([`chrome`], [`expo`]) — Chrome trace-event JSON
+//!   (loadable in `chrome://tracing` or Perfetto), a human summary table,
+//!   and Prometheus-text / JSON metric expositions with p50/p95/p99
+//!   estimates per histogram.
+//!
+//! Two more arrived with pardis-obs v2:
+//!
+//! * **Causal trace context** ([`trace`]) — a `(trace_id, span_id)` pair
+//!   carried in the ORB's frame header and an ambient thread-local slot, so
+//!   client, network, POA and failover events of one invocation stitch into
+//!   a single causal tree across retransmissions and rebinds.
+//! * **The profile analyzer** ([`profile`], `pardis-profile`) — reads an
+//!   exported trace back and attributes each invocation's end-to-end
+//!   latency to fig2-style segments (marshal, wire, queueing, dispatch,
+//!   backoff, rebind, residual software overhead `t_o`).
 //!
 //! ## Determinism
 //!
@@ -38,13 +51,19 @@
 //! workload, and writes the export.
 
 pub mod chrome;
+pub mod expo;
+pub mod json;
 pub mod metrics;
+pub mod profile;
+pub mod trace;
 
 pub use chrome::{chrome_trace_json, is_valid_json, summary_table};
+pub use expo::{metrics_json, metrics_json_with_snapshots, render_prometheus};
 pub use metrics::{
-    counter, histogram, metrics_reset, metrics_snapshot, set_counter, Counter, Histogram,
-    MetricSnapshot,
+    counter, histogram, metrics_reset, metrics_snapshot, quantile_from_buckets, set_counter,
+    Counter, Histogram, MetricSnapshot,
 };
+pub use trace::{current_ctx, derive_trace_id, enter_ctx, mix64, CtxGuard, TraceCtx};
 
 use parking_lot::Mutex;
 use std::borrow::Cow;
@@ -269,6 +288,18 @@ fn push(event: Event) {
     });
 }
 
+/// Append the ambient trace context (when one is entered and the caller
+/// did not already stamp a `trace` arg) so every event recorded under a
+/// context joins its causal tree without per-call-site plumbing.
+fn stamp_ctx(args: &mut Vec<(&'static str, ArgVal)>) {
+    if let Some(ctx) = trace::current_ctx() {
+        if !args.iter().any(|(k, _)| *k == "trace") {
+            args.push(("trace", ArgVal::U64(ctx.trace_id)));
+            args.push(("parent", ArgVal::U64(ctx.span_id)));
+        }
+    }
+}
+
 /// Record an event if tracing is enabled. Prefer the shaped helpers
 /// ([`instant`], [`span_begin`], [`span_end`]).
 pub fn record(
@@ -276,11 +307,12 @@ pub fn record(
     cat: &'static str,
     name: impl Into<Cow<'static, str>>,
     key: Option<(u64, u64)>,
-    args: Vec<(&'static str, ArgVal)>,
+    mut args: Vec<(&'static str, ArgVal)>,
 ) {
     if !enabled() {
         return;
     }
+    stamp_ctx(&mut args);
     push(Event { ts_us: now_micros(), phase, cat, name: name.into(), key, args });
 }
 
@@ -331,11 +363,12 @@ impl Span {
         cat: &'static str,
         name: impl Into<Cow<'static, str>>,
         key: Option<(u64, u64)>,
-        args: Vec<(&'static str, ArgVal)>,
+        mut args: Vec<(&'static str, ArgVal)>,
     ) -> Span {
         let name = name.into();
         let live = enabled();
         if live {
+            stamp_ctx(&mut args);
             push(Event {
                 ts_us: now_micros(),
                 phase: Phase::Begin,

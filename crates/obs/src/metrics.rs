@@ -65,6 +65,66 @@ impl Histogram {
     pub fn sum(&self) -> u64 {
         self.0.sum.load(Ordering::Relaxed)
     }
+
+    /// Estimate the `q`-quantile (see [`quantile_from_buckets`]).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let buckets: Vec<(u64, u64)> = self
+            .0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_upper_bound(i), n))
+            })
+            .collect();
+        quantile_from_buckets(&buckets, self.count(), q)
+    }
+}
+
+/// Inclusive upper bound of power-of-two bucket `i` (bucket 0 holds zeros).
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        ((1u128 << i) - 1).min(u64::MAX as u128) as u64
+    }
+}
+
+/// Estimate the `q`-quantile of a log-bucketed distribution by linear
+/// interpolation inside the bucket holding the target rank.
+///
+/// `buckets` are `(inclusive upper bound, count)` pairs in ascending bound
+/// order (empty buckets may be omitted) and `count` is the total number of
+/// observations. The rank convention is nearest-rank: the target is sample
+/// `ceil(q·count)` (1-based) of the sorted observations. The estimate is
+/// always within the bounds of the bucket containing that sample, so its
+/// error is bounded by the bucket width (a factor of two in value).
+///
+/// Returns `None` for an empty distribution; `q` is clamped to `[0, 1]`.
+pub fn quantile_from_buckets(buckets: &[(u64, u64)], count: u64, q: f64) -> Option<f64> {
+    if count == 0 || buckets.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for &(le, n) in buckets {
+        if n == 0 {
+            continue;
+        }
+        cum += n;
+        if cum >= target {
+            // The bucket's inclusive value range: [lo, le].
+            let lo = if le == 0 { 0 } else { (le >> 1) + 1 };
+            let rank_in_bucket = target - (cum - n); // 1-based within bucket
+            let frac = rank_in_bucket as f64 / n as f64;
+            return Some(lo as f64 + frac * (le - lo) as f64);
+        }
+    }
+    // `count` exceeded the bucket totals (concurrent observe mid-snapshot);
+    // fall back to the top bucket's bound.
+    buckets.last().map(|&(le, _)| le as f64)
 }
 
 enum Metric {
@@ -129,6 +189,19 @@ pub enum MetricSnapshot {
         /// Non-empty buckets as `(inclusive upper bound, count)`.
         buckets: Vec<(u64, u64)>,
     },
+}
+
+impl MetricSnapshot {
+    /// Estimate the `q`-quantile of a histogram snapshot (see
+    /// [`quantile_from_buckets`]); `None` for counters and empty histograms.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        match self {
+            MetricSnapshot::Counter(_) => None,
+            MetricSnapshot::Histogram { count, buckets, .. } => {
+                quantile_from_buckets(buckets, *count, q)
+            }
+        }
+    }
 }
 
 /// Snapshot every registered metric, sorted by name.

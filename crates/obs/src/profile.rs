@@ -1,0 +1,498 @@
+//! Critical-path latency attribution — the `pardis-profile` analyzer.
+//!
+//! The paper's figure-2 argument is a *decomposition*: invocation latency =
+//! marshaling + software overhead `t_o` + wire time, with `t_o` computed as
+//! the residual. This module reconstructs exactly that table from an
+//! exported Chrome trace (`PARDIS_TRACE`): it groups every event by the
+//! causal `trace` id stamped by [`crate::trace`], lays each invocation's
+//! spans and transit instants on the virtual-clock timeline, and attributes
+//! every microsecond of the root span to one named segment:
+//!
+//! | segment    | source                                                    |
+//! |------------|-----------------------------------------------------------|
+//! | `marshal`  | `client.marshal_send` spans                               |
+//! | `dispatch` | `poa.dispatch` spans (servant execution + reply cut)      |
+//! | `wire`     | `net.transit` wire + serialization time                   |
+//! | `queue`    | `net.transit` lane queueing (shared-medium waits)         |
+//! | `backoff`  | `client.backoff` retransmission waits                     |
+//! | `rebind`   | registry traffic nested under a failover invocation       |
+//! | `t_o`      | link software overhead + the uncovered residual — the     |
+//! |            | paper's software-overhead term                            |
+//!
+//! Overlapping intervals are resolved by a fixed priority sweep (backoff >
+//! rebind > marshal > dispatch > link-`t_o` > wire > queue), so the segment
+//! sums reconcile with the observed end-to-end time *by construction*; the
+//! reconciliation check guards the analyzer itself (and the trace) against
+//! regressions. Everything is deterministic: same trace bytes in, same
+//! report bytes out.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The attributed segments, in report order. `t_o` is the paper's software
+/// overhead: link send overhead plus the uncovered residual.
+pub const SEGMENTS: [&str; 7] =
+    ["marshal", "t_o", "wire", "queue", "dispatch", "backoff", "rebind"];
+
+const SEG_MARSHAL: usize = 0;
+const SEG_TO: usize = 1;
+const SEG_WIRE: usize = 2;
+const SEG_QUEUE: usize = 3;
+const SEG_DISPATCH: usize = 4;
+const SEG_BACKOFF: usize = 5;
+const SEG_REBIND: usize = 6;
+
+/// Sweep priority per segment (higher wins where intervals overlap); the
+/// residual (no covering interval) lands in `t_o`.
+fn priority(seg: usize) -> u8 {
+    match seg {
+        SEG_BACKOFF => 7,
+        SEG_REBIND => 6,
+        SEG_MARSHAL => 5,
+        SEG_DISPATCH => 4,
+        SEG_WIRE => 2,
+        SEG_QUEUE => 1,
+        _ => 3, // link t_o intervals
+    }
+}
+
+/// One invocation's attributed latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvocationProfile {
+    /// The causal trace id.
+    pub trace: u64,
+    /// Root operation name.
+    pub op: String,
+    /// Root span open, virtual-clock microseconds.
+    pub begin_us: u64,
+    /// End-to-end latency (root span duration), microseconds.
+    pub total_us: f64,
+    /// Attributed microseconds per [`SEGMENTS`] entry; sums to `total_us`.
+    pub segments: [f64; 7],
+}
+
+/// The analyzer's result: one entry per traced invocation, in timeline
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// Per-invocation attributions, sorted by `(begin_us, trace)`.
+    pub invocations: Vec<InvocationProfile>,
+    /// Relative reconciliation tolerance the report was checked against.
+    pub tolerance: f64,
+}
+
+#[derive(Debug, Clone)]
+struct SpanRec {
+    name: String,
+    trace: Option<u64>,
+    span: Option<u64>,
+    op: Option<String>,
+    begin: u64,
+    end: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Interval {
+    start: f64,
+    end: f64,
+    seg: usize,
+    prio: u8,
+}
+
+fn arg_u64(args: Option<&Json>, key: &str) -> Option<u64> {
+    args.and_then(|a| a.get(key)).and_then(Json::as_u64)
+}
+
+fn arg_f64(args: Option<&Json>, key: &str) -> Option<f64> {
+    args.and_then(|a| a.get(key)).and_then(Json::as_f64)
+}
+
+fn arg_str<'j>(args: Option<&'j Json>, key: &str) -> Option<&'j str> {
+    args.and_then(|a| a.get(key)).and_then(Json::as_str)
+}
+
+/// Operations that constitute registry traffic: nested under a failover
+/// root they are attributed to the `rebind` segment.
+fn is_registry_op(op: &str) -> bool {
+    matches!(op, "resolve" | "register" | "heartbeat" | "deregister" | "watch" | "list")
+}
+
+/// Parse an exported Chrome trace and attribute every traced invocation's
+/// end-to-end latency to [`SEGMENTS`]. `tolerance` is the relative
+/// reconciliation bound later enforced by [`ProfileReport::reconcile`].
+pub fn profile_trace(trace_json: &str, tolerance: f64) -> Result<ProfileReport, String> {
+    let doc = Json::parse(trace_json)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "trace has no traceEvents array".to_string())?;
+
+    // -- pass 1: pair up B/E spans and collect interval-bearing instants --
+    // Key-carrying spans are matched globally by (name, binding, req) so a
+    // span closed on a different thread than it was opened on (the client's
+    // comm thread finishing an invocation) still pairs up. Keyless spans
+    // match LIFO per (tid, name).
+    let mut keyed_open: BTreeMap<(String, u64, u64), Vec<SpanRec>> = BTreeMap::new();
+    let mut tid_open: BTreeMap<(u64, String), Vec<SpanRec>> = BTreeMap::new();
+    let mut spans: Vec<SpanRec> = Vec::new();
+    // (trace, interval) pairs from instants.
+    let mut instant_ivals: Vec<(u64, Interval)> = Vec::new();
+
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).unwrap_or("");
+        let name = ev.get("name").and_then(Json::as_str).unwrap_or("");
+        let ts = ev.get("ts").and_then(Json::as_f64).unwrap_or(0.0);
+        let tid = ev.get("tid").and_then(Json::as_u64).unwrap_or(0);
+        let args = ev.get("args");
+        match ph {
+            "B" => {
+                let rec = SpanRec {
+                    name: name.to_string(),
+                    trace: arg_u64(args, "trace"),
+                    span: arg_u64(args, "span"),
+                    op: arg_str(args, "op").map(str::to_string),
+                    begin: ts as u64,
+                    end: ts as u64,
+                };
+                match (arg_u64(args, "binding"), arg_u64(args, "req")) {
+                    (Some(b), Some(r)) => {
+                        keyed_open.entry((name.to_string(), b, r)).or_default().push(rec)
+                    }
+                    _ => tid_open.entry((tid, name.to_string())).or_default().push(rec),
+                }
+            }
+            "E" => {
+                let slot = match (arg_u64(args, "binding"), arg_u64(args, "req")) {
+                    (Some(b), Some(r)) => keyed_open.get_mut(&(name.to_string(), b, r)),
+                    _ => tid_open.get_mut(&(tid, name.to_string())),
+                };
+                if let Some(open) = slot.and_then(|v| v.pop()) {
+                    let mut rec = open;
+                    rec.end = ts as u64;
+                    // An end may carry context the begin lacked.
+                    rec.trace = rec.trace.or(arg_u64(args, "trace"));
+                    spans.push(rec);
+                }
+            }
+            "i" => {
+                let Some(trace) = arg_u64(args, "trace") else { continue };
+                match name {
+                    "net.transit" => {
+                        let arrive = arg_f64(args, "arrive_us").unwrap_or(ts);
+                        let depart = arg_f64(args, "depart_us").unwrap_or(arrive);
+                        let queue = arg_f64(args, "queue_us").unwrap_or(0.0);
+                        let t_o = arg_f64(args, "t_o_us").unwrap_or(0.0);
+                        // Layout on the lane timeline: queueing before the
+                        // departure stamp, then the sender's software
+                        // overhead, then wire + serialization to arrival.
+                        let ivals = [
+                            (depart - queue, depart, SEG_QUEUE),
+                            (depart, depart + t_o, SEG_TO),
+                            (depart + t_o, arrive, SEG_WIRE),
+                        ];
+                        for (start, end, seg) in ivals {
+                            if end > start {
+                                instant_ivals.push((
+                                    trace,
+                                    Interval { start, end, seg, prio: priority(seg) },
+                                ));
+                            }
+                        }
+                    }
+                    "client.backoff" => {
+                        let us = arg_f64(args, "us").unwrap_or(0.0);
+                        if us > 0.0 {
+                            instant_ivals.push((
+                                trace,
+                                Interval {
+                                    start: ts - us,
+                                    end: ts,
+                                    seg: SEG_BACKOFF,
+                                    prio: priority(SEG_BACKOFF),
+                                },
+                            ));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // -- pass 2: find each trace's root span and bucket child intervals --
+    let mut roots: BTreeMap<u64, SpanRec> = BTreeMap::new();
+    let mut child_ivals: BTreeMap<u64, Vec<Interval>> = BTreeMap::new();
+    for rec in &spans {
+        let Some(trace) = rec.trace else { continue };
+        let is_root = rec.span == Some(trace);
+        if is_root && (rec.name == "client.invoke" || rec.name == "failover.invoke") {
+            // Keep the widest root if duplicates appear.
+            let keep = match roots.get(&trace) {
+                Some(prev) => rec.end - rec.begin > prev.end - prev.begin,
+                None => true,
+            };
+            if keep {
+                roots.insert(trace, rec.clone());
+            }
+            continue;
+        }
+        let seg = match rec.name.as_str() {
+            "client.marshal_send" => Some(SEG_MARSHAL),
+            "poa.dispatch" => Some(SEG_DISPATCH),
+            // Registry traffic replayed under a failover root is the
+            // rebind cost; its own marshal/net/dispatch events carry the
+            // same trace and refine it at higher priority.
+            "client.invoke" => {
+                rec.op.as_deref().filter(|op| is_registry_op(op)).map(|_| SEG_REBIND)
+            }
+            _ => None,
+        };
+        if let Some(seg) = seg {
+            if rec.end > rec.begin {
+                child_ivals.entry(trace).or_default().push(Interval {
+                    start: rec.begin as f64,
+                    end: rec.end as f64,
+                    seg,
+                    prio: priority(seg),
+                });
+            }
+        }
+    }
+    for (trace, ival) in instant_ivals {
+        child_ivals.entry(trace).or_default().push(ival);
+    }
+
+    // -- pass 3: per-trace priority sweep --
+    let mut invocations: Vec<InvocationProfile> = Vec::new();
+    for (trace, root) in &roots {
+        let (lo, hi) = (root.begin as f64, root.end as f64);
+        let total = hi - lo;
+        let mut segments = [0.0f64; 7];
+        if total > 0.0 {
+            let mut ivals: Vec<Interval> = child_ivals
+                .get(trace)
+                .into_iter()
+                .flatten()
+                .filter_map(|iv| {
+                    let (s, e) = (iv.start.max(lo), iv.end.min(hi));
+                    (e > s).then_some(Interval { start: s, end: e, ..*iv })
+                })
+                .collect();
+            // Elementary-interval sweep: between consecutive boundaries the
+            // covering set is constant; the highest-priority cover wins,
+            // uncovered time is the t_o residual.
+            let mut bounds: Vec<f64> = ivals.iter().flat_map(|iv| [iv.start, iv.end]).collect();
+            bounds.push(lo);
+            bounds.push(hi);
+            bounds.sort_by(f64::total_cmp);
+            bounds.dedup();
+            ivals.sort_by(|a, b| a.start.total_cmp(&b.start));
+            for w in bounds.windows(2) {
+                let (s, e) = (w[0], w[1]);
+                if e <= lo || s >= hi || e <= s {
+                    continue;
+                }
+                let mid = 0.5 * (s + e);
+                let winner = ivals
+                    .iter()
+                    .filter(|iv| iv.start <= mid && mid < iv.end)
+                    .max_by_key(|iv| iv.prio);
+                let seg = winner.map(|iv| iv.seg).unwrap_or(SEG_TO);
+                segments[seg] += e - s;
+            }
+        }
+        invocations.push(InvocationProfile {
+            trace: *trace,
+            op: root.op.clone().unwrap_or_else(|| "?".to_string()),
+            begin_us: root.begin,
+            total_us: total,
+            segments,
+        });
+    }
+    invocations.sort_by_key(|a| (a.begin_us, a.trace));
+    Ok(ProfileReport { invocations, tolerance })
+}
+
+/// Per-op aggregate of a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpProfile {
+    /// Operation name.
+    pub op: String,
+    /// Invocations aggregated.
+    pub count: usize,
+    /// Mean end-to-end latency, microseconds.
+    pub mean_total_us: f64,
+    /// Mean attributed microseconds per [`SEGMENTS`] entry.
+    pub mean_segments: [f64; 7],
+}
+
+impl ProfileReport {
+    /// Aggregate invocations per operation, sorted by op name.
+    pub fn per_op(&self) -> Vec<OpProfile> {
+        let mut acc: BTreeMap<&str, (usize, f64, [f64; 7])> = BTreeMap::new();
+        for inv in &self.invocations {
+            let e = acc.entry(&inv.op).or_insert((0, 0.0, [0.0; 7]));
+            e.0 += 1;
+            e.1 += inv.total_us;
+            for (s, v) in e.2.iter_mut().zip(inv.segments) {
+                *s += v;
+            }
+        }
+        acc.into_iter()
+            .map(|(op, (count, total, segs))| {
+                let n = count as f64;
+                OpProfile {
+                    op: op.to_string(),
+                    count,
+                    mean_total_us: total / n,
+                    mean_segments: segs.map(|s| s / n),
+                }
+            })
+            .collect()
+    }
+
+    /// The largest relative mismatch between an invocation's segment sum
+    /// and its observed end-to-end time.
+    pub fn max_rel_err(&self) -> f64 {
+        self.invocations
+            .iter()
+            .filter(|inv| inv.total_us > 0.0)
+            .map(|inv| {
+                let sum: f64 = inv.segments.iter().sum();
+                ((sum - inv.total_us) / inv.total_us).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Check attribution reconciles: every segment non-negative and every
+    /// invocation's segment sum within `tolerance` of its end-to-end time.
+    /// Returns the max relative error on success.
+    pub fn reconcile(&self) -> Result<f64, String> {
+        for inv in &self.invocations {
+            if let Some((i, v)) =
+                inv.segments.iter().enumerate().find(|(_, v)| !v.is_finite() || **v < 0.0)
+            {
+                return Err(format!(
+                    "trace {:#x} op {}: segment {} is {v}",
+                    inv.trace, inv.op, SEGMENTS[i]
+                ));
+            }
+        }
+        let err = self.max_rel_err();
+        if err > self.tolerance {
+            return Err(format!(
+                "attribution does not reconcile: max relative error {err:.4} > tolerance {:.4}",
+                self.tolerance
+            ));
+        }
+        Ok(err)
+    }
+
+    /// The fig2-style human table: one row per op, mean microseconds per
+    /// segment plus its share of the end-to-end time.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== pardis-profile: latency attribution ({} invocations, mean µs per op) ==",
+            self.invocations.len()
+        );
+        let _ = write!(out, "{:<14} {:>5} {:>10}", "op", "n", "total");
+        for seg in SEGMENTS {
+            let _ = write!(out, " {seg:>9}");
+        }
+        out.push('\n');
+        for op in self.per_op() {
+            let _ = write!(out, "{:<14} {:>5} {:>10.1}", op.op, op.count, op.mean_total_us);
+            for v in op.mean_segments {
+                let _ = write!(out, " {v:>9.1}");
+            }
+            out.push('\n');
+            let _ = write!(out, "{:<14} {:>5} {:>10}", "", "", "");
+            for v in op.mean_segments {
+                let pct = if op.mean_total_us > 0.0 { 100.0 * v / op.mean_total_us } else { 0.0 };
+                let _ = write!(out, " {:>8.1}%", pct);
+            }
+            out.push('\n');
+        }
+        match self.reconcile() {
+            Ok(err) => {
+                let _ = writeln!(
+                    out,
+                    "reconciliation: max relative error {err:.6} (tolerance {}) OK",
+                    self.tolerance
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "reconciliation FAILED: {e}");
+            }
+        }
+        out
+    }
+
+    /// The report as deterministic JSON (`profile.*` namespace).
+    pub fn json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let _ = write!(
+            out,
+            "{{\"profile\":{{\"tolerance\":{},\"invocations\":{},\"max_rel_err\":{}",
+            self.tolerance,
+            self.invocations.len(),
+            self.max_rel_err()
+        );
+        out.push_str(",\"segments\":[");
+        for (i, seg) in SEGMENTS.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{seg}\"");
+        }
+        out.push_str("],\"ops\":[");
+        for (i, op) in self.per_op().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"op\":\"{}\",\"count\":{},\"mean_total_us\":{}",
+                op.op.replace('\\', "\\\\").replace('"', "\\\""),
+                op.count,
+                op.mean_total_us
+            );
+            out.push_str(",\"mean_us\":{");
+            for (j, (seg, v)) in SEGMENTS.iter().zip(op.mean_segments).enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{seg}\":{v}");
+            }
+            out.push_str("}}");
+        }
+        out.push_str("],\"traces\":[");
+        for (i, inv) in self.invocations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"trace\":{},\"op\":\"{}\",\"begin_us\":{},\"total_us\":{}",
+                inv.trace,
+                inv.op.replace('\\', "\\\\").replace('"', "\\\""),
+                inv.begin_us,
+                inv.total_us
+            );
+            out.push_str(",\"us\":{");
+            for (j, (seg, v)) in SEGMENTS.iter().zip(inv.segments).enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{seg}\":{v}");
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}}");
+        out
+    }
+}

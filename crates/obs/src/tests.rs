@@ -187,6 +187,127 @@ fn json_validator_accepts_and_rejects() {
     assert!(!is_valid_json("nul"));
 }
 
+/// Exact nearest-rank percentile of a sorted sample set: sample
+/// `ceil(q·n)` (1-based) — the convention [`quantile_from_buckets`]
+/// estimates with bucket-bounded error.
+fn exact_nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+    sorted[target - 1]
+}
+
+/// The inclusive `[lo, hi]` range of the power-of-two bucket holding `v`.
+fn bucket_of(v: u64) -> (u64, u64) {
+    if v == 0 {
+        return (0, 0);
+    }
+    let idx = (64 - v.leading_zeros() as usize).min(metrics::HIST_BUCKETS - 1);
+    let hi = ((1u128 << idx) - 1).min(u64::MAX as u128) as u64;
+    ((hi >> 1) + 1, hi)
+}
+
+#[test]
+fn quantile_estimate_lands_in_the_exact_samples_bucket() {
+    // The documented accuracy contract: the estimated quantile always lies
+    // inside the bucket containing the exact nearest-rank sample, so its
+    // error is bounded by the bucket width (a factor of two in value).
+    // Exercised on adversarial shapes: point masses, bucket-boundary
+    // straddles, uniform ramps, heavy tails reaching `u64::MAX`, and a
+    // bimodal gap spanning many empty buckets.
+    with_clean_state(|| {
+        let heavy_tail: Vec<u64> = {
+            let mut v = vec![1u64; 990];
+            v.extend([u64::MAX; 10]);
+            v
+        };
+        let cases: Vec<(&str, Vec<u64>)> = vec![
+            ("single_zero", vec![0]),
+            ("single_one", vec![1]),
+            ("single_mid", vec![100]),
+            ("point_mass", vec![777; 128]),
+            ("boundaries", (0..16).flat_map(|k| [1u64 << k, (1u64 << k) - 1]).collect()),
+            ("uniform_ramp", (1..=1000).collect()),
+            ("heavy_tail", heavy_tail),
+            ("bimodal_gap", [vec![2u64; 50], vec![1 << 40; 50]].concat()),
+        ];
+        for (name, samples) in &cases {
+            let h = histogram(&format!("q.{name}"));
+            for &v in samples {
+                h.observe(v);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+                let est = h.quantile(q).expect("non-empty histogram");
+                let exact = exact_nearest_rank(&sorted, q);
+                let (lo, hi) = bucket_of(exact);
+                assert!(
+                    est >= lo as f64 && est <= hi as f64,
+                    "{name} q={q}: estimate {est} outside bucket [{lo}, {hi}] \
+                     of exact nearest-rank sample {exact}"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn quantile_is_exact_on_degenerate_buckets() {
+    // Buckets 0 and 1 are single-valued ([0,0] and [1,1]): interpolation
+    // has no width to smear over, so the estimate is exact. A point mass of
+    // zeros must report 0 at every quantile, not an upper-bound artifact.
+    with_clean_state(|| {
+        let zeros = histogram("q.exact_zeros");
+        let ones = histogram("q.exact_ones");
+        for _ in 0..10 {
+            zeros.observe(0);
+            ones.observe(1);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(zeros.quantile(q), Some(0.0));
+            assert_eq!(ones.quantile(q), Some(1.0));
+        }
+    });
+}
+
+#[test]
+fn quantile_is_monotone_and_clamped() {
+    with_clean_state(|| {
+        let h = histogram("q.monotone");
+        for v in [0u64, 1, 5, 9, 100, 4096, 70_000, 1 << 33] {
+            h.observe(v);
+        }
+        let qs = [0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 0.95, 0.99, 1.0];
+        let ests: Vec<f64> = qs.iter().map(|&q| h.quantile(q).unwrap()).collect();
+        for w in ests.windows(2) {
+            assert!(w[0] <= w[1], "quantile must be monotone in q: {ests:?}");
+        }
+        // Out-of-range q clamps to the endpoints.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+    });
+}
+
+#[test]
+fn quantile_from_buckets_edge_cases() {
+    // Empty distribution: no answer.
+    assert_eq!(quantile_from_buckets(&[], 0, 0.5), None);
+    assert_eq!(quantile_from_buckets(&[(7, 1)], 0, 0.5), None);
+    // Rank arithmetic across omitted empty buckets: 5 zeros + 5 ones,
+    // q=0.5 targets sample 5 (a zero), anything above targets the ones.
+    let b = [(0u64, 5u64), (1, 5)];
+    assert_eq!(quantile_from_buckets(&b, 10, 0.5), Some(0.0));
+    assert_eq!(quantile_from_buckets(&b, 10, 0.51), Some(1.0));
+    assert_eq!(quantile_from_buckets(&b, 10, 1.0), Some(1.0));
+    // Torn snapshot (count exceeds bucket totals, concurrent observe):
+    // falls back to the top bucket's bound rather than panicking.
+    assert_eq!(quantile_from_buckets(&[(3, 1)], 5, 0.99), Some(3.0));
+    // The top bucket saturates at u64::MAX without overflow.
+    let top = [(u64::MAX, 4u64)];
+    let est = quantile_from_buckets(&top, 4, 0.5).unwrap();
+    assert!(est >= ((u64::MAX >> 1) + 1) as f64 && est <= u64::MAX as f64);
+}
+
 #[test]
 fn reset_invalidates_old_rings() {
     with_clean_state(|| {

@@ -1,0 +1,102 @@
+//! Ambient causal trace context.
+//!
+//! A [`TraceCtx`] names one end-to-end invocation (`trace_id`) and the span
+//! the current code is causally under (`span_id`). The context travels two
+//! ways:
+//!
+//! * **in-process** — a thread-local ambient slot ([`current_ctx`]) that
+//!   instrumentation points read when stamping events, entered with the
+//!   RAII guard from [`enter_ctx`];
+//! * **on the wire** — the ORB's frame header carries the sender's context
+//!   (16 bytes, present only while tracing) so the receiving POA, fragment
+//!   forwarders and the netsim transit instrumentation all stamp their
+//!   events with the *originating* invocation's ids, stitching client,
+//!   network and server spans into one causal tree even across registry
+//!   failover rebinds and retransmissions.
+//!
+//! Identifiers are derived with [`mix64`] from deterministic inputs (the
+//! invocation's entity/sequence identity), never from a global counter or
+//! wall clock, so same-seed runs produce byte-identical traces.
+
+use crate::ArgVal;
+use std::cell::Cell;
+
+/// One invocation's causal coordinates: which trace the current work
+/// belongs to and which span it is causally under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Stable id of the end-to-end invocation. Survives retransmissions and
+    /// failover rebinds (a replayed invocation reuses the original id).
+    pub trace_id: u64,
+    /// The span the current code runs under — the parent of any span or
+    /// instant recorded while this context is ambient.
+    pub span_id: u64,
+}
+
+impl TraceCtx {
+    /// The root context of a new trace: the trace id doubles as the root
+    /// span id.
+    pub fn root(trace_id: u64) -> TraceCtx {
+        TraceCtx { trace_id, span_id: trace_id }
+    }
+
+    /// A child context under this one: same trace, new deterministic span
+    /// id derived from the parent span and a caller-chosen salt (e.g. a
+    /// name hash — same salt + same parent → same child).
+    pub fn child(&self, salt: u64) -> TraceCtx {
+        TraceCtx { trace_id: self.trace_id, span_id: mix64(self.span_id ^ mix64(salt | 1)) }
+    }
+
+    /// The standard event arguments announcing this context: `trace` and
+    /// `parent`. Root-span events add their own `span` id separately.
+    pub fn args(&self) -> Vec<(&'static str, ArgVal)> {
+        vec![("trace", ArgVal::U64(self.trace_id)), ("parent", ArgVal::U64(self.span_id))]
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer used for all
+/// deterministic id derivation.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Derive a trace id from an invocation's stable identity (entity, client
+/// sequence). The same invocation — including its failover replays, which
+/// reuse the identity of the first attempt — always maps to the same id.
+pub fn derive_trace_id(entity: u64, seq: u64) -> u64 {
+    // Fold both words through the mixer; keep the result nonzero so a raw
+    // zero never masquerades as "no context".
+    mix64(entity ^ mix64(seq)).max(1)
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceCtx>> = const { Cell::new(None) };
+}
+
+/// The calling thread's ambient trace context, if any. One `Cell` read —
+/// cheap enough for encode paths (and only ever set while tracing is on).
+#[inline]
+pub fn current_ctx() -> Option<TraceCtx> {
+    CURRENT.with(|c| c.get())
+}
+
+/// Make `ctx` ambient on this thread until the returned guard drops; the
+/// previous context (if any) is restored then. Guards nest.
+pub fn enter_ctx(ctx: TraceCtx) -> CtxGuard {
+    CtxGuard { prev: CURRENT.with(|c| c.replace(Some(ctx))) }
+}
+
+/// Restores the previously ambient context on drop. See [`enter_ctx`].
+#[must_use = "dropping the guard immediately restores the previous context"]
+pub struct CtxGuard {
+    prev: Option<TraceCtx>,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}

@@ -169,6 +169,10 @@ pub struct GroupProxy<'c> {
     /// instead of re-binding every invocation.
     bound: Mutex<HashMap<String, Arc<Proxy>>>,
     rr: AtomicU64,
+    /// Group invocations issued through this proxy, numbering each
+    /// `failover.invoke` trace deterministically (no global counter, so
+    /// same-seed runs stamp identical trace ids).
+    calls: AtomicU64,
 }
 
 impl<'c> GroupProxy<'c> {
@@ -211,6 +215,7 @@ impl<'c> GroupProxy<'c> {
             suspects: Mutex::new(HashSet::new()),
             bound: Mutex::new(HashMap::new()),
             rr: AtomicU64::new(0),
+            calls: AtomicU64::new(0),
         })
     }
 
@@ -280,12 +285,46 @@ impl<'c> GroupProxy<'c> {
         Ok(proxy)
     }
 
+    /// A stable identity for this proxy's invocation stream: the group name
+    /// folded with the calling thread, feeding the deterministic trace-id
+    /// derivation.
+    fn trace_entity(&self) -> u64 {
+        // FNV-1a over the group name, then fold in the thread index.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.group.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        h ^ (((self.ct.thread() as u64) << 1) | 1)
+    }
+
     /// The failover loop: resolve live members, pick, invoke; on a
     /// transport-level failure mark the replica suspect, re-resolve, and
     /// replay against a survivor — up to the ORB's `failover_limit`.
     fn invoke_failover(&self, op: &str, appliers: &[Applier]) -> OrbResult<ReplyData> {
         let limit = self.ct.orb().config().failover_limit;
         let mut rebinds = 0u32;
+        // One root trace spans the whole loop: the registry resolves, every
+        // rebind, and each replayed ORB invocation (their launches see this
+        // context ambient and join the trace as children), so a failed-over
+        // call still reads as one causal tree.
+        let root = pardis_obs::enabled().then(|| {
+            let seq = self.calls.fetch_add(1, Ordering::Relaxed);
+            pardis_obs::TraceCtx::root(pardis_obs::derive_trace_id(self.trace_entity(), seq))
+        });
+        let _span = root.map(|root| {
+            pardis_obs::Span::open(
+                "failover",
+                "failover.invoke",
+                None,
+                vec![
+                    ("group", pardis_obs::ArgVal::Str(self.group.clone().into())),
+                    ("op", pardis_obs::ArgVal::Str(op.to_string().into())),
+                    ("trace", pardis_obs::ArgVal::U64(root.trace_id)),
+                    ("span", pardis_obs::ArgVal::U64(root.span_id)),
+                ],
+            )
+        });
+        let _ctx_guard = root.map(pardis_obs::enter_ctx);
         loop {
             let live = self.registry.resolve(&self.group)?;
             if live.is_empty() {
@@ -319,7 +358,7 @@ impl<'c> GroupProxy<'c> {
                         pardis_obs::counter("failover.rebinds").inc();
                         pardis_obs::counter("failover.suspects").inc();
                         pardis_obs::instant(
-                            "client",
+                            "failover",
                             "failover.rebind",
                             None,
                             vec![

@@ -105,9 +105,7 @@ fn counting_workload_with(
     // a duplicated request may still be queued at the server after the last
     // invocation returned, and its (suppressed) cached reply rides the
     // network after the client has already moved on.
-    orb.network().quiesce();
-    std::thread::sleep(Duration::from_millis(200));
-    client.drain_pending();
+    pardis::core::quiesce_endpoints(&orb, &[&client]);
     let stats = orb.network().fault_stats();
     let retransmits = orb.retransmits();
     // Lift the faults before shutdown so the Close frame cannot be lost.

@@ -86,10 +86,8 @@ fn traced_workload_with(
     // Quiesce before snapshotting: a duplicated copy of the final reply may
     // still be in flight (nothing pumps the client endpoint between
     // invocations), and whether it lands before the snapshot would be a
-    // race. Give the POA time to flush, then ingest whatever arrived so the
-    // dup counters are deterministic.
-    std::thread::sleep(Duration::from_millis(200));
-    client.drain_pending();
+    // race.
+    session.quiesce(&[&client]);
 
     // Snapshot before lifting the fault plan — that reset would zero the
     // fault counters the report mirrors.
@@ -232,7 +230,7 @@ fn every_completed_invocation_has_balanced_spans() {
     for t in &report.threads {
         assert_eq!(t.dropped, 0, "ring overflow in thread {}", t.label);
         for e in &t.events {
-            if e.name == "invoke" {
+            if e.name == "client.invoke" {
                 let key = e.key.expect("invoke spans carry the invocation key");
                 match e.phase {
                     Phase::Begin => *begins.entry(key).or_default() += 1,
@@ -255,9 +253,47 @@ fn every_completed_invocation_has_balanced_spans() {
         .filter(|e| e.name == "poa.dispatch" && e.phase == Phase::Begin)
         .collect();
     assert_eq!(dispatched.len(), calls, "exactly one dispatch per invocation (at-most-once)");
-    let fulfilled =
-        report.threads.iter().flat_map(|t| &t.events).filter(|e| e.name == "future.fulfilled");
+    let fulfilled = report
+        .threads
+        .iter()
+        .flat_map(|t| &t.events)
+        .filter(|e| e.name == "client.future_fulfilled");
     assert_eq!(fulfilled.count(), calls);
+}
+
+#[test]
+fn profile_reconstructs_and_reconciles_the_traced_workload() {
+    use pardis::obs::profile::{profile_trace, SEGMENTS};
+    let _guard = SERIAL.lock().unwrap();
+    let calls = 16i64;
+    // Modelled latency so end-to-end times (and the wire segment) are
+    // non-trivial.
+    let (_, report) = traced_workload(0x9409_F11E, calls, 0.001);
+    let prof = profile_trace(&report.chrome_json(), 0.01).expect("trace must be analyzable");
+    assert_eq!(prof.invocations.len(), calls as usize, "one profiled invocation per call");
+    let err = prof.reconcile().expect("segment attribution must reconcile end-to-end time");
+    assert!(err <= 0.01, "acceptance bound: reconcile within 1%, got {err}");
+    let ops = prof.per_op();
+    assert_eq!(ops.len(), 1, "one op in this workload: {ops:?}");
+    assert_eq!(ops[0].op, "bump");
+    assert!(ops[0].mean_total_us > 0.0);
+    let wire = SEGMENTS.iter().position(|s| *s == "wire").unwrap();
+    assert!(
+        ops[0].mean_segments[wire] > 0.0,
+        "modelled link latency must be attributed to the wire segment: {ops:?}"
+    );
+    let table = prof.table();
+    assert!(table.contains("bump"), "table must list the op:\n{table}");
+    assert!(table.contains(") OK"), "table must report reconciliation:\n{table}");
+    assert!(is_valid_json(&prof.json()));
+
+    // The profile is a pure function of the trace, and zero-latency traces
+    // replay byte-identically — so same-seed profiles must too.
+    let (_, a) = traced_workload(0x0B5_7ACE, calls, 0.0);
+    let (_, b) = traced_workload(0x0B5_7ACE, calls, 0.0);
+    let pa = profile_trace(&a.chrome_json(), 0.01).unwrap().json();
+    let pb = profile_trace(&b.chrome_json(), 0.01).unwrap().json();
+    assert_eq!(pa, pb, "same seed must profile byte-identically");
 }
 
 #[test]

@@ -20,7 +20,9 @@ use pardis::core::{
     ServerRequest, TraceReport, TraceSession, DEFAULT_REPOSITORY,
 };
 use pardis::netsim::{HostId, Link, Network, TimeScale, TransportMode};
+use pardis::obs::{ArgVal, Event, Phase};
 use pardis::registry::{BindingPolicy, GroupProxy, RegistryClient, RegistryServer};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -449,4 +451,124 @@ fn same_seed_failover_traces_are_byte_identical() {
     assert_eq!(t1.counter("registry.registers"), Some(3));
     // Six calls resolve once each, plus one re-resolve on failover.
     assert_eq!(t1.counter("registry.resolves"), Some(7));
+}
+
+/// A `u64`-valued event argument by name.
+fn arg_u64(e: &Event, name: &str) -> Option<u64> {
+    e.args.iter().find_map(|(k, v)| match v {
+        ArgVal::U64(x) if *k == name => Some(*x),
+        _ => None,
+    })
+}
+
+/// A string-valued event argument by name.
+fn arg_str<'a>(e: &'a Event, name: &str) -> Option<&'a str> {
+    e.args.iter().find_map(|(k, v)| match v {
+        ArgVal::Str(s) if *k == name => Some(s.as_ref()),
+        _ => None,
+    })
+}
+
+/// Causal-tree property under chaos: a host killed mid-workload forces an
+/// invocation to time out, rebind and retry — and the trace must still
+/// stitch into complete trees. Every stamped event belongs to a recorded
+/// root, every `parent` pointer resolves to a recorded span of the same
+/// trace (no orphans), span begins/ends balance globally (the End may land
+/// on another thread), and the rebind instant rides the *retried*
+/// invocation's trace together with both of its `client.invoke` attempts.
+#[test]
+fn killed_host_trace_forms_complete_causal_trees() {
+    let _guard = serial();
+    let (results, report) = traced_failover(0xCA05_A17E);
+    assert_eq!(results, (0..6i64).map(|i| 2 * i).collect::<Vec<_>>());
+    let events: Vec<&Event> = report.threads.iter().flat_map(|t| &t.events).collect();
+    for t in &report.threads {
+        assert_eq!(t.dropped, 0, "ring overflow in thread {}", t.label);
+    }
+
+    // Recorded spans: every event that declares its own `span` id. Roots
+    // declare `span == trace` (the span *is* the trace's origin).
+    let mut spans: HashSet<(u64, u64)> = HashSet::new();
+    let mut roots: HashSet<u64> = HashSet::new();
+    for e in &events {
+        if let (Some(trace), Some(span)) = (arg_u64(e, "trace"), arg_u64(e, "span")) {
+            spans.insert((trace, span));
+            if trace == span {
+                roots.insert(trace);
+            }
+        }
+    }
+    // Each of the six group invocations opened exactly one failover root.
+    let failover_roots: Vec<u64> = events
+        .iter()
+        .filter(|e| e.name == "failover.invoke" && e.phase == Phase::Begin)
+        .map(|e| {
+            let trace = arg_u64(e, "trace").expect("failover roots are stamped");
+            assert_eq!(arg_u64(e, "span"), Some(trace), "failover.invoke must be a root");
+            trace
+        })
+        .collect();
+    assert_eq!(failover_roots.len(), 6, "one failover root per group invocation");
+    assert_eq!(failover_roots.iter().collect::<HashSet<_>>().len(), 6, "roots are distinct");
+
+    // No orphans: every stamped event hangs off a known root, and its
+    // parent pointer resolves to a span recorded under the same trace.
+    let mut stamped = 0usize;
+    for e in &events {
+        let Some(trace) = arg_u64(e, "trace") else { continue };
+        stamped += 1;
+        assert!(roots.contains(&trace), "event {} on rootless trace {trace:#x}", e.name);
+        if let Some(parent) = arg_u64(e, "parent") {
+            assert!(
+                spans.contains(&(trace, parent)),
+                "orphan: {} parented to unrecorded span {parent:#x} of trace {trace:#x}",
+                e.name
+            );
+        }
+    }
+    assert!(stamped > events.len() / 2, "most chaos events must carry trace context");
+
+    // Spans balance globally — the kill must not leak a dangling Begin.
+    type SpanKey<'a> = (&'a str, Option<(u64, u64)>);
+    let mut open: HashMap<SpanKey<'_>, i64> = HashMap::new();
+    for e in &events {
+        match e.phase {
+            Phase::Begin => *open.entry((e.name.as_ref(), e.key)).or_default() += 1,
+            Phase::End => *open.entry((e.name.as_ref(), e.key)).or_default() -= 1,
+            Phase::Instant => {}
+        }
+    }
+    for ((name, key), n) in &open {
+        assert_eq!(*n, 0, "unbalanced span {name} (key {key:?}) after mid-workload kill");
+    }
+
+    // The rebind is attached to the retried invocation's trace: that trace
+    // carries at least two `bump` attempts (the one the dead host swallowed
+    // and its replay against a survivor); healthy traces carry exactly one.
+    // The registry `resolve` each root performs is also a client.invoke
+    // child, so attempts are told apart by op.
+    let rebinds: Vec<&&Event> = events.iter().filter(|e| e.name == "failover.rebind").collect();
+    assert_eq!(rebinds.len(), 1, "exactly one rebind for one killed host");
+    let rb_trace = arg_u64(rebinds[0], "trace").expect("the rebind must be stamped");
+    assert!(failover_roots.contains(&rb_trace), "rebind must ride a failover root's trace");
+    let attempts_by_trace = |trace: u64| {
+        events
+            .iter()
+            .filter(|e| {
+                e.name == "client.invoke"
+                    && e.phase == Phase::Begin
+                    && arg_str(e, "op") == Some("bump")
+                    && arg_u64(e, "trace") == Some(trace)
+            })
+            .count()
+    };
+    assert!(
+        attempts_by_trace(rb_trace) >= 2,
+        "the rebound trace must carry the dead attempt and its retry"
+    );
+    for &root in &failover_roots {
+        if root != rb_trace {
+            assert_eq!(attempts_by_trace(root), 1, "healthy invocations bind once");
+        }
+    }
 }
