@@ -1,0 +1,186 @@
+//! Findings and the [`AuditReport`] they are collected into.
+//!
+//! Deliberately the same shape as `pardis-check`'s `CheckReport`: a
+//! severity-tiered finding list with a fixed-width human table and a
+//! dependency-free JSON rendering, so CI tooling written against one
+//! analyzer's output parses the other's.
+
+use std::fmt;
+
+/// How bad a finding is. Ordering is by increasing badness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: a hazard worth knowing about, never a failure
+    /// (hold-time budget overrun on the virtual clock, recovered poison).
+    Advice,
+    /// Probably a bug (a lock held across a wire call, a happens-before
+    /// race on a shared table).
+    Warning,
+    /// A defect (a lock-order cycle, a re-entrant acquisition).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Advice => "advice",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The class of concurrency defect a finding reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// A cycle in the static lock-order graph: two or more lock sites
+    /// acquired in inconsistent nesting orders on different threads. A
+    /// *potential* deadlock — reported even when no run ever deadlocks.
+    LockCycle,
+    /// Conflicting accesses to a shared table with no happens-before edge
+    /// between them (vector-clock race detection over acquire/release,
+    /// channel send/recv and publish/load edges).
+    DataRace,
+    /// An audited lock held across a `Network::transmit`/wire call: the
+    /// hold time then includes modelled network latency, and the lock
+    /// couples unrelated endpoints.
+    WireCall,
+    /// Lock hold time above the configured virtual-clock budget.
+    HoldBudget,
+    /// The same lock instance acquired again by the thread already holding
+    /// it — guaranteed (mutex) or schedule-dependent (rwlock) deadlock.
+    Reentrant,
+    /// A poisoned lock was recovered by [`crate::AuditMutex`]'s
+    /// recover-on-poison path instead of cascading the panic.
+    Poisoned,
+}
+
+impl Kind {
+    /// Stable machine-readable code, also used in the JSON rendering.
+    pub fn code(self) -> &'static str {
+        match self {
+            Kind::LockCycle => "lock-cycle",
+            Kind::DataRace => "data-race",
+            Kind::WireCall => "wire-call-hazard",
+            Kind::HoldBudget => "hold-budget",
+            Kind::Reentrant => "reentrant-lock",
+            Kind::Poisoned => "lock-poisoned",
+        }
+    }
+}
+
+/// One defect the auditor observed, attributed to the lock or memory site
+/// that triggered it (`site = None` for graph-global findings).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Severity tier.
+    pub severity: Severity,
+    /// Defect class.
+    pub kind: Kind,
+    /// The `crate/file:line label` of the site the defect is attributed
+    /// to, if any.
+    pub site: Option<String>,
+    /// Human-readable detail (witness threads, held-lock stacks, cycle
+    /// members, vector-clock epochs).
+    pub detail: String,
+}
+
+/// Everything the auditor found since the last [`crate::reset`].
+///
+/// Render with [`AuditReport::render_table`] for humans or
+/// [`AuditReport::render_json`] for tooling; gate CI on
+/// [`AuditReport::is_clean`] (advice does not fail a run).
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Lock sites the auditor observed at least one acquisition through.
+    pub sites_seen: usize,
+    /// All findings: accumulated hazard/race findings in the order they
+    /// were recorded, then lock-order cycles in deterministic site order.
+    pub findings: Vec<Finding>,
+}
+
+impl AuditReport {
+    /// True when no finding is a warning or an error (advice is allowed).
+    pub fn is_clean(&self) -> bool {
+        self.findings.iter().all(|f| f.severity < Severity::Warning)
+    }
+
+    /// Findings at warning severity or above.
+    pub fn failures(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.severity >= Severity::Warning)
+    }
+
+    /// Count findings of one class.
+    pub fn count(&self, kind: Kind) -> usize {
+        self.findings.iter().filter(|f| f.kind == kind).count()
+    }
+
+    /// Human-readable fixed-width table, one row per finding.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "pardis-audit report — {} lock site(s) observed, {} finding(s)\n",
+            self.sites_seen,
+            self.findings.len()
+        ));
+        if self.findings.is_empty() {
+            out.push_str("  synchronization clean: no findings\n");
+            return out;
+        }
+        out.push_str(&format!(
+            "  {:<8} {:<18} {:<40} detail\n  {:-<8} {:-<18} {:-<40} {:-<40}\n",
+            "severity", "kind", "site", "", "", "", ""
+        ));
+        for f in &self.findings {
+            let site = f.site.as_deref().unwrap_or("-");
+            out.push_str(&format!(
+                "  {:<8} {:<18} {:<40} {}\n",
+                f.severity.to_string(),
+                f.kind.code(),
+                site,
+                f.detail
+            ));
+        }
+        out
+    }
+
+    /// Machine-readable JSON rendering (no external deps; strings escaped).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"sites_seen\":{},\"findings\":[", self.sites_seen));
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let site = f
+                .site
+                .as_deref()
+                .map_or_else(|| "null".to_string(), |s| format!("\"{}\"", escape_json(s)));
+            out.push_str(&format!(
+                "{{\"severity\":\"{}\",\"kind\":\"{}\",\"site\":{},\"detail\":\"{}\"}}",
+                f.severity,
+                f.kind.code(),
+                site,
+                escape_json(&f.detail)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

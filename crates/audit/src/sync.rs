@@ -1,0 +1,334 @@
+//! Audited drop-in lock wrappers over `std::sync` primitives.
+//!
+//! The wrappers expose the same surface as the workspace's `parking_lot`
+//! stand-in — `lock()` returning a guard directly, `try_lock()` returning
+//! an `Option`, `Condvar::wait(&mut guard)` — so sweeping a crate is a
+//! type-and-constructor change, not a call-site rewrite. Two behaviours
+//! are layered on top:
+//!
+//! * **Poison recovery** (always on): a poisoned guard is recovered via
+//!   [`std::sync::PoisonError::into_inner`] instead of cascading the
+//!   panic across ORB threads, and the `lock.poisoned` obs counter is
+//!   bumped so the event is visible in metrics even with auditing off.
+//! * **Audit hooks** (behind the gate): acquisition/release bookkeeping
+//!   feeds the lock-order graph, the vector-clock engine and the hazard
+//!   detectors in [`crate::core`]. With the gate off the only cost is one
+//!   relaxed atomic load per operation.
+//!
+//! Whether a given guard participates in auditing is decided at
+//! *acquisition* and remembered in the guard, so a gate flip mid-hold
+//! never unbalances the held-lock stack.
+
+use crate::core::{self, Acq};
+use crate::Site;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+fn recover<G>(r: Result<G, std::sync::PoisonError<G>>, site: &'static Site) -> G {
+    r.unwrap_or_else(|e| {
+        pardis_obs::counter("lock.poisoned").inc();
+        if crate::enabled() {
+            core::on_poison_recovered(site);
+        }
+        e.into_inner()
+    })
+}
+
+/// A mutex whose acquisitions are tagged with a static [`Site`] and fed to
+/// the audit engine when the gate is on.
+pub struct AuditMutex<T> {
+    site: &'static Site,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> AuditMutex<T> {
+    /// Wrap `value`; `site` (from [`crate::lock_site!`]) names every
+    /// acquisition of this lock in findings. `const` so audited locks can
+    /// live in statics.
+    pub const fn new(site: &'static Site, value: T) -> AuditMutex<T> {
+        AuditMutex { site, inner: std::sync::Mutex::new(value) }
+    }
+
+    fn instance(&self) -> usize {
+        &self.inner as *const _ as usize
+    }
+
+    /// Acquire, blocking; recovers poisoned guards (recording
+    /// `lock.poisoned`) instead of panicking.
+    pub fn lock(&self) -> AuditMutexGuard<'_, T> {
+        let guard = recover(self.inner.lock(), self.site);
+        let audited = crate::enabled();
+        if audited {
+            core::on_locked(self.site, self.instance(), Acq::Write);
+        }
+        AuditMutexGuard { lock: self, guard: Some(guard), audited }
+    }
+
+    /// Try to acquire without blocking.
+    pub fn try_lock(&self) -> Option<AuditMutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => {
+                let audited = crate::enabled();
+                if audited {
+                    core::on_locked(self.site, self.instance(), Acq::Write);
+                }
+                Some(AuditMutexGuard { lock: self, guard: Some(guard), audited })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                pardis_obs::counter("lock.poisoned").inc();
+                let audited = crate::enabled();
+                if audited {
+                    core::on_poison_recovered(self.site);
+                    core::on_locked(self.site, self.instance(), Acq::Write);
+                }
+                Some(AuditMutexGuard { lock: self, guard: Some(e.into_inner()), audited })
+            }
+        }
+    }
+
+    /// Exclusive access without locking (no audit hooks: `&mut self`
+    /// proves no concurrency).
+    pub fn get_mut(&mut self) -> &mut T {
+        let site = self.site;
+        recover(self.inner.get_mut(), site)
+    }
+
+    /// Consume the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        let site = self.site;
+        recover(self.inner.into_inner(), site)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for AuditMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AuditMutex").field("site", &self.site.label).finish_non_exhaustive()
+    }
+}
+
+/// Guard for [`AuditMutex`]; release bookkeeping runs on drop when the
+/// acquisition was audited.
+pub struct AuditMutexGuard<'a, T> {
+    lock: &'a AuditMutex<T>,
+    /// `Option` so [`AuditCondvar::wait`] can hand the inner guard to the
+    /// condvar and reinstall the re-acquired one.
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+    audited: bool,
+}
+
+impl<T> Deref for AuditMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T> DerefMut for AuditMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present outside wait")
+    }
+}
+
+impl<T> Drop for AuditMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.audited {
+            core::on_unlocked(self.lock.site, self.lock.instance());
+        }
+    }
+}
+
+/// The lock-instance id behind a guard — the engine's re-entrancy key.
+/// Test-only: lets the suite drive a synthetic second acquisition of a
+/// held instance without actually self-deadlocking on the std mutex.
+#[cfg(test)]
+pub(crate) fn guard_instance<T>(guard: &AuditMutexGuard<'_, T>) -> usize {
+    guard.lock.instance()
+}
+
+/// A reader-writer lock whose acquisitions are tagged with a static
+/// [`Site`] and fed to the audit engine when the gate is on.
+pub struct AuditRwLock<T> {
+    site: &'static Site,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> AuditRwLock<T> {
+    /// Wrap `value`; see [`AuditMutex::new`].
+    pub const fn new(site: &'static Site, value: T) -> AuditRwLock<T> {
+        AuditRwLock { site, inner: std::sync::RwLock::new(value) }
+    }
+
+    fn instance(&self) -> usize {
+        &self.inner as *const _ as usize
+    }
+
+    /// Acquire shared, blocking; recovers poison.
+    pub fn read(&self) -> AuditReadGuard<'_, T> {
+        let guard = recover(self.inner.read(), self.site);
+        let audited = crate::enabled();
+        if audited {
+            core::on_locked(self.site, self.instance(), Acq::Read);
+        }
+        AuditReadGuard { lock: self, guard, audited }
+    }
+
+    /// Acquire exclusive, blocking; recovers poison.
+    pub fn write(&self) -> AuditWriteGuard<'_, T> {
+        let guard = recover(self.inner.write(), self.site);
+        let audited = crate::enabled();
+        if audited {
+            core::on_locked(self.site, self.instance(), Acq::Write);
+        }
+        AuditWriteGuard { lock: self, guard, audited }
+    }
+
+    /// Exclusive access without locking (no audit hooks).
+    pub fn get_mut(&mut self) -> &mut T {
+        let site = self.site;
+        recover(self.inner.get_mut(), site)
+    }
+
+    /// Consume the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        let site = self.site;
+        recover(self.inner.into_inner(), site)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for AuditRwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AuditRwLock").field("site", &self.site.label).finish_non_exhaustive()
+    }
+}
+
+/// Shared guard for [`AuditRwLock`].
+pub struct AuditReadGuard<'a, T> {
+    lock: &'a AuditRwLock<T>,
+    guard: std::sync::RwLockReadGuard<'a, T>,
+    audited: bool,
+}
+
+impl<T> Deref for AuditReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> Drop for AuditReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.audited {
+            core::on_unlocked(self.lock.site, self.lock.instance());
+        }
+    }
+}
+
+/// Exclusive guard for [`AuditRwLock`].
+pub struct AuditWriteGuard<'a, T> {
+    lock: &'a AuditRwLock<T>,
+    guard: std::sync::RwLockWriteGuard<'a, T>,
+    audited: bool,
+}
+
+impl<T> Deref for AuditWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for AuditWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for AuditWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.audited {
+            core::on_unlocked(self.lock.site, self.lock.instance());
+        }
+    }
+}
+
+/// Condition variable paired with [`AuditMutex`]: a wait releases and
+/// re-acquires the mutex, and the audit bookkeeping mirrors that (the
+/// held-lock stack does not show the mutex while the thread is parked).
+pub struct AuditCondvar {
+    inner: std::sync::Condvar,
+}
+
+impl Default for AuditCondvar {
+    fn default() -> AuditCondvar {
+        AuditCondvar::new()
+    }
+}
+
+impl AuditCondvar {
+    /// A fresh condvar.
+    pub const fn new() -> AuditCondvar {
+        AuditCondvar { inner: std::sync::Condvar::new() }
+    }
+
+    /// Park until notified, releasing the guard's mutex while parked.
+    pub fn wait<T>(&self, guard: &mut AuditMutexGuard<'_, T>) {
+        let site = guard.lock.site;
+        let instance = guard.lock.instance();
+        if guard.audited {
+            core::on_unlocked(site, instance);
+        }
+        let inner = guard.guard.take().expect("guard present outside wait");
+        let inner = recover(self.inner.wait(inner), site);
+        if guard.audited {
+            core::on_locked(site, instance, Acq::Write);
+        }
+        guard.guard = Some(inner);
+    }
+
+    /// Park until notified or `timeout` elapses; true when notified.
+    pub fn wait_timeout<T>(
+        &self,
+        guard: &mut AuditMutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> bool {
+        let site = guard.lock.site;
+        let instance = guard.lock.instance();
+        if guard.audited {
+            core::on_unlocked(site, instance);
+        }
+        let inner = guard.guard.take().expect("guard present outside wait");
+        let (inner, res) = match self.inner.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, !r.timed_out()),
+            Err(e) => {
+                pardis_obs::counter("lock.poisoned").inc();
+                if crate::enabled() {
+                    core::on_poison_recovered(site);
+                }
+                let (g, r) = e.into_inner();
+                (g, !r.timed_out())
+            }
+        };
+        if guard.audited {
+            core::on_locked(site, instance, Acq::Write);
+        }
+        guard.guard = Some(inner);
+        res
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for AuditCondvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AuditCondvar").finish_non_exhaustive()
+    }
+}

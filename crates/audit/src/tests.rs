@@ -1,0 +1,371 @@
+//! Property/unit suite for the cycle detector, the vector-clock engine and
+//! the hazard detectors: synthetic graphs (2-cycle, 3-cycle,
+//! diamond-no-cycle), seeded random acquisition orders, and the
+//! lock-held-across-transmit regression fixture.
+//!
+//! The auditor's state is process-global, so every test serializes on one
+//! static mutex and resets the engine on entry and exit.
+
+use crate::{AuditCondvar, AuditMutex, AuditRwLock, Kind, Severity, Site};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Serialize on `SERIAL`, reset the engine, enable the gate; the returned
+/// guard restores a disabled, clean engine on drop (even on panic).
+fn audited() -> impl Drop {
+    struct Restore(Option<std::sync::MutexGuard<'static, ()>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            crate::disable();
+            crate::reset();
+            self.0.take();
+        }
+    }
+    let guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    crate::reset();
+    crate::enable();
+    Restore(Some(guard))
+}
+
+/// Eight distinct sites for graph-shape tests.
+static SITES: [Site; 8] = {
+    const fn s(label: &'static str) -> Site {
+        Site { label, krate: "pardis-audit", file: file!(), line: line!() }
+    }
+    [s("s0"), s("s1"), s("s2"), s("s3"), s("s4"), s("s5"), s("s6"), s("s7")]
+};
+
+fn locks() -> Vec<AuditMutex<u32>> {
+    SITES.iter().map(|site| AuditMutex::new(site, 0)).collect()
+}
+
+/// Acquire `order` in sequence (guards stacked), then release in reverse.
+fn chain(locks: &[AuditMutex<u32>], order: &[usize]) {
+    let mut guards = Vec::new();
+    for &i in order {
+        guards.push(locks[i].lock());
+    }
+    while guards.pop().is_some() {}
+}
+
+#[test]
+fn two_lock_cycle_detected_once_with_both_sites() {
+    let _g = audited();
+    let locks = locks();
+    chain(&locks, &[0, 1]);
+    chain(&locks, &[1, 0]);
+    let report = crate::report();
+    assert_eq!(report.count(Kind::LockCycle), 1, "{}", report.render_table());
+    let f = report.findings.iter().find(|f| f.kind == Kind::LockCycle).unwrap();
+    assert_eq!(f.severity, Severity::Error);
+    assert!(f.detail.contains("`s0`") && f.detail.contains("`s1`"), "{}", f.detail);
+    assert!(f.detail.matches("witness:").count() >= 2, "both witness stacks: {}", f.detail);
+}
+
+#[test]
+fn three_lock_cycle_is_one_finding_naming_all_members() {
+    let _g = audited();
+    let locks = locks();
+    chain(&locks, &[0, 1]);
+    chain(&locks, &[1, 2]);
+    chain(&locks, &[2, 0]);
+    let report = crate::report();
+    assert_eq!(report.count(Kind::LockCycle), 1, "{}", report.render_table());
+    let f = report.findings.iter().find(|f| f.kind == Kind::LockCycle).unwrap();
+    for s in ["`s0`", "`s1`", "`s2`"] {
+        assert!(f.detail.contains(s), "missing {s} in {}", f.detail);
+    }
+}
+
+#[test]
+fn diamond_is_not_a_cycle() {
+    let _g = audited();
+    let locks = locks();
+    chain(&locks, &[0, 1, 3]);
+    chain(&locks, &[0, 2, 3]);
+    let report = crate::report();
+    assert!(report.is_clean(), "{}", report.render_table());
+    assert_eq!(report.count(Kind::LockCycle), 0);
+}
+
+#[test]
+fn prop_order_respecting_acquisitions_are_clean() {
+    let _g = audited();
+    let locks = locks();
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Random ascending chains: any interleaving that respects one
+        // total order can never close a cycle.
+        let mut order: Vec<usize> = Vec::new();
+        let mut next = 0usize;
+        while next < locks.len() && order.len() < 4 {
+            next = rng.random_range(next..locks.len());
+            order.push(next);
+            next += 1;
+        }
+        chain(&locks, &order);
+    }
+    let report = crate::report();
+    assert!(report.is_clean(), "{}", report.render_table());
+    assert_eq!(report.count(Kind::LockCycle), 0);
+}
+
+#[test]
+fn prop_seeded_inversion_always_caught() {
+    for seed in 0..20u64 {
+        let _g = audited();
+        let locks = locks();
+        let mut rng = StdRng::seed_from_u64(0xA0D17 + seed);
+        let a = rng.random_range(0..locks.len() - 1);
+        let b = rng.random_range(a + 1..locks.len());
+        // Background of well-ordered traffic, then one inversion.
+        for _ in 0..rng.random_range(0..6) {
+            let x = rng.random_range(0..locks.len() - 1);
+            let y = rng.random_range(x + 1..locks.len());
+            chain(&locks, &[x, y]);
+        }
+        chain(&locks, &[a, b]);
+        chain(&locks, &[b, a]);
+        let report = crate::report();
+        assert_eq!(
+            report.count(Kind::LockCycle),
+            1,
+            "seed {seed} (pair {a},{b}):\n{}",
+            report.render_table()
+        );
+    }
+}
+
+#[test]
+fn reentrant_acquisition_is_an_error() {
+    let _g = audited();
+    let lock = AuditMutex::new(lock_site!("reentrant fixture"), 0u32);
+    let g1 = lock.try_lock().expect("first acquisition");
+    // A second `lock()` would genuinely self-deadlock; `try_lock` fails
+    // at the std layer without reaching the hooks, so drive the check
+    // through the engine the way a re-entrant `lock()` would.
+    crate::core::on_locked(
+        lock_site!("reentrant fixture second site"),
+        instance_of(&g1),
+        crate::core::Acq::Write,
+    );
+    let report = crate::report();
+    assert_eq!(report.count(Kind::Reentrant), 1, "{}", report.render_table());
+    assert!(!report.is_clean());
+    drop(g1);
+}
+
+/// The engine keys re-entrancy by lock-instance address; recover it from
+/// the guard's lock for the synthetic second acquisition above.
+fn instance_of<T>(guard: &crate::AuditMutexGuard<'_, T>) -> usize {
+    crate::sync::guard_instance(guard)
+}
+
+#[test]
+fn lock_held_across_transmit_regression() {
+    let _g = audited();
+    let lock = AuditMutex::new(lock_site!("held across wire"), ());
+    {
+        let _held = lock.lock();
+        crate::note_wire_call("Network::transmit");
+    }
+    let report = crate::report();
+    assert_eq!(report.count(Kind::WireCall), 1, "{}", report.render_table());
+    assert!(!report.is_clean());
+
+    // Regression half two: the same call with nothing held is clean.
+    crate::reset();
+    crate::enable();
+    crate::note_wire_call("Network::transmit");
+    let report = crate::report();
+    assert!(report.is_clean(), "{}", report.render_table());
+}
+
+#[test]
+fn unsynchronized_writes_race_lock_synchronized_do_not() {
+    let _g = audited();
+    // Unsynchronized: two threads write the same table with no
+    // happens-before edge between them (thread spawn/join edges are
+    // deliberately not modelled — only lock/channel/publish edges order).
+    let site = lock_site!("race fixture table");
+    std::thread::spawn(move || crate::access_write(site, 1)).join().unwrap();
+    std::thread::spawn(move || crate::access_write(site, 1)).join().unwrap();
+    let report = crate::report();
+    assert_eq!(report.count(Kind::DataRace), 1, "{}", report.render_table());
+
+    // Synchronized: the same shape under one mutex is ordered by the
+    // release→acquire edge.
+    crate::reset();
+    crate::enable();
+    let site2 = lock_site!("guarded fixture table");
+    let lock = std::sync::Arc::new(AuditMutex::new(lock_site!("fixture table lock"), ()));
+    for _ in 0..2 {
+        let lock = lock.clone();
+        std::thread::spawn(move || {
+            let _g = lock.lock();
+            crate::access_write(site2, 1);
+        })
+        .join()
+        .unwrap();
+    }
+    let report = crate::report();
+    assert!(report.is_clean(), "{}", report.render_table());
+}
+
+#[test]
+fn channel_and_publish_edges_order_accesses() {
+    let _g = audited();
+    let site = lock_site!("channel-ordered table");
+    std::thread::spawn(move || {
+        crate::access_write(site, 1);
+        crate::chan_send(7);
+    })
+    .join()
+    .unwrap();
+    std::thread::spawn(move || {
+        crate::chan_recv(7);
+        crate::access_write(site, 1);
+    })
+    .join()
+    .unwrap();
+    let report = crate::report();
+    assert!(report.is_clean(), "{}", report.render_table());
+
+    crate::reset();
+    crate::enable();
+    let site = lock_site!("publish-ordered table");
+    std::thread::spawn(move || {
+        crate::access_write(site, 1);
+        crate::publish(0xC0FFEE);
+    })
+    .join()
+    .unwrap();
+    std::thread::spawn(move || {
+        crate::load_published(0xC0FFEE);
+        crate::access_read(site, 1);
+    })
+    .join()
+    .unwrap();
+    let report = crate::report();
+    assert!(report.is_clean(), "{}", report.render_table());
+}
+
+#[test]
+fn hold_budget_is_opt_in_and_advice_only() {
+    let _g = audited();
+    static VIRT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    pardis_obs::set_clock_micros(std::sync::Arc::new(|| {
+        VIRT.load(std::sync::atomic::Ordering::Relaxed)
+    }));
+    let lock = AuditMutex::new(lock_site!("budgeted lock"), ());
+
+    // No budget configured: a long hold is not a finding.
+    {
+        let _held = lock.lock();
+        VIRT.store(5_000, std::sync::atomic::Ordering::Relaxed);
+    }
+    assert!(crate::report().findings.is_empty(), "{}", crate::report().render_table());
+
+    crate::set_hold_budget_us(Some(1_000));
+    {
+        let _held = lock.lock();
+        VIRT.store(10_000, std::sync::atomic::Ordering::Relaxed);
+    }
+    let report = crate::report();
+    assert_eq!(report.count(Kind::HoldBudget), 1, "{}", report.render_table());
+    assert!(report.is_clean(), "hold budget is advice, not a failure");
+    crate::set_hold_budget_us(None);
+    pardis_obs::clear_clock();
+}
+
+#[test]
+fn poisoned_lock_recovers_and_counts() {
+    let _g = audited();
+    let before = pardis_obs::counter("lock.poisoned").get();
+    let lock = std::sync::Arc::new(AuditMutex::new(lock_site!("poisoned fixture"), 7u32));
+    let poisoner = lock.clone();
+    let _ = std::thread::spawn(move || {
+        let _held = poisoner.lock();
+        panic!("poison the guard");
+    })
+    .join();
+    // Recovered, not a cascading panic — and the value is still there.
+    assert_eq!(*lock.lock(), 7);
+    assert_eq!(pardis_obs::counter("lock.poisoned").get(), before + 1);
+    let report = crate::report();
+    assert_eq!(report.count(Kind::Poisoned), 1, "{}", report.render_table());
+    assert!(report.is_clean(), "recovered poison is advice");
+}
+
+#[test]
+fn condvar_wait_releases_the_held_stack() {
+    let _g = audited();
+    let pair = std::sync::Arc::new((
+        AuditMutex::new(lock_site!("condvar mutex"), false),
+        AuditCondvar::new(),
+    ));
+    let notifier = pair.clone();
+    let waiter = std::thread::spawn(move || {
+        let (lock, cv) = &*notifier;
+        let mut ready = lock.lock();
+        while !*ready {
+            cv.wait(&mut ready);
+        }
+    });
+    {
+        let (lock, cv) = &*pair;
+        *lock.lock() = true;
+        cv.notify_all();
+    }
+    waiter.join().unwrap();
+    let report = crate::report();
+    assert!(report.is_clean(), "{}", report.render_table());
+}
+
+#[test]
+fn rwlock_participates_in_the_order_graph() {
+    let _g = audited();
+    let a = AuditRwLock::new(lock_site!("rw a"), ());
+    let b = AuditMutex::new(lock_site!("mx b"), ());
+    {
+        let _ra = a.read();
+        let _gb = b.lock();
+    }
+    {
+        let _gb = b.lock();
+        let _wa = a.write();
+    }
+    let report = crate::report();
+    assert_eq!(report.count(Kind::LockCycle), 1, "{}", report.render_table());
+}
+
+#[test]
+fn report_renders_table_and_json() {
+    let _g = audited();
+    let locks = locks();
+    chain(&locks, &[0, 1]);
+    chain(&locks, &[1, 0]);
+    let report = crate::report();
+    let table = report.render_table();
+    assert!(table.contains("lock-cycle"), "{table}");
+    let json = report.render_json();
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    assert!(json.contains("\"kind\":\"lock-cycle\""), "{json}");
+    assert!(json.contains("\"severity\":\"error\""), "{json}");
+}
+
+#[test]
+fn disabled_gate_records_nothing() {
+    let _g = audited();
+    crate::disable();
+    let locks = locks();
+    chain(&locks, &[0, 1]);
+    chain(&locks, &[1, 0]);
+    crate::note_wire_call("Network::transmit");
+    let report = crate::report();
+    assert!(report.findings.is_empty(), "{}", report.render_table());
+    assert_eq!(report.sites_seen, 0);
+}

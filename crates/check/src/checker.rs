@@ -51,7 +51,8 @@ impl CollOp {
     }
 }
 
-/// What [`Checker::collective_enter`] tells the decorator to do.
+/// What the checker's (crate-internal) collective-entry barrier tells the
+/// decorator to do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
     /// Every rank agreed (or the watchdog expired): run the real collective.

@@ -22,10 +22,10 @@ use crate::protocol::{
 use crate::servant::{stage_piece, RangeEncodeFn, ServantCtx, ServerRequest};
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
+use pardis_audit::{lock_site, AuditMutex};
 use pardis_cdr::{Any, ByteOrder, CdrCodec, Decoder, Encoder, TypeCode};
 use pardis_netsim::HostId;
 use pardis_rts::Rts;
-use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -40,9 +40,19 @@ pub struct ClientGroup {
     host: HostId,
     nthreads: usize,
     reply_eps: Vec<EndpointId>,
-    reply_rxs: Arc<Mutex<Vec<Option<Receiver<Envelope>>>>>,
-    namespace: Arc<Mutex<String>>,
+    reply_rxs: Arc<AuditMutex<Vec<Option<Receiver<Envelope>>>>>,
+    namespace: Arc<AuditMutex<String>>,
 }
+
+/// Shared-table identity for the happens-before checker: the per-thread
+/// reply router (invocation key → in-flight state). One static site so
+/// every access — register, route, re-arm, teardown — correlates.
+static REPLY_TABLE: pardis_audit::Site = pardis_audit::Site {
+    label: "client: reply table",
+    krate: "pardis-core",
+    file: file!(),
+    line: line!(),
+};
 
 impl ClientGroup {
     /// Register a client of `nthreads` computing threads on `host`.
@@ -62,8 +72,14 @@ impl ClientGroup {
             host,
             nthreads,
             reply_eps,
-            reply_rxs: Arc::new(Mutex::new(reply_rxs)),
-            namespace: Arc::new(Mutex::new(crate::repository::DEFAULT_REPOSITORY.to_string())),
+            reply_rxs: Arc::new(AuditMutex::new(
+                lock_site!("client: reply-endpoint handoff"),
+                reply_rxs,
+            )),
+            namespace: Arc::new(AuditMutex::new(
+                lock_site!("client: namespace"),
+                crate::repository::DEFAULT_REPOSITORY.to_string(),
+            )),
         }
     }
 
@@ -101,9 +117,9 @@ impl ClientGroup {
                 reply_eps: self.reply_eps.clone(),
                 rx,
                 rts,
-                router: Mutex::new(HashMap::new()),
-                orphans: Mutex::new(HashMap::new()),
-                done: Mutex::new(DoneSet::default()),
+                router: AuditMutex::new(lock_site!("client: reply router"), HashMap::new()),
+                orphans: AuditMutex::new(lock_site!("client: orphan replies"), HashMap::new()),
+                done: AuditMutex::new(lock_site!("client: done set"), DoneSet::default()),
                 collective_seq: AtomicU64::new(0),
                 single_seq: AtomicU64::new(0),
             }),
@@ -125,12 +141,12 @@ pub(crate) struct PumpCore {
     pub reply_eps: Vec<EndpointId>,
     rx: Receiver<Envelope>,
     pub rts: Option<Arc<dyn Rts>>,
-    router: Mutex<HashMap<(BindingId, u64), Arc<InvocationState>>>,
-    orphans: Mutex<HashMap<(BindingId, u64), Vec<Message>>>,
+    router: AuditMutex<HashMap<(BindingId, u64), Arc<InvocationState>>>,
+    orphans: AuditMutex<HashMap<(BindingId, u64), Vec<Message>>>,
     /// Completed invocations: late duplicate replies (retransmission
     /// by-products) for these keys are discarded instead of piling up as
     /// orphans.
-    done: Mutex<DoneSet>,
+    done: AuditMutex<DoneSet>,
     /// Invocation counter of the collective entity (all threads of an SPMD
     /// client stay in sync by the SPMD calling discipline).
     collective_seq: AtomicU64,
@@ -152,7 +168,13 @@ const PUMP_MEMORY_CAP: usize = 1024;
 
 impl PumpCore {
     fn register(&self, key: (BindingId, u64), state: Arc<InvocationState>) {
-        self.router.lock().insert(key, state.clone());
+        {
+            let mut router = self.router.lock();
+            // Inside the guard: the access inherits the lock's release
+            // clock, so lock-ordered accesses never read as races.
+            pardis_audit::access_write(&REPLY_TABLE, &self.router as *const _ as usize);
+            router.insert(key, state.clone());
+        }
         let stashed = self.orphans.lock().remove(&key);
         if let Some(msgs) = stashed {
             for msg in msgs {
@@ -162,7 +184,11 @@ impl PumpCore {
     }
 
     fn unregister(&self, key: (BindingId, u64)) {
-        let state = self.router.lock().remove(&key);
+        let state = {
+            let mut router = self.router.lock();
+            pardis_audit::access_write(&REPLY_TABLE, &self.router as *const _ as usize);
+            router.remove(&key)
+        };
         if let Some(state) = state {
             // Close the invoke span opened at launch (exactly once, even if
             // tracing was toggled in between).
@@ -203,7 +229,9 @@ impl PumpCore {
     /// Completion check without pumping — only meaningful when a
     /// communication thread (or another caller) is draining the endpoint.
     pub(crate) fn peek_complete(&self, key: (BindingId, u64)) -> bool {
-        self.router.lock().get(&key).map(|s| s.is_complete()).unwrap_or(false)
+        let router = self.router.lock();
+        pardis_audit::access_read(&REPLY_TABLE, &self.router as *const _ as usize);
+        router.get(&key).map(|s| s.is_complete()).unwrap_or(false)
     }
 
     /// Ingest available messages; optionally wait up to `wait` for the first
@@ -211,6 +239,7 @@ impl PumpCore {
     pub(crate) fn pump_step(&self, wait: Option<Duration>) -> bool {
         let mut progressed = false;
         while let Ok(env) = self.rx.try_recv() {
+            pardis_audit::chan_recv(self.reply_eps[self.thread].0);
             self.ingest_wire(&env.wire);
             progressed = true;
         }
@@ -223,6 +252,7 @@ impl PumpCore {
         if !progressed {
             if let Some(timeout) = wait {
                 if let Ok(env) = self.rx.recv_timeout(timeout) {
+                    pardis_audit::chan_recv(self.reply_eps[self.thread].0);
                     self.ingest_wire(&env.wire);
                     progressed = true;
                 }
@@ -275,7 +305,11 @@ impl PumpCore {
             // Close or stray messages at a client endpoint: ignore.
             _ => return,
         };
-        let state = self.router.lock().get(&key).cloned();
+        let state = {
+            let router = self.router.lock();
+            pardis_audit::access_read(&REPLY_TABLE, &self.router as *const _ as usize);
+            router.get(&key).cloned()
+        };
         match state {
             Some(state) => {
                 state.absorb(msg);
@@ -311,12 +345,12 @@ pub struct InvocationState {
     server: crate::object::ServerId,
     out_wire_idx: Vec<u32>,
     out_dists: Vec<Distribution>,
-    inner: Mutex<InvInner>,
+    inner: AuditMutex<InvInner>,
     /// Frames this thread must re-send to nudge the server if the reply
     /// does not arrive: the request control plus this thread's fragments,
     /// pre-encoded with their destination endpoints. Empty for oneways and
     /// collocated bypass calls (nothing to retry).
-    replay: Mutex<Vec<(EndpointId, Bytes)>>,
+    replay: AuditMutex<Vec<(EndpointId, Bytes)>>,
     /// An `client.invoke` trace span was opened for this invocation and
     /// must be closed exactly once (at unregistration).
     span_open: std::sync::atomic::AtomicBool,
@@ -799,8 +833,8 @@ impl<'p> CallBuilder<'p> {
             server: proxy.obj.server,
             out_wire_idx,
             out_dists,
-            inner: Mutex::new(InvInner::default()),
-            replay: Mutex::new(Vec::new()),
+            inner: AuditMutex::new(lock_site!("client: invocation state"), InvInner::default()),
+            replay: AuditMutex::new(lock_site!("client: retransmit frames"), Vec::new()),
             span_open: std::sync::atomic::AtomicBool::new(trace_on && !oneway),
             obs: ctx.map(|ctx| InvObs {
                 ctx,

@@ -8,8 +8,8 @@
 //! optimisation of Keahey & Gannon's companion paper \[KG97\] — instead of
 //! funneling everything through thread 0.
 
+use pardis_audit::{lock_site, AuditMutex};
 use pardis_cdr::{CdrCodec, CdrError, Decoder, Encoder, TypeCode};
-use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -384,6 +384,9 @@ pub fn set_plan_cache_cap(cap: usize) {
     assert!(cap > 0, "plan cache cap must be positive");
     PLAN_CACHE_CAP.store(cap, Ordering::Relaxed);
     let mut guard = PLAN_CACHE.lock();
+    // Inside the guard: the access inherits the lock's release clock, so
+    // lock-ordered accesses never read as races.
+    pardis_audit::access_write(&PLAN_CACHE_SITE, plan_cache_instance());
     if let Some(cache) = guard.as_mut() {
         while cache.order.len() > cap {
             if let Some(old) = cache.order.pop_front() {
@@ -398,7 +401,22 @@ struct PlanCache {
     order: VecDeque<PlanKey>,
 }
 
-static PLAN_CACHE: Mutex<Option<PlanCache>> = Mutex::new(None);
+static PLAN_CACHE: AuditMutex<Option<PlanCache>> =
+    AuditMutex::new(lock_site!("dist: plan cache"), None);
+
+/// Shared-table identity of the plan cache for the happens-before checker
+/// (all call paths funnel through the one static, so one site + one
+/// instance).
+static PLAN_CACHE_SITE: pardis_audit::Site = pardis_audit::Site {
+    label: "dist: plan cache table",
+    krate: "pardis-core",
+    file: file!(),
+    line: line!(),
+};
+
+fn plan_cache_instance() -> usize {
+    &PLAN_CACHE as *const _ as usize
+}
 
 /// [`plan_transfer`] behind a keyed, bounded, process-wide cache. Invocation
 /// paths recompute the same plan for every call of a repeated operation; the
@@ -414,6 +432,7 @@ pub fn plan_transfer_cached(
     let key = PlanKey { len, src_dist: src_dist.clone(), dst_dist: dst_dist.clone(), src_n, dst_n };
     {
         let mut guard = PLAN_CACHE.lock();
+        pardis_audit::access_read(&PLAN_CACHE_SITE, plan_cache_instance());
         let cache = guard
             .get_or_insert_with(|| PlanCache { plans: HashMap::new(), order: VecDeque::new() });
         if let Some(plan) = cache.plans.get(&key) {
@@ -424,6 +443,7 @@ pub fn plan_transfer_cached(
     // duplicate computation inserts an identical value.
     let plan = Arc::new(plan_transfer(len, src_dist, src_n, dst_dist, dst_n));
     let mut guard = PLAN_CACHE.lock();
+    pardis_audit::access_write(&PLAN_CACHE_SITE, plan_cache_instance());
     let cache = guard.as_mut().expect("initialised above");
     if !cache.plans.contains_key(&key) {
         cache.plans.insert(key.clone(), plan.clone());
@@ -439,7 +459,9 @@ pub fn plan_transfer_cached(
 
 /// Number of plans currently cached (test hook for the eviction bound).
 pub fn plan_cache_len() -> usize {
-    PLAN_CACHE.lock().as_ref().map(|c| c.plans.len()).unwrap_or(0)
+    let guard = PLAN_CACHE.lock();
+    pardis_audit::access_read(&PLAN_CACHE_SITE, plan_cache_instance());
+    guard.as_ref().map(|c| c.plans.len()).unwrap_or(0)
 }
 
 impl CdrCodec for Distribution {

@@ -46,6 +46,8 @@ impl<T: CdrCodec> PFuture<T> {
 
     /// Read the value, blocking until the future resolves. A server
     /// exception surfaces here as [`OrbError::ServerException`].
+    ///
+    /// [`OrbError::ServerException`]: crate::error::OrbError::ServerException
     pub fn get(&self) -> OrbResult<T> {
         let timeout = self.core.orb.config().timeout;
         wait(&self.core, &self.state, timeout)?;

@@ -9,8 +9,8 @@
 //! Definitions are usually loaded from a compiled IDL model (the `pardis`
 //! facade's `ifr::load_model`), but can be registered by hand.
 
+use pardis_audit::{lock_site, AuditRwLock};
 use pardis_cdr::TypeCode;
-use parking_lot::RwLock;
 use std::collections::HashMap;
 
 /// Parameter passing mode.
@@ -69,15 +69,22 @@ pub struct InterfaceDef {
 }
 
 /// Runtime interface descriptions, keyed by repository id.
-#[derive(Default)]
 pub struct InterfaceRepository {
-    defs: RwLock<HashMap<String, InterfaceDef>>,
+    defs: AuditRwLock<HashMap<String, InterfaceDef>>,
+}
+
+impl Default for InterfaceRepository {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl InterfaceRepository {
     /// Empty repository.
     pub fn new() -> Self {
-        Self::default()
+        InterfaceRepository {
+            defs: AuditRwLock::new(lock_site!("interface-repo: definitions"), HashMap::new()),
+        }
     }
 
     /// Register (or replace) an interface definition.

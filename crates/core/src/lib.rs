@@ -98,5 +98,11 @@ pub use servant::{
     DInLocal, DOutArg, DispatchResult, Raised, Servant, ServantCtx, ServerReply, ServerRequest,
 };
 
+/// The concurrency auditor the ORB core is instrumented with — re-exported
+/// so embedders can flip the gate, pull an [`pardis_audit::AuditReport`]
+/// or wrap their own locks with the same machinery (`PARDIS_AUDIT=1`
+/// enables it process-wide).
+pub use pardis_audit as audit;
+
 #[cfg(test)]
 mod tests;

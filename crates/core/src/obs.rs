@@ -14,8 +14,8 @@
 
 use crate::client::ClientThread;
 use crate::orb::Orb;
+use pardis_audit::{lock_site, AuditMutex};
 use pardis_obs::{MetricSnapshot, ThreadTrace};
-use parking_lot::Mutex;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -33,7 +33,7 @@ pub type MetricsCapture = (String, u64, Vec<(String, MetricSnapshot)>);
 /// recording and returns the collected [`TraceReport`].
 pub struct TraceSession {
     orb: Orb,
-    snapshots: Mutex<Vec<MetricsCapture>>,
+    snapshots: AuditMutex<Vec<MetricsCapture>>,
 }
 
 impl TraceSession {
@@ -43,7 +43,10 @@ impl TraceSession {
         let clock = orb.network().clock().clone();
         pardis_obs::set_clock_micros(Arc::new(move || (clock.now() * 1e6) as u64));
         pardis_obs::enable();
-        TraceSession { orb: orb.clone(), snapshots: Mutex::new(Vec::new()) }
+        TraceSession {
+            orb: orb.clone(),
+            snapshots: AuditMutex::new(lock_site!("obs: trace snapshots"), Vec::new()),
+        }
     }
 
     /// Settle in-flight traffic before a snapshot or [`finish`]: see

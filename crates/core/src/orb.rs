@@ -13,8 +13,8 @@ use crate::protocol::Message;
 use crate::repository::{ActivationMode, ImplementationRepository, ObjectRepository};
 use crate::servant::Servant;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use pardis_audit::{lock_site, AuditMutex, AuditRwLock};
 use pardis_netsim::{HostId, Network, Published, TimeScale, TransportMode, Verdict};
-use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -124,20 +124,33 @@ pub(crate) struct ObjectMeta {
 /// zero-lock.
 type EndpointTable = HashMap<EndpointId, (HostId, Sender<Envelope>)>;
 
+/// Shared-table identity for the happens-before checker: the endpoint
+/// snapshot's *mutation* path. Writers run under `ep_lock`, so any two
+/// writes must be ordered through it; the lock-free `load` side is
+/// deliberately not access-checked — reading a stale snapshot is the
+/// design, and the publish/load clocks in [`Published`] carry its
+/// ordering.
+static ENDPOINT_SNAPSHOT: pardis_audit::Site = pardis_audit::Site {
+    label: "orb: endpoint snapshot",
+    krate: "pardis-core",
+    file: file!(),
+    line: line!(),
+};
+
 pub(crate) struct OrbInner {
     pub network: Network,
     next_id: AtomicU64,
     endpoints: Published<EndpointTable>,
     /// Serialises endpoint table read-modify-publish cycles.
-    ep_lock: Mutex<()>,
-    pub servers: RwLock<HashMap<ServerId, ServerRecord>>,
-    pub objects: RwLock<HashMap<ObjectKey, ObjectMeta>>,
+    ep_lock: AuditMutex<()>,
+    pub servers: AuditRwLock<HashMap<ServerId, ServerRecord>>,
+    pub objects: AuditRwLock<HashMap<ObjectKey, ObjectMeta>>,
     pub names: ObjectRepository,
     pub impls: ImplementationRepository,
     pub interfaces: InterfaceRepository,
     #[allow(clippy::type_complexity)]
-    pub servants: RwLock<HashMap<(ServerId, usize, ObjectKey), Arc<dyn Servant>>>,
-    pub config: RwLock<OrbConfig>,
+    pub servants: AuditRwLock<HashMap<(ServerId, usize, ObjectKey), Arc<dyn Servant>>>,
+    pub config: AuditRwLock<OrbConfig>,
     /// Total frames and bytes moved (for benches and EXPERIMENTS.md).
     pub frames_sent: AtomicU64,
     pub bytes_sent: AtomicU64,
@@ -161,14 +174,14 @@ impl Orb {
                 network,
                 next_id: AtomicU64::new(1),
                 endpoints: Published::new(EndpointTable::new()),
-                ep_lock: Mutex::new(()),
-                servers: RwLock::new(HashMap::new()),
-                objects: RwLock::new(HashMap::new()),
+                ep_lock: AuditMutex::new(lock_site!("orb: endpoint republish"), ()),
+                servers: AuditRwLock::new(lock_site!("orb: server records"), HashMap::new()),
+                objects: AuditRwLock::new(lock_site!("orb: object metadata"), HashMap::new()),
                 names: ObjectRepository::new(),
                 impls: ImplementationRepository::new(),
                 interfaces: InterfaceRepository::new(),
-                servants: RwLock::new(HashMap::new()),
-                config: RwLock::new(OrbConfig::default()),
+                servants: AuditRwLock::new(lock_site!("orb: servant table"), HashMap::new()),
+                config: AuditRwLock::new(lock_site!("orb: config"), OrbConfig::default()),
                 frames_sent: AtomicU64::new(0),
                 bytes_sent: AtomicU64::new(0),
                 retransmits: AtomicU64::new(0),
@@ -304,6 +317,10 @@ impl Orb {
         let id = EndpointId(self.alloc_id());
         let (tx, rx) = unbounded();
         let _guard = self.inner.ep_lock.lock();
+        pardis_audit::access_write(
+            &ENDPOINT_SNAPSHOT,
+            Arc::as_ptr(&self.inner) as *const () as usize,
+        );
         let mut table = (*self.inner.endpoints.load()).clone();
         table.insert(id, (host, tx));
         self.inner.endpoints.store(table);
@@ -313,6 +330,10 @@ impl Orb {
     #[allow(dead_code)]
     pub(crate) fn unregister_endpoint(&self, id: EndpointId) {
         let _guard = self.inner.ep_lock.lock();
+        pardis_audit::access_write(
+            &ENDPOINT_SNAPSHOT,
+            Arc::as_ptr(&self.inner) as *const () as usize,
+        );
         let mut table = (*self.inner.endpoints.load()).clone();
         table.remove(&id);
         self.inner.endpoints.store(table);
@@ -339,6 +360,11 @@ impl Orb {
         to: EndpointId,
         wire: bytes::Bytes,
     ) -> OrbResult<()> {
+        // Hazard hook: any audited lock still held here is held across the
+        // wire (its hold time would include modelled network latency), and
+        // the happens-before edge to the receiving pump rides the frame.
+        pardis_audit::note_wire_call("Orb::send_wire/Network::transmit");
+        pardis_audit::chan_send(to.0);
         let (to_host, tx) = {
             let eps = self.inner.endpoints.load();
             let (h, tx) = eps.get(&to).ok_or(OrbError::Disconnected)?;

@@ -20,10 +20,10 @@ use crate::protocol::{
 use crate::servant::{DInLocal, Servant, ServantCtx, ServerReply, ServerRequest};
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
+use pardis_audit::{lock_site, AuditMutex};
 use pardis_cdr::{ByteOrder, Encoder};
 use pardis_netsim::HostId;
 use pardis_rts::{tags, Rts};
-use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
@@ -47,9 +47,18 @@ pub struct ServerGroup {
     host: HostId,
     nthreads: usize,
     endpoints: Vec<EndpointId>,
-    inboxes: Arc<Mutex<Vec<Option<Receiver<Envelope>>>>>,
-    namespace: Arc<Mutex<String>>,
+    inboxes: Arc<AuditMutex<Vec<Option<Receiver<Envelope>>>>>,
+    namespace: Arc<AuditMutex<String>>,
 }
+
+/// Shared-table identity for the happens-before checker: the POA's
+/// bounded duplicate-suppression cache (`Poa::recent`).
+static REPLY_CACHE: pardis_audit::Site = pardis_audit::Site {
+    label: "poa: reply cache",
+    krate: "pardis-core",
+    file: file!(),
+    line: line!(),
+};
 
 impl ServerGroup {
     /// Register a server of `nthreads` computing threads on `host`.
@@ -73,8 +82,11 @@ impl ServerGroup {
             host,
             nthreads,
             endpoints,
-            inboxes: Arc::new(Mutex::new(inboxes)),
-            namespace: Arc::new(Mutex::new(crate::repository::DEFAULT_REPOSITORY.to_string())),
+            inboxes: Arc::new(AuditMutex::new(lock_site!("poa: inbox handoff"), inboxes)),
+            namespace: Arc::new(AuditMutex::new(
+                lock_site!("poa: namespace"),
+                crate::repository::DEFAULT_REPOSITORY.to_string(),
+            )),
         }
     }
 
@@ -129,7 +141,10 @@ impl ServerGroup {
             inbox,
             servants: HashMap::new(),
             pending: HashMap::new(),
-            recent: Mutex::new(RecentInvocations::new(self.orb.config().reply_cache_cap)),
+            recent: AuditMutex::new(
+                lock_site!("poa: reply cache"),
+                RecentInvocations::new(self.orb.config().reply_cache_cap),
+            ),
             deferred: Vec::new(),
             closed: false,
         }
@@ -208,7 +223,7 @@ pub struct Poa {
     pending: HashMap<(BindingId, u64), PendingReq>,
     /// Duplicate-suppression state; a `Mutex` only because replies are sent
     /// from `&self` methods — the adapter itself is single-threaded.
-    recent: Mutex<RecentInvocations>,
+    recent: AuditMutex<RecentInvocations>,
     deferred: Vec<DeferredCall>,
     closed: bool,
 }
@@ -430,7 +445,11 @@ impl Poa {
             }
             Message::Fragment(frag) => {
                 let key = (frag.binding, frag.req_id);
-                let accepted = self.recent.lock().seen.contains_key(&key);
+                let accepted = {
+                    let recent = self.recent.lock();
+                    pardis_audit::access_read(&REPLY_CACHE, &self.recent as *const _ as usize);
+                    recent.seen.contains_key(&key)
+                };
                 if frag.dst_thread as usize != self.thread {
                     // Funneled data: forward to the true owner over the RTS.
                     let rts = self.rts.as_ref().expect("parallel server has an RTS");
@@ -607,6 +626,7 @@ impl Poa {
     fn replay_if_seen(&self, key: (BindingId, u64)) -> bool {
         let frames = {
             let recent = self.recent.lock();
+            pardis_audit::access_read(&REPLY_CACHE, &self.recent as *const _ as usize);
             match recent.seen.get(&key) {
                 None => return false,
                 // Original still executing (or deferred): drop the
@@ -645,6 +665,7 @@ impl Poa {
     /// window in which a duplicate arriving mid-execution would re-execute.
     fn mark_accepted(&self, key: (BindingId, u64)) {
         let mut recent = self.recent.lock();
+        pardis_audit::access_write(&REPLY_CACHE, &self.recent as *const _ as usize);
         if recent.seen.insert(key, None).is_none() {
             if pardis_obs::enabled() {
                 pardis_obs::counter("poa.reply_cache_misses").inc();
@@ -671,7 +692,9 @@ impl Poa {
     /// Attach the sent reply frames to an accepted invocation so future
     /// duplicates replay them.
     fn record_reply(&self, key: (BindingId, u64), frames: Vec<(EndpointId, Bytes)>) {
-        if let Some(slot) = self.recent.lock().seen.get_mut(&key) {
+        let mut recent = self.recent.lock();
+        pardis_audit::access_write(&REPLY_CACHE, &self.recent as *const _ as usize);
+        if let Some(slot) = recent.seen.get_mut(&key) {
             *slot = Some(frames);
         }
     }

@@ -8,7 +8,7 @@
 //! the server on demand.
 
 use crate::object::ObjectKey;
-use parking_lot::RwLock;
+use pardis_audit::{lock_site, AuditRwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -16,15 +16,22 @@ use std::sync::Arc;
 pub const DEFAULT_REPOSITORY: &str = "default";
 
 /// Name → object key bindings, partitioned into namespaces.
-#[derive(Default)]
 pub struct ObjectRepository {
-    spaces: RwLock<HashMap<String, HashMap<String, ObjectKey>>>,
+    spaces: AuditRwLock<HashMap<String, HashMap<String, ObjectKey>>>,
+}
+
+impl Default for ObjectRepository {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ObjectRepository {
     /// Empty repository set.
     pub fn new() -> Self {
-        Self::default()
+        ObjectRepository {
+            spaces: AuditRwLock::new(lock_site!("repository: object namespaces"), HashMap::new()),
+        }
     }
 
     /// Register `name` in `namespace`, returning any displaced key.
@@ -84,15 +91,22 @@ struct ImplRecord {
 }
 
 /// Registered server implementations, keyed by (namespace, object name).
-#[derive(Default)]
 pub struct ImplementationRepository {
-    records: RwLock<HashMap<(String, String), ImplRecord>>,
+    records: AuditRwLock<HashMap<(String, String), ImplRecord>>,
+}
+
+impl Default for ImplementationRepository {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ImplementationRepository {
     /// Empty repository.
     pub fn new() -> Self {
-        Self::default()
+        ImplementationRepository {
+            records: AuditRwLock::new(lock_site!("repository: impl records"), HashMap::new()),
+        }
     }
 
     /// Register how to activate the server providing `name`.

@@ -14,7 +14,7 @@
 //! topologies and endpoint tables, which mutate during setup and then go
 //! read-only.
 
-use parking_lot::Mutex;
+use pardis_audit::{lock_site, AuditMutex};
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 
@@ -25,7 +25,7 @@ pub struct Published<T> {
     current: AtomicPtr<T>,
     /// Every snapshot ever stored (including the current one). Drained only
     /// when the `Published` drops.
-    kept: Mutex<Vec<Arc<T>>>,
+    kept: AuditMutex<Vec<Arc<T>>>,
 }
 
 impl<T> Published<T> {
@@ -33,11 +33,15 @@ impl<T> Published<T> {
     pub fn new(value: T) -> Published<T> {
         let arc = Arc::new(value);
         let ptr = Arc::as_ptr(&arc) as *mut T;
-        Published { current: AtomicPtr::new(ptr), kept: Mutex::new(vec![arc]) }
+        Published {
+            current: AtomicPtr::new(ptr),
+            kept: AuditMutex::new(lock_site!("publish: retained snapshots"), vec![arc]),
+        }
     }
 
     /// Load the current snapshot without acquiring any lock.
     pub fn load(&self) -> Arc<T> {
+        pardis_audit::load_published(self as *const _ as *const () as usize);
         let ptr = self.current.load(Ordering::Acquire);
         // SAFETY: `ptr` was produced by `Arc::as_ptr` on an `Arc` that `kept`
         // retains until `self` drops, so the allocation is alive and holds at
@@ -55,6 +59,10 @@ impl<T> Published<T> {
         let ptr = Arc::as_ptr(&arc) as *mut T;
         let mut kept = self.kept.lock();
         kept.push(arc);
+        // Record the happens-before edge before the pointer swap: no reader
+        // can observe the new snapshot without the publish clock already
+        // holding everything this thread did.
+        pardis_audit::publish(self as *const _ as *const () as usize);
         self.current.store(ptr, Ordering::Release);
     }
 

@@ -10,13 +10,13 @@
 //! surfaces only when the registry lists no live member at all.
 
 use crate::wire::split_entries;
+use pardis_audit::{lock_site, AuditMutex};
 use pardis_cdr::CdrCodec;
 use pardis_core::{
     CallBuilder, ClientThread, DSequence, Distribution, ObjectRef, OrbError, OrbResult, Proxy,
     ReplyData,
 };
 use pardis_netsim::HostId;
-use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -164,10 +164,10 @@ pub struct GroupProxy<'c> {
     /// avoided while any non-suspect member is live; when every live member
     /// is suspect the set resets and they get another chance (a replica may
     /// have recovered — only an empty live list is fatal).
-    suspects: Mutex<HashSet<String>>,
+    suspects: AuditMutex<HashSet<String>>,
     /// Cached per-member bindings, so steady-state calls reuse a binding
     /// instead of re-binding every invocation.
-    bound: Mutex<HashMap<String, Arc<Proxy>>>,
+    bound: AuditMutex<HashMap<String, Arc<Proxy>>>,
     rr: AtomicU64,
     /// Group invocations issued through this proxy, numbering each
     /// `failover.invoke` trace deterministically (no global counter, so
@@ -212,8 +212,8 @@ impl<'c> GroupProxy<'c> {
             group: group.to_string(),
             policy,
             collective,
-            suspects: Mutex::new(HashSet::new()),
-            bound: Mutex::new(HashMap::new()),
+            suspects: AuditMutex::new(lock_site!("registry-client: suspect set"), HashSet::new()),
+            bound: AuditMutex::new(lock_site!("registry-client: bound proxies"), HashMap::new()),
             rr: AtomicU64::new(0),
             calls: AtomicU64::new(0),
         })
@@ -410,8 +410,8 @@ impl GroupCall<'_, '_> {
         self
     }
 
-    /// Invoke with transparent failover (see
-    /// [`GroupProxy::invoke_failover`] semantics on the type docs).
+    /// Invoke with transparent failover (the retry/suspect semantics
+    /// described on [`GroupProxy`]'s type docs).
     pub fn invoke(self) -> OrbResult<ReplyData> {
         self.gp.invoke_failover(&self.op, &self.appliers)
     }

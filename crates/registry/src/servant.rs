@@ -13,9 +13,9 @@
 //! keeps chaos runs deterministic.
 
 use crate::wire::{join_entries, validate_name};
+use pardis_audit::{lock_site, AuditMutex};
 use pardis_core::{Orb, Poa, Servant, ServerGroup, ServerReply, ServerRequest};
 use pardis_netsim::HostId;
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -45,17 +45,29 @@ struct State {
     groups: BTreeMap<String, GroupState>,
 }
 
+/// Shared-table identity of the registry's lease map (group → member →
+/// lease) for the happens-before checker.
+static LEASE_MAP: pardis_audit::Site = pardis_audit::Site {
+    label: "registry: lease map table",
+    krate: "pardis-registry",
+    file: file!(),
+    line: line!(),
+};
+
 /// The naming/registry servant. Share one instance per registry server; all
 /// state lives behind a mutex so the servant is `Sync` for the POA.
 pub struct RegistryServant {
     orb: Orb,
-    state: Mutex<State>,
+    state: AuditMutex<State>,
 }
 
 impl RegistryServant {
     /// A servant judging TTLs against `orb`'s network virtual clock.
     pub fn new(orb: Orb) -> RegistryServant {
-        RegistryServant { orb, state: Mutex::new(State::default()) }
+        RegistryServant {
+            orb,
+            state: AuditMutex::new(lock_site!("registry: lease map"), State::default()),
+        }
     }
 
     /// Current virtual time in milliseconds — the liveness timeline.
@@ -88,6 +100,9 @@ impl Servant for RegistryServant {
     fn dispatch(&self, req: ServerRequest<'_>) -> Result<ServerReply, String> {
         let now = self.now_ms();
         let mut state = self.state.lock();
+        // Inside the guard: the access inherits the lock's release clock,
+        // so lock-ordered accesses never read as races.
+        pardis_audit::access_write(&LEASE_MAP, &self.state as *const _ as usize);
         Self::sweep(&mut state, now);
         let mut rep = ServerReply::new();
         match req.op {

@@ -22,6 +22,7 @@
 //! | [`obs`] | `pardis-obs` | tracing + metrics: per-thread event rings, Chrome-trace export |
 //! | [`registry`] | `pardis-registry` | replicated naming/registry: TTL heartbeat liveness, object groups, binding policies, client-side failover |
 //! | [`check`] | `pardis-check` | SPMD protocol analyzer: tag discipline, collective matching, deadlock detection |
+//! | [`audit`] | `pardis-audit` | concurrency auditor: lock-order cycles, happens-before races, wire-call/hold/re-entrancy hazards (`PARDIS_AUDIT=1`) |
 //! | [`pooma`] | `pooma-rs` | POOMA-like fields, guard cells, 9-point stencils |
 //! | [`pstl`] | `pstl-rs` | HPC++-PSTL-like distributed vectors and algorithms |
 //! | (dev) | `pardis-apps` | the paper's evaluation workloads (solvers, DNA search, pipeline) |
@@ -38,6 +39,7 @@
 //!    proxy `spmd_bind`/`bind` → invoke (blocking, `_nb` with futures, or
 //!    `_single`).
 
+pub use pardis_audit as audit;
 pub use pardis_cdr as cdr;
 pub use pardis_check as check;
 pub use pardis_codegen as codegen;

@@ -29,10 +29,26 @@ use std::time::Duration;
 
 static SERIAL: Mutex<()> = Mutex::new(());
 
-/// Take the suite-wide lock, surviving a poisoned mutex (a failed sibling
-/// test must not cascade into spurious failures here).
-fn serial() -> std::sync::MutexGuard<'static, ()> {
-    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+/// Suite serialisation plus an audit scope: each test starts with a clean
+/// concurrency auditor, and under `PARDIS_AUDIT=1` fails at teardown if its
+/// workload produced any lock-order, race or hazard finding.
+struct Serial(#[allow(dead_code)] std::sync::MutexGuard<'static, ()>);
+
+impl Drop for Serial {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            pardis::audit::reset();
+        } else {
+            pardis::audit::enforce_env();
+        }
+    }
+}
+
+fn serial() -> Serial {
+    let guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    pardis::audit::reset();
+    pardis::audit::env_requested();
+    Serial(guard)
 }
 
 /// A servant whose side effect is observable: `bump(x)` increments a shared

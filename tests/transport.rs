@@ -14,6 +14,28 @@ use std::sync::{Arc, Mutex};
 
 static SERIAL: Mutex<()> = Mutex::new(());
 
+/// Suite serialisation plus an audit scope: each test starts with a clean
+/// concurrency auditor, and under `PARDIS_AUDIT=1` fails at teardown if its
+/// workload produced any lock-order, race or hazard finding.
+struct Serial(#[allow(dead_code)] std::sync::MutexGuard<'static, ()>);
+
+impl Drop for Serial {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            pardis::audit::reset();
+        } else {
+            pardis::audit::enforce_env();
+        }
+    }
+}
+
+fn serial() -> Serial {
+    let guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    pardis::audit::reset();
+    pardis::audit::env_requested();
+    Serial(guard)
+}
+
 struct Bumper {
     hits: Arc<AtomicU64>,
 }
@@ -66,7 +88,7 @@ fn serial_workload(mode: TransportMode, calls: i64) -> (Vec<i64>, f64, u64, u64)
 
 #[test]
 fn serial_workload_overlapped_matches_sync_accounting_exactly() {
-    let _guard = SERIAL.lock().unwrap();
+    let _guard = serial();
     let (r_sync, clock_sync, frames_sync, bytes_sync) = serial_workload(TransportMode::Sync, 24);
     let (r_eng, clock_eng, frames_eng, bytes_eng) = serial_workload(TransportMode::Overlapped, 24);
     assert_eq!(r_sync, r_eng);
@@ -130,7 +152,7 @@ fn concurrent_workload(mode: TransportMode, clients: usize, calls: i64) -> f64 {
 
 #[test]
 fn concurrent_clients_overlap_under_the_engine() {
-    let _guard = SERIAL.lock().unwrap();
+    let _guard = serial();
     let clients = 4;
     let calls = 8;
     let sync = concurrent_workload(TransportMode::Sync, clients, calls);
@@ -144,7 +166,7 @@ fn concurrent_clients_overlap_under_the_engine() {
 
 #[test]
 fn engine_reports_per_link_usage_sync_does_not() {
-    let _guard = SERIAL.lock().unwrap();
+    let _guard = serial();
     let (_, _, frames, _) = serial_workload(TransportMode::Sync, 4);
     assert!(frames > 0);
 
@@ -169,7 +191,7 @@ fn engine_reports_per_link_usage_sync_does_not() {
 
 #[test]
 fn pardis_transport_env_selects_sync() {
-    let _guard = SERIAL.lock().unwrap();
+    let _guard = serial();
     assert_eq!(TransportMode::parse("sync"), TransportMode::Sync);
     assert_eq!(TransportMode::parse("blocking"), TransportMode::Sync);
     assert_eq!(TransportMode::parse("overlapped"), TransportMode::Overlapped);

@@ -1,0 +1,282 @@
+//! Hermetic stand-in for the [loom] concurrency model checker.
+//!
+//! The real loom exhaustively (or boundedly) explores thread interleavings
+//! of a model closure by re-running it under a cooperative scheduler. This
+//! build environment is offline, so this crate reproduces the *API shape*
+//! (`loom::model`, `loom::thread`, `loom::sync`) over std primitives and
+//! substitutes exhaustive exploration with **seeded randomized stress
+//! exploration**: [`model`] re-runs the closure many times, and every
+//! wrapped primitive operation injects a pseudo-random scheduling
+//! perturbation (spin / yield) derived from a per-iteration seed. Distinct
+//! iterations therefore exercise distinct interleavings, deterministically
+//! per seed sequence.
+//!
+//! Models written against this crate compile unchanged against real loom
+//! (swap the dependency), at which point they gain exhaustive exploration.
+//! Bugs reachable only through an adversarial schedule may escape the
+//! stand-in; bugs with any measurable probability mass surface quickly
+//! because each run perturbs every synchronization point.
+//!
+//! [loom]: https://github.com/tokio-rs/loom
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Iterations explored per [`model`] call. Override with `LOOM_MAX_ITERS`.
+const DEFAULT_ITERS: u64 = 64;
+
+thread_local! {
+    /// Per-thread scheduling-perturbation RNG state (splitmix64), reseeded
+    /// for every model iteration from the iteration index so runs are
+    /// reproducible.
+    static RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Global seed epoch: bumped per model iteration; threads fold in their
+/// spawn order so sibling threads perturb differently.
+static EPOCH: AtomicU64 = AtomicU64::new(0x9e3779b97f4a7c15);
+
+fn splitmix(state: &Cell<u64>) -> u64 {
+    let mut z = state.get().wrapping_add(0x9e3779b97f4a7c15);
+    state.set(z);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Inject a scheduling perturbation: nothing, a spin, or an OS yield,
+/// chosen pseudo-randomly from the per-thread stream. Called by every
+/// wrapped synchronization operation.
+#[doc(hidden)]
+pub fn explore_point() {
+    RNG.with(|rng| {
+        if rng.get() == 0 {
+            rng.set(EPOCH.load(Ordering::Relaxed) | 1);
+        }
+        match splitmix(rng) % 8 {
+            0 => std::thread::yield_now(),
+            1 => {
+                for _ in 0..(splitmix(rng) % 64) {
+                    std::hint::spin_loop();
+                }
+            }
+            _ => {}
+        }
+    });
+}
+
+/// Run `f` repeatedly under seeded randomized interleaving exploration.
+///
+/// Mirrors `loom::model`. Each iteration reseeds the perturbation streams,
+/// so a failing iteration index identifies a reproducible schedule. Panics
+/// propagate to the caller (the test fails), as with real loom.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters =
+        std::env::var("LOOM_MAX_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_ITERS);
+    for i in 0..iters {
+        EPOCH.store(0x9e3779b97f4a7c15u64.wrapping_mul(i + 1) | 1, Ordering::Relaxed);
+        RNG.with(|rng| rng.set(EPOCH.load(Ordering::Relaxed)));
+        f();
+    }
+}
+
+/// `loom::thread`: spawn/yield with perturbation points on the boundaries.
+pub mod thread {
+    pub use std::thread::JoinHandle;
+
+    /// Spawn a model thread; the child starts from a distinct perturbation
+    /// stream folded from the parent's.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        crate::explore_point();
+        std::thread::spawn(move || {
+            crate::explore_point();
+            f()
+        })
+    }
+
+    /// Explicit model yield point.
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+/// `loom::sync`: std primitives wrapped with exploration points.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// Mutex with perturbation points around acquisition.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        pub fn lock(&self) -> std::sync::LockResult<std::sync::MutexGuard<'_, T>> {
+            crate::explore_point();
+            let g = self.0.lock();
+            crate::explore_point();
+            g
+        }
+
+        pub fn try_lock(&self) -> std::sync::TryLockResult<std::sync::MutexGuard<'_, T>> {
+            crate::explore_point();
+            self.0.try_lock()
+        }
+    }
+
+    /// RwLock with perturbation points around acquisition.
+    #[derive(Debug, Default)]
+    pub struct RwLock<T>(std::sync::RwLock<T>);
+
+    impl<T> RwLock<T> {
+        pub fn new(value: T) -> RwLock<T> {
+            RwLock(std::sync::RwLock::new(value))
+        }
+
+        pub fn read(&self) -> std::sync::LockResult<std::sync::RwLockReadGuard<'_, T>> {
+            crate::explore_point();
+            self.0.read()
+        }
+
+        pub fn write(&self) -> std::sync::LockResult<std::sync::RwLockWriteGuard<'_, T>> {
+            crate::explore_point();
+            self.0.write()
+        }
+    }
+
+    /// Condvar passthrough (std already interleaves waits).
+    #[derive(Debug, Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        pub fn new() -> Condvar {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        pub fn wait<'a, T>(
+            &self,
+            guard: std::sync::MutexGuard<'a, T>,
+        ) -> std::sync::LockResult<std::sync::MutexGuard<'a, T>> {
+            self.0.wait(guard)
+        }
+
+        pub fn notify_one(&self) {
+            self.0.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            self.0.notify_all();
+        }
+    }
+
+    /// Atomics with perturbation points on every access.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_wrapper {
+            ($name:ident, $std:ty, $val:ty) => {
+                #[derive(Debug, Default)]
+                pub struct $name(pub(crate) $std);
+
+                impl $name {
+                    pub fn new(v: $val) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    pub fn load(&self, order: Ordering) -> $val {
+                        crate::explore_point();
+                        self.0.load(order)
+                    }
+
+                    pub fn store(&self, v: $val, order: Ordering) {
+                        crate::explore_point();
+                        self.0.store(v, order);
+                        crate::explore_point();
+                    }
+
+                    pub fn swap(&self, v: $val, order: Ordering) -> $val {
+                        crate::explore_point();
+                        self.0.swap(v, order)
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        current: $val,
+                        new: $val,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$val, $val> {
+                        crate::explore_point();
+                        self.0.compare_exchange(current, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        atomic_wrapper!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        atomic_wrapper!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        atomic_wrapper!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+        impl AtomicUsize {
+            pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+                crate::explore_point();
+                self.0.fetch_add(v, order)
+            }
+        }
+
+        impl AtomicU64 {
+            pub fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+                crate::explore_point();
+                self.0.fetch_add(v, order)
+            }
+        }
+    }
+
+    /// `loom::sync::mpsc`: std channels with perturbation on send/recv.
+    pub mod mpsc {
+        pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+        pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+            let (tx, rx) = std::sync::mpsc::channel();
+            (Sender(tx), Receiver(rx))
+        }
+
+        pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+
+        impl<T> Clone for Sender<T> {
+            fn clone(&self) -> Self {
+                Sender(self.0.clone())
+            }
+        }
+
+        impl<T> Sender<T> {
+            pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+                crate::explore_point();
+                self.0.send(t)
+            }
+        }
+
+        pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+        impl<T> Receiver<T> {
+            pub fn recv(&self) -> Result<T, RecvError> {
+                crate::explore_point();
+                self.0.recv()
+            }
+
+            pub fn try_recv(&self) -> Result<T, TryRecvError> {
+                crate::explore_point();
+                self.0.try_recv()
+            }
+        }
+    }
+}

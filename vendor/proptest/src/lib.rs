@@ -529,7 +529,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// [`vec`]'s strategy type.
+    /// [`vec()`]'s strategy type.
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
