@@ -202,10 +202,13 @@ pub fn parse_arrays(text: &str) -> Vec<(String, Vec<f64>)> {
 }
 
 /// True when higher values of the series are better: throughput
-/// (`*_mb_s`, `*_mbps`), bandwidth scaling, and hidden-fraction series.
-/// Everything else (seconds, milliseconds) regresses upward.
+/// (`*_mb_s`, `*_mbps`, `*_rps`), bandwidth scaling, and hidden-fraction
+/// series. Everything else (seconds, milliseconds) regresses upward.
 pub fn higher_is_better(name: &str) -> bool {
-    name.ends_with("_mb_s") || name.ends_with("_mbps") || name.ends_with("_frac")
+    name.ends_with("_mb_s")
+        || name.ends_with("_mbps")
+        || name.ends_with("_frac")
+        || name.ends_with("_rps")
 }
 
 fn json_str(s: &str) -> String {

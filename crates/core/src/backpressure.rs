@@ -1,0 +1,100 @@
+//! Bounded in-flight admission per server endpoint.
+//!
+//! With thousands of synthetic clients hammering one endpoint, unbounded
+//! launch would balloon the server's inbox and pending map. When
+//! [`crate::OrbConfig::inflight_cap`] is non-zero, each two-way invocation
+//! must take a permit against its primary control endpoint before any
+//! frame leaves; the permit is released as soon as the reply completes (or
+//! the invocation is torn down). A blocked launcher keeps pumping its own
+//! reply endpoint while it waits — admission must not deadlock the very
+//! pump that would free a permit — and each blocking acquire bumps the
+//! `orb.backpressure.waits` counter.
+
+use crate::object::EndpointId;
+use pardis_audit::{lock_site, AuditMutex};
+use pardis_netsim::Published;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One endpoint's admission gate: a counting semaphore polled by blocked
+/// launchers (they pump between polls instead of parking).
+pub(crate) struct EndpointGate {
+    cap: usize,
+    in_flight: AuditMutex<usize>,
+}
+
+impl EndpointGate {
+    fn new(cap: usize) -> EndpointGate {
+        EndpointGate { cap, in_flight: AuditMutex::new(lock_site!("orb: backpressure gate"), 0) }
+    }
+
+    /// Take a permit if one is free.
+    pub(crate) fn try_acquire(self: &Arc<Self>) -> Option<Permit> {
+        let mut n = self.in_flight.lock();
+        if *n < self.cap {
+            *n += 1;
+            Some(Permit { gate: self.clone() })
+        } else {
+            None
+        }
+    }
+
+    fn release(&self) {
+        let mut n = self.in_flight.lock();
+        *n = n.saturating_sub(1);
+    }
+}
+
+/// An admitted invocation; dropping it frees the slot.
+pub(crate) struct Permit {
+    gate: Arc<EndpointGate>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
+/// Lazily grown `EndpointId → gate` map, published as an immutable
+/// snapshot (lookup is lock-free; creation republishes under `grow_lock`).
+pub(crate) struct GateTable {
+    table: Published<HashMap<EndpointId, Arc<EndpointGate>>>,
+    grow_lock: AuditMutex<()>,
+}
+
+impl GateTable {
+    pub(crate) fn new() -> GateTable {
+        GateTable {
+            table: Published::new(HashMap::new()),
+            grow_lock: AuditMutex::new(lock_site!("orb: backpressure gate table"), ()),
+        }
+    }
+
+    /// The gate for `ep`, created with `cap` on first use. The cap is fixed
+    /// at creation; [`GateTable::reset`] clears the table so a new cap takes
+    /// effect.
+    pub(crate) fn gate_for(&self, ep: EndpointId, cap: usize) -> Arc<EndpointGate> {
+        if let Some(g) = self.table.load().get(&ep) {
+            return g.clone();
+        }
+        let _guard = self.grow_lock.lock();
+        // Re-check under the lock: another thread may have republished.
+        if let Some(g) = self.table.load().get(&ep) {
+            return g.clone();
+        }
+        let gate = Arc::new(EndpointGate::new(cap));
+        let mut table = (*self.table.load()).clone();
+        table.insert(ep, gate.clone());
+        self.table.store(table);
+        gate
+    }
+
+    /// Drop every gate so the next acquire re-creates them with the current
+    /// cap. Outstanding permits keep their (now orphaned) gate alive until
+    /// released.
+    pub(crate) fn reset(&self) {
+        let _guard = self.grow_lock.lock();
+        self.table.store(HashMap::new());
+    }
+}

@@ -9,6 +9,7 @@
 //! futures ([`CallBuilder::invoke_nb`]) or oneway
 //! ([`CallBuilder::invoke_oneway`]).
 
+use crate::backpressure::Permit;
 use crate::dist::{plan_transfer_cached, Distribution};
 use crate::dseq::DSequence;
 use crate::error::{OrbError, OrbResult};
@@ -24,10 +25,10 @@ use bytes::Bytes;
 use crossbeam::channel::Receiver;
 use pardis_audit::{lock_site, AuditMutex};
 use pardis_cdr::{Any, ByteOrder, CdrCodec, Decoder, Encoder, TypeCode};
-use pardis_netsim::HostId;
+use pardis_netsim::{HostId, Published};
 use pardis_rts::Rts;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,7 +42,9 @@ pub struct ClientGroup {
     nthreads: usize,
     reply_eps: Vec<EndpointId>,
     reply_rxs: Arc<AuditMutex<Vec<Option<Receiver<Envelope>>>>>,
-    namespace: Arc<AuditMutex<String>>,
+    /// Repository namespace, published as an immutable snapshot (the PR-5
+    /// Arc-swap idiom): `attach` reads it without taking a lock.
+    namespace: Arc<Published<String>>,
 }
 
 /// Shared-table identity for the happens-before checker: the per-thread
@@ -76,16 +79,13 @@ impl ClientGroup {
                 lock_site!("client: reply-endpoint handoff"),
                 reply_rxs,
             )),
-            namespace: Arc::new(AuditMutex::new(
-                lock_site!("client: namespace"),
-                crate::repository::DEFAULT_REPOSITORY.to_string(),
-            )),
+            namespace: Arc::new(Published::new(crate::repository::DEFAULT_REPOSITORY.to_string())),
         }
     }
 
     /// Resolve names in a different repository namespace.
     pub fn with_namespace(self, ns: &str) -> Self {
-        *self.namespace.lock() = ns.to_string();
+        self.namespace.store(ns.to_string());
         self
     }
 
@@ -117,13 +117,11 @@ impl ClientGroup {
                 reply_eps: self.reply_eps.clone(),
                 rx,
                 rts,
-                router: AuditMutex::new(lock_site!("client: reply router"), HashMap::new()),
-                orphans: AuditMutex::new(lock_site!("client: orphan replies"), HashMap::new()),
-                done: AuditMutex::new(lock_site!("client: done set"), DoneSet::default()),
+                router: ShardedRouter::new(self.orb.config().router_shards),
                 collective_seq: AtomicU64::new(0),
                 single_seq: AtomicU64::new(0),
             }),
-            namespace: self.namespace.lock().clone(),
+            namespace: (*self.namespace.load()).clone(),
             spmd_bind_seq: AtomicU64::new(0),
             single_bind_seq: AtomicU64::new(0),
         }
@@ -141,12 +139,7 @@ pub(crate) struct PumpCore {
     pub reply_eps: Vec<EndpointId>,
     rx: Receiver<Envelope>,
     pub rts: Option<Arc<dyn Rts>>,
-    router: AuditMutex<HashMap<(BindingId, u64), Arc<InvocationState>>>,
-    orphans: AuditMutex<HashMap<(BindingId, u64), Vec<Message>>>,
-    /// Completed invocations: late duplicate replies (retransmission
-    /// by-products) for these keys are discarded instead of piling up as
-    /// orphans.
-    done: AuditMutex<DoneSet>,
+    router: ShardedRouter,
     /// Invocation counter of the collective entity (all threads of an SPMD
     /// client stay in sync by the SPMD calling discipline).
     collective_seq: AtomicU64,
@@ -161,21 +154,72 @@ struct DoneSet {
     order: VecDeque<(BindingId, u64)>,
 }
 
-/// Bound on the done-set and on the number of distinct orphan keys a pump
-/// will stash — plenty for any live pipeline, small enough that duplicate
-/// storms cannot grow memory without bound.
-const PUMP_MEMORY_CAP: usize = 1024;
+/// Per-shard bound on the done-set and on the number of distinct orphan
+/// keys a pump will stash — plenty for any live pipeline, small enough
+/// that duplicate storms cannot grow memory without bound.
+pub(crate) const PUMP_MEMORY_CAP: usize = 1024;
+
+/// One shard of the reply router: the in-flight invocation map plus the
+/// orphan stash and done-set for the keys that hash here. Co-locating the
+/// three under one lock keeps routing a reply a single acquisition — and
+/// makes registration's insert atomic with its orphan-stash take, so a
+/// reply racing the registration can never strand in the stash.
+#[derive(Default)]
+struct RouterShard {
+    router: HashMap<(BindingId, u64), Arc<InvocationState>>,
+    orphans: HashMap<(BindingId, u64), Vec<Message>>,
+    /// Arrival order of stashed orphan keys, for capped FIFO eviction.
+    /// Entries can go stale (register/unregister removed the key); eviction
+    /// skips them.
+    orphan_order: VecDeque<(BindingId, u64)>,
+    done: DoneSet,
+}
+
+/// The reply router, split into power-of-two shards keyed by invocation id
+/// ([`crate::OrbConfig::router_shards`]): concurrent waiters and pumps hash
+/// to different locks instead of serialising on one.
+struct ShardedRouter {
+    shards: Box<[AuditMutex<RouterShard>]>,
+    mask: u64,
+}
+
+impl ShardedRouter {
+    fn new(n: usize) -> ShardedRouter {
+        let n = n.clamp(1, 1024).next_power_of_two();
+        let shards = (0..n)
+            .map(|_| {
+                AuditMutex::new(lock_site!("client: reply router shard"), RouterShard::default())
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ShardedRouter { shards, mask: (n - 1) as u64 }
+    }
+
+    fn shard(&self, key: (BindingId, u64)) -> &AuditMutex<RouterShard> {
+        let h = mix64(key.0 .0) ^ mix64(key.1);
+        &self.shards[(h & self.mask) as usize]
+    }
+
+    fn iter(&self) -> std::slice::Iter<'_, AuditMutex<RouterShard>> {
+        self.shards.iter()
+    }
+}
 
 impl PumpCore {
+    /// Register a fully pre-built invocation state. The critical section is
+    /// one insert plus the orphan-stash take — atomic under the shard lock,
+    /// so a reply racing the registration routes either through the router
+    /// or through the stash, never past both.
     fn register(&self, key: (BindingId, u64), state: Arc<InvocationState>) {
-        {
-            let mut router = self.router.lock();
+        let stashed = {
+            let shard = self.router.shard(key);
+            let mut s = shard.lock();
             // Inside the guard: the access inherits the lock's release
             // clock, so lock-ordered accesses never read as races.
-            pardis_audit::access_write(&REPLY_TABLE, &self.router as *const _ as usize);
-            router.insert(key, state.clone());
-        }
-        let stashed = self.orphans.lock().remove(&key);
+            pardis_audit::access_write(&REPLY_TABLE, shard as *const _ as usize);
+            s.router.insert(key, state);
+            s.orphans.remove(&key)
+        };
         if let Some(msgs) = stashed {
             for msg in msgs {
                 self.route(msg);
@@ -185,13 +229,27 @@ impl PumpCore {
 
     fn unregister(&self, key: (BindingId, u64)) {
         let state = {
-            let mut router = self.router.lock();
-            pardis_audit::access_write(&REPLY_TABLE, &self.router as *const _ as usize);
-            router.remove(&key)
+            let shard = self.router.shard(key);
+            let mut s = shard.lock();
+            pardis_audit::access_write(&REPLY_TABLE, shard as *const _ as usize);
+            s.orphans.remove(&key);
+            let state = s.router.remove(&key);
+            if s.done.set.insert(key) {
+                s.done.order.push_back(key);
+                while s.done.order.len() > PUMP_MEMORY_CAP {
+                    if let Some(old) = s.done.order.pop_front() {
+                        s.done.set.remove(&old);
+                    }
+                }
+            }
+            state
         };
         if let Some(state) = state {
-            // Close the invoke span opened at launch (exactly once, even if
+            // Teardown's slow half runs outside the shard lock: free the
+            // admission slot (timeout/cancel paths may still hold it) and
+            // close the invoke span opened at launch (exactly once, even if
             // tracing was toggled in between).
+            state.release_permit();
             if state.span_open.swap(false, Ordering::Relaxed) {
                 let mut args = Vec::new();
                 if let Some(obs) = &state.obs {
@@ -214,24 +272,15 @@ impl PumpCore {
                 pardis_obs::span_end("client", "client.invoke", Some((key.0 .0, key.1)), args);
             }
         }
-        self.orphans.lock().remove(&key);
-        let mut done = self.done.lock();
-        if done.set.insert(key) {
-            done.order.push_back(key);
-            while done.order.len() > PUMP_MEMORY_CAP {
-                if let Some(old) = done.order.pop_front() {
-                    done.set.remove(&old);
-                }
-            }
-        }
     }
 
     /// Completion check without pumping — only meaningful when a
     /// communication thread (or another caller) is draining the endpoint.
     pub(crate) fn peek_complete(&self, key: (BindingId, u64)) -> bool {
-        let router = self.router.lock();
-        pardis_audit::access_read(&REPLY_TABLE, &self.router as *const _ as usize);
-        router.get(&key).map(|s| s.is_complete()).unwrap_or(false)
+        let shard = self.router.shard(key);
+        let s = shard.lock();
+        pardis_audit::access_read(&REPLY_TABLE, shard as *const _ as usize);
+        s.router.get(&key).map(|st| st.is_complete()).unwrap_or(false)
     }
 
     /// Ingest available messages; optionally wait up to `wait` for the first
@@ -251,6 +300,10 @@ impl PumpCore {
         }
         if !progressed {
             if let Some(timeout) = wait {
+                // About to block: push out anything the batcher is still
+                // holding for us, or the reply we wait on may never be
+                // provoked.
+                self.orb.flush_batches();
                 if let Ok(env) = self.rx.recv_timeout(timeout) {
                     pardis_audit::chan_recv(self.reply_eps[self.thread].0);
                     self.ingest_wire(&env.wire);
@@ -266,6 +319,14 @@ impl PumpCore {
             debug_assert!(false, "malformed frame at client");
             return;
         };
+        // A batch envelope from a coalescing POA: each sub-frame is a
+        // complete wire frame — unpack and ingest recursively.
+        if let Message::Batch(frames) = &msg {
+            for frame in frames {
+                self.ingest_wire(frame);
+            }
+            return;
+        }
         // Funneled forwarding at the client edge: thread 0 relays frames
         // destined for siblings over the run-time system.
         match &msg {
@@ -280,10 +341,10 @@ impl PumpCore {
             Message::Reply(r) => {
                 let key = (r.binding, r.req_id);
                 let fan_out = {
-                    let router = self.router.lock();
-                    router
+                    let s = self.router.shard(key).lock();
+                    s.router
                         .get(&key)
-                        .map(|s| s.funneled && s.client_threads > 1 && self.thread == 0)
+                        .map(|st| st.funneled && st.client_threads > 1 && self.thread == 0)
                         .unwrap_or(false)
                 };
                 if fan_out {
@@ -305,33 +366,49 @@ impl PumpCore {
             // Close or stray messages at a client endpoint: ignore.
             _ => return,
         };
+        let shard = self.router.shard(key);
         let state = {
-            let router = self.router.lock();
-            pardis_audit::access_read(&REPLY_TABLE, &self.router as *const _ as usize);
-            router.get(&key).cloned()
+            let s = shard.lock();
+            pardis_audit::access_read(&REPLY_TABLE, shard as *const _ as usize);
+            s.router.get(&key).cloned()
         };
-        match state {
-            Some(state) => {
-                state.absorb(msg);
-            }
-            None => {
-                // A reply for a finished invocation is a retransmission
-                // by-product; drop it (counter only — see `absorb` for why
-                // this never becomes a trace event). Unknown keys are
-                // stashed (bounded) for a registration racing the reply.
-                if self.done.lock().set.contains(&key) {
-                    if pardis_obs::enabled() {
-                        pardis_obs::counter("client.dup_replies").inc();
-                    }
-                    return;
-                }
-                let mut orphans = self.orphans.lock();
-                if orphans.len() >= PUMP_MEMORY_CAP && !orphans.contains_key(&key) {
-                    return;
-                }
-                orphans.entry(key).or_default().push(msg);
-            }
+        if let Some(state) = state {
+            state.absorb(msg);
+            return;
         }
+        let mut s = shard.lock();
+        pardis_audit::access_write(&REPLY_TABLE, shard as *const _ as usize);
+        // Re-check under the write lock: a register may have raced our
+        // fast-path miss, and stashing now would strand the message.
+        if let Some(state) = s.router.get(&key).cloned() {
+            drop(s);
+            state.absorb(msg);
+            return;
+        }
+        // A reply for a finished invocation is a retransmission
+        // by-product; drop it (counter only — see `absorb` for why
+        // this never becomes a trace event). Unknown keys are
+        // stashed (bounded) for a registration racing the reply.
+        if s.done.set.contains(&key) {
+            if pardis_obs::enabled() {
+                pardis_obs::counter("client.dup_replies").inc();
+            }
+            return;
+        }
+        // Capped FIFO stash: evict the oldest distinct key (skipping stale
+        // order entries) instead of silently refusing new ones, so a storm
+        // of strays cannot pin the stash while live registrations starve.
+        let is_new = !s.orphans.contains_key(&key);
+        if is_new {
+            while s.orphans.len() >= PUMP_MEMORY_CAP {
+                let Some(old) = s.orphan_order.pop_front() else { break };
+                if s.orphans.remove(&old).is_some() {
+                    pardis_obs::counter("client.orphans.evicted").inc();
+                }
+            }
+            s.orphan_order.push_back(key);
+        }
+        s.orphans.entry(key).or_default().push(msg);
     }
 }
 
@@ -354,6 +431,12 @@ pub struct InvocationState {
     /// An `client.invoke` trace span was opened for this invocation and
     /// must be closed exactly once (at unregistration).
     span_open: std::sync::atomic::AtomicBool,
+    /// Backpressure admission slot, released when the reply completes (not
+    /// at unregistration — a non-blocking pipeline would deadlock waiting
+    /// for permits its own unharvested futures hold). `has_permit` keeps
+    /// the common no-cap path to one relaxed load.
+    permit: AuditMutex<Option<Permit>>,
+    has_permit: AtomicBool,
     /// Tracing sidecar captured at launch (only while tracing): the
     /// invocation's causal context, operation name, and virtual-clock start
     /// for the per-op/per-binding latency histograms.
@@ -378,28 +461,45 @@ struct InvInner {
 
 impl InvocationState {
     fn absorb(&self, msg: Message) {
-        let mut inner = self.inner.lock();
-        match msg {
-            Message::Reply(r) => {
-                // A second reply copy for a still-registered invocation is
-                // the same retransmission by-product the done-set catches
-                // after unregistration; count it in the same place. Counter
-                // only, no event: whether the pump sees the copy in this
-                // drain or a later one is a scheduling race, and a trace
-                // event would make the export non-reproducible.
-                if inner.reply.is_some() && pardis_obs::enabled() {
-                    pardis_obs::counter("client.dup_replies").inc();
+        let completed;
+        {
+            let mut inner = self.inner.lock();
+            match msg {
+                Message::Reply(r) => {
+                    // A second reply copy for a still-registered invocation is
+                    // the same retransmission by-product the done-set catches
+                    // after unregistration; count it in the same place. Counter
+                    // only, no event: whether the pump sees the copy in this
+                    // drain or a later one is a scheduling race, and a trace
+                    // event would make the export non-reproducible.
+                    if inner.reply.is_some() && pardis_obs::enabled() {
+                        pardis_obs::counter("client.dup_replies").inc();
+                    }
+                    inner.reply = Some(r);
                 }
-                inner.reply = Some(r);
+                Message::Fragment(f)
+                    if inner.frag_seen.insert((f.arg, f.start, f.count, f.src_thread)) =>
+                {
+                    // f.data is a zero-copy slice of the wire frame; stashing it
+                    // keeps the frame alive instead of copying the payload.
+                    inner.frags.entry(f.arg).or_default().push((f.start, f.count, f.data));
+                }
+                _ => {}
             }
-            Message::Fragment(f)
-                if inner.frag_seen.insert((f.arg, f.start, f.count, f.src_thread)) =>
-            {
-                // f.data is a zero-copy slice of the wire frame; stashing it
-                // keeps the frame alive instead of copying the payload.
-                inner.frags.entry(f.arg).or_default().push((f.start, f.count, f.data));
-            }
-            _ => {}
+            completed = self.has_permit.load(Ordering::Relaxed) && self.complete_locked(&inner);
+        }
+        if completed {
+            // The server answered in full: free the admission slot now so
+            // the next launcher gets in while this reply waits to be
+            // harvested.
+            self.release_permit();
+        }
+    }
+
+    /// Drop the backpressure permit, if still held.
+    fn release_permit(&self) {
+        if self.has_permit.swap(false, Ordering::Relaxed) {
+            self.permit.lock().take();
         }
     }
 
@@ -407,6 +507,10 @@ impl InvocationState {
     /// arrived. (All futures of one invocation resolve together, §3.3.)
     fn is_complete(&self) -> bool {
         let inner = self.inner.lock();
+        self.complete_locked(&inner)
+    }
+
+    fn complete_locked(&self, inner: &InvInner) -> bool {
         let Some(reply) = &inner.reply else { return false };
         if !matches!(reply.status, ReplyStatus::Ok) {
             return true;
@@ -526,6 +630,12 @@ impl ClientThread {
     /// The client's computing-thread count.
     pub fn nthreads(&self) -> usize {
         self.core.nthreads
+    }
+
+    /// This thread's reply endpoint (tests inject stray frames through it).
+    #[cfg(test)]
+    pub(crate) fn test_reply_ep(&self) -> EndpointId {
+        self.core.reply_eps[self.core.thread]
     }
 
     /// The host this client runs on.
@@ -836,6 +946,8 @@ impl<'p> CallBuilder<'p> {
             inner: AuditMutex::new(lock_site!("client: invocation state"), InvInner::default()),
             replay: AuditMutex::new(lock_site!("client: retransmit frames"), Vec::new()),
             span_open: std::sync::atomic::AtomicBool::new(trace_on && !oneway),
+            permit: AuditMutex::new(lock_site!("client: backpressure permit"), None),
+            has_permit: AtomicBool::new(false),
             obs: ctx.map(|ctx| InvObs {
                 ctx,
                 op: self.op.clone(),
@@ -896,6 +1008,39 @@ impl<'p> CallBuilder<'p> {
         }
 
         let endpoints = core.orb.server_endpoints(proxy.obj.server)?;
+
+        // Bounded in-flight admission: with a cap configured, a two-way
+        // invocation takes a permit against its primary control endpoint
+        // before any frame leaves. A full gate is pumped through — draining
+        // our own replies is what completes the invocations holding the
+        // permits we wait for.
+        if cfg.inflight_cap > 0 && !oneway {
+            let primary = match proxy.obj.kind {
+                ObjectKind::Single { thread } => endpoints[thread],
+                _ => endpoints[0],
+            };
+            let gate = core.orb.endpoint_gate(primary, cfg.inflight_cap);
+            let mut permit = gate.try_acquire();
+            if permit.is_none() {
+                pardis_obs::counter("orb.backpressure.waits").inc();
+                let deadline = Instant::now() + cfg.timeout;
+                loop {
+                    core.pump_step(Some(Duration::from_micros(200)));
+                    if let Some(p) = gate.try_acquire() {
+                        permit = Some(p);
+                        break;
+                    }
+                    if Instant::now() >= deadline {
+                        core.unregister(key);
+                        return Err(OrbError::Timeout {
+                            waiting_for: "backpressure admission".into(),
+                        });
+                    }
+                }
+            }
+            *state.permit.lock() = permit;
+            state.has_permit.store(true, Ordering::Relaxed);
+        }
 
         // Marshal-and-send phase of the invoke span: control encode, fragment
         // cutting, wire sends (and the funneled gather when in play).
@@ -1072,7 +1217,10 @@ pub(crate) fn backoff_delay(cfg: &OrbConfig, key: (BindingId, u64), attempt: u32
 /// (binding, req_id), so at worst a retransmission costs wire time; at best
 /// it resurrects a dropped request or provokes a replay of the cached reply.
 fn retransmit(core: &Arc<PumpCore>, state: &Arc<InvocationState>) -> OrbResult<()> {
-    let mut targets: Vec<Arc<InvocationState>> = core.router.lock().values().cloned().collect();
+    let mut targets: Vec<Arc<InvocationState>> = Vec::new();
+    for shard in core.router.iter() {
+        targets.extend(shard.lock().router.values().cloned());
+    }
     if !targets.iter().any(|t| Arc::ptr_eq(t, state)) {
         targets.push(state.clone());
     }

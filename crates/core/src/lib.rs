@@ -74,8 +74,11 @@ pub mod protocol;
 pub mod repository;
 pub mod servant;
 
+mod backpressure;
+mod batch;
 mod client;
 
+pub use batch::BatchMode;
 pub use client::{
     CallBuilder, ClientGroup, ClientThread, CommThread, InvocationHandle, Proxy, ReplyData,
 };

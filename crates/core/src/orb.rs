@@ -6,6 +6,8 @@
 //! the collocated-call optimisation), and the global configuration knobs
 //! (transfer strategy, local bypass, timeouts).
 
+use crate::backpressure::GateTable;
+use crate::batch::{batch_delay_from_env, BatchMode, Batcher, FlushReason};
 use crate::error::{OrbError, OrbResult};
 use crate::interface_repo::InterfaceRepository;
 use crate::object::{ClientId, DistPolicy, EndpointId, ObjectKey, ObjectRef, ServerId};
@@ -70,6 +72,23 @@ pub struct OrbConfig {
     /// in virtual milliseconds; an entry whose heartbeats stop lapses after
     /// this much simulated time.
     pub registry_ttl_ms: u64,
+    /// Shard count of each client thread's reply router (rounded up to a
+    /// power of two; takes effect for threads attached after the change).
+    /// Default 16, overridable with `PARDIS_SHARDS`.
+    pub router_shards: usize,
+    /// Request-batching mode (`PARDIS_BATCH`): coalesce small
+    /// same-destination frames into one wire envelope. Default off.
+    pub batch: BatchMode,
+    /// Coalescing ceiling of one batch envelope, and the size at or above
+    /// which a frame bypasses coalescing (still FIFO with its batch).
+    pub batch_max_bytes: usize,
+    /// Deadline after which a queued frame is flushed even under zero
+    /// follow-on traffic (`PARDIS_BATCH_DELAY_US`, default 100µs).
+    pub batch_delay: Duration,
+    /// Per-endpoint in-flight invocation cap (`PARDIS_INFLIGHT`); `0`
+    /// disables admission control (the default). A launch over the cap
+    /// pumps-and-waits, bumping `orb.backpressure.waits`.
+    pub inflight_cap: usize,
 }
 
 impl Default for OrbConfig {
@@ -86,8 +105,17 @@ impl Default for OrbConfig {
             plan_cache_cap: crate::dist::plan_cache_cap(),
             failover_limit: 3,
             registry_ttl_ms: 5_000,
+            router_shards: env_usize("PARDIS_SHARDS", 16),
+            batch: BatchMode::from_env(),
+            batch_max_bytes: 16 * 1024,
+            batch_delay: batch_delay_from_env(),
+            inflight_cap: env_usize("PARDIS_INFLIGHT", 0),
         }
     }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
 }
 
 /// A transport delivery: the wire frame plus the sending host (for reply
@@ -151,6 +179,11 @@ pub(crate) struct OrbInner {
     #[allow(clippy::type_complexity)]
     pub servants: AuditRwLock<HashMap<(ServerId, usize, ObjectKey), Arc<dyn Servant>>>,
     pub config: AuditRwLock<OrbConfig>,
+    /// The request batcher ([`crate::BatchMode`]); inert unless batching is
+    /// on.
+    pub(crate) batcher: Batcher,
+    /// Per-endpoint admission gates ([`OrbConfig::inflight_cap`]).
+    pub(crate) gates: GateTable,
     /// Total frames and bytes moved (for benches and EXPERIMENTS.md).
     pub frames_sent: AtomicU64,
     pub bytes_sent: AtomicU64,
@@ -169,6 +202,8 @@ pub struct Orb {
 impl Orb {
     /// An ORB over an existing simulated network.
     pub fn new(network: Network) -> Orb {
+        let cfg = OrbConfig::default();
+        let batcher = Batcher::new(cfg.batch, cfg.batch_max_bytes, cfg.batch_delay);
         Orb {
             inner: Arc::new(OrbInner {
                 network,
@@ -181,7 +216,9 @@ impl Orb {
                 impls: ImplementationRepository::new(),
                 interfaces: InterfaceRepository::new(),
                 servants: AuditRwLock::new(lock_site!("orb: servant table"), HashMap::new()),
-                config: AuditRwLock::new(lock_site!("orb: config"), OrbConfig::default()),
+                config: AuditRwLock::new(lock_site!("orb: config"), cfg),
+                batcher,
+                gates: GateTable::new(),
                 frames_sent: AtomicU64::new(0),
                 bytes_sent: AtomicU64::new(0),
                 retransmits: AtomicU64::new(0),
@@ -290,6 +327,68 @@ impl Orb {
         self.inner.config.write().registry_ttl_ms = ttl_ms;
     }
 
+    /// Set the client reply-router shard count (rounded up to a power of
+    /// two). Takes effect for client threads attached after the call.
+    pub fn set_router_shards(&self, n: usize) {
+        self.inner.config.write().router_shards = n.max(1);
+    }
+
+    /// Set the request-batching mode ([`BatchMode`], `PARDIS_BATCH`).
+    /// Takes effect immediately for subsequent sends; frames already queued
+    /// drain under the old grouping.
+    pub fn set_batch_mode(&self, mode: BatchMode) {
+        let (max_bytes, max_delay) = {
+            let mut cfg = self.inner.config.write();
+            cfg.batch = mode;
+            (cfg.batch_max_bytes, cfg.batch_delay)
+        };
+        self.inner.batcher.set_params(mode, max_bytes, max_delay);
+        if mode != BatchMode::Off {
+            self.ensure_flusher();
+        } else {
+            // Nothing new will queue; push out whatever is still pending.
+            self.flush_batches_inner(true);
+        }
+    }
+
+    /// Set the batch coalescing ceiling (bytes per envelope; frames at or
+    /// above it bypass coalescing).
+    pub fn set_batch_max_bytes(&self, bytes: usize) {
+        let (mode, max_delay) = {
+            let mut cfg = self.inner.config.write();
+            cfg.batch_max_bytes = bytes.max(64);
+            (cfg.batch, cfg.batch_delay)
+        };
+        self.inner.batcher.set_params(mode, bytes.max(64), max_delay);
+    }
+
+    /// Set the batch flush deadline (`PARDIS_BATCH_DELAY_US`).
+    pub fn set_batch_delay(&self, delay: Duration) {
+        let (mode, max_bytes) = {
+            let mut cfg = self.inner.config.write();
+            cfg.batch_delay = delay;
+            (cfg.batch, cfg.batch_max_bytes)
+        };
+        self.inner.batcher.set_params(mode, max_bytes, delay);
+    }
+
+    /// Set the per-endpoint in-flight invocation cap (`0` = admission
+    /// control off). Existing gates are reset so the new cap takes effect
+    /// for subsequent launches.
+    pub fn set_inflight_cap(&self, cap: usize) {
+        self.inner.config.write().inflight_cap = cap;
+        self.inner.gates.reset();
+    }
+
+    /// The admission gate for `ep`, created with `cap` on first use.
+    pub(crate) fn endpoint_gate(
+        &self,
+        ep: EndpointId,
+        cap: usize,
+    ) -> std::sync::Arc<crate::backpressure::EndpointGate> {
+        self.inner.gates.gate_for(ep, cap)
+    }
+
     /// Retransmission rounds performed so far (0 on a lossless network).
     pub fn retransmits(&self) -> u64 {
         self.inner.retransmits.load(Ordering::Relaxed)
@@ -347,14 +446,99 @@ impl Orb {
         self.send_wire(from_host, to, msg.encode())
     }
 
-    /// Route an already-encoded frame.
+    /// Route an already-encoded frame: straight to the wire when batching
+    /// is off (the steady-state zero-lock path), through the per-destination
+    /// batch queues otherwise.
+    pub(crate) fn send_wire(
+        &self,
+        from_host: HostId,
+        to: EndpointId,
+        wire: bytes::Bytes,
+    ) -> OrbResult<()> {
+        if self.inner.batcher.is_active() {
+            return self.send_batched(from_host, to, wire);
+        }
+        self.transmit_frame(from_host, to, wire)
+    }
+
+    /// Queue a frame for batching, draining the destination when a flush
+    /// trigger fires. Frames at or above the coalescing ceiling — and
+    /// control-plane `Close` frames, whose latency is a shutdown path — ride
+    /// the queue as passthrough entries: FIFO is kept, the payload is never
+    /// copied into an envelope, and their arrival flushes the queue.
+    fn send_batched(&self, from_host: HostId, to: EndpointId, wire: bytes::Bytes) -> OrbResult<()> {
+        // Fail unknown destinations eagerly, as the direct path would.
+        if !self.inner.endpoints.load().contains_key(&to) {
+            return Err(OrbError::Disconnected);
+        }
+        self.ensure_flusher();
+        let passthrough =
+            wire.len() >= self.inner.batcher.params().max_bytes || wire.get(6) == Some(&4u8); // type tag 4 = Message::Close
+        if self.inner.batcher.enqueue((from_host, to), wire, passthrough) {
+            self.flush_dest(from_host, to, FlushReason::Demand);
+        }
+        Ok(())
+    }
+
+    fn flush_dest(&self, from_host: HostId, to: EndpointId, reason: FlushReason) {
+        self.inner.batcher.drain((from_host, to), reason, &mut |frame| {
+            // A destination unregistered between enqueue and flush behaves
+            // like a frame arriving at a dead host: dropped.
+            let _ = self.transmit_frame(from_host, to, frame);
+        });
+    }
+
+    /// Flush every queued batch immediately — the explicit barrier. Client
+    /// and POA pumps call this before blocking so a waiter never sleeps on
+    /// its own unflushed request; it is also safe (and cheap) to call when
+    /// batching is off.
+    pub fn flush_batches(&self) {
+        self.flush_batches_inner(false);
+    }
+
+    fn flush_batches_inner(&self, force: bool) {
+        if !force && !self.inner.batcher.is_active() {
+            return;
+        }
+        for (from, to) in self.inner.batcher.pending_keys() {
+            self.flush_dest(from, to, FlushReason::Demand);
+        }
+    }
+
+    /// Spawn the lazy deadline flusher on first batched send: it sweeps
+    /// aged destinations so the deadline flush fires even under zero
+    /// follow-on traffic, holds only a `Weak` to the ORB, and exits when
+    /// the last `Orb` clone drops.
+    fn ensure_flusher(&self) {
+        if self.inner.batcher.flusher_spawned.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        let weak = Arc::downgrade(&self.inner);
+        let _ = std::thread::Builder::new().name("pardis-batch-flush".into()).spawn(move || {
+            loop {
+                let Some(inner) = weak.upgrade() else { return };
+                let orb = Orb { inner };
+                let delay = orb.inner.batcher.params().max_delay;
+                for (from, to) in orb.inner.batcher.aged_keys() {
+                    if pardis_obs::enabled() {
+                        pardis_obs::counter("orb.batch.deadline_flushes").inc();
+                    }
+                    orb.flush_dest(from, to, FlushReason::Deadline);
+                }
+                drop(orb); // hold no strong ref across the sleep
+                std::thread::sleep(delay.max(Duration::from_micros(20)) / 2);
+            }
+        });
+    }
+
+    /// Put one frame on the wire.
     ///
     /// Steady-state this acquires no lock: the endpoint table and the
     /// network topology are both immutable published snapshots, and under
     /// the overlapped engine the sender pays only the link's software
     /// overhead before returning — wire time elapses on the link's own
     /// timeline ([`Network::transmit`]).
-    pub(crate) fn send_wire(
+    fn transmit_frame(
         &self,
         from_host: HostId,
         to: EndpointId,

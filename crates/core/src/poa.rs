@@ -22,9 +22,10 @@ use bytes::Bytes;
 use crossbeam::channel::Receiver;
 use pardis_audit::{lock_site, AuditMutex};
 use pardis_cdr::{ByteOrder, Encoder};
-use pardis_netsim::HostId;
+use pardis_netsim::{HostId, Published};
 use pardis_rts::{tags, Rts};
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -48,7 +49,9 @@ pub struct ServerGroup {
     nthreads: usize,
     endpoints: Vec<EndpointId>,
     inboxes: Arc<AuditMutex<Vec<Option<Receiver<Envelope>>>>>,
-    namespace: Arc<AuditMutex<String>>,
+    /// Repository namespace, published as an immutable snapshot (the PR-5
+    /// Arc-swap idiom): set once at construction, read lock-free at attach.
+    namespace: Arc<Published<String>>,
 }
 
 /// Shared-table identity for the happens-before checker: the POA's
@@ -83,17 +86,14 @@ impl ServerGroup {
             nthreads,
             endpoints,
             inboxes: Arc::new(AuditMutex::new(lock_site!("poa: inbox handoff"), inboxes)),
-            namespace: Arc::new(AuditMutex::new(
-                lock_site!("poa: namespace"),
-                crate::repository::DEFAULT_REPOSITORY.to_string(),
-            )),
+            namespace: Arc::new(Published::new(crate::repository::DEFAULT_REPOSITORY.to_string())),
         }
     }
 
     /// Use a different object-repository namespace for this server's
     /// registrations (namespace splitting, §2.2).
     pub fn with_namespace(self, ns: &str) -> Self {
-        *self.namespace.lock() = ns.to_string();
+        self.namespace.store(ns.to_string());
         self
     }
 
@@ -136,7 +136,7 @@ impl ServerGroup {
             host: self.host,
             thread,
             nthreads: self.nthreads,
-            namespace: self.namespace.lock().clone(),
+            namespace: (*self.namespace.load()).clone(),
             rts,
             inbox,
             servants: HashMap::new(),
@@ -393,6 +393,9 @@ impl Poa {
             if !block || got_any || self.closed {
                 return;
             }
+            // About to block: push out any replies the batcher still holds —
+            // the clients they complete are what produce our next requests.
+            self.orb.flush_batches();
             // Block briefly on the inbox; RTS forwards are re-checked each
             // slice.
             if let Ok(env) = self.inbox.recv_timeout(Duration::from_micros(200)) {
@@ -419,6 +422,14 @@ impl Poa {
         // events) stamp into the originating invocation's trace.
         let _ctx_guard = ctx.map(pardis_obs::enter_ctx);
         match msg {
+            // A batch envelope from a coalescing client: each sub-frame is a
+            // complete wire frame carrying its own header and trace context —
+            // unpack and handle in order.
+            Message::Batch(frames) => {
+                for frame in frames {
+                    self.handle_wire(&frame);
+                }
+            }
             Message::Request(req) => {
                 let key = (req.binding, req.req_id);
                 // A retransmitted request for an already-accepted invocation
@@ -538,44 +549,55 @@ impl Poa {
     /// system, truly simultaneous arrival from distinct clients relies on
     /// the clients synchronising themselves.)
     fn dispatch_ready(&mut self) -> usize {
-        let mut dispatched = 0;
-        loop {
-            let ready = self.find_ready();
-            match ready {
-                Some(key) => {
-                    let pending = self.pending.remove(&key).expect("found above");
-                    let req = pending.control.expect("complete implies control");
-                    self.dispatch(req, pending.frags, pending.ctx);
-                    dispatched += 1;
-                }
-                None => return dispatched,
-            }
-        }
-    }
-
-    fn find_ready(&self) -> Option<(BindingId, u64)> {
         // For each client entity, only its lowest-sequence pending request
-        // is eligible; dispatch the eligible request with the globally
-        // lowest (entity, seq) key.
-        let mut heads: HashMap<u64, (&RequestMsg, &PendingReq, (BindingId, u64))> = HashMap::new();
+        // is eligible; among eligible requests, dispatch in global
+        // (entity, seq) order. Implemented as a heap-merge over per-entity
+        // sorted queues — O(P log P) over the pending set, where the old
+        // full rescan per dispatch was O(P²) and dominated at thousands of
+        // concurrent clients. One completeness check per head is sound:
+        // frames only arrive in `pump`, which cannot run while we dispatch,
+        // and an entity whose head is incomplete is blocked for the round —
+        // its later sequences must wait behind it either way.
+        type SeqQueue = Vec<(u64, (BindingId, u64))>;
+        let mut queues: HashMap<u64, SeqQueue> = HashMap::new();
         for (key, pending) in &self.pending {
             let Some(req) = &pending.control else { continue };
-            match heads.entry(req.entity) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    if req.client_seq < e.get().0.client_seq {
-                        e.insert((req, pending, *key));
-                    }
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert((req, pending, *key));
-                }
+            queues.entry(req.entity).or_default().push((req.client_seq, *key));
+        }
+        // Heap entries are (entity, seq, binding, req_id); min-first via
+        // Reverse. The key is flattened to u64s for Ord.
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u64, u64)>> = BinaryHeap::new();
+        for (entity, q) in queues.iter_mut() {
+            q.sort_unstable_by_key(|e| Reverse(e.0)); // descending: pop() yields lowest seq
+            if let Some((seq, key)) = q.pop() {
+                heap.push(Reverse((*entity, seq, key.0 .0, key.1)));
             }
         }
-        heads
-            .into_iter()
-            .filter(|(_, (req, pending, _))| self.request_complete(req, pending))
-            .min_by_key(|(entity, (req, _, _))| (*entity, req.client_seq))
-            .map(|(_, (_, _, key))| key)
+        let mut dispatched = 0;
+        while let Some(Reverse((entity, _seq, binding, req_id))) = heap.pop() {
+            let key = (BindingId(binding), req_id);
+            let complete = self
+                .pending
+                .get(&key)
+                .map(|p| {
+                    let req = p.control.as_ref().expect("queued with control");
+                    self.request_complete(req, p)
+                })
+                .unwrap_or(false);
+            if !complete {
+                // Entity blocked on missing fragments: do not advance its
+                // queue — later sequences stay behind the incomplete head.
+                continue;
+            }
+            let pending = self.pending.remove(&key).expect("checked above");
+            let req = pending.control.expect("checked above");
+            self.dispatch(req, pending.frags, pending.ctx);
+            dispatched += 1;
+            if let Some((seq, key)) = queues.get_mut(&entity).and_then(|q| q.pop()) {
+                heap.push(Reverse((entity, seq, key.0 .0, key.1)));
+            }
+        }
+        dispatched
     }
 
     /// All in-fragments for this thread arrived? On the funneled entry

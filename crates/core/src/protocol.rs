@@ -210,6 +210,12 @@ pub enum Message {
     },
     /// Orderly connection shutdown; a POA loop returns when it sees this.
     Close,
+    /// Several independently encoded frames coalesced into one wire frame
+    /// (the request batcher, [`crate::BatchMode`]). Each element is a
+    /// complete PRDS frame with its own header — and its own trace-context
+    /// extension, so every batched request keeps its sub-span. The envelope
+    /// itself carries no context.
+    Batch(Vec<Bytes>),
 }
 
 impl Message {
@@ -220,6 +226,7 @@ impl Message {
             Message::Fragment(_) => 2,
             Message::Cancel { .. } => 3,
             Message::Close => 4,
+            Message::Batch(_) => 5,
         }
     }
 
@@ -231,6 +238,7 @@ impl Message {
             Message::Fragment(_) => "fragment",
             Message::Cancel { .. } => "cancel",
             Message::Close => "close",
+            Message::Batch(_) => "batch",
         }
     }
 
@@ -248,6 +256,7 @@ impl Message {
             Message::Fragment(f) => fragment_frame_overhead() + ctx_ext_len(&ctx) + f.data.len(),
             Message::Request(r) => 96 + r.ins.iter().map(|b| b.len() + 8).sum::<usize>(),
             Message::Reply(r) => 96 + r.outs.iter().map(|b| b.len() + 8).sum::<usize>(),
+            Message::Batch(fs) => 16 + fs.iter().map(|f| f.len() + 8).sum::<usize>(),
             _ => 96,
         };
         let mut e = Encoder::with_capacity(order, hint);
@@ -261,6 +270,7 @@ impl Message {
                 e.write_u64(*req_id);
             }
             Message::Close => {}
+            Message::Batch(fs) => encode_batch_body(fs, &mut e),
         }
         e.finish()
     }
@@ -307,6 +317,14 @@ impl Message {
             2 => Message::Fragment(decode_fragment(&mut d)?),
             3 => Message::Cancel { binding: BindingId::decode(&mut d)?, req_id: d.read_u64()? },
             4 => Message::Close,
+            5 => {
+                let n = d.read_seq_len(None)?;
+                let mut frames = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    frames.push(d.read_byte_seq_bytes()?);
+                }
+                Message::Batch(frames)
+            }
             other => Err(CdrError::InvalidEnumDiscriminant {
                 name: "MessageType".into(),
                 value: other as u32,
@@ -487,6 +505,27 @@ pub fn unframe_list(buf: &Bytes) -> Result<Vec<Bytes>, CdrError> {
         out.push(d.read_byte_seq_bytes()?);
     }
     Ok(out)
+}
+
+fn encode_batch_body(frames: &[Bytes], e: &mut Encoder) {
+    e.write_u32(frames.len() as u32);
+    for f in frames {
+        e.write_byte_seq(f);
+    }
+}
+
+/// Frame a batch envelope around already-encoded sub-frames. Unlike
+/// [`Message::encode`] this never stamps an ambient trace context: the
+/// envelope is pure transport — each sub-frame already carries its own
+/// header (and context), and a flush may run on a thread unrelated to any
+/// of the batched invocations.
+pub fn encode_batch_frame(frames: &[Bytes]) -> Bytes {
+    let order = ByteOrder::native();
+    let cap = 12 + frames.iter().map(|f| f.len() + 8).sum::<usize>();
+    let mut e = Encoder::with_capacity(order, cap);
+    write_header(&mut e, order, 5, None); // 5 = Message::Batch type tag
+    encode_batch_body(frames, &mut e);
+    e.finish()
 }
 
 fn encode_fragment(f: &FragmentMsg, e: &mut Encoder) {

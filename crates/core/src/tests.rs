@@ -1,6 +1,7 @@
 //! Unit and integration tests of the ORB core.
 
 mod backoff_tests;
+mod batch_tests;
 mod comm_thread_tests;
 mod deferred_tests;
 mod dist_tests;
