@@ -1,0 +1,110 @@
+//! One-sided vs two-sided redistribution on the modelled network.
+//!
+//! Redistributes a Block-distributed f64 sequence to BlockCyclic over a
+//! rank pair on a dedicated ATM OC-3 link, and reports the virtual-clock
+//! makespan of the exchange in both wire strategies:
+//!
+//! * `push` — the classic two-sided exchange: coalesced per-destination
+//!   sends, each paying the MPI-style rendezvous (request-to-send,
+//!   clear-to-send, payload, receiver matching overhead);
+//! * `pull` — the one-sided path: every rank exposes its encoded local in a
+//!   memory window and destinations issue one vectored `get` per source
+//!   (request control frame + payload reply, no handshake and no matching).
+//!
+//! Both strategies move identical bytes over an identical message topology
+//! (one transfer per ordered rank pair), so the gap is pure protocol: the
+//! rendezvous costs `3L + 4t_o` in fixed overhead per message against the
+//! get's `2L + 2t_o`. With many small plan pieces the fixed costs dominate
+//! the wire time and pull settles near the ~2x the ATM numbers predict.
+//!
+//! ```text
+//! cargo run --release -p pardis-bench --bin fig_onesided
+//! PARDIS_QUICK=1 ...                  (smoke sweep: 16/64 pieces)
+//! ... -- --compare results/BENCH_onesided.json   (regression gate)
+//! ```
+
+use pardis::core::{DSequence, Distribution};
+use pardis::netsim::{LinkPreset, Network, TimeScale, TransportMode};
+use pardis::rts::{set_one_sided, MpiRts, World};
+use pardis_bench::util::{quick, row, BenchJson};
+
+/// Computing threads (one per modelled host). A single pair keeps the
+/// comparison a pure protocol shoot-out: both strategies move one
+/// coalesced transfer each way, so the makespan gap is the per-message
+/// fixed cost and not an artifact of mesh scheduling.
+const RANKS: usize = 2;
+/// Elements per plan piece: 16 f64 = 128 B on the wire, well under the
+/// 64 KiB piece ceiling the small-transfer regime targets.
+const PIECE_ELEMS: usize = 16;
+
+/// Virtual-clock seconds for one redistribution of `pieces` plan pieces.
+fn run_once(pieces: usize, one_sided: bool) -> f64 {
+    set_one_sided(one_sided);
+    let net = Network::with_transport(TimeScale::off(), TransportMode::Overlapped);
+    net.set_default_link(LinkPreset::AtmOc3.link());
+    let hosts: Vec<_> = (0..RANKS).map(|r| net.add_host(&format!("rank{r}"))).collect();
+    let len = pieces * PIECE_ELEMS;
+    let full: Vec<f64> = (0..len).map(|i| i as f64 * 0.125).collect();
+    let (world, ranks) = World::new(RANKS);
+    world.attach_network(net.clone(), hosts);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranks
+            .into_iter()
+            .map(|rank| {
+                let full = full.clone();
+                scope.spawn(move || {
+                    let t = rank.rank();
+                    let rts = MpiRts::new(rank);
+                    let mut ds = DSequence::distribute(&full, Distribution::Block, RANKS, t);
+                    ds.redistribute(&rts, Distribution::BlockCyclic(PIECE_ELEMS as u64));
+                    // Checksum guards against either path going quiet.
+                    ds.local().iter().sum::<f64>()
+                })
+            })
+            .collect();
+        let total: f64 = handles.into_iter().map(|h| h.join().expect("rank")).sum();
+        let expect: f64 = full.iter().sum();
+        assert!((total - expect).abs() < 1e-6 * expect.abs().max(1.0), "elements lost in transit");
+    });
+    net.makespan()
+}
+
+fn main() {
+    let piece_counts: Vec<usize> = if quick() { vec![16, 64] } else { vec![16, 64, 256] };
+
+    let mut json = BenchJson::new("onesided", "One-sided pull vs two-sided push redistribution");
+    json.param_usize("ranks", RANKS);
+    json.param_usize("piece_elems", PIECE_ELEMS);
+    json.columns(&piece_counts.iter().map(|&p| p as f64).collect::<Vec<_>>());
+
+    println!(
+        "fig_onesided: Block->BlockCyclic over {RANKS} ranks on ATM OC-3, {} B pieces",
+        PIECE_ELEMS * 8
+    );
+    println!("{}", row("pieces", &piece_counts.iter().map(|&p| p as f64).collect::<Vec<_>>()));
+
+    let push_ms: Vec<f64> = piece_counts.iter().map(|&p| run_once(p, false) * 1e3).collect();
+    let pull_ms: Vec<f64> = piece_counts.iter().map(|&p| run_once(p, true) * 1e3).collect();
+    set_one_sided(true);
+    let speedup: Vec<f64> = push_ms.iter().zip(&pull_ms).map(|(a, b)| a / b).collect();
+
+    println!("{}", row("push_virt_ms", &push_ms));
+    println!("{}", row("pull_virt_ms", &pull_ms));
+    println!("{}", row("pull_speedup_frac", &speedup));
+    json.series("push_virt_ms", &push_ms);
+    json.series("pull_virt_ms", &pull_ms);
+    json.series("pull_speedup_frac", &speedup);
+
+    for (&p, &s) in piece_counts.iter().zip(&speedup) {
+        assert!(
+            p < 64 || s >= 1.5,
+            "one-sided pull must be at least 1.5x push at {p} pieces, measured {s:.2}x"
+        );
+    }
+
+    match json.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("write failed: {e}"),
+    }
+    json.gate_from_args();
+}

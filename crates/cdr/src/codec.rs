@@ -4,7 +4,7 @@
 use crate::{CdrCodec, CdrError, Decoder, Encoder, TypeCode};
 
 macro_rules! prim_codec {
-    ($ty:ty, $tc:expr, $write:ident, $read:ident) => {
+    ($ty:ty, $tc:expr, $write:ident, $read:ident, $wire:expr) => {
         impl CdrCodec for $ty {
             fn encode(&self, e: &mut Encoder) {
                 e.$write(*self);
@@ -15,11 +15,14 @@ macro_rules! prim_codec {
             fn type_code() -> TypeCode {
                 $tc
             }
+            fn fixed_wire_size() -> Option<usize> {
+                Some($wire)
+            }
         }
     };
 }
 
-prim_codec!(bool, TypeCode::Boolean, write_bool, read_bool);
+prim_codec!(bool, TypeCode::Boolean, write_bool, read_bool, 1);
 
 impl CdrCodec for u8 {
     fn encode(&self, e: &mut Encoder) {
@@ -37,15 +40,20 @@ impl CdrCodec for u8 {
     fn decode_elems(d: &mut Decoder, n: usize) -> Result<Vec<Self>, CdrError> {
         d.read_raw(n)
     }
+    fn fixed_wire_size() -> Option<usize> {
+        Some(1)
+    }
 }
-prim_codec!(i16, TypeCode::Short, write_i16, read_i16);
-prim_codec!(u16, TypeCode::UShort, write_u16, read_u16);
-prim_codec!(i32, TypeCode::Long, write_i32, read_i32);
-prim_codec!(u32, TypeCode::ULong, write_u32, read_u32);
-prim_codec!(i64, TypeCode::LongLong, write_i64, read_i64);
-prim_codec!(u64, TypeCode::ULongLong, write_u64, read_u64);
-prim_codec!(f32, TypeCode::Float, write_f32, read_f32);
-prim_codec!(char, TypeCode::Char, write_char, read_char);
+prim_codec!(i16, TypeCode::Short, write_i16, read_i16, 2);
+prim_codec!(u16, TypeCode::UShort, write_u16, read_u16, 2);
+prim_codec!(i32, TypeCode::Long, write_i32, read_i32, 4);
+prim_codec!(u32, TypeCode::ULong, write_u32, read_u32, 4);
+prim_codec!(i64, TypeCode::LongLong, write_i64, read_i64, 8);
+prim_codec!(u64, TypeCode::ULongLong, write_u64, read_u64, 8);
+prim_codec!(f32, TypeCode::Float, write_f32, read_f32, 4);
+// An IDL char marshals as a code point in a 4-byte slot (see
+// `Encoder::write_char`), so its wire footprint is that of a u32.
+prim_codec!(char, TypeCode::Char, write_char, read_char, 4);
 
 impl CdrCodec for f64 {
     fn encode(&self, e: &mut Encoder) {
@@ -62,6 +70,9 @@ impl CdrCodec for f64 {
     }
     fn decode_elems(d: &mut Decoder, n: usize) -> Result<Vec<Self>, CdrError> {
         d.read_f64_elems(n)
+    }
+    fn fixed_wire_size() -> Option<usize> {
+        Some(8)
     }
 }
 

@@ -102,6 +102,20 @@ pub trait CdrCodec: Sized {
         }
         Ok(out)
     }
+
+    /// Encoded size of one element when every element occupies the same
+    /// number of bytes at any stream position — `Some(size)` for the fixed
+    /// primitives (CDR aligns a primitive to its natural size, so a
+    /// homogeneous array encoded from stream offset 0 places element `i` at
+    /// exactly `i * size` with no padding), `None` for everything
+    /// variable-length or padded (strings, structs, nested sequences).
+    ///
+    /// `Some` licenses byte-range arithmetic on an encoded array: a consumer
+    /// may fetch elements `a..b` as the byte span `a*size..b*size` — the
+    /// contract the one-sided pull redistribution relies on.
+    fn fixed_wire_size() -> Option<usize> {
+        None
+    }
 }
 
 /// Encode a single value into a fresh native-endian buffer.

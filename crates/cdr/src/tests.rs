@@ -519,3 +519,48 @@ mod bulk {
         }
     }
 }
+
+mod fixed_wire_size {
+    use super::*;
+
+    /// Encoding `n` elements from stream offset 0 must occupy exactly
+    /// `n * fixed_wire_size()` bytes, with element `i` starting at
+    /// `i * size` — the byte-range arithmetic the one-sided pull
+    /// redistribution performs on encoded locals.
+    fn dense<T: CdrCodec + Clone + PartialEq + std::fmt::Debug>(items: Vec<T>) {
+        let ws = T::fixed_wire_size().expect("fixed-size primitive");
+        let mut e = Encoder::new(ByteOrder::native());
+        T::encode_elems(&items, &mut e);
+        let bytes = e.finish();
+        assert_eq!(bytes.len(), items.len() * ws, "no padding between elements");
+        // Any aligned sub-range decodes to the matching element slice.
+        if items.len() >= 3 {
+            let sub = bytes.slice(ws..3 * ws);
+            let mut d = Decoder::new(sub, ByteOrder::native());
+            let back = T::decode_elems(&mut d, 2).expect("decode sub-range");
+            assert_eq!(back, items[1..3].to_vec());
+        }
+    }
+
+    #[test]
+    fn primitives_are_dense() {
+        dense(vec![true, false, true, true]);
+        dense(vec![1u8, 2, 3, 4, 5]);
+        dense(vec![-3i16, 9, 17, -1]);
+        dense(vec![7u16, 8, 9, 10]);
+        dense(vec![-5i32, 6, 7, 8]);
+        dense(vec![5u32, 6, 7, 8]);
+        dense(vec![-9i64, 10, 11, 12]);
+        dense(vec![9u64, 10, 11, 12]);
+        dense(vec![1.5f32, -2.5, 3.5, 4.5]);
+        dense(vec![1.5f64, -2.5, 3.5, 4.5]);
+        dense(vec!['a', 'ü', '☃', 'z']);
+    }
+
+    #[test]
+    fn variable_types_report_none() {
+        assert_eq!(String::fixed_wire_size(), None);
+        assert_eq!(<Vec<f64>>::fixed_wire_size(), None);
+        assert_eq!(<(u8, f64)>::fixed_wire_size(), None);
+    }
+}

@@ -180,4 +180,10 @@ impl Rts for CheckedRts {
             Verdict::Skip => value,
         }
     }
+
+    fn windows(&self) -> Option<&pardis_rts::Windows> {
+        // One-sided operations bypass the two-sided send/recv protocol this
+        // decorator checks; pass the endpoint through untouched.
+        self.inner.windows()
+    }
 }

@@ -62,6 +62,57 @@ pub struct PlanPiece {
     pub count: u64,
 }
 
+impl PlanPiece {
+    /// First local offset of this piece in its source thread's buffer under
+    /// `src_dist`. A plan piece has constant `(src, dst)`, so its source
+    /// locals are dense: the whole piece is the local range
+    /// `[start, start + count)` of offsets beginning here. Both the push
+    /// redistribution's local branch and the one-sided pull path lean on
+    /// this to turn pieces into slice ranges / byte spans.
+    ///
+    /// # Panics
+    /// Debug builds assert the piece really is owned by `src` end to end
+    /// and that its locals are dense.
+    pub fn src_local_start(&self, len: u64, src_dist: &Distribution, src_n: usize) -> u64 {
+        piece_local_start(self.src, self.start, self.count, len, src_dist, src_n)
+    }
+
+    /// First local offset of this piece in its destination thread's buffer
+    /// under `dst_dist` — the mirror of [`PlanPiece::src_local_start`].
+    pub fn dst_local_start(&self, len: u64, dst_dist: &Distribution, dst_n: usize) -> u64 {
+        piece_local_start(self.dst, self.start, self.count, len, dst_dist, dst_n)
+    }
+}
+
+/// Shared core of the piece-to-local-range mapping: the local offset of
+/// `start` on `thread`, with debug-time proof that `[start, start+count)`
+/// stays on `thread` with dense locals (local offsets are monotone in global
+/// index, so checking the endpoints suffices).
+fn piece_local_start(
+    thread: usize,
+    start: u64,
+    count: u64,
+    len: u64,
+    dist: &Distribution,
+    n: usize,
+) -> u64 {
+    debug_assert!(count > 0, "empty plan piece");
+    let (owner, lo) = dist.global_to_local(len, n, start);
+    debug_assert_eq!(owner, thread, "piece start {start} not owned by thread {thread}");
+    #[cfg(debug_assertions)]
+    {
+        let (owner_last, lo_last) = dist.global_to_local(len, n, start + count - 1);
+        debug_assert_eq!(
+            owner_last,
+            thread,
+            "piece end {} not owned by thread {thread}",
+            start + count - 1
+        );
+        debug_assert_eq!(lo_last - lo, count - 1, "piece locals not dense on thread {thread}");
+    }
+    lo
+}
+
 impl Distribution {
     /// The thread owning global index `idx` under this distribution of `len`
     /// elements over `n` threads.

@@ -284,8 +284,19 @@ impl<T: CdrCodec + Clone> DSequence<T> {
     /// thread-to-thread through the run-time system. Must be called by all
     /// threads with the same `new_dist`.
     ///
-    /// FIFO per (source, tag) channel plus a deterministic plan means no
-    /// extra sequencing is needed even across repeated redistributions.
+    /// Two wire strategies, same plan and identical results:
+    ///
+    /// * **pull** (default) — when the RTS exposes one-sided windows
+    ///   ([`Rts::windows`]), one-sided transfers are enabled
+    ///   (`PARDIS_ONESIDED`), and the element type has a fixed wire size,
+    ///   each thread exposes its CDR-encoded local in a window and every
+    ///   destination `get`s exactly the byte spans its plan pieces name —
+    ///   one vectored get per remote source, no rendezvous handshake and no
+    ///   receive matching;
+    /// * **push** — otherwise, the classic two-sided exchange: coalesced
+    ///   sends per destination matched by tagged receives. FIFO per
+    ///   (source, tag) channel plus a deterministic plan means no extra
+    ///   sequencing is needed even across repeated redistributions.
     pub fn redistribute(&mut self, rts: &dyn Rts, new_dist: Distribution) {
         assert_eq!(rts.size(), self.nthreads, "redistribute over a mismatched RTS world");
         assert_eq!(rts.rank(), self.thread, "redistribute called from the wrong thread");
@@ -298,6 +309,19 @@ impl<T: CdrCodec + Clone> DSequence<T> {
             self.nthreads,
         );
         const REDIST_TAG: u64 = tags::ORB_REDIST; // 'SD', from the shared registry
+
+        // All threads see identical gate inputs (the knob, the trait object's
+        // window support, T's wire size), so the branch itself is collective.
+        if self.nthreads > 1
+            && self.global_len > 0
+            && pardis_rts::one_sided_enabled()
+            && T::fixed_wire_size().is_some()
+        {
+            if let Some(w) = rts.windows() {
+                self.redistribute_pull(rts, w, &plan, new_dist);
+                return;
+            }
+        }
 
         // Coalesce every outbound piece for one destination into a single
         // message, in plan order. Both sides compute the identical plan, so
@@ -324,11 +348,9 @@ impl<T: CdrCodec + Clone> DSequence<T> {
         let mut incoming: HashMap<usize, Decoder> = HashMap::new();
         for piece in plan.iter().filter(|p| p.dst == self.thread) {
             if piece.src == self.thread {
-                let (_, lo) =
-                    self.dist.global_to_local(self.global_len, self.nthreads, piece.start);
-                let lo = lo as usize;
                 // A piece has constant (src, dst), so its old locals are as
                 // dense as its new ones: one slice clone moves it.
+                let lo = piece.src_local_start(self.global_len, &self.dist, self.nthreads) as usize;
                 new_local.extend_from_slice(&self.local[lo..lo + piece.count as usize]);
             } else {
                 let d = incoming.entry(piece.src).or_insert_with(|| {
@@ -340,6 +362,84 @@ impl<T: CdrCodec + Clone> DSequence<T> {
             }
         }
         debug_assert_eq!(new_local.len(), new_local_len, "plan covers every local index");
+        self.local = Arc::new(new_local);
+        self.dist = new_dist;
+    }
+
+    /// One-sided pull redistribution: sources are passive. Each thread
+    /// exposes its encoded local in a collective window; each destination
+    /// computes, from the shared plan, exactly which byte spans of which
+    /// source windows hold its new elements and issues one vectored
+    /// [`get_vec_nb`](pardis_rts::Windows::get_vec_nb) per remote source.
+    ///
+    /// The byte arithmetic is licensed by [`CdrCodec::fixed_wire_size`]: a
+    /// homogeneous fixed-size array encoded from stream offset 0 places
+    /// element `i` at byte `i * size` with no padding, so a piece whose
+    /// source locals start at `lo` is the span `[lo*size, (lo+count)*size)`.
+    fn redistribute_pull(
+        &mut self,
+        rts: &dyn Rts,
+        w: &pardis_rts::Windows,
+        plan: &[crate::dist::PlanPiece],
+        new_dist: Distribution,
+    ) {
+        let ws = T::fixed_wire_size().expect("pull path gated on fixed-size elements") as u64;
+
+        // Expose my encoded local. Every thread exposes (possibly empty) so
+        // the collective base sequence stays aligned across threads.
+        let mut e = Encoder::with_capacity(ByteOrder::native(), self.local.len() * ws as usize);
+        T::encode_elems(&self.local, &mut e);
+        let base = w.collective_window_base();
+        let my_window = w
+            .expose(base, e.finish().to_vec())
+            .expect("collective window bases never collide in-round");
+        // Windows on every thread must be published before anyone pulls.
+        rts.barrier();
+
+        // Per-source byte spans of my inbound pieces, in plan order — the
+        // reply concatenates them in request order, so decoding in the same
+        // order keeps piece boundaries aligned.
+        let mut spans: HashMap<usize, Vec<(u64, u64)>> = HashMap::new();
+        for piece in plan.iter().filter(|p| p.dst == self.thread && p.src != self.thread) {
+            let lo = piece.src_local_start(self.global_len, &self.dist, self.nthreads);
+            spans.entry(piece.src).or_default().push((lo * ws, piece.count * ws));
+        }
+        let mut pulls: HashMap<usize, pardis_rts::GetHandle> = HashMap::new();
+        for (&src, source_spans) in &spans {
+            let id = pardis_rts::WindowId { owner: src, base };
+            let handle = w
+                .get_vec_nb(id, source_spans)
+                .expect("plan spans lie inside the source's encoded local");
+            pulls.insert(src, handle);
+        }
+
+        // Assemble in plan order, exactly like the push path: local pieces
+        // are slice copies, remote pieces decode from the per-source reply.
+        let new_local_len =
+            new_dist.local_len(self.global_len, self.nthreads, self.thread) as usize;
+        let mut new_local: Vec<T> = Vec::with_capacity(new_local_len);
+        let mut incoming: HashMap<usize, Decoder> = HashMap::new();
+        for piece in plan.iter().filter(|p| p.dst == self.thread) {
+            if piece.src == self.thread {
+                let lo = piece.src_local_start(self.global_len, &self.dist, self.nthreads) as usize;
+                new_local.extend_from_slice(&self.local[lo..lo + piece.count as usize]);
+            } else {
+                let d = incoming.entry(piece.src).or_insert_with(|| {
+                    let handle = pulls.remove(&piece.src).expect("one pull per remote source");
+                    Decoder::new(handle.wait(), ByteOrder::native())
+                });
+                let elems =
+                    T::decode_elems(d, piece.count as usize).expect("redistribution elements");
+                new_local.extend(elems);
+            }
+        }
+        debug_assert_eq!(new_local.len(), new_local_len, "plan covers every local index");
+
+        // My gets are done, but peers may still be reading my window: drain
+        // my own inflight ops, then rendezvous before withdrawing it.
+        w.fence();
+        rts.barrier();
+        w.deregister(my_window).expect("window exposed above");
         self.local = Arc::new(new_local);
         self.dist = new_dist;
     }

@@ -292,6 +292,37 @@ mod property {
                 }
             }
         }
+
+        /// The piece-to-local-range helper agrees with per-element
+        /// global_to_local on both sides of every piece of every plan: the
+        /// piece's element `k` lives at local offset `local_start + k`.
+        #[test]
+        fn piece_local_start_matches_elementwise_mapping(
+            len in 1u64..200,
+            src_n in 1usize..5,
+            dst_n in 1usize..5,
+        ) {
+            for (src, dst) in [
+                (Distribution::Block, Distribution::Cyclic),
+                (Distribution::Cyclic, Distribution::BlockCyclic(3)),
+                (Distribution::BlockCyclic(5), Distribution::Block),
+                (Distribution::Block, Distribution::Concentrated(0)),
+            ] {
+                let plan = plan_transfer(len, &src, src_n, &dst, dst_n);
+                for p in &plan {
+                    let slo = p.src_local_start(len, &src, src_n);
+                    let dlo = p.dst_local_start(len, &dst, dst_n);
+                    for k in 0..p.count {
+                        let (so, sl) = src.global_to_local(len, src_n, p.start + k);
+                        prop_assert_eq!(so, p.src);
+                        prop_assert_eq!(sl, slo + k, "src locals dense from the helper's start");
+                        let (dofs, dl) = dst.global_to_local(len, dst_n, p.start + k);
+                        prop_assert_eq!(dofs, p.dst);
+                        prop_assert_eq!(dl, dlo + k, "dst locals dense from the helper's start");
+                    }
+                }
+            }
+        }
     }
 }
 

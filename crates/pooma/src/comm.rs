@@ -65,4 +65,7 @@ impl Rts for PoomaComm {
     fn all_gather(&self, part: Bytes) -> Vec<Bytes> {
         self.rank.all_gather(part)
     }
+    fn windows(&self) -> Option<&pardis_rts::Windows> {
+        Some(self.rank.windows())
+    }
 }

@@ -3,11 +3,15 @@
 use crate::Layout2D;
 use bytes::Bytes;
 use pardis_core::{DSequence, Distribution};
-use pardis_rts::{tags, Rts};
+use pardis_rts::{tags, Rts, WindowId, Windows};
 
 /// Tag used for guard-cell exchange (user band — this is application
 /// communication, not ORB traffic).
 const GUARD_TAG: u64 = 0x6009;
+
+/// Notify tag for one-sided halo puts (user band, distinct from the
+/// two-sided guard tag).
+const HALO_TAG: u64 = 0x600a;
 
 /// One computing thread's band of a distributed 2-D field, padded with one
 /// guard row above and below.
@@ -90,12 +94,23 @@ impl Field2D {
     /// Exchange guard rows with the neighbouring threads over the RTS.
     /// Collective: every thread must call. Single-thread worlds are a
     /// no-op.
+    ///
+    /// When the RTS has one-sided windows and `PARDIS_ONESIDED` is enabled,
+    /// each thread *puts* its boundary strips straight into its neighbours'
+    /// exposed landing windows (notify-on-delivery replaces receive
+    /// matching); otherwise the classic send/recv exchange runs.
     pub fn exchange_guards(&mut self, rts: &dyn Rts) {
         let n = self.layout.nthreads;
         debug_assert_eq!(rts.size(), n, "field layout does not match the RTS world");
         debug_assert_eq!(rts.rank(), self.thread, "exchange called from the wrong thread");
         if n == 1 {
             return;
+        }
+        if pardis_rts::one_sided_enabled() {
+            if let Some(w) = rts.windows() {
+                self.exchange_guards_one_sided(rts, w);
+                return;
+            }
         }
         let nx = self.layout.nx;
         let t = self.thread;
@@ -121,6 +136,60 @@ impl Field2D {
             let start = (rows + 1) * nx;
             write_row(&mut self.data[start..start + nx], &msg.data);
         }
+    }
+
+    /// One-sided guard exchange: expose a two-row landing window (upper
+    /// neighbour's strip lands in the first half, lower neighbour's in the
+    /// second), put boundary strips into the neighbours' windows, then copy
+    /// the landed halves into the guard rows. Only neighbour sides are
+    /// touched — global top/bottom guards keep their Dirichlet values.
+    fn exchange_guards_one_sided(&mut self, rts: &dyn Rts, w: &Windows) {
+        let n = self.layout.nthreads;
+        let nx = self.layout.nx;
+        let t = self.thread;
+        let rows = self.local_rows();
+        let half = (nx * 8) as u64;
+        debug_assert!(tags::is_user(HALO_TAG), "halo notify must use a user tag");
+
+        let base = w.collective_window_base();
+        let my_id = w
+            .expose(base, vec![0u8; 2 * nx * 8])
+            .expect("collective window bases never collide in-round");
+        // Neighbours must see my window before they put into it.
+        rts.barrier();
+
+        if t > 0 {
+            let top = row_bytes(&self.data[nx..2 * nx]);
+            // My top interior row is my upper neighbour's *lower* halo.
+            w.put_nb_notify(WindowId { owner: t - 1, base }, half, Bytes::from(top), HALO_TAG)
+                .expect("neighbour window spans two rows");
+        }
+        if t + 1 < n {
+            let bottom = row_bytes(&self.data[rows * nx..(rows + 1) * nx]);
+            w.put_nb_notify(WindowId { owner: t + 1, base }, 0, Bytes::from(bottom), HALO_TAG)
+                .expect("neighbour window spans two rows");
+        }
+
+        // One delivery notice per neighbour, then the strips are in place.
+        let expected = usize::from(t > 0) + usize::from(t + 1 < n);
+        for _ in 0..expected {
+            w.wait_notify(HALO_TAG);
+        }
+        if t > 0 {
+            let strip = w.read_local(my_id, 0, half).expect("own window");
+            write_row(&mut self.data[0..nx], &strip);
+        }
+        if t + 1 < n {
+            let strip = w.read_local(my_id, half, half).expect("own window");
+            let start = (rows + 1) * nx;
+            write_row(&mut self.data[start..start + nx], &strip);
+        }
+
+        // Drain my puts, rendezvous so every put everywhere has landed,
+        // then withdraw the landing window.
+        w.fence();
+        rts.barrier();
+        w.deregister(my_id).expect("window exposed above");
     }
 
     /// Apply one 9-point stencil step: the simplified diffusion of §4.3.

@@ -24,12 +24,17 @@
 mod msg;
 mod rts_trait;
 mod tulip;
+mod window;
 mod world;
 
 pub use bytes::Bytes;
 pub use msg::Msg;
 pub use rts_trait::{MpiRts, ReduceOp, Rts};
 pub use tulip::{Region, RegionId, TulipRts, TulipWorld};
+pub use window::{
+    one_sided_enabled, set_one_sided, Completion, GetHandle, Notice, RtsError, WindowId,
+    WindowShared, Windows, CTRL_FRAME_BYTES,
+};
 pub use world::{Rank, World};
 
 /// Reserved tag bands.

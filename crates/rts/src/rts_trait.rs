@@ -1,6 +1,6 @@
 //! The run-time system interface the ORB programs against.
 
-use crate::{Msg, Rank};
+use crate::{Msg, Rank, Windows};
 use bytes::Bytes;
 use std::time::Duration;
 
@@ -57,6 +57,15 @@ pub trait Rts: Send + Sync {
     fn gather(&self, root: usize, part: Bytes) -> Option<Vec<Bytes>>;
     /// Scatter one part per rank from `root`.
     fn scatter(&self, root: usize, parts: Option<Vec<Bytes>>) -> Bytes;
+
+    /// The backend's one-sided window endpoint, when it has one. Errors of
+    /// the one-sided operations surface as typed [`crate::RtsError`] values
+    /// through the endpoint's `Result` returns — never panics. `None` means
+    /// the backend is purely two-sided and callers must fall back to
+    /// send/recv emulation.
+    fn windows(&self) -> Option<&Windows> {
+        None
+    }
 
     /// All-gather: everyone receives every rank's part, in rank order.
     /// Default: gather to 0, broadcast a framed concatenation.
@@ -163,5 +172,8 @@ impl Rts for MpiRts {
     }
     fn all_gather(&self, part: Bytes) -> Vec<Bytes> {
         self.rank.all_gather(part)
+    }
+    fn windows(&self) -> Option<&Windows> {
+        Some(self.rank.windows())
     }
 }

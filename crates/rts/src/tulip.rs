@@ -8,15 +8,18 @@
 //! implemented over, and names one-sided systems as the future direction for
 //! distributed arguments.
 //!
-//! Here the one-sided layer is a registry of named regions guarded by locks
-//! (a software emulation of remote DMA), and [`TulipRts`] shows that the
+//! Here the named-region API is a thin veneer over the real one-sided
+//! window layer ([`Windows`]): a region is a window at a strided base in
+//! the owner's exposed address space, and `put`/`get` are blocking wrappers
+//! around the non-blocking window operations. [`TulipRts`] shows that the
 //! ORB's two-sided [`Rts`] contract can be met with nothing but `put`s into
 //! per-destination queue regions.
 
+use crate::window::{RtsError, WindowId, WindowShared, Windows};
 use crate::{Msg, ReduceOp, Rts};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -29,11 +32,25 @@ pub struct RegionId {
     pub number: u64,
 }
 
+/// Regions live in the owner's window address space at `number * stride`,
+/// so distinct region numbers below 2^32 can never overlap as long as each
+/// region stays under 4 GiB.
+const REGION_STRIDE: u64 = 1 << 32;
+
+impl RegionId {
+    /// The window backing this region.
+    fn window(self) -> WindowId {
+        WindowId { owner: self.owner, base: self.number.wrapping_mul(REGION_STRIDE) }
+    }
+}
+
 /// A registered memory region: a byte buffer remote ranks can `put` into and
-/// `get` from.
+/// `get` from. (Kept as the named concept of the Tulip API; storage lives in
+/// the window layer.)
 #[derive(Debug, Default)]
 pub struct Region {
-    data: Vec<u8>,
+    /// Region contents.
+    pub data: Vec<u8>,
 }
 
 struct QueueCell {
@@ -43,7 +60,6 @@ struct QueueCell {
 
 struct TulipShared {
     size: usize,
-    regions: Mutex<HashMap<RegionId, Region>>,
     /// One incoming queue region per rank, pre-registered; `send` is a `put`
     /// appended here.
     queues: Vec<QueueCell>,
@@ -75,18 +91,19 @@ impl TulipWorld {
         assert!(size > 0, "world size must be at least 1");
         let shared = Arc::new(TulipShared {
             size,
-            regions: Mutex::new(HashMap::new()),
             queues: (0..size)
                 .map(|_| QueueCell { queue: Mutex::new(VecDeque::new()), arrived: Condvar::new() })
                 .collect(),
             barrier: Mutex::new((0, 0)),
             barrier_cv: Condvar::new(),
         });
+        let windows = WindowShared::new(size);
         let endpoints = (0..size)
             .map(|rank| TulipRts {
                 shared: shared.clone(),
                 rank,
                 coll_seq: std::sync::atomic::AtomicU64::new(0),
+                windows: Windows::endpoint(windows.clone(), rank),
             })
             .collect();
         (TulipWorld { shared }, endpoints)
@@ -98,44 +115,47 @@ pub struct TulipRts {
     shared: Arc<TulipShared>,
     rank: usize,
     coll_seq: std::sync::atomic::AtomicU64,
+    windows: Windows,
 }
 
 impl TulipRts {
     /// Register a region owned by this rank with initial contents.
+    ///
+    /// # Panics
+    /// Panics if the region number is already registered by this rank.
     pub fn register_region(&self, number: u64, data: Vec<u8>) -> RegionId {
         let id = RegionId { owner: self.rank, number };
-        let prev = self.shared.regions.lock().insert(id, Region { data });
-        assert!(prev.is_none(), "region {id:?} registered twice");
+        self.windows
+            .expose(id.window().base, data)
+            .unwrap_or_else(|_| panic!("region {id:?} registered twice"));
         id
     }
 
-    /// One-sided write of `data` at `offset` into a remote (or local) region.
-    ///
-    /// # Panics
-    /// Panics if the region is unknown or the write is out of bounds.
-    pub fn put(&self, id: RegionId, offset: usize, data: &[u8]) {
-        let mut regions = self.shared.regions.lock();
-        let region = regions.get_mut(&id).unwrap_or_else(|| panic!("unknown region {id:?}"));
-        assert!(
-            offset + data.len() <= region.data.len(),
-            "put out of bounds: {}..{} of {}",
-            offset,
-            offset + data.len(),
-            region.data.len()
-        );
-        region.data[offset..offset + data.len()].copy_from_slice(data);
+    /// One-sided write of `data` at `offset` into a remote (or local)
+    /// region. Blocks until delivered (the legacy synchronous contract);
+    /// [`Windows::put_nb`] on [`TulipRts::windows`] is the non-blocking
+    /// form. Unknown regions and out-of-bounds writes surface as typed
+    /// [`RtsError`] values.
+    pub fn put(&self, id: RegionId, offset: usize, data: &[u8]) -> Result<(), RtsError> {
+        self.windows.put_nb(id.window(), offset as u64, Bytes::copy_from_slice(data))?.wait();
+        Ok(())
     }
 
-    /// One-sided read of `len` bytes at `offset` from a region.
-    pub fn get(&self, id: RegionId, offset: usize, len: usize) -> Vec<u8> {
-        let regions = self.shared.regions.lock();
-        let region = regions.get(&id).unwrap_or_else(|| panic!("unknown region {id:?}"));
-        region.data[offset..offset + len].to_vec()
+    /// One-sided read of `len` bytes at `offset` from a region. Blocking;
+    /// errors are typed like [`TulipRts::put`]'s.
+    pub fn get(&self, id: RegionId, offset: usize, len: usize) -> Result<Vec<u8>, RtsError> {
+        Ok(self.windows.get_nb(id.window(), offset as u64, len as u64)?.wait().to_vec())
     }
 
-    /// Drop a region registration.
-    pub fn unregister_region(&self, id: RegionId) {
-        self.shared.regions.lock().remove(&id);
+    /// Drop a region registration, returning its final contents.
+    pub fn unregister_region(&self, id: RegionId) -> Result<Vec<u8>, RtsError> {
+        self.windows.deregister(id.window())
+    }
+
+    /// This endpoint's window layer (the real one-sided API the region
+    /// emulation is built on).
+    pub fn windows(&self) -> &Windows {
+        &self.windows
     }
 
     fn next_coll_tag(&self) -> u64 {
@@ -249,6 +269,9 @@ impl Rts for TulipRts {
             assert!(parts.is_none(), "non-root rank passed parts to scatter");
             self.recv(Some(root), tag).data
         }
+    }
+    fn windows(&self) -> Option<&Windows> {
+        Some(&self.windows)
     }
 }
 

@@ -1,0 +1,623 @@
+//! One-sided memory windows: the real RDMA-style RTS layer.
+//!
+//! The paper names one-sided run-time systems (Tulip) as the direction for
+//! distributed-argument transfer, and DART-style PGAS runtimes show the
+//! shape: each rank *exposes* windows of memory, remote ranks issue
+//! non-blocking [`Windows::put_nb`] / [`Windows::get_nb`] operations that
+//! complete without any matching receive, and a [`Windows::fence`] (or a
+//! delivery notification) establishes completion.
+//!
+//! Key properties of this implementation:
+//!
+//! * **Lock-free lookups** — the window table is a [`Published`] snapshot
+//!   map, so the per-operation lookup in `put_nb`/`get_nb` acquires no lock;
+//!   only [`Windows::expose`] / [`Windows::deregister`] republish.
+//! * **Non-blocking with completion handles** — operations return a
+//!   [`Completion`] / [`GetHandle`] immediately; `fence` drains everything
+//!   this rank initiated; [`Windows::put_nb_notify`] additionally enqueues a
+//!   [`Notice`] at the window owner when the data lands.
+//! * **Modelled wire time** — when the owning world is attached to a
+//!   [`Network`] ([`WindowShared::attach`] via `World::attach_network`), a
+//!   put occupies the sender→owner lane for one frame and a get for a tiny
+//!   request frame plus the payload reply, through the PR 5 overlapped
+//!   engine: the initiating thread pays only the software overhead `t_o`,
+//!   wire time accrues on the lane timeline and the delivery effect runs at
+//!   the frame's modelled arrival. With no network attached the operations
+//!   complete inline at zero modelled cost (plain shared-memory semantics).
+//!
+//! The `PARDIS_ONESIDED` environment knob (see [`one_sided_enabled`])
+//! gates the *users* of this layer — pull-based `dseq` redistribution and
+//! `pooma-rs` halo exchange — so `PARDIS_ONESIDED=off` preserves the legacy
+//! two-sided paths byte-for-byte.
+
+use bytes::{Bytes, BytesMut};
+use pardis_netsim::{HostId, Network, Published};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Identifier of an exposed window: the owning rank plus the window's base
+/// address in that rank's exposed byte-address space. The base *is* the
+/// name — ranks that agree on a base (e.g. through the collective numbering
+/// of [`Windows::collective_window_base`]) can address each other's windows
+/// without exchanging ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowId {
+    /// Rank that exposed the window.
+    pub owner: usize,
+    /// Base address in the owner's exposed address space.
+    pub base: u64,
+}
+
+impl std::fmt::Display for WindowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "window {:#x}@rank{}", self.base, self.owner)
+    }
+}
+
+/// Typed errors of the one-sided layer (and of the emulated
+/// `TulipRts::put`/`get` region API, which is built on it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtsError {
+    /// The addressed window is not (or no longer) exposed.
+    UnknownWindow(WindowId),
+    /// The access `[offset, offset+len)` falls outside the window's `size`.
+    OutOfBounds {
+        /// The addressed window.
+        window: WindowId,
+        /// First byte of the access.
+        offset: u64,
+        /// Access length in bytes.
+        len: u64,
+        /// The window's actual size in bytes.
+        size: u64,
+    },
+    /// The new window `[base, base+len)` overlaps an already-exposed window
+    /// of the same rank.
+    WindowOverlap {
+        /// Requested base address.
+        base: u64,
+        /// Requested length.
+        len: u64,
+        /// The live window it collides with.
+        existing: WindowId,
+    },
+    /// Only the owning rank may deregister a window.
+    NotOwner {
+        /// The addressed window.
+        window: WindowId,
+        /// The rank that attempted the operation.
+        rank: usize,
+    },
+}
+
+impl std::fmt::Display for RtsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtsError::UnknownWindow(id) => write!(f, "unknown {id}"),
+            RtsError::OutOfBounds { window, offset, len, size } => {
+                write!(
+                    f,
+                    "access out of bounds: {}..{} of {size} in {window}",
+                    offset,
+                    offset + len
+                )
+            }
+            RtsError::WindowOverlap { base, len, existing } => {
+                write!(f, "window {base:#x}+{len} overlaps live {existing}")
+            }
+            RtsError::NotOwner { window, rank } => {
+                write!(f, "rank {rank} does not own {window}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RtsError {}
+
+/// A delivery notification: pushed to the window owner's queue when a
+/// [`Windows::put_nb_notify`] lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Notice {
+    /// Rank that issued the put.
+    pub from: usize,
+    /// The window the data landed in.
+    pub window: WindowId,
+    /// Caller-chosen discriminator, matched by [`Windows::wait_notify`].
+    pub tag: u64,
+}
+
+/// One exposed window: a fixed-size byte buffer remote ranks put into and
+/// get from. The buffer lives behind its own lock so concurrent accesses to
+/// *different* windows never contend.
+struct WindowCell {
+    len: usize,
+    data: RwLock<Vec<u8>>,
+}
+
+/// Modelled-network binding of a world: the per-rank host placement.
+#[derive(Clone)]
+struct NetBinding {
+    net: Network,
+    hosts: Vec<HostId>,
+}
+
+/// Control-frame footprint of one-sided requests (window id + offset +
+/// length descriptors); also used by the rendezvous handshake of two-sided
+/// sends over an attached network.
+pub const CTRL_FRAME_BYTES: usize = 64;
+
+/// Per-rank completion/notification state.
+struct RankState {
+    /// Operations this rank initiated that have not yet delivered.
+    inflight: Mutex<u64>,
+    drained: Condvar,
+    /// Delivery notifications addressed to this rank (as window owner).
+    notices: Mutex<VecDeque<Notice>>,
+    notice_cv: Condvar,
+}
+
+/// The shared one-sided state of a world: the window table plus per-rank
+/// completion state. One per `World`/`TulipWorld`; ranks hold [`Windows`]
+/// endpoints into it.
+pub struct WindowShared {
+    size: usize,
+    /// Window table: lock-free snapshot loads on the put/get hot path.
+    map: Published<HashMap<WindowId, Arc<WindowCell>>>,
+    /// Serialises expose/deregister republishing.
+    mutate: Mutex<()>,
+    /// Optional modelled-network binding (set once by `attach`).
+    net: Published<Option<NetBinding>>,
+    ranks: Vec<RankState>,
+}
+
+impl WindowShared {
+    /// Shared state for a world of `size` ranks.
+    pub fn new(size: usize) -> Arc<WindowShared> {
+        Arc::new(WindowShared {
+            size,
+            map: Published::new(HashMap::new()),
+            mutate: Mutex::new(()),
+            net: Published::new(None),
+            ranks: (0..size)
+                .map(|_| RankState {
+                    inflight: Mutex::new(0),
+                    drained: Condvar::new(),
+                    notices: Mutex::new(VecDeque::new()),
+                    notice_cv: Condvar::new(),
+                })
+                .collect(),
+        })
+    }
+
+    /// Bind the world to a modelled network: `hosts[r]` is the host rank `r`
+    /// runs on. One-sided operations (and the owning world's two-sided
+    /// sends) then accrue wire time on the network's lanes.
+    ///
+    /// # Panics
+    /// Panics if `hosts` does not name one host per rank.
+    pub fn attach(&self, net: Network, hosts: Vec<HostId>) {
+        assert_eq!(hosts.len(), self.size, "one host per rank required");
+        self.net.store(Some(NetBinding { net, hosts }));
+    }
+
+    /// The attached network and the placement of two ranks, if bound.
+    pub(crate) fn net_route(&self, from: usize, to: usize) -> Option<(Network, HostId, HostId)> {
+        let bind = self.net.load();
+        bind.as_ref().as_ref().map(|b| (b.net.clone(), b.hosts[from], b.hosts[to]))
+    }
+
+    fn lookup(&self, id: WindowId) -> Result<Arc<WindowCell>, RtsError> {
+        self.map.load().get(&id).cloned().ok_or(RtsError::UnknownWindow(id))
+    }
+}
+
+/// Shared core of an in-flight operation. The delivery side is idempotent
+/// (`fired`) because a faulty attached network may run a duplicated frame's
+/// release twice.
+struct OpCore {
+    shared: Arc<WindowShared>,
+    initiator: usize,
+    fired: AtomicBool,
+    state: Mutex<(bool, Option<Bytes>)>,
+    done: Condvar,
+}
+
+impl OpCore {
+    fn new(shared: &Arc<WindowShared>, initiator: usize) -> Arc<OpCore> {
+        *shared.ranks[initiator].inflight.lock() += 1;
+        Arc::new(OpCore {
+            shared: shared.clone(),
+            initiator,
+            fired: AtomicBool::new(false),
+            state: Mutex::new((false, None)),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Mark delivered (at most once), waking waiters and the initiator's
+    /// fence.
+    fn complete(&self, data: Option<Bytes>) {
+        if self.fired.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        {
+            let mut st = self.state.lock();
+            *st = (true, data);
+            self.done.notify_all();
+        }
+        let rs = &self.shared.ranks[self.initiator];
+        let mut n = rs.inflight.lock();
+        *n -= 1;
+        if *n == 0 {
+            rs.drained.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Option<Bytes> {
+        let mut st = self.state.lock();
+        while !st.0 {
+            self.done.wait(&mut st);
+        }
+        st.1.take()
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.lock().0
+    }
+}
+
+/// Completion handle of a non-blocking put.
+pub struct Completion(Arc<OpCore>);
+
+impl Completion {
+    /// Has the data landed in the target window?
+    pub fn is_done(&self) -> bool {
+        self.0.is_done()
+    }
+
+    /// Block until the data has landed.
+    pub fn wait(self) {
+        self.0.wait();
+    }
+}
+
+/// Completion handle of a non-blocking get; resolves to the read bytes.
+pub struct GetHandle(Arc<OpCore>);
+
+impl GetHandle {
+    /// Has the reply arrived?
+    pub fn is_done(&self) -> bool {
+        self.0.is_done()
+    }
+
+    /// Block until the reply arrives and take the bytes (the requested
+    /// spans, concatenated in request order).
+    pub fn wait(self) -> Bytes {
+        self.0.wait().expect("get completion carries data")
+    }
+}
+
+/// Reserved region of the per-rank window address space used by collective
+/// window numbering ([`Windows::collective_window_base`]).
+const COLL_WINDOW_REGION: u64 = 1 << 62;
+/// Stride between consecutive collective windows: windows up to 1 TiB never
+/// collide with the previous round even before it deregisters.
+const COLL_WINDOW_STRIDE: u64 = 1 << 40;
+/// Collective bases cycle after this many rounds.
+const COLL_WINDOW_ROUNDS: u64 = 1 << 20;
+
+/// One rank's endpoint into the one-sided layer. Obtained from
+/// [`crate::Rts::windows`]; owned by (at most) one thread like the rank
+/// handle itself.
+pub struct Windows {
+    shared: Arc<WindowShared>,
+    rank: usize,
+    /// Collective window sequence (SPMD discipline makes equal sequence
+    /// numbers agree across ranks, like collective tags).
+    coll_seq: AtomicU64,
+}
+
+impl Windows {
+    /// Endpoint for `rank` into `shared`.
+    pub fn endpoint(shared: Arc<WindowShared>, rank: usize) -> Windows {
+        assert!(rank < shared.size, "rank {rank} out of range");
+        Windows { shared, rank, coll_seq: AtomicU64::new(0) }
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// The shared window-world state (to attach a network or derive sibling
+    /// endpoints).
+    pub fn shared(&self) -> &Arc<WindowShared> {
+        &self.shared
+    }
+
+    /// Expose `data` as a window at `base` in this rank's address space.
+    /// Rejects any overlap with a live window of this rank ([`RtsError::
+    /// WindowOverlap`]); zero-length windows only conflict on an equal base.
+    pub fn expose(&self, base: u64, data: Vec<u8>) -> Result<WindowId, RtsError> {
+        let id = WindowId { owner: self.rank, base };
+        let len = data.len() as u64;
+        let _g = self.shared.mutate.lock();
+        let cur = self.shared.map.load();
+        for (wid, cell) in cur.iter().filter(|(w, _)| w.owner == self.rank) {
+            let clash = if len == 0 || cell.len == 0 {
+                wid.base == base
+            } else {
+                base < wid.base.saturating_add(cell.len as u64)
+                    && wid.base < base.saturating_add(len)
+            };
+            if clash {
+                return Err(RtsError::WindowOverlap { base, len, existing: *wid });
+            }
+        }
+        let mut next = (*cur).clone();
+        next.insert(id, Arc::new(WindowCell { len: data.len(), data: RwLock::new(data) }));
+        self.shared.map.store(next);
+        if pardis_obs::enabled() {
+            pardis_obs::counter("rts.win.exposed").inc();
+        }
+        Ok(id)
+    }
+
+    /// Withdraw a window this rank exposed, returning its buffer. In-flight
+    /// remote operations that already resolved the window keep writing the
+    /// detached buffer (as with real RDMA, deregistering before a fence is
+    /// an application error, not a crash).
+    pub fn deregister(&self, id: WindowId) -> Result<Vec<u8>, RtsError> {
+        if id.owner != self.rank {
+            return Err(RtsError::NotOwner { window: id, rank: self.rank });
+        }
+        let _g = self.shared.mutate.lock();
+        let cur = self.shared.map.load();
+        let cell = cur.get(&id).cloned().ok_or(RtsError::UnknownWindow(id))?;
+        let mut next = (*cur).clone();
+        next.remove(&id);
+        self.shared.map.store(next);
+        let taken = std::mem::take(&mut *cell.data.write());
+        Ok(taken)
+    }
+
+    /// Size in bytes of a live window.
+    pub fn window_len(&self, id: WindowId) -> Result<usize, RtsError> {
+        Ok(self.shared.lookup(id)?.len)
+    }
+
+    /// A fresh base in the reserved collective region, identical on every
+    /// rank at the same collective step (SPMD discipline). Consecutive
+    /// rounds are strided far apart, so a round's windows never collide
+    /// with the previous round's even mid-deregistration.
+    pub fn collective_window_base(&self) -> u64 {
+        let seq = self.coll_seq.fetch_add(1, Ordering::Relaxed) % COLL_WINDOW_ROUNDS;
+        COLL_WINDOW_REGION | (seq * COLL_WINDOW_STRIDE)
+    }
+
+    /// Non-blocking one-sided write of `data` at `offset` into a window.
+    /// Returns immediately with a [`Completion`]; the data lands when the
+    /// modelled frame arrives (inline when no network is attached).
+    pub fn put_nb(&self, id: WindowId, offset: u64, data: Bytes) -> Result<Completion, RtsError> {
+        self.put_impl(id, offset, data, None)
+    }
+
+    /// [`Windows::put_nb`] plus notify-on-delivery: when the data lands, a
+    /// [`Notice`] with `tag` is queued at the window owner
+    /// ([`Windows::wait_notify`]).
+    pub fn put_nb_notify(
+        &self,
+        id: WindowId,
+        offset: u64,
+        data: Bytes,
+        tag: u64,
+    ) -> Result<Completion, RtsError> {
+        self.put_impl(id, offset, data, Some(tag))
+    }
+
+    fn put_impl(
+        &self,
+        id: WindowId,
+        offset: u64,
+        data: Bytes,
+        notify: Option<u64>,
+    ) -> Result<Completion, RtsError> {
+        let cell = self.shared.lookup(id)?;
+        if out_of_bounds(offset, data.len() as u64, cell.len) {
+            return Err(RtsError::OutOfBounds {
+                window: id,
+                offset,
+                len: data.len() as u64,
+                size: cell.len as u64,
+            });
+        }
+        if pardis_obs::enabled() {
+            pardis_obs::counter("rts.win.puts").inc();
+            pardis_obs::counter("rts.win.put.bytes").add(data.len() as u64);
+        }
+        let core = OpCore::new(&self.shared, self.rank);
+        let shared = self.shared.clone();
+        let from = self.rank;
+        let frame_bytes = data.len() + CTRL_FRAME_BYTES;
+        let deliver = {
+            let core = core.clone();
+            move || {
+                {
+                    let mut buf = cell.data.write();
+                    buf[offset as usize..offset as usize + data.len()].copy_from_slice(&data);
+                }
+                if let Some(tag) = notify {
+                    let rs = &shared.ranks[id.owner];
+                    rs.notices.lock().push_back(Notice { from, window: id, tag });
+                    rs.notice_cv.notify_all();
+                }
+                core.complete(None);
+            }
+        };
+        match self.shared.net_route(self.rank, id.owner) {
+            Some((net, fh, th)) => {
+                net.transmit(fh, th, frame_bytes, deliver);
+            }
+            None => deliver(),
+        }
+        Ok(Completion(core))
+    }
+
+    /// Non-blocking one-sided read of `[offset, offset+len)` from a window.
+    pub fn get_nb(&self, id: WindowId, offset: u64, len: u64) -> Result<GetHandle, RtsError> {
+        self.get_vec_nb(id, &[(offset, len)])
+    }
+
+    /// Vectored get: read several `(offset, len)` spans of one window in a
+    /// single operation — one request frame, one reply frame carrying the
+    /// concatenated spans. This is what makes pulling many plan pieces from
+    /// one source pay the per-message overhead once instead of per piece.
+    pub fn get_vec_nb(&self, id: WindowId, spans: &[(u64, u64)]) -> Result<GetHandle, RtsError> {
+        let cell = self.shared.lookup(id)?;
+        let mut total = 0usize;
+        for &(offset, len) in spans {
+            if out_of_bounds(offset, len, cell.len) {
+                return Err(RtsError::OutOfBounds {
+                    window: id,
+                    offset,
+                    len,
+                    size: cell.len as u64,
+                });
+            }
+            total += len as usize;
+        }
+        if pardis_obs::enabled() {
+            pardis_obs::counter("rts.win.gets").inc();
+            pardis_obs::counter("rts.win.get.bytes").add(total as u64);
+        }
+        let core = OpCore::new(&self.shared, self.rank);
+        let spans: Arc<[(u64, u64)]> = spans.into();
+        let read = move || {
+            let buf = cell.data.read();
+            let mut out = BytesMut::with_capacity(total);
+            for &(offset, len) in spans.iter() {
+                out.extend_from_slice(&buf[offset as usize..(offset + len) as usize]);
+            }
+            out.freeze()
+        };
+        match self.shared.net_route(self.rank, id.owner) {
+            Some((net, fh, th)) => {
+                // Request frame to the owner; at its arrival the window is
+                // read and the payload frame carries the spans back. The
+                // initiating thread pays only the request's t_o.
+                let core = core.clone();
+                let reply_net = net.clone();
+                net.transmit(fh, th, CTRL_FRAME_BYTES, move || {
+                    let data = read();
+                    let core = core.clone();
+                    reply_net.transmit(th, fh, data.len() + CTRL_FRAME_BYTES, move || {
+                        core.complete(Some(data.clone()));
+                    });
+                });
+            }
+            None => core.complete(Some(read())),
+        }
+        Ok(GetHandle(core))
+    }
+
+    /// Read a span of a *local* window directly (a memcpy, no modelled wire
+    /// cost — the owner reaching into its own exposed memory).
+    pub fn read_local(&self, id: WindowId, offset: u64, len: u64) -> Result<Bytes, RtsError> {
+        if id.owner != self.rank {
+            return Err(RtsError::NotOwner { window: id, rank: self.rank });
+        }
+        let cell = self.shared.lookup(id)?;
+        if out_of_bounds(offset, len, cell.len) {
+            return Err(RtsError::OutOfBounds { window: id, offset, len, size: cell.len as u64 });
+        }
+        let buf = cell.data.read();
+        Ok(Bytes::copy_from_slice(&buf[offset as usize..(offset + len) as usize]))
+    }
+
+    /// Block until every operation this rank initiated has delivered
+    /// (puts landed, gets replied). The one-sided analogue of `MPI_Win_fence`
+    /// restricted to the origin side.
+    pub fn fence(&self) {
+        if pardis_obs::enabled() {
+            pardis_obs::counter("rts.win.fences").inc();
+        }
+        let _span = pardis_obs::Span::open("rts", "rts.win.fence", None, Vec::new());
+        let rs = &self.shared.ranks[self.rank];
+        let mut n = rs.inflight.lock();
+        while *n > 0 {
+            rs.drained.wait(&mut n);
+        }
+    }
+
+    /// Operations initiated by this rank still in flight.
+    pub fn pending_ops(&self) -> u64 {
+        *self.shared.ranks[self.rank].inflight.lock()
+    }
+
+    /// Block until a delivery [`Notice`] with `tag` arrives at this rank.
+    pub fn wait_notify(&self, tag: u64) -> Notice {
+        let rs = &self.shared.ranks[self.rank];
+        let mut q = rs.notices.lock();
+        loop {
+            if let Some(i) = q.iter().position(|n| n.tag == tag) {
+                return q.remove(i).expect("index valid");
+            }
+            rs.notice_cv.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking check for a delivery [`Notice`] with `tag`.
+    pub fn try_notify(&self, tag: u64) -> Option<Notice> {
+        let rs = &self.shared.ranks[self.rank];
+        let mut q = rs.notices.lock();
+        let i = q.iter().position(|n| n.tag == tag)?;
+        q.remove(i)
+    }
+}
+
+impl std::fmt::Debug for Windows {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Windows(rank {}/{})", self.rank, self.shared.size)
+    }
+}
+
+/// Overflow-safe `[offset, offset+len) ⊄ [0, size)` check.
+fn out_of_bounds(offset: u64, len: u64, size: usize) -> bool {
+    offset.checked_add(len).is_none_or(|end| end > size as u64)
+}
+
+/// `PARDIS_ONESIDED` resolution: 0 = unresolved, 1 = on, 2 = off.
+static ONESIDED: AtomicU8 = AtomicU8::new(0);
+
+/// Is the one-sided fast path enabled? Defaults to on; `PARDIS_ONESIDED=off`
+/// (or `0`) selects the legacy two-sided emulation everywhere the one-sided
+/// layer would otherwise be used (pull redistribution, halo puts).
+pub fn one_sided_enabled() -> bool {
+    match ONESIDED.load(Ordering::Relaxed) {
+        0 => {
+            let on = !std::env::var("PARDIS_ONESIDED")
+                .map(|v| {
+                    let v = v.to_ascii_lowercase();
+                    v == "off" || v == "0" || v == "false"
+                })
+                .unwrap_or(false);
+            ONESIDED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+        1 => true,
+        _ => false,
+    }
+}
+
+/// Override the `PARDIS_ONESIDED` resolution at runtime (benches and
+/// cross-mode tests flip this between measurements).
+pub fn set_one_sided(on: bool) {
+    ONESIDED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}

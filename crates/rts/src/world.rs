@@ -1,7 +1,9 @@
 //! The MPI-like world of computing threads.
 
+use crate::window::{WindowShared, Windows, CTRL_FRAME_BYTES};
 use crate::{tags, Msg};
 use bytes::Bytes;
+use pardis_netsim::{HostId, Network};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,6 +63,9 @@ struct WorldInner {
     size: usize,
     mailboxes: Vec<Mailbox>,
     barrier: Barrier,
+    /// One-sided window state shared by all ranks; also holds the optional
+    /// modelled-network binding consulted by [`Rank::send`].
+    windows: Arc<WindowShared>,
 }
 
 /// A world of `size` computing threads.
@@ -81,13 +86,20 @@ impl World {
     /// Panics if `size` is zero.
     pub fn new(size: usize) -> (World, Vec<Rank>) {
         assert!(size > 0, "world size must be at least 1");
+        let windows = WindowShared::new(size);
         let inner = Arc::new(WorldInner {
             size,
             mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
             barrier: Barrier { state: Mutex::new((0, 0)), released: Condvar::new() },
+            windows: windows.clone(),
         });
         let ranks = (0..size)
-            .map(|r| Rank { world: inner.clone(), rank: r, coll_seq: AtomicU64::new(0) })
+            .map(|r| Rank {
+                world: inner.clone(),
+                rank: r,
+                coll_seq: AtomicU64::new(0),
+                windows: Windows::endpoint(windows.clone(), r),
+            })
             .collect();
         (World { inner }, ranks)
     }
@@ -112,6 +124,20 @@ impl World {
     pub fn size(&self) -> usize {
         self.inner.size
     }
+
+    /// Bind the world to a modelled [`Network`]: `hosts[r]` is the host rank
+    /// `r` runs on. Two-sided sends then pay a rendezvous (request-to-send,
+    /// clear-to-send, payload — three frames plus the receiver's matching
+    /// overhead) and one-sided window operations pay their single- or
+    /// two-frame cost, all through the overlapped transmit engine. Bind
+    /// fault-free networks only: this layer models cost, not loss, so a
+    /// dropped frame would stall a receive forever.
+    ///
+    /// # Panics
+    /// Panics if `hosts` does not name one host per rank.
+    pub fn attach_network(&self, net: Network, hosts: Vec<HostId>) {
+        self.inner.windows.attach(net, hosts);
+    }
 }
 
 /// One computing thread's endpoint into its [`World`].
@@ -125,6 +151,8 @@ pub struct Rank {
     /// collectives in the same order) makes equal sequence numbers match up,
     /// which keys each collective's internal tags.
     coll_seq: AtomicU64,
+    /// This rank's endpoint into the one-sided window layer.
+    windows: Windows,
 }
 
 impl Rank {
@@ -138,7 +166,20 @@ impl Rank {
         self.world.size
     }
 
+    /// This rank's one-sided window endpoint.
+    pub fn windows(&self) -> &Windows {
+        &self.windows
+    }
+
     /// Asynchronous tagged send. Never blocks (mailboxes are unbounded).
+    ///
+    /// With a network attached ([`World::attach_network`]) the send is
+    /// modelled as an MPI-style rendezvous — a request-to-send control
+    /// frame, a clear-to-send back, then the payload frame, with the
+    /// receiver paying one matching overhead at delivery — so two-sided
+    /// traffic carries the three-frame handshake cost the one-sided layer
+    /// avoids. Without a network the message lands immediately at zero
+    /// modelled cost, as ever.
     ///
     /// # Panics
     /// Panics if `to` is out of range.
@@ -148,7 +189,34 @@ impl Rank {
             pardis_obs::counter("rts.sends").inc();
             pardis_obs::counter("rts.bytes").add(data.len() as u64);
         }
-        self.world.mailboxes[to].push(Msg::new(self.rank, tag, data));
+        let msg = Msg::new(self.rank, tag, data);
+        if let Some((net, fh, th)) = self.world.windows.net_route(self.rank, to) {
+            let world = self.world.clone();
+            let payload_bytes = msg.data.len() + CTRL_FRAME_BYTES;
+            let cts_net = net.clone();
+            // Rendezvous chain: each stage departs at the previous frame's
+            // modelled arrival (the engine's local-clock causality), so the
+            // makespan sees 3 latencies + 3 software overheads + the
+            // payload's wire time per message.
+            net.transmit(fh, th, CTRL_FRAME_BYTES, move || {
+                let world = world.clone();
+                let msg = msg.clone();
+                let payload_net = cts_net.clone();
+                cts_net.transmit(th, fh, CTRL_FRAME_BYTES, move || {
+                    let world = world.clone();
+                    let msg = msg.clone();
+                    let deliver_net = payload_net.clone();
+                    payload_net.transmit(fh, th, payload_bytes, move || {
+                        // Receiver-side matching overhead, then delivery.
+                        let t_o = deliver_net.link_between(fh, th).overhead_s;
+                        deliver_net.charge_wait(th, Duration::from_secs_f64(t_o));
+                        world.mailboxes[to].push(msg.clone());
+                    });
+                });
+            });
+            return;
+        }
+        self.world.mailboxes[to].push(msg);
     }
 
     /// Blocking receive matching `(from, tag)`; `from = None` accepts any

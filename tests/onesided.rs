@@ -1,0 +1,236 @@
+//! Cross-mode end-to-end suite for the one-sided RTS layer.
+//!
+//! Every test runs its workload under both `PARDIS_ONESIDED` modes (the
+//! pull/put paths and the legacy two-sided push paths) and asserts
+//! bit-for-bit identical outcomes, so the escape hatch provably reproduces
+//! today's behaviour. The mode knob is process-wide, so all tests in this
+//! binary serialise on one lock and restore the default before releasing
+//! it.
+
+use pardis::core::{DSequence, Distribution};
+use pardis::netsim::{LinkPreset, Network, TimeScale, TransportMode};
+use pardis::pooma::{Field2D, Layout2D, PoomaComm};
+use pardis::rts::{set_one_sided, MpiRts, Rts, TulipWorld, World};
+use std::sync::Mutex;
+
+/// Serialises tests that flip the process-wide one-sided knob. A poisoned
+/// lock (a prior test panicked mid-flip) is recovered and the default
+/// restored, so one failure does not cascade.
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_mode<R>(one_sided: bool, f: impl FnOnce() -> R) -> R {
+    let _g = MODE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    set_one_sided(one_sided);
+    let out = f();
+    set_one_sided(true);
+    out
+}
+
+/// Gathered global contents after redistributing `len` f64 elements from
+/// `src` to `dst` over `n` ranks, as raw bits per element.
+fn redistribute_bits(
+    one_sided: bool,
+    len: usize,
+    n: usize,
+    src: Distribution,
+    dst: Distribution,
+) -> Vec<Vec<u64>> {
+    with_mode(one_sided, || {
+        // Deterministic but non-trivial payload (negative, fractional,
+        // denormal-adjacent values) so byte-level mix-ups cannot cancel out.
+        let full: Vec<f64> = (0..len).map(|i| (i as f64 - 3.25) * 1.000_000_1).collect();
+        World::run(n, move |rank| {
+            let t = rank.rank();
+            let rts = MpiRts::new(rank);
+            let mut ds = DSequence::distribute(&full, src.clone(), n, t);
+            ds.redistribute(&rts, dst.clone());
+            ds.gather(&rts).into_iter().map(f64::to_bits).collect::<Vec<u64>>()
+        })
+    })
+}
+
+#[test]
+fn redistribution_identical_across_modes() {
+    let shapes = [
+        (17, 4, Distribution::Block, Distribution::Cyclic),
+        (64, 3, Distribution::Cyclic, Distribution::Block),
+        (40, 4, Distribution::Block, Distribution::BlockCyclic(3)),
+        (29, 2, Distribution::BlockCyclic(5), Distribution::Concentrated(1)),
+        (9, 3, Distribution::Concentrated(2), Distribution::Cyclic),
+        (1, 2, Distribution::Block, Distribution::Cyclic),
+    ];
+    for (len, n, src, dst) in shapes {
+        let pull = redistribute_bits(true, len, n, src.clone(), dst.clone());
+        let push = redistribute_bits(false, len, n, src.clone(), dst.clone());
+        assert_eq!(pull, push, "modes diverged for len={len} n={n} {src:?}->{dst:?}");
+    }
+}
+
+#[test]
+fn repeated_redistributions_identical_across_modes() {
+    let run = |one_sided: bool| {
+        with_mode(one_sided, || {
+            let full: Vec<f64> = (0..50).map(|i| (i * i) as f64 / 7.0).collect();
+            World::run(3, move |rank| {
+                let t = rank.rank();
+                let rts = MpiRts::new(rank);
+                let mut ds = DSequence::distribute(&full, Distribution::Block, 3, t);
+                ds.redistribute(&rts, Distribution::Cyclic);
+                ds.redistribute(&rts, Distribution::BlockCyclic(4));
+                ds.redistribute(&rts, Distribution::Block);
+                ds.local().iter().map(|v| v.to_bits()).collect::<Vec<u64>>()
+            })
+        })
+    };
+    assert_eq!(run(true), run(false));
+}
+
+/// Variable-width elements have no fixed wire size, so the pull gate must
+/// fall back to push in both modes — and keep working.
+#[test]
+fn string_redistribution_identical_across_modes() {
+    let run = |one_sided: bool| {
+        with_mode(one_sided, || {
+            let full: Vec<String> =
+                (0..13).map(|i| format!("elem-{i}-{}", "x".repeat(i))).collect();
+            World::run(3, move |rank| {
+                let t = rank.rank();
+                let rts = MpiRts::new(rank);
+                let mut ds = DSequence::distribute(&full, Distribution::Block, 3, t);
+                ds.redistribute(&rts, Distribution::Cyclic);
+                ds.gather(&rts)
+            })
+        })
+    };
+    assert_eq!(run(true), run(false));
+}
+
+/// The Tulip RTS port drives the same pull path through its own window
+/// layer.
+#[test]
+fn tulip_redistribution_identical_across_modes() {
+    let run = |one_sided: bool| {
+        with_mode(one_sided, || {
+            let full: Vec<i64> = (0..37).map(|i| i * 31 - 400).collect();
+            let (_tw, endpoints) = TulipWorld::new(4);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = endpoints
+                    .into_iter()
+                    .map(|ep| {
+                        let full = full.clone();
+                        scope.spawn(move || {
+                            let t = ep.rank();
+                            let mut ds = DSequence::distribute(&full, Distribution::Cyclic, 4, t);
+                            ds.redistribute(&ep, Distribution::Block);
+                            ds.gather(&ep)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+            })
+        })
+    };
+    assert_eq!(run(true), run(false));
+}
+
+/// Stencil iteration over the POOMA field: the one-sided halo exchange must
+/// produce bit-identical fields to the send/recv exchange.
+fn stencil_bits(one_sided: bool) -> Vec<Vec<u64>> {
+    with_mode(one_sided, || {
+        let layout = Layout2D::new(12, 17, 3);
+        World::run(3, move |rank| {
+            let t = rank.rank();
+            let comm = PoomaComm::new(rank);
+            let mut field =
+                Field2D::from_fn(layout.clone(), t, |i, j| ((i * 7 + j * 3) % 11) as f64 / 3.0);
+            for _ in 0..5 {
+                field.stencil9(0.05, &comm);
+                field.stencil5(0.1, &comm);
+            }
+            field.interior().into_iter().map(f64::to_bits).collect::<Vec<u64>>()
+        })
+    })
+}
+
+#[test]
+fn pooma_stencil_identical_across_modes() {
+    assert_eq!(stencil_bits(true), stencil_bits(false));
+}
+
+/// Both modes also agree with an engine-mode network attached (transfers
+/// charged on modelled lanes), and one-sided traffic books strictly less
+/// virtual wire time than the rendezvous-based push.
+#[test]
+fn networked_redistribution_agrees_and_pull_is_cheaper() {
+    let run = |one_sided: bool| {
+        with_mode(one_sided, || {
+            let net = Network::with_transport(TimeScale::off(), TransportMode::Overlapped);
+            net.set_default_link(LinkPreset::AtmOc3.link());
+            let hosts: Vec<_> = (0..4).map(|r| net.add_host(&format!("h{r}"))).collect();
+            let full: Vec<f64> = (0..96).map(|i| i as f64 * 0.5).collect();
+            let (world, ranks) = World::new(4);
+            world.attach_network(net.clone(), hosts);
+            let out = std::thread::scope(|scope| {
+                let handles: Vec<_> = ranks
+                    .into_iter()
+                    .map(|rank| {
+                        let full = full.clone();
+                        scope.spawn(move || {
+                            let t = rank.rank();
+                            let rts = MpiRts::new(rank);
+                            let mut ds = DSequence::distribute(&full, Distribution::Block, 4, t);
+                            ds.redistribute(&rts, Distribution::BlockCyclic(2));
+                            ds.local().iter().map(|v| v.to_bits()).collect::<Vec<u64>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+            });
+            (out, net.makespan())
+        })
+    };
+    let (pull, pull_time) = run(true);
+    let (push, push_time) = run(false);
+    assert_eq!(pull, push, "networked modes diverged");
+    assert!(
+        pull_time < push_time,
+        "pull should beat rendezvous push on the virtual clock: pull={pull_time:.6}s push={push_time:.6}s"
+    );
+}
+
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Template from a generated selector, valid for any world of `n > 0`
+    /// ranks.
+    fn dist_from(kind: usize, param: u64, n: usize) -> Distribution {
+        match kind % 4 {
+            0 => Distribution::Block,
+            1 => Distribution::Cyclic,
+            2 => Distribution::Concentrated(param as usize % n),
+            _ => Distribution::BlockCyclic(1 + param % 6),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Pull and push agree bit-for-bit on random (len, src, dst) grids.
+        #[test]
+        fn pull_matches_push(
+            len in 1usize..80,
+            n in 2usize..5,
+            src_kind in 0usize..4,
+            src_param in 0u64..16,
+            dst_kind in 0usize..4,
+            dst_param in 0u64..16,
+        ) {
+            let src = dist_from(src_kind, src_param, n);
+            let dst = dist_from(dst_kind, dst_param, n);
+            let pull = redistribute_bits(true, len, n, src.clone(), dst.clone());
+            let push = redistribute_bits(false, len, n, src.clone(), dst.clone());
+            prop_assert_eq!(pull, push, "len={} n={} {:?}->{:?}", len, n, src, dst);
+        }
+    }
+}
